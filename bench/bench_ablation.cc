@@ -1,0 +1,134 @@
+// Ablation study (DESIGN.md §5): the three deviations of our
+// FrontierFilter from the paper's literal pseudo-code are correctness
+// fixes, not optimizations. This bench quantifies the claim:
+//
+//   1. literal matched-assignment (Fig. 21 line 28) vs OR-accumulation:
+//      divergence rate from ground truth on a recursion-heavy workload;
+//   2. output-collection overhead: time/memory of filtering vs
+//      full-fledged evaluation on the same stream (the buffering cost
+//      the paper's follow-up [5] proves necessary).
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/random.h"
+#include "stream/frontier_filter.h"
+#include "workload/doc_generator.h"
+#include "workload/query_generator.h"
+#include "xpath/parser.h"
+#include "xpath/evaluator.h"
+
+namespace xpstream {
+namespace {
+
+int RunAblation() {
+  std::printf("# Ablation 1: literal pseudo-code vs OR-accumulation fix\n");
+  std::printf("%-22s %-10s %-12s %-12s\n", "workload", "runs",
+              "literal_err", "fixed_err");
+  struct Setting {
+    const char* label;
+    size_t doc_depth;
+    size_t name_pool;
+    double descendant_prob;
+  };
+  const Setting settings[] = {
+      {"flat (no recursion)", 3, 6, 0.0},
+      {"mild recursion", 5, 3, 0.3},
+      {"heavy recursion", 7, 2, 0.6},
+  };
+  for (const Setting& s : settings) {
+    Random rng(777);
+    DocGenOptions dopts;
+    dopts.max_depth = s.doc_depth;
+    dopts.name_pool = s.name_pool;
+    QueryGenOptions qopts;
+    qopts.max_depth = 3;
+    qopts.name_pool = s.name_pool;
+    qopts.descendant_prob = s.descendant_prob;
+    qopts.value_predicate_prob = 0.2;
+    size_t runs = 0;
+    size_t literal_err = 0;
+    size_t fixed_err = 0;
+    for (int i = 0; i < 400; ++i) {
+      auto query = GenerateRandomQuery(&rng, qopts);
+      if (!query.ok()) continue;
+      auto filter = FrontierFilter::Create(query->get());
+      if (!filter.ok()) continue;
+      auto doc = GenerateRandomDocument(&rng, dopts);
+      bool expected = BoolEval(**query, *doc);
+      EventStream events = doc->ToEvents();
+      (*filter)->SetLiteralPseudocodeMode(false);
+      auto fixed = RunFilter(filter->get(), events);
+      (*filter)->SetLiteralPseudocodeMode(true);
+      auto literal = RunFilter(filter->get(), events);
+      if (!fixed.ok() || !literal.ok()) continue;
+      ++runs;
+      if (*fixed != expected) ++fixed_err;
+      if (*literal != expected) ++literal_err;
+    }
+    std::printf("%-22s %-10zu %-12zu %-12zu\n", s.label, runs, literal_err,
+                fixed_err);
+  }
+  std::printf(
+      "\nexpectation: fixed_err = 0 everywhere; literal_err > 0 once\n"
+      "documents recurse (the Fig. 21 line 28 assignment erases matches).\n");
+
+  // --- Ablation 2: filtering vs full-fledged evaluation ---------------
+  std::printf("\n# Ablation 2: filtering vs output collection (cost of "
+              "full-fledged evaluation)\n");
+  std::printf("%-10s %-14s %-14s %-16s %-16s\n", "docs", "filter_us",
+              "collect_us", "filter_peak_B", "collect_peak_B");
+  auto query = ParseQuery("/feed/msg[header/priority > 5]/body");
+  if (!query.ok()) return 1;
+  for (size_t n : {64u, 256u, 1024u}) {
+    Random rng(9);
+    auto doc = std::make_unique<XmlDocument>();
+    XmlNode* feed = doc->root()->AddElement("feed");
+    for (size_t i = 0; i < n; ++i) {
+      XmlNode* msg = feed->AddElement("msg");
+      msg->AddElement("header")->AddElement("priority")->AddText(
+          std::to_string(rng.Uniform(10)));
+      msg->AddElement("body")->AddText("payload-" + std::to_string(i));
+    }
+    EventStream events = doc->ToEvents();
+
+    auto filter = FrontierFilter::Create(query->get());
+    if (!filter.ok()) return 1;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < 20; ++rep) {
+      (void)RunFilter(filter->get(), events);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    size_t filter_peak = (*filter)->stats().PeakBytes();
+
+    auto collector = FrontierFilter::Create(query->get());
+    if (!collector.ok()) return 1;
+    if (!(*collector)->EnableOutputCollection().ok()) return 1;
+    auto t2 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < 20; ++rep) {
+      (void)RunFilter(collector->get(), events);
+    }
+    auto t3 = std::chrono::steady_clock::now();
+    size_t collect_peak = (*collector)->stats().PeakBytes() +
+                          (*collector)->outputs().size() * 16;
+
+    auto us = [](auto a, auto b) {
+      return std::chrono::duration_cast<std::chrono::microseconds>(b - a)
+                 .count() /
+             20;
+    };
+    std::printf("%-10zu %-14lld %-14lld %-16zu %-16zu\n", n,
+                (long long)us(t0, t1), (long long)us(t2, t3), filter_peak,
+                collect_peak);
+  }
+  std::printf(
+      "\nexpectation: collection pays a buffering overhead that grows\n"
+      "with the selected output volume ([5]'s necessary buffering), while\n"
+      "pure filtering memory stays flat.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace xpstream
+
+int main() { return xpstream::RunAblation(); }

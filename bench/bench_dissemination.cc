@@ -1,0 +1,112 @@
+// Experiment E9 (the paper's motivating scenario, cf. [1,14]): selective
+// dissemination of information — a stream of documents filtered against
+// a set of standing subscription queries.
+//
+// Sweeps engine choice (FrontierFilter vs buffering NaiveTreeFilter) on
+// the bibliography corpus and the recursive message feed, reporting
+// events/sec and peak memory. The reproduced "shape": the frontier
+// engine's memory is document-size independent while the buffering
+// engine's is Θ(|D|).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "stream/frontier_filter.h"
+#include "stream/naive_filter.h"
+#include "workload/scenarios.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+struct Workload {
+  std::vector<std::unique_ptr<Query>> queries;
+  std::vector<EventStream> documents;
+};
+
+Workload BibliographyWorkload(size_t docs) {
+  Workload w;
+  for (const std::string& text : BibliographySubscriptions()) {
+    auto q = ParseQuery(text);
+    if (!q.ok()) std::abort();
+    w.queries.push_back(std::move(q).value());
+  }
+  for (auto& doc : GenerateBibliographyCorpus(docs, 20240613)) {
+    w.documents.push_back(doc->ToEvents());
+  }
+  return w;
+}
+
+Workload FeedWorkload(size_t docs, size_t recursion) {
+  Workload w;
+  Random rng(7);
+  for (const std::string& text : MessageFeedSubscriptions()) {
+    auto q = ParseQuery(text);
+    if (!q.ok()) std::abort();
+    w.queries.push_back(std::move(q).value());
+  }
+  for (size_t i = 0; i < docs; ++i) {
+    w.documents.push_back(GenerateMessageFeed(8, recursion, &rng)->ToEvents());
+  }
+  return w;
+}
+
+template <typename FilterT>
+void RunWorkload(benchmark::State& state, const Workload& workload) {
+  std::vector<std::unique_ptr<FilterT>> filters;
+  for (const auto& q : workload.queries) {
+    auto f = FilterT::Create(q.get());
+    if (!f.ok()) std::abort();
+    filters.push_back(std::move(f).value());
+  }
+  size_t total_events = 0;
+  for (const auto& d : workload.documents) total_events += d.size();
+
+  size_t matches = 0;
+  for (auto _ : state) {
+    matches = 0;
+    for (const auto& events : workload.documents) {
+      for (auto& filter : filters) {
+        auto verdict = RunFilter(filter.get(), events);
+        if (verdict.ok() && *verdict) ++matches;
+      }
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(total_events * filters.size()));
+  size_t peak = 0;
+  for (const auto& filter : filters) {
+    peak = std::max(peak, filter->stats().PeakBytes());
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["peak_bytes_per_query"] = static_cast<double>(peak);
+}
+
+void BM_Bibliography_Frontier(benchmark::State& state) {
+  Workload w = BibliographyWorkload(static_cast<size_t>(state.range(0)));
+  RunWorkload<FrontierFilter>(state, w);
+}
+BENCHMARK(BM_Bibliography_Frontier)->Arg(50)->Arg(200);
+
+void BM_Bibliography_Naive(benchmark::State& state) {
+  Workload w = BibliographyWorkload(static_cast<size_t>(state.range(0)));
+  RunWorkload<NaiveTreeFilter>(state, w);
+}
+BENCHMARK(BM_Bibliography_Naive)->Arg(50)->Arg(200);
+
+void BM_MessageFeed_Frontier(benchmark::State& state) {
+  Workload w = FeedWorkload(20, static_cast<size_t>(state.range(0)));
+  RunWorkload<FrontierFilter>(state, w);
+}
+BENCHMARK(BM_MessageFeed_Frontier)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_MessageFeed_Naive(benchmark::State& state) {
+  Workload w = FeedWorkload(20, static_cast<size_t>(state.range(0)));
+  RunWorkload<NaiveTreeFilter>(state, w);
+}
+BENCHMARK(BM_MessageFeed_Naive)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace xpstream

@@ -1,0 +1,133 @@
+// Experiment E6 (paper Thm 8.8): time and space scaling of the
+// FrontierFilter — O~(|D| · |Q| · r) time, O(|Q| · r · (log|Q| + log d +
+// log w) + w) bits of space.
+//
+// Google-benchmark sweeps:
+//   DocSize  — |D| at fixed Q (expect linear ns growth);
+//   QuerySize — |Q| at fixed D (expect ~linear);
+//   RecursionDepth — r at fixed |D| (per-event work grows with the live
+//   frontier, i.e. with r).
+// Counters report peak memory decomposition per run.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "stream/frontier_filter.h"
+#include "workload/doc_generator.h"
+#include "workload/query_generator.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+std::unique_ptr<Query> MustParse(const std::string& text) {
+  auto q = ParseQuery(text);
+  if (!q.ok()) std::abort();
+  return std::move(q).value();
+}
+
+void BM_DocSize(benchmark::State& state) {
+  auto query = MustParse("/feed/msg[header/priority > 7 and body]");
+  auto filter = FrontierFilter::Create(query.get());
+  if (!filter.ok()) std::abort();
+  Random rng(1);
+  // Flat feed with n messages.
+  auto doc = std::make_unique<XmlDocument>();
+  XmlNode* feed = doc->root()->AddElement("feed");
+  for (int i = 0; i < state.range(0); ++i) {
+    XmlNode* msg = feed->AddElement("msg");
+    XmlNode* header = msg->AddElement("header");
+    header->AddElement("priority")
+        ->AddText(std::to_string(rng.Uniform(10)));
+    msg->AddElement("body")->AddText("payload");
+  }
+  EventStream events = doc->ToEvents();
+  for (auto _ : state) {
+    auto verdict = RunFilter(filter->get(), events);
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+  state.counters["events"] = static_cast<double>(events.size());
+  state.counters["peak_tuples"] =
+      static_cast<double>((*filter)->stats().table_entries().peak());
+}
+BENCHMARK(BM_DocSize)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_QuerySize(benchmark::State& state) {
+  // Frontier family query with k predicates: |Q| = k + 3.
+  auto query = MustParse(FrontierFamilyQueryText(
+      static_cast<size_t>(state.range(0))));
+  auto filter = FrontierFilter::Create(query.get());
+  if (!filter.ok()) std::abort();
+  // Document with all the p_i present plus distractors.
+  auto doc = std::make_unique<XmlDocument>();
+  XmlNode* r = doc->root()->AddElement("r");
+  for (int i = 0; i < state.range(0); ++i) {
+    r->AddElement("p" + std::to_string(i))
+        ->AddText(std::to_string(i + 1));
+    r->AddElement("q")->AddText("x");
+  }
+  r->AddElement("s");
+  EventStream events = doc->ToEvents();
+  for (auto _ : state) {
+    auto verdict = RunFilter(filter->get(), events);
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+  state.counters["query_size"] = static_cast<double>(query->size());
+  state.counters["peak_tuples"] =
+      static_cast<double>((*filter)->stats().table_entries().peak());
+}
+BENCHMARK(BM_QuerySize)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RecursionDepth(benchmark::State& state) {
+  auto query = MustParse("//a[b and c]");
+  auto filter = FrontierFilter::Create(query.get());
+  if (!filter.ok()) std::abort();
+  // r nested a's (live simultaneously), padded to constant event count.
+  size_t r = static_cast<size_t>(state.range(0));
+  const size_t kTotal = 512;
+  auto doc = std::make_unique<XmlDocument>();
+  XmlNode* current = doc->root();
+  for (size_t i = 0; i < r; ++i) {
+    current = current->AddElement("a");
+    current->AddElement("b");
+  }
+  for (size_t i = r; i < kTotal; ++i) {
+    current->AddElement("x");
+  }
+  EventStream events = doc->ToEvents();
+  for (auto _ : state) {
+    auto verdict = RunFilter(filter->get(), events);
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+  state.counters["peak_tuples"] =
+      static_cast<double>((*filter)->stats().table_entries().peak());
+}
+BENCHMARK(BM_RecursionDepth)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TextWidth(benchmark::State& state) {
+  // Buffering cost: one leaf value of w bytes (Thm 8.8's +w term).
+  auto query = MustParse("/a[b = \"needle\"]");
+  auto filter = FrontierFilter::Create(query.get());
+  if (!filter.ok()) std::abort();
+  std::string text(static_cast<size_t>(state.range(0)), 'x');
+  auto doc = std::make_unique<XmlDocument>();
+  XmlNode* a = doc->root()->AddElement("a");
+  a->AddElement("b")->AddText(text);
+  EventStream events = doc->ToEvents();
+  for (auto _ : state) {
+    auto verdict = RunFilter(filter->get(), events);
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.counters["peak_buffer_bytes"] =
+      static_cast<double>((*filter)->stats().buffered_bytes().peak());
+}
+BENCHMARK(BM_TextWidth)->Arg(16)->Arg(1024)->Arg(65536);
+
+}  // namespace
+}  // namespace xpstream

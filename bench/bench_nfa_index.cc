@@ -1,0 +1,102 @@
+// Experiment E10 (YFilter [14] reproduction): prefix sharing in a
+// multi-query NFA index.
+//
+// Series printed, for growing subscription counts over a fixed name
+// pool:
+//   shared NFA states vs the sum of per-query automaton sizes (the
+//   sharing ratio YFilter reports);
+//   one-scan index throughput vs running one NfaFilter per query.
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/random.h"
+#include "stream/nfa_filter.h"
+#include "stream/nfa_index.h"
+#include "workload/doc_generator.h"
+#include "workload/query_generator.h"
+#include "xpath/evaluator.h"
+
+namespace xpstream {
+namespace {
+
+int RunE10() {
+  std::printf("# E10: YFilter-style prefix sharing (shared NFA index)\n");
+  std::printf("%-8s %-14s %-14s %-10s %-14s %-14s\n", "queries",
+              "shared_states", "sum_states", "ratio", "index_us/doc",
+              "separate_us/doc");
+
+  Random doc_rng(42);
+  DocGenOptions dopts;
+  dopts.max_depth = 7;
+  dopts.name_pool = 4;
+  dopts.names = {"s0", "s1", "s2", "s3"};
+  std::vector<EventStream> docs;
+  for (int i = 0; i < 20; ++i) {
+    docs.push_back(GenerateRandomDocument(&doc_rng, dopts)->ToEvents());
+  }
+
+  for (size_t n : {16u, 64u, 256u, 1024u}) {
+    Random rng(7);
+    NfaIndex index;
+    std::vector<std::unique_ptr<Query>> queries;
+    std::vector<std::unique_ptr<NfaFilter>> filters;
+    size_t sum_states = 0;
+    for (size_t i = 0; i < n; ++i) {
+      auto q = GenerateLinearQuery(&rng, 1 + rng.Uniform(5), 0.35, 0.1, 4);
+      if (!q.ok()) return 1;
+      if (!index.AddQuery(i, **q).ok()) return 1;
+      sum_states += (*q)->size();  // states of a per-query NFA
+      auto f = NfaFilter::Create(q->get());
+      if (!f.ok()) return 1;
+      filters.push_back(std::move(f).value());
+      queries.push_back(std::move(q).value());
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    size_t index_matches = 0;
+    for (const EventStream& events : docs) {
+      auto verdicts = index.FilterDocument(events);
+      if (!verdicts.ok()) return 1;
+      for (bool v : *verdicts) index_matches += v;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+
+    size_t separate_matches = 0;
+    for (const EventStream& events : docs) {
+      for (auto& filter : filters) {
+        auto verdict = RunFilter(filter.get(), events);
+        if (!verdict.ok()) return 1;
+        separate_matches += *verdict;
+      }
+    }
+    auto t2 = std::chrono::steady_clock::now();
+
+    if (index_matches != separate_matches) {
+      std::fprintf(stderr, "verdict mismatch: %zu vs %zu\n", index_matches,
+                   separate_matches);
+      return 1;
+    }
+
+    auto us = [&](auto a, auto b) {
+      return std::chrono::duration_cast<std::chrono::microseconds>(b - a)
+                 .count() /
+             static_cast<long long>(docs.size());
+    };
+    std::printf("%-8zu %-14zu %-14zu %-10.2f %-14lld %-14lld\n", n,
+                index.NumStates(), sum_states,
+                static_cast<double>(sum_states) /
+                    static_cast<double>(index.NumStates()),
+                (long long)us(t0, t1), (long long)us(t1, t2));
+  }
+  std::printf(
+      "\nexpectation: the sharing ratio grows with the subscription count\n"
+      "(common prefixes collapse), and one shared scan beats per-query\n"
+      "scans by a widening margin — the YFilter result the paper cites.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace xpstream
+
+int main() { return xpstream::RunE10(); }

@@ -1,0 +1,70 @@
+// Selective dissemination of information (SDI): the paper's motivating
+// application ([1,14] in its bibliography). A set of standing
+// subscription queries filters a stream of incoming documents; each
+// document is routed to the subscribers whose query it matches.
+//
+// Demonstrates: many FrontierFilters sharing one SAX scan per document,
+// per-query memory accounting, and agreement with ground truth.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "stream/frontier_filter.h"
+#include "workload/scenarios.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+int main() {
+  using namespace xpstream;
+
+  std::vector<std::string> subscription_texts = BibliographySubscriptions();
+  std::vector<std::unique_ptr<Query>> queries;
+  std::vector<std::unique_ptr<FrontierFilter>> filters;
+  for (const std::string& text : subscription_texts) {
+    auto q = ParseQuery(text);
+    if (!q.ok()) {
+      std::fprintf(stderr, "bad subscription %s: %s\n", text.c_str(),
+                   q.status().ToString().c_str());
+      return 1;
+    }
+    auto f = FrontierFilter::Create(q->get());
+    if (!f.ok()) {
+      std::fprintf(stderr, "unsupported subscription %s: %s\n", text.c_str(),
+                   f.status().ToString().c_str());
+      return 1;
+    }
+    queries.push_back(std::move(q).value());
+    filters.push_back(std::move(f).value());
+  }
+  std::printf("subscriptions: %zu\n", filters.size());
+
+  auto corpus = GenerateBibliographyCorpus(12, 4242);
+  std::printf("documents    : %zu\n\n", corpus.size());
+
+  std::vector<size_t> hits(filters.size(), 0);
+  size_t mismatches = 0;
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    EventStream events = corpus[d]->ToEvents();
+    std::printf("doc %2zu ->", d);
+    for (size_t s = 0; s < filters.size(); ++s) {
+      auto verdict = RunFilter(filters[s].get(), events);
+      if (!verdict.ok()) return 1;
+      bool expected = BoolEval(*queries[s], *corpus[d]);
+      if (*verdict != expected) ++mismatches;
+      if (*verdict) {
+        ++hits[s];
+        std::printf(" S%zu", s);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n%-55s %-8s %s\n", "subscription", "matches", "peak_bytes");
+  for (size_t s = 0; s < filters.size(); ++s) {
+    std::printf("%-55s %-8zu %zu\n", subscription_texts[s].c_str(), hits[s],
+                filters[s]->stats().PeakBytes());
+  }
+  std::printf("\nground-truth mismatches: %zu (expect 0)\n", mismatches);
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Memory analysis tool: given a query, report everything the paper's
+// theory says about its streaming memory requirements —
+//   * fragment classification (Redundancy-free XPath membership),
+//   * the frontier size lower bound FS(Q) (Thm 7.1),
+//   * applicability of the recursion-depth (Thm 7.4) and document-depth
+//     (Thm 7.14) lower bounds,
+//   * the canonical document certifying the bounds,
+//   * the Thm 8.8 upper-bound formula for the Section 8 algorithm.
+//
+//   $ ./memory_analysis '/a[c[.//e and f] and b > 5]'
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/canonical.h"
+#include "analysis/fragment.h"
+#include "analysis/frontier.h"
+#include "common/memory_stats.h"
+#include "xml/writer.h"
+#include "xpath/parser.h"
+
+int main(int argc, char** argv) {
+  using namespace xpstream;
+
+  std::string text = argc > 1 ? argv[1] : "/a[c[.//e and f] and b > 5]";
+  auto query = ParseQuery(text);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("query: %s  (|Q| = %zu)\n\n", (*query)->ToString().c_str(),
+              (*query)->size());
+
+  FragmentReport report = ClassifyQuery(**query);
+  std::printf("== fragment classification (paper §5) ==\n%s\n\n",
+              report.ToString().c_str());
+
+  size_t fs = FrontierSize(**query);
+  const QueryNode* focus = LargestFrontierNode(**query);
+  std::printf("== lower bounds ==\n");
+  std::printf("frontier size FS(Q) = %zu (largest frontier at '%s')\n", fs,
+              focus != nullptr ? focus->ntest().c_str() : "?");
+  if (report.redundancy_free) {
+    std::printf("Thm 7.1: any streaming filter needs >= %zu bits.\n", fs);
+  } else {
+    std::printf("Thm 7.1 not applicable (not redundancy-free).\n");
+  }
+  const QueryNode* v = RecursiveXPathNode(**query);
+  if (v != nullptr) {
+    std::printf(
+        "Thm 7.4: in Recursive XPath via node '%s' — Ω(r) bits on "
+        "documents of recursion depth r.\n",
+        v->ntest().c_str());
+  } else {
+    std::printf("Thm 7.4 not applicable (not in Recursive XPath).\n");
+  }
+  const QueryNode* u = DepthBoundNode(**query);
+  if (u != nullptr) {
+    std::printf(
+        "Thm 7.14: depth bound via step '%s' — Ω(log d) bits on "
+        "documents of depth d.\n\n",
+        u->ntest().c_str());
+  } else {
+    std::printf("Thm 7.14 not applicable.\n\n");
+  }
+
+  auto canonical = BuildCanonicalDocument(**query);
+  if (canonical.ok()) {
+    auto xml = DocumentToXml(*canonical->document);
+    std::printf("== canonical document (paper §6.4) ==\n%s\n\n",
+                xml.ok() ? xml->c_str() : "(serialization failed)");
+  } else {
+    std::printf("canonical document: %s\n\n",
+                canonical.status().ToString().c_str());
+  }
+
+  std::printf("== Thm 8.8 upper bound for the Section 8 algorithm ==\n");
+  size_t logq = BitWidth((*query)->size());
+  std::printf(
+      "space: O(|Q| * r * (log|Q| + log d + log w) + w) bits\n"
+      "     = O(%zu * r * (%zu + log d + log w) + w)\n",
+      (*query)->size(), logq);
+  if (report.closure_free && report.path_consistency_free) {
+    std::printf(
+        "query is closure-free and path consistency-free: the frontier\n"
+        "table stays within FS(Q) = %zu tuples (Thm 8.8, second part).\n",
+        fs);
+  }
+  std::printf("time : O~(|D| * |Q| * r)\n");
+  return 0;
+}

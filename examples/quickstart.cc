@@ -1,0 +1,73 @@
+// Quickstart: parse a query, stream a document through the paper's
+// filtering algorithm, and compare with the in-memory reference
+// evaluation.
+//
+//   $ ./quickstart
+//   $ ./quickstart '/book[price < 30]/title' '<book>...</book>'
+
+#include <cstdio>
+#include <string>
+
+#include "stream/frontier_filter.h"
+#include "xml/parser.h"
+#include "xml/tree_builder.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+int main(int argc, char** argv) {
+  using namespace xpstream;
+
+  std::string query_text =
+      argc > 1 ? argv[1] : "/book[price < 30 and author/last]/title";
+  std::string xml =
+      argc > 2 ? argv[2]
+               : "<book publisher=\"acm\">"
+                 "<title>data streams</title>"
+                 "<author><last>fontoura</last><first>m</first></author>"
+                 "<year>2004</year><price>25</price>"
+                 "</book>";
+
+  // 1. Parse the query (Forward XPath, paper Fig. 1 grammar).
+  auto query = ParseQuery(query_text);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query        : %s\n", (*query)->ToString().c_str());
+  std::printf("query size   : %zu nodes\n", (*query)->size());
+
+  // 2. Stream the document through the Section 8 filtering algorithm.
+  auto filter = FrontierFilter::Create(query->get());
+  if (!filter.ok()) {
+    std::fprintf(stderr, "filter error: %s\n",
+                 filter.status().ToString().c_str());
+    return 1;
+  }
+  if (!(*filter)->Reset().ok()) return 1;
+  XmlParser parser(filter->get());  // SAX events flow straight in
+  Status status = parser.Feed(xml);
+  if (status.ok()) status = parser.Finish();
+  if (!status.ok()) {
+    std::fprintf(stderr, "xml error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto verdict = (*filter)->Matched();
+  if (!verdict.ok()) return 1;
+  std::printf("stream match : %s\n", *verdict ? "yes" : "no");
+  std::printf("memory       : %s\n",
+              (*filter)->stats().ToString().c_str());
+
+  // 3. Cross-check with the reference evaluator (FULLEVAL, Def. 3.6).
+  auto doc = ParseXmlToDocument(xml);
+  if (!doc.ok()) return 1;
+  auto selected = FullEval(**query, **doc);
+  std::printf("FULLEVAL     : %zu node(s) selected\n", selected.size());
+  for (const XmlNode* node : selected) {
+    std::printf("  <%s> = \"%s\"\n", node->name().c_str(),
+                node->StringValue().c_str());
+  }
+  bool agree = (*verdict) == !selected.empty();
+  std::printf("agreement    : %s\n", agree ? "ok" : "MISMATCH");
+  return agree ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+#include "analysis/automorphism.h"
+
+namespace xpstream {
+
+namespace {
+
+/// Backtracking search for a structural query automorphism with a pinned
+/// assignment ψ(pinned_from) = pinned_to. Nodes are assigned in pre-order,
+/// so a node's parent is always assigned before the node itself.
+class AutomorphismSearch {
+ public:
+  AutomorphismSearch(const Query& query, const QueryNode* pinned_from,
+                     const QueryNode* pinned_to, size_t budget)
+      : pinned_from_(pinned_from), pinned_to_(pinned_to), budget_(budget) {
+    order_ = query.AllNodes();
+    all_ = order_;
+  }
+
+  Decision Run() {
+    assignment_.clear();
+    Decision d = Assign(0);
+    return d;
+  }
+
+ private:
+  /// Candidate images for `node` under the axis-preservation rule
+  /// (Def. 6.8), given its parent's image.
+  std::vector<const QueryNode*> Candidates(const QueryNode* node) const {
+    std::vector<const QueryNode*> out;
+    if (node->is_root()) {
+      out.push_back(node);  // root preservation
+      return out;
+    }
+    const QueryNode* parent_image = assignment_.at(node->parent());
+    switch (node->axis()) {
+      case Axis::kChild:
+        for (const auto& c : parent_image->children()) {
+          if (c->axis() == Axis::kChild) out.push_back(c.get());
+        }
+        break;
+      case Axis::kAttribute:
+        for (const auto& c : parent_image->children()) {
+          if (c->axis() == Axis::kAttribute) out.push_back(c.get());
+        }
+        break;
+      case Axis::kDescendant:
+        // Any strict descendant with child or descendant axis.
+        for (const QueryNode* cand : all_) {
+          if (cand->axis() != Axis::kAttribute &&
+              parent_image->IsAncestorOf(cand)) {
+            out.push_back(cand);
+          }
+        }
+        break;
+    }
+    return out;
+  }
+
+  bool NodeTestOk(const QueryNode* node, const QueryNode* image) const {
+    if (node->is_root()) return image->is_root();
+    if (node->is_wildcard()) return true;  // wildcard can map anywhere
+    return !image->is_root() && image->ntest() == node->ntest();
+  }
+
+  Decision Assign(size_t index) {
+    if (index == order_.size()) return Decision::kYes;
+    if (steps_ > budget_) return Decision::kUnknown;
+    const QueryNode* node = order_[index];
+    bool hit_budget = false;
+    for (const QueryNode* image : Candidates(node)) {
+      ++steps_;
+      if (steps_ > budget_) return Decision::kUnknown;
+      if (!NodeTestOk(node, image)) continue;
+      // ψ need not be injective, so only the pinned pair is constrained.
+      if (node == pinned_from_ && image != pinned_to_) continue;
+      assignment_[node] = image;
+      Decision d = Assign(index + 1);
+      if (d == Decision::kYes) return d;
+      if (d == Decision::kUnknown) hit_budget = true;
+      assignment_.erase(node);
+    }
+    return hit_budget ? Decision::kUnknown : Decision::kNo;
+  }
+
+  const QueryNode* pinned_from_;
+  const QueryNode* pinned_to_;
+  size_t budget_;
+  size_t steps_ = 0;
+  std::vector<const QueryNode*> order_;
+  std::vector<const QueryNode*> all_;
+  std::map<const QueryNode*, const QueryNode*> assignment_;
+};
+
+}  // namespace
+
+Decision ExistsAutomorphismMapping(const Query& query, const QueryNode* v,
+                                   const QueryNode* u, size_t budget) {
+  AutomorphismSearch search(query, v, u, budget);
+  return search.Run();
+}
+
+StructuralDomination StructuralDomination::Compute(const Query& query,
+                                                   size_t budget) {
+  StructuralDomination out;
+  std::vector<const QueryNode*> nodes = query.AllNodes();
+  for (const QueryNode* u : nodes) {
+    std::vector<const QueryNode*> dominated;
+    for (const QueryNode* v : nodes) {
+      if (u == v) continue;
+      Decision d = ExistsAutomorphismMapping(query, v, u, budget);
+      if (d == Decision::kYes) dominated.push_back(v);
+      if (d == Decision::kUnknown) out.incomplete_ = true;
+    }
+    out.dominated_[u] = std::move(dominated);
+  }
+  return out;
+}
+
+const std::vector<const QueryNode*>& StructuralDomination::DominatedBy(
+    const QueryNode* u) const {
+  auto it = dominated_.find(u);
+  if (it == dominated_.end()) return empty_;
+  return it->second;
+}
+
+std::vector<const QueryNode*> StructuralDomination::DominatedLeaves(
+    const QueryNode* u) const {
+  std::vector<const QueryNode*> out;
+  for (const QueryNode* v : DominatedBy(u)) {
+    if (v->IsLeaf()) out.push_back(v);
+  }
+  return out;
+}
+
+bool StructuralDomination::HasNonTrivialDomination() const {
+  for (const auto& [u, dominated] : dominated_) {
+    if (!dominated.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace xpstream

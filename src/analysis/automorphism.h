@@ -1,0 +1,62 @@
+#ifndef XPSTREAM_ANALYSIS_AUTOMORPHISM_H_
+#define XPSTREAM_ANALYSIS_AUTOMORPHISM_H_
+
+/// \file
+/// Structural query automorphisms (paper Def. 6.8) and the structural
+/// domination relation they characterize (Lemma 6.9: u structurally
+/// subsumes v iff some automorphism maps v to u). Used to compute the
+/// leaf sets L_u needed by the sunflower properties and by canonical
+/// document value assignment (§6.4.1).
+///
+/// The search is exact backtracking with a step budget; queries in this
+/// library are small (tens of nodes), so the budget is never hit in
+/// practice, but callers must handle the kUnknown outcome.
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xpstream {
+
+/// Outcome of a bounded decision procedure.
+enum class Decision : uint8_t { kNo, kYes, kUnknown };
+
+/// Does some structural query automorphism ψ on `query` have ψ(v) = u?
+/// `budget` bounds backtracking steps.
+Decision ExistsAutomorphismMapping(const Query& query, const QueryNode* v,
+                                   const QueryNode* u,
+                                   size_t budget = 1u << 20);
+
+/// The full structural domination relation: SDOM(u) = nodes v that u
+/// structurally subsumes. Skips the trivial identity (u ∈ SDOM(u) always
+/// holds and is omitted).
+class StructuralDomination {
+ public:
+  static StructuralDomination Compute(const Query& query,
+                                      size_t budget = 1u << 20);
+
+  /// Nodes structurally subsumed by `u` (excluding u itself).
+  const std::vector<const QueryNode*>& DominatedBy(const QueryNode* u) const;
+
+  /// L_u: the leaves among DominatedBy(u) (paper §5.5).
+  std::vector<const QueryNode*> DominatedLeaves(const QueryNode* u) const;
+
+  /// True if any pair was undecided within budget (treat results as
+  /// under-approximations then).
+  bool incomplete() const { return incomplete_; }
+
+  /// True if some non-trivial automorphism exists (equivalently, some
+  /// node structurally subsumes another).
+  bool HasNonTrivialDomination() const;
+
+ private:
+  std::map<const QueryNode*, std::vector<const QueryNode*>> dominated_;
+  std::vector<const QueryNode*> empty_;
+  bool incomplete_ = false;
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_ANALYSIS_AUTOMORPHISM_H_

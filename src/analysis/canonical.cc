@@ -1,0 +1,192 @@
+#include "analysis/canonical.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace xpstream {
+
+std::string GetAuxiliaryName(const Query& query) {
+  std::set<std::string> used;
+  for (const QueryNode* node : query.AllNodes()) {
+    used.insert(node->ntest());
+  }
+  if (used.find("Z") == used.end()) return "Z";
+  for (int i = 0;; ++i) {
+    std::string candidate = StringPrintf("Z%d", i);
+    if (used.find(candidate) == used.end()) return candidate;
+  }
+}
+
+size_t LongestWildcardChain(const Query& query) {
+  size_t best = 0;
+  auto rec = [&](auto&& self, const QueryNode* node, size_t run) -> void {
+    if (node->is_wildcard()) {
+      ++run;
+      best = std::max(best, run);
+    } else {
+      run = 0;
+    }
+    for (const auto& c : node->children()) self(self, c.get(), run);
+  };
+  rec(rec, query.root(), 0);
+  return best;
+}
+
+namespace {
+
+/// Shared construction state for both canonical variants.
+class CanonicalBuilder {
+ public:
+  CanonicalBuilder(const Query& query, bool with_values)
+      : query_(query), with_values_(with_values) {}
+
+  Result<CanonicalDocument> Build() {
+    out_.auxiliary_name = GetAuxiliaryName(query_);
+    out_.wildcard_chain_length = LongestWildcardChain(query_);
+    out_.document = std::make_unique<XmlDocument>();
+
+    if (with_values_) {
+      auto truths = TruthSetMap::Build(query_);
+      if (!truths.ok()) return truths.status();
+      truths_ = std::make_unique<TruthSetMap>(std::move(truths).value());
+      domination_ = std::make_unique<StructuralDomination>(
+          StructuralDomination::Compute(query_));
+      if (domination_->incomplete()) {
+        return Status::Unsupported(
+            "automorphism search exceeded budget; cannot certify "
+            "sunflower properties");
+      }
+    }
+
+    out_.shadow[query_.root()] = out_.document->root();
+    out_.shadow_inverse[out_.document->root()] = query_.root();
+    XmlNode* doc_root = out_.document->root();
+    for (const auto& child : query_.root()->children()) {
+      XPS_RETURN_IF_ERROR(ProcessNode(child.get(), doc_root));
+    }
+    out_.document->Index();
+    return std::move(out_);
+  }
+
+ private:
+  // Mirrors processNode from paper Fig. 8.
+  Status ProcessNode(const QueryNode* u, XmlNode* parent) {
+    XmlNode* attach = parent;
+    if (u->axis() == Axis::kDescendant) {
+      // Insert a chain of h+1 artificial nodes.
+      for (size_t i = 0; i < out_.wildcard_chain_length + 1; ++i) {
+        attach = attach->AddElement(out_.auxiliary_name);
+      }
+    }
+    std::string name =
+        u->is_wildcard() ? out_.auxiliary_name : u->ntest();
+    XmlNode* shadow;
+    if (u->axis() == Axis::kAttribute) {
+      std::string value;
+      if (with_values_) {
+        XPS_ASSIGN_OR_RETURN(value, UniqueValue(u));
+      }
+      shadow = attach->AddAttribute(name, value);
+      if (!u->children().empty()) {
+        return Status::Unsupported(
+            "attribute step with children cannot match any document");
+      }
+    } else {
+      shadow = attach->AddElement(name);
+      if (with_values_) {
+        XPS_ASSIGN_OR_RETURN(std::string value, UniqueValue(u));
+        shadow->AddText(value);  // precedes all other children
+      }
+      for (const auto& child : u->children()) {
+        XPS_RETURN_IF_ERROR(ProcessNode(child.get(), shadow));
+      }
+    }
+    out_.shadow[u] = shadow;
+    out_.shadow_inverse[shadow] = u;
+    return Status::OK();
+  }
+
+  /// getUniqueValue (Fig. 8 line 10): constructive search.
+  Result<std::string> UniqueValue(const QueryNode* u) {
+    const TruthSet& mine = truths_->Get(u);
+    std::vector<const QueryNode*> dominated_leaves =
+        domination_->DominatedLeaves(u);
+
+    // Candidate pool: fresh sentinels, u's samples, dominated sets'
+    // samples (the paper's example picks 31 because 30 bounds a
+    // *dominated* truth set).
+    std::vector<std::string> candidates;
+    for (int i = 0; i < 4; ++i) {
+      candidates.push_back(StringPrintf("~uq%zu_%d~", sentinel_++, i));
+    }
+    for (const std::string& s : mine.SampleCandidates()) {
+      candidates.push_back(s);
+    }
+    for (const QueryNode* v : dominated_leaves) {
+      for (const std::string& s : truths_->Get(v).SampleCandidates()) {
+        candidates.push_back(s);
+      }
+    }
+
+    if (u->IsLeaf()) {
+      // Sunflower property: α ∈ TRUTH(u) \ ∪_v TRUTH(v).
+      for (const std::string& alpha : candidates) {
+        if (!mine.Contains(alpha)) continue;
+        bool clashes = false;
+        for (const QueryNode* v : dominated_leaves) {
+          if (truths_->Get(v).Contains(alpha)) {
+            clashes = true;
+            break;
+          }
+        }
+        if (!clashes) return alpha;
+      }
+      return Status::NotFound(
+          "sunflower property: no unique value found for leaf '" +
+          u->ntest() + "' — query is not strongly subsumption-free");
+    }
+
+    // Prefix sunflower: α ∉ PREFIX(∪_v TRUTH(v)). Internal nodes have
+    // universal truth sets (leaf-only-value-restriction), so membership
+    // in TRUTH(u) is automatic.
+    for (const std::string& alpha : candidates) {
+      if (alpha.empty()) continue;  // "" is a prefix of everything
+      bool maybe_prefix = false;
+      for (const QueryNode* v : dominated_leaves) {
+        if (truths_->Get(v).PrefixOfMember(alpha) != TruthSet::Tri::kNo) {
+          maybe_prefix = true;
+          break;
+        }
+      }
+      if (!maybe_prefix) return alpha;
+    }
+    if (dominated_leaves.empty()) {
+      return std::string("~v~");  // unreachable, but keep total
+    }
+    return Status::NotFound(
+        "prefix sunflower property: no unique prefix value found for "
+        "internal node '" +
+        u->ntest() + "' — query is not strongly subsumption-free");
+  }
+
+  const Query& query_;
+  bool with_values_;
+  CanonicalDocument out_;
+  std::unique_ptr<TruthSetMap> truths_;
+  std::unique_ptr<StructuralDomination> domination_;
+  size_t sentinel_ = 0;
+};
+
+}  // namespace
+
+Result<CanonicalDocument> BuildCanonicalDocument(const Query& query) {
+  return CanonicalBuilder(query, /*with_values=*/true).Build();
+}
+
+Result<CanonicalDocument> BuildStructuralCanonicalDocument(
+    const Query& query) {
+  return CanonicalBuilder(query, /*with_values=*/false).Build();
+}
+
+}  // namespace xpstream

@@ -1,0 +1,79 @@
+#ifndef XPSTREAM_ANALYSIS_CANONICAL_H_
+#define XPSTREAM_ANALYSIS_CANONICAL_H_
+
+/// \file
+/// Canonical documents (paper §6.4, Fig. 8). For a redundancy-free query
+/// Q, the canonical document D_c mirrors the query tree: every query node
+/// u gets a *shadow* element; descendant-axis nodes are pushed below a
+/// chain of h+1 *artificial* elements carrying a name that does not occur
+/// in Q; and every shadow receives a text value that belongs "uniquely" to
+/// its truth set (sunflower property for leaves, prefix sunflower for
+/// internal nodes).
+///
+/// D_c matches Q via exactly one matching — the canonical matching
+/// u ↦ SHADOW(u) (Lemmas 6.11/6.15) — which makes it the seed for every
+/// fooling-set construction in §7.
+///
+/// getUniqueValue is realized constructively (the paper only *assumes*
+/// existence from Def. 5.18): candidate values are generated from truth
+/// set samples plus fresh sentinels and verified by exact membership /
+/// symbolic prefix tests. Construction failure is precisely a certificate
+/// that the sunflower properties could not be established, so
+/// BuildCanonicalDocument doubles as the strong-subsumption-freeness
+/// decision procedure used by ClassifyQuery.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "analysis/automorphism.h"
+#include "analysis/truth_set.h"
+#include "common/status.h"
+#include "xml/node.h"
+#include "xpath/ast.h"
+
+namespace xpstream {
+
+struct CanonicalDocument {
+  std::unique_ptr<XmlDocument> document;
+
+  /// SHADOW: query node -> its shadow element (query root -> doc root).
+  std::map<const QueryNode*, const XmlNode*> shadow;
+
+  /// Inverse map, defined on shadow nodes only.
+  std::map<const XmlNode*, const QueryNode*> shadow_inverse;
+
+  /// The auxiliary name used for artificial nodes and '*' shadows.
+  std::string auxiliary_name;
+
+  /// h: length of the longest chain of wildcard nodes in Q; artificial
+  /// chains have length h+1 (paper §6.4.1).
+  size_t wildcard_chain_length = 0;
+
+  bool IsArtificial(const XmlNode* node) const {
+    return node->kind() == NodeKind::kElement &&
+           shadow_inverse.find(node) == shadow_inverse.end();
+  }
+};
+
+/// Builds the canonical document for `query`. Requires (and checks) that
+/// the query is star-restricted, conjunctive, univariate and
+/// leaf-only-value-restricted; fails with kNotFound when a unique value
+/// certifying the (prefix) sunflower property cannot be constructed.
+Result<CanonicalDocument> BuildCanonicalDocument(const Query& query);
+
+/// Structurally canonical document: same construction minus text values
+/// (paper §6.4.1). Never needs the sunflower search, so it works for any
+/// star-restricted query.
+Result<CanonicalDocument> BuildStructuralCanonicalDocument(const Query& query);
+
+/// Picks a name from N not occurring as a node test in `query` ("Z",
+/// "Z0", "Z1", ...).
+std::string GetAuxiliaryName(const Query& query);
+
+/// Length of the longest path segment of wildcard-node-test nodes.
+size_t LongestWildcardChain(const Query& query);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_ANALYSIS_CANONICAL_H_

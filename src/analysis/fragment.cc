@@ -1,0 +1,205 @@
+#include "analysis/fragment.h"
+
+#include "analysis/canonical.h"
+#include "analysis/path_consistency.h"
+#include "analysis/truth_set.h"
+#include "common/string_util.h"
+
+namespace xpstream {
+
+bool IsStarRestricted(const Query& query, std::string* reason) {
+  for (const QueryNode* node : query.AllNodes()) {
+    if (!node->is_wildcard()) continue;
+    if (node->IsLeaf()) {
+      if (reason != nullptr) *reason = "wildcard node is a leaf";
+      return false;
+    }
+    if (node->axis() == Axis::kDescendant) {
+      if (reason != nullptr) *reason = "wildcard node has a descendant axis";
+      return false;
+    }
+    for (const auto& child : node->children()) {
+      if (child->axis() == Axis::kDescendant) {
+        if (reason != nullptr) {
+          *reason = "wildcard node has a child with a descendant axis";
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Def. 5.3: no boolean-argument operator anywhere in the subexpression,
+/// and no boolean-output node except possibly the root.
+bool IsAtomicPredicate(const ExprNode* expr) {
+  auto rec = [&](auto&& self, const ExprNode* e, bool is_root) -> bool {
+    if (e->HasBooleanArgs()) return false;
+    if (!is_root && e->HasBooleanOutput()) return false;
+    for (const auto& arg : e->args()) {
+      if (!self(self, arg.get(), false)) return false;
+    }
+    return true;
+  };
+  return rec(rec, expr, true);
+}
+
+}  // namespace
+
+bool IsConjunctive(const Query& query, std::string* reason) {
+  for (const QueryNode* node : query.AllNodes()) {
+    const ExprNode* pred = node->predicate();
+    if (pred == nullptr) continue;
+    for (const ExprNode* atom : AtomicPredicatesOf(pred)) {
+      if (!IsAtomicPredicate(atom)) {
+        if (reason != nullptr) {
+          *reason = "predicate part '" + atom->ToString() + "' is not atomic";
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsUnivariate(const Query& query, std::string* reason) {
+  for (const QueryNode* node : query.AllNodes()) {
+    const ExprNode* pred = node->predicate();
+    if (pred == nullptr) continue;
+    for (const ExprNode* atom : AtomicPredicatesOf(pred)) {
+      size_t vars = PathRefsUnder(atom).size();
+      if (vars > 1) {
+        if (reason != nullptr) {
+          *reason = "atomic predicate '" + atom->ToString() + "' has " +
+                    StringPrintf("%zu", vars) + " variables";
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsLeafOnlyValueRestricted(const Query& query, std::string* reason) {
+  auto truths = TruthSetMap::Build(query);
+  if (!truths.ok()) {
+    if (reason != nullptr) *reason = truths.status().ToString();
+    return false;
+  }
+  for (const QueryNode* node : query.AllNodes()) {
+    if (node->IsLeaf()) continue;
+    if (truths->IsValueRestricted(node)) {
+      if (reason != nullptr) {
+        *reason = "internal node '" + node->ntest() + "' is value-restricted";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsClosureFree(const Query& query) {
+  for (const QueryNode* node : query.AllNodes()) {
+    if (!node->is_root() && node->axis() == Axis::kDescendant) return false;
+  }
+  return true;
+}
+
+const QueryNode* RecursiveXPathNode(const Query& query) {
+  for (const QueryNode* node : query.AllNodes()) {
+    if (node->is_root()) continue;
+    // (1) v or an ancestor has a descendant axis.
+    bool closure = false;
+    for (const QueryNode* n = node; !n->is_root(); n = n->parent()) {
+      if (n->axis() == Axis::kDescendant) {
+        closure = true;
+        break;
+      }
+    }
+    if (!closure) continue;
+    // (2) v has at least two children with a child axis.
+    size_t child_axis_children = 0;
+    for (const auto& c : node->children()) {
+      if (c->axis() == Axis::kChild) ++child_axis_children;
+    }
+    if (child_axis_children >= 2) return node;
+  }
+  return nullptr;
+}
+
+const QueryNode* DepthBoundNode(const Query& query) {
+  for (const QueryNode* node : query.AllNodes()) {
+    if (node->is_root()) continue;
+    if (node->axis() != Axis::kChild) continue;
+    if (node->is_wildcard()) continue;
+    const QueryNode* parent = node->parent();
+    // The parent must be a real (non-wildcard) step: padding inserted
+    // between the document root and a top-level step would create
+    // sibling root elements, so the construction needs u strictly below
+    // the first step.
+    if (parent->is_root() || parent->is_wildcard()) continue;
+    return node;
+  }
+  return nullptr;
+}
+
+FragmentReport ClassifyQuery(const Query& query) {
+  FragmentReport report;
+  std::string reason;
+
+  report.star_restricted = IsStarRestricted(query, &reason);
+  if (!report.star_restricted) report.notes.push_back(reason);
+
+  report.conjunctive = IsConjunctive(query, &reason);
+  if (!report.conjunctive) report.notes.push_back(reason);
+
+  report.univariate =
+      report.conjunctive ? IsUnivariate(query, &reason) : false;
+  if (report.conjunctive && !report.univariate) report.notes.push_back(reason);
+
+  report.leaf_only_value_restricted =
+      report.univariate ? IsLeafOnlyValueRestricted(query, &reason) : false;
+  if (report.univariate && !report.leaf_only_value_restricted) {
+    report.notes.push_back(reason);
+  }
+
+  report.closure_free = IsClosureFree(query);
+  report.path_consistency_free = IsPathConsistencyFree(query);
+  report.in_recursive_xpath = RecursiveXPathNode(query) != nullptr;
+  report.has_depth_bound_node = DepthBoundNode(query) != nullptr;
+
+  if (report.star_restricted && report.conjunctive && report.univariate &&
+      report.leaf_only_value_restricted) {
+    // Strong subsumption-freeness is decided by attempting the canonical
+    // construction (see canonical.h).
+    auto canonical = BuildCanonicalDocument(query);
+    report.strongly_subsumption_free = canonical.ok();
+    if (!canonical.ok()) {
+      report.notes.push_back(canonical.status().ToString());
+    }
+  }
+
+  report.redundancy_free =
+      report.star_restricted && report.conjunctive && report.univariate &&
+      report.leaf_only_value_restricted && report.strongly_subsumption_free;
+  return report;
+}
+
+std::string FragmentReport::ToString() const {
+  std::string out = StringPrintf(
+      "star_restricted=%d conjunctive=%d univariate=%d "
+      "leaf_only_value_restricted=%d strongly_subsumption_free=%d "
+      "closure_free=%d path_consistency_free=%d redundancy_free=%d recursive_xpath=%d "
+      "depth_bound_node=%d",
+      star_restricted, conjunctive, univariate, leaf_only_value_restricted,
+      strongly_subsumption_free, closure_free, path_consistency_free, redundancy_free,
+      in_recursive_xpath, has_depth_bound_node);
+  for (const std::string& note : notes) {
+    out += "\n  note: " + note;
+  }
+  return out;
+}
+
+}  // namespace xpstream

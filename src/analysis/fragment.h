@@ -1,0 +1,74 @@
+#ifndef XPSTREAM_ANALYSIS_FRAGMENT_H_
+#define XPSTREAM_ANALYSIS_FRAGMENT_H_
+
+/// \file
+/// Classification of queries into the paper's fragments:
+///  * star-restricted (Def. 5.2)
+///  * conjunctive (Defs. 5.3–5.4)
+///  * univariate (Def. 5.5)
+///  * leaf-only-value-restricted (Def. 5.7)
+///  * strongly subsumption-free (Def. 5.18; sunflower + prefix sunflower,
+///    decided constructively through canonical document building)
+///  * Redundancy-free XPath (Def. 5.1) = all of the above
+///  * Recursive XPath (§7.2.1) and the Thm 7.14 depth-bound condition
+///  * closure-free (Def. 8.7)
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xpstream {
+
+/// Star-restriction (Def. 5.2): no wildcard node is a leaf, carries a
+/// descendant axis, or has a child with a descendant axis.
+bool IsStarRestricted(const Query& query, std::string* reason = nullptr);
+
+/// Conjunctive (Def. 5.4): every predicate is an atomic predicate or a
+/// conjunction of atomic predicates.
+bool IsConjunctive(const Query& query, std::string* reason = nullptr);
+
+/// Univariate (Def. 5.5): every atomic predicate references at most one
+/// query node.
+bool IsUnivariate(const Query& query, std::string* reason = nullptr);
+
+/// Leaf-only-value-restriction (Def. 5.7): no internal node has a proper
+/// truth set. (Uses the probing heuristic of TruthSetMap.)
+bool IsLeafOnlyValueRestricted(const Query& query,
+                               std::string* reason = nullptr);
+
+/// Closure-free (Def. 8.7): no descendant axis anywhere.
+bool IsClosureFree(const Query& query);
+
+/// Recursive XPath membership (§7.2.1): returns the distinguished node v
+/// (self-or-ancestor has a descendant axis; v has >= 2 child-axis
+/// children), or nullptr if none exists.
+const QueryNode* RecursiveXPathNode(const Query& query);
+
+/// Thm 7.14 condition: a node with child axis whose own and parent's node
+/// tests are not wildcards. Returns such a node or nullptr.
+const QueryNode* DepthBoundNode(const Query& query);
+
+/// Aggregate report used by the memory-analysis tooling and examples.
+struct FragmentReport {
+  bool star_restricted = false;
+  bool conjunctive = false;
+  bool univariate = false;
+  bool leaf_only_value_restricted = false;
+  bool strongly_subsumption_free = false;  ///< via canonical construction
+  bool closure_free = false;
+  bool path_consistency_free = false;  ///< Def. 8.6 (Thm 8.8 second part)
+  bool redundancy_free = false;
+  bool in_recursive_xpath = false;
+  bool has_depth_bound_node = false;
+  std::vector<std::string> notes;
+
+  std::string ToString() const;
+};
+
+FragmentReport ClassifyQuery(const Query& query);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_ANALYSIS_FRAGMENT_H_

@@ -1,0 +1,80 @@
+#include "analysis/frontier.h"
+
+namespace xpstream {
+
+std::vector<const QueryNode*> FrontierAt(const QueryNode* node) {
+  std::vector<const QueryNode*> out;
+  out.push_back(node);
+  for (const QueryNode* n = node; n->parent() != nullptr; n = n->parent()) {
+    for (const auto& sibling : n->parent()->children()) {
+      if (sibling.get() != n) out.push_back(sibling.get());
+    }
+  }
+  return out;
+}
+
+size_t FrontierSize(const Query& query) {
+  size_t best = 0;
+  for (const QueryNode* node : query.AllNodes()) {
+    best = std::max(best, FrontierAt(node).size());
+  }
+  return best;
+}
+
+const QueryNode* LargestFrontierNode(const Query& query) {
+  const QueryNode* best = nullptr;
+  size_t best_size = 0;
+  for (const QueryNode* node : query.AllNodes()) {
+    size_t size = FrontierAt(node).size();
+    if (size > best_size) {
+      best_size = size;
+      best = node;
+    }
+  }
+  return best;
+}
+
+namespace {
+bool CountsForFrontier(const XmlNode* node) {
+  return node->kind() == NodeKind::kElement ||
+         node->kind() == NodeKind::kAttribute;
+}
+}  // namespace
+
+std::vector<const XmlNode*> FrontierAt(const XmlNode* node) {
+  std::vector<const XmlNode*> out;
+  out.push_back(node);
+  for (const XmlNode* n = node; n->parent() != nullptr; n = n->parent()) {
+    for (const auto& sibling : n->parent()->children()) {
+      if (sibling.get() != n && CountsForFrontier(sibling.get())) {
+        out.push_back(sibling.get());
+      }
+    }
+  }
+  return out;
+}
+
+size_t FrontierSize(const XmlDocument& doc) {
+  size_t best = 0;
+  for (const XmlNode* node : doc.AllNodes()) {
+    if (!CountsForFrontier(node)) continue;
+    best = std::max(best, FrontierAt(node).size());
+  }
+  return best;
+}
+
+const XmlNode* LargestFrontierNode(const XmlDocument& doc) {
+  const XmlNode* best = nullptr;
+  size_t best_size = 0;
+  for (const XmlNode* node : doc.AllNodes()) {
+    if (!CountsForFrontier(node)) continue;
+    size_t size = FrontierAt(node).size();
+    if (size > best_size) {
+      best_size = size;
+      best = node;
+    }
+  }
+  return best;
+}
+
+}  // namespace xpstream

@@ -1,0 +1,41 @@
+#ifndef XPSTREAM_ANALYSIS_FRONTIER_H_
+#define XPSTREAM_ANALYSIS_FRONTIER_H_
+
+/// \file
+/// The query frontier size FS(·) from paper Definition 4.1: the frontier
+/// at a node x of a rooted tree is x together with its super-siblings
+/// (siblings of x and of its ancestors); FS(T) is the largest frontier.
+/// FS(Q) is the paper's first lower bound on streaming memory (Thm 7.1)
+/// and the upper bound driver for path-consistency-free queries (Thm 8.8).
+///
+/// Both query trees and document trees support the computation; for
+/// documents, text nodes are ignored (paper's remark after Def. 4.1).
+
+#include <vector>
+
+#include "xml/node.h"
+#include "xpath/ast.h"
+
+namespace xpstream {
+
+/// Frontier of a query node: the node plus its super-siblings.
+std::vector<const QueryNode*> FrontierAt(const QueryNode* node);
+
+/// FS(Q): size of the largest frontier over all query nodes.
+size_t FrontierSize(const Query& query);
+
+/// The query node with the largest frontier (first in pre-order on ties).
+const QueryNode* LargestFrontierNode(const Query& query);
+
+/// Frontier of a document node (text nodes ignored).
+std::vector<const XmlNode*> FrontierAt(const XmlNode* node);
+
+/// FS(D) over element/attribute nodes.
+size_t FrontierSize(const XmlDocument& doc);
+
+/// The document node with the largest frontier.
+const XmlNode* LargestFrontierNode(const XmlDocument& doc);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_ANALYSIS_FRONTIER_H_

@@ -1,0 +1,351 @@
+#include "analysis/matching.h"
+
+#include <algorithm>
+
+#include "xpath/evaluator.h"
+
+namespace xpstream {
+
+Result<MatchingAnalyzer> MatchingAnalyzer::Create(const Query* query,
+                                                  const XmlDocument* doc,
+                                                  bool structural) {
+  MatchingAnalyzer analyzer(query, doc, structural);
+  if (!structural) {
+    auto truths = TruthSetMap::Build(*query);
+    if (!truths.ok()) return truths.status();
+    analyzer.truths_ = std::move(truths).value();
+  }
+  return analyzer;
+}
+
+void MatchingAnalyzer::AxisCandidates(const XmlNode* x, Axis axis,
+                                      std::vector<const XmlNode*>* out) {
+  switch (axis) {
+    case Axis::kChild:
+      for (const auto& c : x->children()) {
+        if (c->kind() == NodeKind::kElement) out->push_back(c.get());
+      }
+      return;
+    case Axis::kAttribute:
+      for (const auto& c : x->children()) {
+        if (c->kind() == NodeKind::kAttribute) out->push_back(c.get());
+      }
+      return;
+    case Axis::kDescendant:
+      for (const auto& c : x->children()) {
+        if (c->kind() == NodeKind::kElement) {
+          out->push_back(c.get());
+          AxisCandidates(c.get(), Axis::kDescendant, out);
+        }
+      }
+      return;
+  }
+}
+
+bool MatchingAnalyzer::BasicMatch(const QueryNode* u, const XmlNode* x) const {
+  if (u->is_root()) {
+    return x->kind() == NodeKind::kRoot;
+  }
+  if (u->axis() == Axis::kAttribute) {
+    if (x->kind() != NodeKind::kAttribute) return false;
+  } else {
+    if (x->kind() != NodeKind::kElement) return false;
+  }
+  if (!u->is_wildcard() && x->name() != u->ntest()) return false;
+  if (!structural_ && !truths_.Get(u).Contains(x->StringValue())) {
+    return false;
+  }
+  return true;
+}
+
+bool MatchingAnalyzer::SubtreeMatches(const QueryNode* u, const XmlNode* x) {
+  auto key = std::make_pair(u, x);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+  memo_[key] = false;  // guard (no cycles possible, but keep it total)
+  bool ok = BasicMatch(u, x);
+  if (ok) {
+    for (const auto& child : u->children()) {
+      std::vector<const XmlNode*> candidates;
+      AxisCandidates(x, child->axis(), &candidates);
+      bool found = false;
+      for (const XmlNode* y : candidates) {
+        if (SubtreeMatches(child.get(), y)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  memo_[key] = ok;
+  return ok;
+}
+
+bool MatchingAnalyzer::HasMatching() {
+  return SubtreeMatches(query_->root(), doc_->root());
+}
+
+std::vector<const XmlNode*> MatchingAnalyzer::FeasibleImages(
+    const QueryNode* v) {
+  // feasible(root) = {droot} when the whole document matches; then
+  // feasible(v) = matching images of v reachable from a feasible parent.
+  std::vector<const QueryNode*> path = v->PathFromRoot();
+  std::vector<const XmlNode*> feasible;
+  if (!HasMatching()) return feasible;
+  feasible.push_back(doc_->root());
+  for (size_t i = 1; i < path.size(); ++i) {
+    const QueryNode* node = path[i];
+    std::vector<const XmlNode*> next;
+    for (const XmlNode* x : feasible) {
+      std::vector<const XmlNode*> candidates;
+      AxisCandidates(x, node->axis(), &candidates);
+      for (const XmlNode* y : candidates) {
+        if (SubtreeMatches(node, y) &&
+            std::find(next.begin(), next.end(), y) == next.end()) {
+          next.push_back(y);
+        }
+      }
+    }
+    feasible = std::move(next);
+  }
+  return feasible;
+}
+
+Result<std::map<const QueryNode*, const XmlNode*>>
+MatchingAnalyzer::FindMatching() {
+  if (!HasMatching()) {
+    return Status::NotFound("no matching of the document with the query");
+  }
+  std::map<const QueryNode*, const XmlNode*> out;
+  // Greedy assignment: SubtreeMatches guarantees each step extends.
+  auto rec = [&](auto&& self, const QueryNode* u, const XmlNode* x) -> void {
+    out[u] = x;
+    for (const auto& child : u->children()) {
+      std::vector<const XmlNode*> candidates;
+      AxisCandidates(x, child->axis(), &candidates);
+      for (const XmlNode* y : candidates) {
+        if (SubtreeMatches(child.get(), y)) {
+          self(self, child.get(), y);
+          break;
+        }
+      }
+    }
+  };
+  rec(rec, query_->root(), doc_->root());
+  return out;
+}
+
+namespace {
+uint64_t SatAdd(uint64_t a, uint64_t b, uint64_t cap) {
+  return std::min(cap, a + std::min(b, cap - std::min(a, cap)));
+}
+uint64_t SatMul(uint64_t a, uint64_t b, uint64_t cap) {
+  if (a == 0 || b == 0) return 0;
+  if (a > cap / b) return cap;
+  return std::min(cap, a * b);
+}
+}  // namespace
+
+uint64_t MatchingAnalyzer::Count(const QueryNode* u, const XmlNode* x,
+                                 uint64_t cap) {
+  auto key = std::make_pair(u, x);
+  auto it = count_memo_.find(key);
+  if (it != count_memo_.end()) return it->second;
+  uint64_t result = 0;
+  if (BasicMatch(u, x)) {
+    result = 1;
+    for (const auto& child : u->children()) {
+      std::vector<const XmlNode*> candidates;
+      AxisCandidates(x, child->axis(), &candidates);
+      uint64_t child_total = 0;
+      for (const XmlNode* y : candidates) {
+        child_total = SatAdd(child_total, Count(child.get(), y, cap), cap);
+      }
+      result = SatMul(result, child_total, cap);
+      if (result == 0) break;
+    }
+  }
+  count_memo_[key] = result;
+  return result;
+}
+
+uint64_t MatchingAnalyzer::CountMatchings(uint64_t cap) {
+  count_memo_.clear();
+  return Count(query_->root(), doc_->root(), cap);
+}
+
+// --- path matching ---------------------------------------------------------
+
+namespace {
+
+bool PathBasic(const QueryNode* u, const XmlNode* x) {
+  if (u->is_root()) return x->kind() == NodeKind::kRoot;
+  if (u->axis() == Axis::kAttribute) {
+    if (x->kind() != NodeKind::kAttribute) return false;
+  } else {
+    if (x->kind() != NodeKind::kElement) return false;
+  }
+  return u->is_wildcard() || x->name() == u->ntest();
+}
+
+bool PathMatchesRec(const QueryNode* u, const XmlNode* x,
+                    std::map<std::pair<const QueryNode*, const XmlNode*>,
+                             bool>* memo) {
+  if (u->is_root()) return x->kind() == NodeKind::kRoot;
+  auto key = std::make_pair(u, x);
+  auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
+  bool ok = false;
+  if (PathBasic(u, x)) {
+    switch (u->axis()) {
+      case Axis::kChild:
+      case Axis::kAttribute:
+        ok = x->parent() != nullptr &&
+             PathMatchesRec(u->parent(), x->parent(), memo);
+        break;
+      case Axis::kDescendant:
+        for (const XmlNode* a = x->parent(); a != nullptr; a = a->parent()) {
+          if (PathMatchesRec(u->parent(), a, memo)) {
+            ok = true;
+            break;
+          }
+        }
+        break;
+    }
+  }
+  (*memo)[key] = ok;
+  return ok;
+}
+
+}  // namespace
+
+bool PathMatches(const QueryNode* u, const XmlNode* x) {
+  std::map<std::pair<const QueryNode*, const XmlNode*>, bool> memo;
+  return PathMatchesRec(u, x, &memo);
+}
+
+// --- query-relative statistics ---------------------------------------------
+
+namespace {
+
+/// Longest root-to-leaf chain of marked nodes.
+size_t LongestMarkedChain(const XmlNode* node,
+                          const std::vector<const XmlNode*>& marked) {
+  size_t here = std::find(marked.begin(), marked.end(), node) != marked.end()
+                    ? 1
+                    : 0;
+  size_t best = 0;
+  for (const auto& c : node->children()) {
+    best = std::max(best, LongestMarkedChain(c.get(), marked));
+  }
+  return here + best;
+}
+
+}  // namespace
+
+size_t RecursionDepthWrt(const Query& query, const QueryNode* v,
+                         const XmlDocument& doc) {
+  auto analyzer = MatchingAnalyzer::Create(&query, &doc);
+  if (!analyzer.ok()) return 0;
+  std::vector<const XmlNode*> images = analyzer->FeasibleImages(v);
+  return LongestMarkedChain(doc.root(), images);
+}
+
+size_t RecursionDepth(const Query& query, const XmlDocument& doc) {
+  size_t best = 0;
+  for (const QueryNode* v : query.AllNodes()) {
+    if (v->is_root()) continue;
+    best = std::max(best, RecursionDepthWrt(query, v, doc));
+  }
+  return best;
+}
+
+size_t PathRecursionDepth(const Query& query, const XmlDocument& doc) {
+  size_t best = 0;
+  std::map<std::pair<const QueryNode*, const XmlNode*>, bool> memo;
+  for (const QueryNode* u : query.AllNodes()) {
+    if (u->is_root()) continue;
+    std::vector<const XmlNode*> marked;
+    for (const XmlNode* x : doc.AllNodes()) {
+      if (PathMatchesRec(u, x, &memo)) marked.push_back(x);
+    }
+    best = std::max(best, LongestMarkedChain(doc.root(), marked));
+  }
+  return best;
+}
+
+size_t TextWidth(const Query& query, const XmlDocument& doc) {
+  size_t best = 0;
+  std::map<std::pair<const QueryNode*, const XmlNode*>, bool> memo;
+  for (const QueryNode* u : query.AllNodes()) {
+    if (!u->IsLeaf() || u->is_root()) continue;
+    for (const XmlNode* x : doc.AllNodes()) {
+      if (PathMatchesRec(u, x, &memo)) {
+        best = std::max(best, x->StringValue().size());
+      }
+    }
+  }
+  return best;
+}
+
+// --- homomorphisms ----------------------------------------------------------
+
+namespace {
+
+bool HomRec(const XmlNode* from, const XmlNode* to, HomomorphismMode mode,
+            std::map<std::pair<const XmlNode*, const XmlNode*>, bool>* memo) {
+  auto key = std::make_pair(from, to);
+  auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
+  bool ok = from->kind() == to->kind() && from->name() == to->name();
+  if (ok) {
+    switch (mode) {
+      case HomomorphismMode::kFull:
+        ok = from->StringValue() == to->StringValue();
+        break;
+      case HomomorphismMode::kWeak:
+        if (from->children().empty()) {
+          ok = from->StringValue() == to->StringValue();
+        }
+        break;
+      case HomomorphismMode::kStructural:
+        break;
+    }
+  }
+  if (ok) {
+    for (const auto& c : from->children()) {
+      bool found = false;
+      for (const auto& c2 : to->children()) {
+        if (HomRec(c.get(), c2.get(), mode, memo)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  (*memo)[key] = ok;
+  return ok;
+}
+
+}  // namespace
+
+bool SubtreeHomomorphismExists(const XmlNode* from, const XmlNode* to,
+                               HomomorphismMode mode) {
+  std::map<std::pair<const XmlNode*, const XmlNode*>, bool> memo;
+  return HomRec(from, to, mode, &memo);
+}
+
+bool DocumentHomomorphismExists(const XmlDocument& from, const XmlDocument& to,
+                                HomomorphismMode mode) {
+  return SubtreeHomomorphismExists(from.root(), to.root(), mode);
+}
+
+}  // namespace xpstream

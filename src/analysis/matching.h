@@ -1,0 +1,106 @@
+#ifndef XPSTREAM_ANALYSIS_MATCHING_H_
+#define XPSTREAM_ANALYSIS_MATCHING_H_
+
+/// \file
+/// Matchings (paper Def. 5.8), structural matchings, path matchings
+/// (Def. 8.2), the query-relative document statistics built on them
+/// (recursion depth §4.2, path recursion depth Def. 8.3, text width
+/// Def. 8.4), and document homomorphisms (Def. 6.1).
+///
+/// Matching existence is decided by a polynomial DP: since matchings need
+/// not be injective, the children of a query node embed independently,
+/// so "subtree of u matches below x" memoizes cleanly on (u, x).
+
+#include <map>
+#include <vector>
+
+#include "analysis/truth_set.h"
+#include "common/status.h"
+#include "xml/node.h"
+#include "xpath/ast.h"
+
+namespace xpstream {
+
+/// Decides matching-related questions for one (query, document) pair.
+/// Both must outlive the analyzer. Construction requires a univariate
+/// conjunctive query unless `structural` is set (truth sets are skipped
+/// then).
+class MatchingAnalyzer {
+ public:
+  static Result<MatchingAnalyzer> Create(const Query* query,
+                                         const XmlDocument* doc,
+                                         bool structural = false);
+
+  /// Lemma 5.10 left-hand side: does a matching of D and Q exist?
+  bool HasMatching();
+
+  /// Is there a matching of x with u (i.e. of subtree Q_u into D_x)?
+  bool SubtreeMatches(const QueryNode* u, const XmlNode* x);
+
+  /// All y such that some *full* matching maps v to y (Def. 5.9 with
+  /// context ROOT(Q) = ROOT(D)).
+  std::vector<const XmlNode*> FeasibleImages(const QueryNode* v);
+
+  /// One concrete full matching, if any.
+  Result<std::map<const QueryNode*, const XmlNode*>> FindMatching();
+
+  /// Number of distinct full matchings, saturating at `cap`. Used to
+  /// verify canonical-matching uniqueness (Lemma 6.15).
+  uint64_t CountMatchings(uint64_t cap = 1000000);
+
+ private:
+  MatchingAnalyzer(const Query* query, const XmlDocument* doc,
+                   bool structural)
+      : query_(query), doc_(doc), structural_(structural) {}
+
+  bool BasicMatch(const QueryNode* u, const XmlNode* x) const;
+  static void AxisCandidates(const XmlNode* x, Axis axis,
+                             std::vector<const XmlNode*>* out);
+  uint64_t Count(const QueryNode* u, const XmlNode* x, uint64_t cap);
+
+  const Query* query_;
+  const XmlDocument* doc_;
+  bool structural_;
+  TruthSetMap truths_;
+  std::map<std::pair<const QueryNode*, const XmlNode*>, bool> memo_;
+  std::map<std::pair<const QueryNode*, const XmlNode*>, uint64_t> count_memo_;
+};
+
+/// Path matching (Def. 8.2): is there a mapping of PATH(u) into PATH(x)
+/// preserving root, axes and node tests?
+bool PathMatches(const QueryNode* u, const XmlNode* x);
+
+/// Recursion depth of D w.r.t. query node v (§4.2): the longest chain of
+/// nested document nodes that all (fully, feasibly) match v.
+size_t RecursionDepthWrt(const Query& query, const QueryNode* v,
+                         const XmlDocument& doc);
+
+/// Maximum of RecursionDepthWrt over all query nodes.
+size_t RecursionDepth(const Query& query, const XmlDocument& doc);
+
+/// Path recursion depth (Def. 8.3): nested chains of nodes path matching
+/// a common query node.
+size_t PathRecursionDepth(const Query& query, const XmlDocument& doc);
+
+/// Text width (Def. 8.4): max |STRVAL(x)| over document nodes x path
+/// matching some *leaf* of Q.
+size_t TextWidth(const Query& query, const XmlDocument& doc);
+
+/// Document homomorphisms (Def. 6.1).
+enum class HomomorphismMode : uint8_t {
+  kFull,        ///< preserves string values everywhere
+  kWeak,        ///< preserves string values at leaves
+  kStructural,  ///< no value constraints
+};
+
+/// Is D_x homomorphic to D'_{x'} under the given mode?
+bool SubtreeHomomorphismExists(const XmlNode* from, const XmlNode* to,
+                               HomomorphismMode mode);
+
+/// Is `from` homomorphic to `to` (root-to-root)?
+bool DocumentHomomorphismExists(const XmlDocument& from,
+                                const XmlDocument& to, HomomorphismMode mode);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_ANALYSIS_MATCHING_H_

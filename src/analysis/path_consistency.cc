@@ -1,0 +1,117 @@
+#include "analysis/path_consistency.h"
+
+#include <deque>
+#include <set>
+#include <tuple>
+#include <vector>
+
+namespace xpstream {
+
+namespace {
+
+struct PathPattern {
+  std::vector<const QueryNode*> steps;  // excluding the query root
+  bool valid = true;                    // no intermediate attribute steps
+
+  explicit PathPattern(const QueryNode* node) {
+    std::vector<const QueryNode*> path = node->PathFromRoot();
+    for (size_t i = 1; i < path.size(); ++i) {
+      steps.push_back(path[i]);
+    }
+    for (size_t i = 0; i + 1 < steps.size(); ++i) {
+      if (steps[i]->axis() == Axis::kAttribute) {
+        // Attributes are leaves; a path through one matches nothing.
+        valid = false;
+      }
+    }
+  }
+};
+
+bool NameCompatible(const QueryNode* a, const QueryNode* b) {
+  if (a->is_wildcard() || b->is_wildcard()) return true;
+  return a->ntest() == b->ntest();
+}
+
+}  // namespace
+
+bool ArePathConsistent(const QueryNode* u, const QueryNode* v) {
+  if (u == v) return true;
+  if (u->is_root() || v->is_root()) return u->is_root() && v->is_root();
+  PathPattern pu(u);
+  PathPattern pv(v);
+  if (!pu.valid || !pv.valid) return false;
+  const size_t m = pu.steps.size();
+  const size_t n = pv.steps.size();
+
+  // State: (i, j, a, b) — steps embedded so far; a/b flag whether the
+  // most recent path element is the image of step i / j (the query root
+  // counts as position 0, so both flags start true).
+  using State = std::tuple<size_t, size_t, bool, bool>;
+  std::set<State> seen;
+  std::deque<State> queue;
+  auto push = [&](size_t i, size_t j, bool a, bool b) {
+    State s{i, j, a, b};
+    if (seen.insert(s).second) queue.push_back(s);
+  };
+  push(0, 0, true, true);
+
+  while (!queue.empty()) {
+    auto [i, j, a, b] = queue.front();
+    queue.pop_front();
+    // Completion without simultaneity is a dead end: the shared final
+    // element must consume both last steps at once, so states where one
+    // side finished early never extend.
+    if (i == m || j == n) continue;
+
+    const QueryNode* su = pu.steps[i];
+    const QueryNode* sv = pv.steps[j];
+    bool u_can_advance =
+        su->axis() == Axis::kDescendant || a;  // child/@ need adjacency
+    bool v_can_advance = sv->axis() == Axis::kDescendant || b;
+    bool u_can_skip = su->axis() == Axis::kDescendant;
+    bool v_can_skip = sv->axis() == Axis::kDescendant;
+    bool su_attr = su->axis() == Axis::kAttribute;
+    bool sv_attr = sv->axis() == Axis::kAttribute;
+
+    // Advance both on one fresh element (or attribute node).
+    if (u_can_advance && v_can_advance && NameCompatible(su, sv) &&
+        su_attr == sv_attr) {
+      if (i + 1 == m && j + 1 == n) return true;  // same final node
+      // An attribute node terminates the path; non-final attribute
+      // advances are dead.
+      if (!su_attr) push(i + 1, j + 1, true, true);
+    }
+    // Advance u only; the element is skipped by v.
+    if (u_can_advance && !su_attr && v_can_skip) {
+      push(i + 1, j, true, false);
+    }
+    // Advance v only.
+    if (v_can_advance && !sv_attr && u_can_skip) {
+      push(i, j + 1, false, true);
+    }
+    // Skip for both (an unrelated padding element).
+    if (u_can_skip && v_can_skip) {
+      push(i, j, false, false);
+    }
+  }
+  return false;
+}
+
+bool IsPathConsistencyFree(const Query& query, const QueryNode** witness_u,
+                           const QueryNode** witness_v) {
+  std::vector<const QueryNode*> nodes = query.AllNodes();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i]->is_root()) continue;
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      if (nodes[j]->is_root()) continue;
+      if (ArePathConsistent(nodes[i], nodes[j])) {
+        if (witness_u != nullptr) *witness_u = nodes[i];
+        if (witness_v != nullptr) *witness_v = nodes[j];
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace xpstream

@@ -1,0 +1,36 @@
+#ifndef XPSTREAM_ANALYSIS_PATH_CONSISTENCY_H_
+#define XPSTREAM_ANALYSIS_PATH_CONSISTENCY_H_
+
+/// \file
+/// Path consistency (paper Defs. 8.5–8.6): two query nodes u, v are path
+/// consistent when some document node path matches both. Queries with no
+/// path-consistent pair (and no descendant axes) are exactly the ones
+/// for which Thm 8.8's second part guarantees the frontier table never
+/// exceeds FS(Q).
+///
+/// Decided exactly by a product reachability construction over the two
+/// root paths PATH(u), PATH(v): a state (i, j, a, b) records how many
+/// steps of each path have been embedded into a hypothetical document
+/// path and whether the most recent document element carries each
+/// embedding's frontier (needed for child-axis adjacency). The question
+/// "∃ document" reduces to reachability of a state where both paths
+/// complete on the same final element.
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xpstream {
+
+/// Are u and v path consistent (some document node path matches both)?
+/// Trivially true for u == v.
+bool ArePathConsistent(const QueryNode* u, const QueryNode* v);
+
+/// Def. 8.6: no two distinct non-root nodes are path consistent.
+/// Writes the offending pair when provided.
+bool IsPathConsistencyFree(const Query& query,
+                           const QueryNode** witness_u = nullptr,
+                           const QueryNode** witness_v = nullptr);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_ANALYSIS_PATH_CONSISTENCY_H_

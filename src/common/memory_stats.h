@@ -1,0 +1,86 @@
+#ifndef XPSTREAM_COMMON_MEMORY_STATS_H_
+#define XPSTREAM_COMMON_MEMORY_STATS_H_
+
+/// \file
+/// Memory accounting shared by every streaming engine. The paper's bounds
+/// are stated in *bits of algorithm state*; the stats here expose both the
+/// information-theoretic count the theorems use (frontier tuples, buffered
+/// characters, automaton transitions) and the raw byte footprint of the
+/// concrete data structures, so benchmarks can report either.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace xpstream {
+
+/// Snapshot-and-peak counters for one engine run. Engines update the
+/// current value; the peak is maintained automatically.
+class MemoryStats {
+ public:
+  /// A single named gauge with peak tracking.
+  class Gauge {
+   public:
+    void Set(size_t v) {
+      current_ = v;
+      peak_ = std::max(peak_, v);
+    }
+    void Add(size_t v) { Set(current_ + v); }
+    void Sub(size_t v) { Set(current_ >= v ? current_ - v : 0); }
+    size_t current() const { return current_; }
+    size_t peak() const { return peak_; }
+    void Reset() { current_ = peak_ = 0; }
+
+   private:
+    size_t current_ = 0;
+    size_t peak_ = 0;
+  };
+
+  /// Number of live frontier/table entries (or automaton stack entries).
+  Gauge& table_entries() { return table_entries_; }
+  const Gauge& table_entries() const { return table_entries_; }
+
+  /// Bytes of buffered document text.
+  Gauge& buffered_bytes() { return buffered_bytes_; }
+  const Gauge& buffered_bytes() const { return buffered_bytes_; }
+
+  /// Automaton states materialized (0 for non-automaton engines).
+  Gauge& automaton_states() { return automaton_states_; }
+  const Gauge& automaton_states() const { return automaton_states_; }
+
+  /// Automaton transition-table entries (0 for non-automaton engines).
+  Gauge& automaton_transitions() { return automaton_transitions_; }
+  const Gauge& automaton_transitions() const { return automaton_transitions_; }
+
+  /// Raw bytes of auxiliary structures (stacks, counters).
+  Gauge& auxiliary_bytes() { return auxiliary_bytes_; }
+  const Gauge& auxiliary_bytes() const { return auxiliary_bytes_; }
+
+  /// Estimated total peak footprint in bytes, combining all gauges with
+  /// `bytes_per_entry` charged per table entry / state / transition.
+  size_t PeakBytes(size_t bytes_per_entry = 16) const;
+
+  /// The quantity the paper's Theorem 8.8 accounts: peak table entries
+  /// times per-tuple bits (log|Q| + log d + log w) plus buffered bits.
+  /// Callers supply the per-tuple bit width.
+  size_t PeakStateBits(size_t bits_per_tuple) const;
+
+  void Reset();
+
+  std::string ToString() const;
+
+ private:
+  Gauge table_entries_;
+  Gauge buffered_bytes_;
+  Gauge automaton_states_;
+  Gauge automaton_transitions_;
+  Gauge auxiliary_bytes_;
+};
+
+/// Number of bits needed to represent values in [0, n]; at least 1.
+size_t BitWidth(size_t n);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_COMMON_MEMORY_STATS_H_

@@ -1,0 +1,119 @@
+#ifndef XPSTREAM_COMMON_STATUS_H_
+#define XPSTREAM_COMMON_STATUS_H_
+
+/// \file
+/// Status / Result error-handling primitives, in the RocksDB style: public
+/// API entry points that can fail return a Status (or a Result<T> when they
+/// also produce a value) instead of throwing.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xpstream {
+
+/// Error categories used across the library.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kParseError,        ///< XML or XPath text failed to parse.
+  kNotWellFormed,     ///< XML event stream violates nesting rules.
+  kUnsupported,       ///< Query is outside the fragment an engine handles.
+  kNotFound,          ///< Lookup failed (e.g. unique value search).
+  kInternal,          ///< Invariant violation; indicates a library bug.
+};
+
+/// Lightweight success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotWellFormed(std::string msg) {
+    return Status(StatusCode::kNotWellFormed, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "ParseError: unexpected '<'".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Minimal StatusOr-alike.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status (failure). Constructing from an OK
+  /// status is a programming error and is normalized to kInternal.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(var_).ok()) {
+      var_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// Status of the result; OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  /// Accessors; must only be called when ok().
+  const T& value() const& { return std::get<T>(var_); }
+  T& value() & { return std::get<T>(var_); }
+  T&& value() && { return std::get<T>(std::move(var_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define XPS_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::xpstream::Status _xps_st = (expr);         \
+    if (!_xps_st.ok()) return _xps_st;           \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define XPS_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto _xps_res_##__LINE__ = (expr);             \
+  if (!_xps_res_##__LINE__.ok())                 \
+    return _xps_res_##__LINE__.status();         \
+  lhs = std::move(_xps_res_##__LINE__).value()
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_COMMON_STATUS_H_

@@ -1,0 +1,153 @@
+#include "common/string_util.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace xpstream {
+
+bool IsXmlWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool IsValidXmlName(std::string_view s) {
+  if (s.empty() || !IsNameStartChar(s[0])) return false;
+  for (char c : s.substr(1)) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && IsXmlWhitespace(s[b])) ++b;
+  size_t e = s.size();
+  while (e > b && IsXmlWhitespace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::optional<double> ParseXPathNumber(std::string_view s) {
+  s = TrimWhitespace(s);
+  if (s.empty()) return std::nullopt;
+  // Validate the shape first: strtod accepts hex / inf / exponents that the
+  // XPath number() lexical space does not.
+  size_t i = 0;
+  if (s[i] == '-' || s[i] == '+') ++i;
+  size_t digits = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    ++i;
+    ++digits;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      ++i;
+      ++digits;
+    }
+  }
+  // Accept a scientific exponent as an extension (XPath 2.0 xs:double).
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E') && digits > 0) {
+    size_t j = i + 1;
+    if (j < s.size() && (s[j] == '-' || s[j] == '+')) ++j;
+    size_t exp_digits = 0;
+    while (j < s.size() && s[j] >= '0' && s[j] <= '9') {
+      ++j;
+      ++exp_digits;
+    }
+    if (exp_digits > 0) i = j;
+  }
+  if (digits == 0 || i != s.size()) return std::nullopt;
+  return std::strtod(std::string(s).c_str(), nullptr);
+}
+
+std::string FormatXPathNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "Infinity" : "-Infinity";
+  if (v == 0) return "0";  // covers -0 as well
+  double rounded = std::nearbyint(v);
+  if (rounded == v && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string XmlEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitString(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool Contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+std::string StringPrintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace xpstream

@@ -1,0 +1,59 @@
+#ifndef XPSTREAM_COMMON_STRING_UTIL_H_
+#define XPSTREAM_COMMON_STRING_UTIL_H_
+
+/// \file
+/// Small string helpers shared across the library. None of these allocate
+/// beyond the returned value; all are locale-independent (XML and XPath
+/// semantics must not depend on the process locale).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xpstream {
+
+/// True if `c` is XML/XPath whitespace (space, tab, CR, LF).
+bool IsXmlWhitespace(char c);
+
+/// True if `c` can start an XML name (letters, '_', ':').
+bool IsNameStartChar(char c);
+
+/// True if `c` can continue an XML name (name start chars, digits, '-', '.').
+bool IsNameChar(char c);
+
+/// True if `s` is a syntactically valid XML element/attribute name.
+bool IsValidXmlName(std::string_view s);
+
+/// Strips leading and trailing XML whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Parses `s` as an XPath number (optional sign, decimal). Returns nullopt
+/// when `s` (after trimming) is not a full numeric literal.
+std::optional<double> ParseXPathNumber(std::string_view s);
+
+/// Formats a double the way XPath's string() does: integers render without
+/// a trailing ".0", NaN renders as "NaN".
+std::string FormatXPathNumber(double v);
+
+/// Escapes '&', '<', '>', '"' for inclusion in XML text / attribute values.
+std::string XmlEscape(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// True if `s` starts with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if `needle` occurs in `haystack`.
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_COMMON_STRING_UTIL_H_

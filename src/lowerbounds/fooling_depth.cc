@@ -1,0 +1,68 @@
+#include "lowerbounds/fooling_depth.h"
+
+#include "analysis/fragment.h"
+#include "lowerbounds/fooling_frontier.h"
+#include "xml/stats.h"
+
+namespace xpstream {
+
+Result<DepthFoolingFamily> DepthFoolingFamily::Build(const Query* query) {
+  DepthFoolingFamily family;
+  family.u_ = DepthBoundNode(*query);
+  if (family.u_ == nullptr) {
+    return Status::Unsupported(
+        "query has no non-wildcard child-axis step under a non-wildcard "
+        "parent (Thm 7.14 precondition)");
+  }
+  auto canonical = BuildCanonicalDocument(*query);
+  if (!canonical.ok()) return canonical.status();
+  family.canonical_ = std::move(canonical).value();
+  family.aux_ = family.canonical_.auxiliary_name;
+  family.base_depth_ = ComputeDocumentStats(*family.canonical_.document).depth;
+
+  std::map<const XmlNode*, EventSpan> spans;
+  EventStream events =
+      DocumentToEventsWithSpans(*family.canonical_.document, &spans);
+  EventSpan u_span = spans.at(family.canonical_.shadow.at(family.u_));
+
+  family.alpha_ = EventStream(events.begin(),
+                              events.begin() + static_cast<long>(u_span.start));
+  family.beta_ =
+      EventStream(events.begin() + static_cast<long>(u_span.start),
+                  events.begin() + static_cast<long>(u_span.end) + 1);
+  family.gamma_ = EventStream(
+      events.begin() + static_cast<long>(u_span.end) + 1, events.end());
+  return family;
+}
+
+EventStream DepthFoolingFamily::AlphaI(size_t i) const {
+  EventStream out = alpha_;
+  for (size_t k = 0; k < i; ++k) out.push_back(Event::StartElement(aux_));
+  return out;
+}
+
+EventStream DepthFoolingFamily::BetaI(size_t i) const {
+  EventStream out;
+  for (size_t k = 0; k < i; ++k) out.push_back(Event::EndElement(aux_));
+  out.insert(out.end(), beta_.begin(), beta_.end());
+  for (size_t k = 0; k < i; ++k) out.push_back(Event::StartElement(aux_));
+  return out;
+}
+
+EventStream DepthFoolingFamily::GammaI(size_t i) const {
+  EventStream out;
+  for (size_t k = 0; k < i; ++k) out.push_back(Event::EndElement(aux_));
+  out.insert(out.end(), gamma_.begin(), gamma_.end());
+  return out;
+}
+
+EventStream DepthFoolingFamily::Document(size_t i, size_t j) const {
+  EventStream out = AlphaI(i);
+  EventStream beta = BetaI(j);
+  EventStream gamma = GammaI(i);
+  out.insert(out.end(), beta.begin(), beta.end());
+  out.insert(out.end(), gamma.begin(), gamma.end());
+  return out;
+}
+
+}  // namespace xpstream

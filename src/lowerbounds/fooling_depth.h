@@ -1,0 +1,57 @@
+#ifndef XPSTREAM_LOWERBOUNDS_FOOLING_DEPTH_H_
+#define XPSTREAM_LOWERBOUNDS_FOOLING_DEPTH_H_
+
+/// \file
+/// The document-depth fooling set (paper Thm 4.6 simplified / Thm 7.14
+/// general). For a query with a non-wildcard child-axis step u under a
+/// non-wildcard parent, the canonical document stream is cut around
+/// SHADOW(u) into α, β, γ. Document D_i pads the cut with two depth-i
+/// auxiliary chains (α⟨Z⟩^i, ⟨/Z⟩^i β ⟨Z⟩^i, ⟨/Z⟩^i γ); all D_i match Q,
+/// but the crossover D_{i,j} = α_i ∘ β_j ∘ γ_i (i > j) re-parents
+/// SHADOW(u) onto an auxiliary node and fails to match — a fooling set of
+/// size Θ(d) witnessing the Ω(log d) bound.
+
+#include <vector>
+
+#include "analysis/canonical.h"
+#include "common/status.h"
+#include "xml/event.h"
+#include "xpath/ast.h"
+
+namespace xpstream {
+
+class DepthFoolingFamily {
+ public:
+  /// Builds the construction; fails when DepthBoundNode(query) is null or
+  /// the canonical construction fails.
+  static Result<DepthFoolingFamily> Build(const Query* query);
+
+  /// The distinguished child-axis query node u.
+  const QueryNode* u() const { return u_; }
+
+  /// Depth of the unpadded canonical document (the proof's s); documents
+  /// D_i have depth max(s + i, ...) ≤ s + i.
+  size_t base_depth() const { return base_depth_; }
+
+  EventStream AlphaI(size_t i) const;  // α ⟨Z⟩^i
+  EventStream BetaI(size_t i) const;   // ⟨/Z⟩^i β ⟨Z⟩^i
+  EventStream GammaI(size_t i) const;  // ⟨/Z⟩^i γ
+
+  /// D_{i,j} = α_i ∘ β_j ∘ γ_i. D_i = Document(i, i).
+  EventStream Document(size_t i, size_t j) const;
+
+  const CanonicalDocument& canonical() const { return canonical_; }
+
+ private:
+  DepthFoolingFamily() = default;
+
+  const QueryNode* u_ = nullptr;
+  CanonicalDocument canonical_;
+  std::string aux_;
+  size_t base_depth_ = 0;
+  EventStream alpha_, beta_, gamma_;
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_LOWERBOUNDS_FOOLING_DEPTH_H_

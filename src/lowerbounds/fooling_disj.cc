@@ -1,0 +1,111 @@
+#include "lowerbounds/fooling_disj.h"
+
+#include "analysis/fragment.h"
+#include "lowerbounds/fooling_frontier.h"
+
+namespace xpstream {
+
+namespace {
+
+EventStream Slice(const EventStream& events, size_t begin, size_t end) {
+  return EventStream(events.begin() + static_cast<long>(begin),
+                     events.begin() + static_cast<long>(end));
+}
+
+}  // namespace
+
+Result<DisjFoolingFamily> DisjFoolingFamily::Build(const Query* query) {
+  DisjFoolingFamily family;
+  family.v_ = RecursiveXPathNode(*query);
+  if (family.v_ == nullptr) {
+    return Status::Unsupported(
+        "query is not in Recursive XPath (needs a node with two child-axis "
+        "children below a descendant-axis step)");
+  }
+  auto canonical = BuildCanonicalDocument(*query);
+  if (!canonical.ok()) return canonical.status();
+  family.canonical_ = std::move(canonical).value();
+
+  // v1: v itself if it has a descendant axis, else its lowest ancestor
+  // with one (guaranteed to exist by Recursive XPath membership).
+  const QueryNode* v1 = family.v_;
+  while (v1->axis() != Axis::kDescendant) v1 = v1->parent();
+
+  // w1, w2: the first two child-axis children of v, in document order.
+  const QueryNode* w1 = nullptr;
+  const QueryNode* w2 = nullptr;
+  for (const auto& child : family.v_->children()) {
+    if (child->axis() != Axis::kChild) continue;
+    if (w1 == nullptr) {
+      w1 = child.get();
+    } else if (w2 == nullptr) {
+      w2 = child.get();
+      break;
+    }
+  }
+  if (w1 == nullptr || w2 == nullptr) {
+    return Status::Internal("RecursiveXPathNode invariant violated");
+  }
+
+  // y: the topmost artificial node of the chain above SHADOW(v1) — the
+  // child of SHADOW(PARENT(v1)) that begins the h+1 chain.
+  const XmlNode* y = family.canonical_.shadow.at(v1);
+  for (size_t i = 0; i < family.canonical_.wildcard_chain_length + 1; ++i) {
+    y = y->parent();
+  }
+
+  std::map<const XmlNode*, EventSpan> spans;
+  EventStream events =
+      DocumentToEventsWithSpans(*family.canonical_.document, &spans);
+
+  EventSpan y_span = spans.at(y);
+  EventSpan w1_span = spans.at(family.canonical_.shadow.at(w1));
+  EventSpan w2_span = spans.at(family.canonical_.shadow.at(w2));
+
+  family.prefix_ = Slice(events, 0, y_span.start);
+  family.y_beg_ = Slice(events, y_span.start, w1_span.start);
+  family.w1_ = Slice(events, w1_span.start, w1_span.end + 1);
+  family.y_mid_ = Slice(events, w1_span.end + 1, w2_span.start);
+  family.w2_ = Slice(events, w2_span.start, w2_span.end + 1);
+  family.y_end_ = Slice(events, w2_span.end + 1, y_span.end + 1);
+  family.suffix_ = Slice(events, y_span.end + 1, events.size());
+  return family;
+}
+
+EventStream DisjFoolingFamily::Alpha(const std::vector<bool>& s) const {
+  EventStream out = prefix_;
+  for (bool bit : s) {
+    out.insert(out.end(), y_beg_.begin(), y_beg_.end());
+    if (bit) out.insert(out.end(), w1_.begin(), w1_.end());
+    out.insert(out.end(), y_mid_.begin(), y_mid_.end());
+  }
+  return out;
+}
+
+EventStream DisjFoolingFamily::Beta(const std::vector<bool>& t) const {
+  EventStream out;
+  for (size_t i = t.size(); i-- > 0;) {
+    if (t[i]) out.insert(out.end(), w2_.begin(), w2_.end());
+    out.insert(out.end(), y_end_.begin(), y_end_.end());
+  }
+  out.insert(out.end(), suffix_.begin(), suffix_.end());
+  return out;
+}
+
+EventStream DisjFoolingFamily::Document(const std::vector<bool>& s,
+                                        const std::vector<bool>& t) const {
+  EventStream out = Alpha(s);
+  EventStream beta = Beta(t);
+  out.insert(out.end(), beta.begin(), beta.end());
+  return out;
+}
+
+bool DisjFoolingFamily::ExpectIntersects(const std::vector<bool>& s,
+                                         const std::vector<bool>& t) {
+  for (size_t i = 0; i < s.size() && i < t.size(); ++i) {
+    if (s[i] && t[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace xpstream

@@ -1,0 +1,71 @@
+#ifndef XPSTREAM_LOWERBOUNDS_FOOLING_DISJ_H_
+#define XPSTREAM_LOWERBOUNDS_FOOLING_DISJ_H_
+
+/// \file
+/// The set-disjointness reduction behind the recursion depth lower bound
+/// (paper Thm 4.5 simplified / Thm 7.4 general). For a query in Recursive
+/// XPath with distinguished node v (two child-axis children w1, w2; some
+/// self-or-ancestor v1 with a descendant axis), the canonical document
+/// stream is cut into seven segments around the artificial node y above
+/// SHADOW(v1) and around the subtrees of SHADOW(w1) / SHADOW(w2)
+/// (γ_prefix, γ_y-beg, γ_w1, γ_y-mid, γ_w2, γ_y-end, γ_suffix). DISJ
+/// inputs s, t ∈ {0,1}^r become a document D_{s,t} of recursion depth ≤ r
+/// that matches Q iff the sets intersect — so any streaming filter needs
+/// Ω(r) bits (communication complexity of DISJ).
+
+#include <vector>
+
+#include "analysis/canonical.h"
+#include "common/status.h"
+#include "xml/event.h"
+#include "xpath/ast.h"
+
+namespace xpstream {
+
+class DisjFoolingFamily {
+ public:
+  /// Builds the construction for a redundancy-free query in Recursive
+  /// XPath. Fails when RecursiveXPathNode(query) is null or the canonical
+  /// construction fails.
+  static Result<DisjFoolingFamily> Build(const Query* query);
+
+  /// The distinguished query node v (= v_k in the proof).
+  const QueryNode* v() const { return v_; }
+
+  /// α(s): γ_prefix followed by r blocks γ_y-beg [γ_w1] γ_y-mid.
+  EventStream Alpha(const std::vector<bool>& s) const;
+
+  /// β(t): r blocks [γ_w2] γ_y-end in reverse order, then γ_suffix.
+  EventStream Beta(const std::vector<bool>& t) const;
+
+  /// D_{s,t} = α(s) ∘ β(t). Sizes of s and t must agree.
+  EventStream Document(const std::vector<bool>& s,
+                       const std::vector<bool>& t) const;
+
+  /// Ground truth of the reduction: DISJ(s,t) complement — the document
+  /// matches iff ∃i: s_i = t_i = 1.
+  static bool ExpectIntersects(const std::vector<bool>& s,
+                               const std::vector<bool>& t);
+
+  const CanonicalDocument& canonical() const { return canonical_; }
+
+  // The seven segments, exposed for tests.
+  const EventStream& prefix() const { return prefix_; }
+  const EventStream& y_beg() const { return y_beg_; }
+  const EventStream& w1_seg() const { return w1_; }
+  const EventStream& y_mid() const { return y_mid_; }
+  const EventStream& w2_seg() const { return w2_; }
+  const EventStream& y_end() const { return y_end_; }
+  const EventStream& suffix() const { return suffix_; }
+
+ private:
+  DisjFoolingFamily() = default;
+
+  const QueryNode* v_ = nullptr;
+  CanonicalDocument canonical_;
+  EventStream prefix_, y_beg_, w1_, y_mid_, w2_, y_end_, suffix_;
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_LOWERBOUNDS_FOOLING_DISJ_H_

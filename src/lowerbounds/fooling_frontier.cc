@@ -1,0 +1,171 @@
+#include "lowerbounds/fooling_frontier.h"
+
+#include <algorithm>
+
+#include "analysis/frontier.h"
+
+namespace xpstream {
+
+namespace {
+
+void SerializeWithSpans(const XmlNode* node, EventStream* out,
+                        std::map<const XmlNode*, EventSpan>* spans) {
+  switch (node->kind()) {
+    case NodeKind::kRoot:
+      for (const auto& c : node->children()) {
+        SerializeWithSpans(c.get(), out, spans);
+      }
+      return;
+    case NodeKind::kText:
+      out->push_back(Event::Text(node->text()));
+      return;
+    case NodeKind::kAttribute: {
+      size_t pos = out->size();
+      out->push_back(Event::Attribute(node->name(), node->text()));
+      (*spans)[node] = EventSpan{pos, pos};
+      return;
+    }
+    case NodeKind::kElement: {
+      size_t start = out->size();
+      out->push_back(Event::StartElement(node->name()));
+      for (const auto& c : node->children()) {
+        if (c->kind() == NodeKind::kAttribute) {
+          SerializeWithSpans(c.get(), out, spans);
+        }
+      }
+      for (const auto& c : node->children()) {
+        if (c->kind() != NodeKind::kAttribute) {
+          SerializeWithSpans(c.get(), out, spans);
+        }
+      }
+      out->push_back(Event::EndElement(node->name()));
+      (*spans)[node] = EventSpan{start, out->size() - 1};
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+EventStream DocumentToEventsWithSpans(
+    const XmlDocument& doc, std::map<const XmlNode*, EventSpan>* spans) {
+  EventStream out;
+  out.push_back(Event::StartDocument());
+  SerializeWithSpans(doc.root(), &out, spans);
+  out.push_back(Event::EndDocument());
+  return out;
+}
+
+Result<FrontierFoolingFamily> FrontierFoolingFamily::Build(
+    const Query* query) {
+  FrontierFoolingFamily family;
+  family.query_ = query;
+  auto canonical = BuildCanonicalDocument(*query);
+  if (!canonical.ok()) return canonical.status();
+  family.canonical_ = std::move(canonical).value();
+  const XmlDocument& doc = *family.canonical_.document;
+
+  family.events_ = DocumentToEventsWithSpans(doc, &family.spans_);
+
+  // Pick the element with the largest frontier (preferring shadow nodes,
+  // as in the proof of Thm 7.1).
+  const XmlNode* best = nullptr;
+  size_t best_size = 0;
+  for (const XmlNode* node : doc.AllNodes()) {
+    if (node->kind() != NodeKind::kElement) continue;
+    size_t size = FrontierAt(node).size();
+    bool improves = size > best_size ||
+                    (size == best_size && best != nullptr &&
+                     family.canonical_.IsArtificial(best) &&
+                     !family.canonical_.IsArtificial(node));
+    if (improves) {
+      best = node;
+      best_size = size;
+    }
+  }
+  if (best == nullptr) {
+    return Status::InvalidArgument("canonical document has no elements");
+  }
+  family.focus_ = best;
+  family.frontier_ = FrontierAt(best);
+  for (const XmlNode* member : family.frontier_) {
+    if (member->kind() == NodeKind::kAttribute) {
+      return Status::Unsupported(
+          "frontier fooling family: attribute frontier members are not "
+          "supported by the stream reordering argument");
+    }
+  }
+  if (family.frontier_.size() > 20) {
+    return Status::Unsupported(
+        "frontier too large to enumerate 2^FS subsets");
+  }
+
+  // Path from the root element down to the focus node.
+  for (const XmlNode* n = best; n->kind() != NodeKind::kRoot;
+       n = n->parent()) {
+    family.path_.push_back(n);
+  }
+  std::reverse(family.path_.begin(), family.path_.end());
+  return family;
+}
+
+EventStream FrontierFoolingFamily::Alpha(uint64_t subset) const {
+  EventStream out;
+  // Open every node on the path except the focus; after each opening,
+  // emit its leading canonical text value and then the subtrees of its
+  // frontier children selected by T, in document order.
+  for (size_t i = 0; i + 1 < path_.size(); ++i) {
+    const XmlNode* step = path_[i];
+    out.push_back(Event::StartElement(step->name()));
+    if (!step->children().empty() &&
+        step->children().front()->kind() == NodeKind::kText) {
+      out.push_back(Event::Text(step->children().front()->text()));
+    }
+    for (const auto& child : step->children()) {
+      auto it = std::find(frontier_.begin(), frontier_.end(), child.get());
+      if (it == frontier_.end()) continue;
+      size_t index = static_cast<size_t>(it - frontier_.begin());
+      if ((subset & (1ULL << index)) == 0) continue;
+      EventSpan span = spans_.at(child.get());
+      out.insert(out.end(),
+                 events_.begin() + static_cast<long>(span.start),
+                 events_.begin() + static_cast<long>(span.end) + 1);
+    }
+  }
+  return out;
+}
+
+EventStream FrontierFoolingFamily::Beta(uint64_t subset) const {
+  EventStream out;
+  // Complementary suffix: for each path node, innermost first, emit the
+  // frontier children NOT in T, then the closing tag.
+  for (size_t i = path_.size() - 1; i-- > 0;) {
+    const XmlNode* step = path_[i];
+    for (const auto& child : step->children()) {
+      auto it = std::find(frontier_.begin(), frontier_.end(), child.get());
+      if (it == frontier_.end()) continue;
+      size_t index = static_cast<size_t>(it - frontier_.begin());
+      if ((subset & (1ULL << index)) != 0) continue;
+      EventSpan span = spans_.at(child.get());
+      out.insert(out.end(),
+                 events_.begin() + static_cast<long>(span.start),
+                 events_.begin() + static_cast<long>(span.end) + 1);
+    }
+    out.push_back(Event::EndElement(step->name()));
+  }
+  return out;
+}
+
+EventStream FrontierFoolingFamily::Document(uint64_t subset_alpha,
+                                            uint64_t subset_beta) const {
+  EventStream out;
+  out.push_back(Event::StartDocument());
+  EventStream alpha = Alpha(subset_alpha);
+  EventStream beta = Beta(subset_beta);
+  out.insert(out.end(), alpha.begin(), alpha.end());
+  out.insert(out.end(), beta.begin(), beta.end());
+  out.push_back(Event::EndDocument());
+  return out;
+}
+
+}  // namespace xpstream

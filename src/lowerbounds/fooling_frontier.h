@@ -1,0 +1,80 @@
+#ifndef XPSTREAM_LOWERBOUNDS_FOOLING_FRONTIER_H_
+#define XPSTREAM_LOWERBOUNDS_FOOLING_FRONTIER_H_
+
+/// \file
+/// The fooling-set construction behind the query frontier size lower
+/// bound (paper Thm 4.2 simplified / Thm 7.1 general). For a
+/// redundancy-free query Q with canonical document D, pick the node x
+/// with the largest frontier F(x); every subset T ⊆ F(x) yields a stream
+/// prefix α_T (the path to x opened, with the T-subtrees emitted) and a
+/// suffix β_T (the remaining subtrees and close tags). The proof shows
+/// α_T ∘ β_T always matches Q while for T ≠ T′ at least one of the
+/// crossovers α_T ∘ β_T′, α_T′ ∘ β_T does not — a fooling set of size
+/// 2^FS(Q), hence FS(Q) bits of memory (Lemma 3.7 + Thm 3.9).
+///
+/// This module materializes exactly those streams so tests can verify
+/// the combinatorics against the ground-truth evaluator and benchmarks
+/// can count distinct engine states at the cut.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/canonical.h"
+#include "common/status.h"
+#include "xml/event.h"
+#include "xml/node.h"
+#include "xpath/ast.h"
+
+namespace xpstream {
+
+/// Event index range [start, end] of a node's serialization within a
+/// document's event stream (start tag through matching end tag).
+struct EventSpan {
+  size_t start;
+  size_t end;
+};
+
+/// Serializes a document and records each element node's event span.
+EventStream DocumentToEventsWithSpans(
+    const XmlDocument& doc, std::map<const XmlNode*, EventSpan>* spans);
+
+class FrontierFoolingFamily {
+ public:
+  /// Builds the family for a redundancy-free query. Fails when the
+  /// canonical construction fails or when the largest frontier involves
+  /// attribute nodes (the stream-reordering argument needs elements).
+  static Result<FrontierFoolingFamily> Build(const Query* query);
+
+  /// |F(x)|: the fooling set has 2^size() members.
+  size_t size() const { return frontier_.size(); }
+
+  /// The frontier node x and F(x) (shadow nodes in the canonical doc).
+  const XmlNode* focus() const { return focus_; }
+  const std::vector<const XmlNode*>& frontier() const { return frontier_; }
+
+  /// α_T / β_T for the subset encoded in the low bits of `subset`.
+  EventStream Alpha(uint64_t subset) const;
+  EventStream Beta(uint64_t subset) const;
+
+  /// Full document stream α_{Ta} ∘ β_{Tb} (wrapped in the document
+  /// envelope). D_T = Document(T, T); crossovers use Ta != Tb.
+  EventStream Document(uint64_t subset_alpha, uint64_t subset_beta) const;
+
+  const CanonicalDocument& canonical() const { return canonical_; }
+
+ private:
+  FrontierFoolingFamily() = default;
+
+  const Query* query_ = nullptr;
+  CanonicalDocument canonical_;
+  EventStream events_;                           // canonical doc stream
+  std::map<const XmlNode*, EventSpan> spans_;
+  const XmlNode* focus_ = nullptr;
+  std::vector<const XmlNode*> frontier_;
+  std::vector<const XmlNode*> path_;  // root element .. focus
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_LOWERBOUNDS_FOOLING_FRONTIER_H_

@@ -1,0 +1,63 @@
+#include "lowerbounds/state_counter.h"
+
+#include <set>
+
+#include "common/memory_stats.h"
+#include "common/string_util.h"
+
+namespace xpstream {
+
+size_t StateCountResult::InformationBits() const {
+  if (distinct_states <= 1) return 0;
+  size_t bits = 0;
+  size_t v = distinct_states - 1;
+  while (v > 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+Result<StateCountResult> CountStatesAtCut(
+    StreamFilter* filter, const std::vector<EventStream>& prefixes) {
+  StateCountResult result;
+  std::set<std::string> states;
+  for (const EventStream& prefix : prefixes) {
+    XPS_RETURN_IF_ERROR(filter->Reset());
+    XPS_RETURN_IF_ERROR(FeedAll(filter, prefix));
+    std::string state = filter->SerializeState();
+    result.max_state_bytes = std::max(result.max_state_bytes, state.size());
+    states.insert(std::move(state));
+    ++result.num_inputs;
+  }
+  result.distinct_states = states.size();
+  return result;
+}
+
+Result<VerdictCheckResult> CheckCrossoverVerdicts(
+    StreamFilter* filter, const std::vector<EventStream>& prefixes,
+    const std::vector<EventStream>& suffixes,
+    const std::function<bool(size_t, size_t)>& expected) {
+  VerdictCheckResult result;
+  for (size_t i = 0; i < prefixes.size(); ++i) {
+    for (size_t j = 0; j < suffixes.size(); ++j) {
+      XPS_RETURN_IF_ERROR(filter->Reset());
+      XPS_RETURN_IF_ERROR(FeedAll(filter, prefixes[i]));
+      XPS_RETURN_IF_ERROR(FeedAll(filter, suffixes[j]));
+      auto verdict = filter->Matched();
+      if (!verdict.ok()) return verdict.status();
+      ++result.checked;
+      if (*verdict != expected(i, j)) {
+        ++result.mismatches;
+        if (result.first_mismatch.empty()) {
+          result.first_mismatch = StringPrintf(
+              "prefix %zu x suffix %zu: engine=%d expected=%d", i, j,
+              *verdict ? 1 : 0, expected(i, j) ? 1 : 0);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace xpstream

@@ -1,0 +1,57 @@
+#ifndef XPSTREAM_LOWERBOUNDS_STATE_COUNTER_H_
+#define XPSTREAM_LOWERBOUNDS_STATE_COUNTER_H_
+
+/// \file
+/// The empirical side of the communication-complexity reduction (paper
+/// Lemma 3.7). A streaming filter cut at a stream position *is* a one-way
+/// protocol: Alice runs the engine on the prefix and sends its state.
+/// Counting distinct serialized states over a fooling family therefore
+/// measures the information the engine actually retains at the cut —
+/// log2(#states) bits — which the theorems say cannot be below the
+/// fooling-set bound for any correct engine.
+///
+/// The verdict cross-check runs the engine on every crossover α_i ∘ β_j
+/// and compares with a caller-supplied oracle, confirming that the engine
+/// is actually correct on the family (otherwise its state count would be
+/// meaningless).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/filter.h"
+
+namespace xpstream {
+
+struct StateCountResult {
+  size_t num_inputs = 0;        ///< prefixes fed
+  size_t distinct_states = 0;   ///< distinct serialized states at the cut
+  size_t max_state_bytes = 0;   ///< largest serialized state
+  /// ceil(log2(distinct_states)): the bits any encoding of the observed
+  /// states needs.
+  size_t InformationBits() const;
+};
+
+/// Feeds each prefix to the (Reset) filter and counts distinct serialized
+/// states at the cut.
+Result<StateCountResult> CountStatesAtCut(
+    StreamFilter* filter, const std::vector<EventStream>& prefixes);
+
+struct VerdictCheckResult {
+  size_t checked = 0;
+  size_t mismatches = 0;
+  std::string first_mismatch;  ///< empty when none
+};
+
+/// Runs the filter on every pairing prefixes[i] ∘ suffixes[j] and compares
+/// against expected(i, j). This is the protocol-correctness precondition
+/// of Lemma 3.7.
+Result<VerdictCheckResult> CheckCrossoverVerdicts(
+    StreamFilter* filter, const std::vector<EventStream>& prefixes,
+    const std::vector<EventStream>& suffixes,
+    const std::function<bool(size_t, size_t)>& expected);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_LOWERBOUNDS_STATE_COUNTER_H_

@@ -1,0 +1,18 @@
+#include "stream/filter.h"
+
+namespace xpstream {
+
+Result<bool> RunFilter(StreamFilter* filter, const EventStream& events) {
+  XPS_RETURN_IF_ERROR(filter->Reset());
+  XPS_RETURN_IF_ERROR(FeedAll(filter, events));
+  return filter->Matched();
+}
+
+Status FeedAll(StreamFilter* filter, const EventStream& events) {
+  for (const Event& event : events) {
+    XPS_RETURN_IF_ERROR(filter->OnEvent(event));
+  }
+  return Status::OK();
+}
+
+}  // namespace xpstream

@@ -1,0 +1,54 @@
+#ifndef XPSTREAM_STREAM_FILTER_H_
+#define XPSTREAM_STREAM_FILTER_H_
+
+/// \file
+/// The common interface of all streaming filtering engines. An engine
+/// consumes one document as a SAX event stream and answers BOOLEVAL(Q, D).
+/// Engines expose uniform memory accounting (MemoryStats) and a state
+/// serialization hook used by the communication-complexity harness: a
+/// one-way protocol message *is* the serialized state at a stream cut
+/// (paper Lemma 3.7), so distinct-state counting over a fooling family
+/// lower-bounds the information the engine must retain.
+
+#include <memory>
+#include <string>
+
+#include "common/memory_stats.h"
+#include "common/status.h"
+#include "xml/event.h"
+
+namespace xpstream {
+
+class StreamFilter : public EventSink {
+ public:
+  ~StreamFilter() override = default;
+
+  /// Prepares for a new document. Memory statistics are reset.
+  virtual Status Reset() = 0;
+
+  /// Feeds the next SAX event (EventSink interface).
+  Status OnEvent(const Event& event) override = 0;
+
+  /// The verdict; valid only after endDocument was consumed.
+  virtual Result<bool> Matched() const = 0;
+
+  /// A canonical serialization of the complete algorithm state. Two
+  /// moments with different future behaviour must serialize differently;
+  /// equal serializations may be merged by the protocol simulator.
+  virtual std::string SerializeState() const = 0;
+
+  virtual const MemoryStats& stats() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Resets the filter, runs a full stream through it, returns the verdict.
+Result<bool> RunFilter(StreamFilter* filter, const EventStream& events);
+
+/// Runs the filter on a stream without Reset (continuation runs used by
+/// the protocol simulator).
+Status FeedAll(StreamFilter* filter, const EventStream& events);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_STREAM_FILTER_H_

@@ -1,0 +1,166 @@
+#include "stream/lazy_dfa_filter.h"
+
+#include <deque>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace xpstream {
+
+LazyDfaFilter::LazyDfaFilter(std::vector<Step> steps)
+    : steps_(std::move(steps)) {
+  // Symbol alphabet: distinct non-wildcard node tests + OTHER.
+  std::set<std::string> names;
+  for (const Step& step : steps_) {
+    if (step.ntest != "*") names.insert(step.ntest);
+  }
+  symbols_.assign(names.begin(), names.end());
+}
+
+Result<std::unique_ptr<LazyDfaFilter>> LazyDfaFilter::Create(
+    const Query* query) {
+  if (!IsLinearPathQuery(*query)) {
+    return Status::Unsupported(
+        "LazyDfaFilter supports linear path queries (no predicates) only");
+  }
+  std::vector<Step> steps;
+  for (const QueryNode* n = query->root()->successor(); n != nullptr;
+       n = n->successor()) {
+    if (n->axis() == Axis::kAttribute) {
+      return Status::Unsupported("LazyDfaFilter does not support '@' steps");
+    }
+    steps.push_back(Step{n->axis(), n->ntest()});
+  }
+  if (steps.size() > 63) {
+    return Status::Unsupported("LazyDfaFilter supports at most 63 steps");
+  }
+  auto filter =
+      std::unique_ptr<LazyDfaFilter>(new LazyDfaFilter(std::move(steps)));
+  XPS_RETURN_IF_ERROR(filter->Reset());
+  return filter;
+}
+
+Status LazyDfaFilter::Reset() {
+  stack_.clear();
+  matched_ = false;
+  done_ = false;
+  // The interned DFA persists across documents by design (a shared
+  // transition table); only per-document state and stats reset.
+  stats_.Reset();
+  stats_.automaton_states().Set(state_of_mask_.size());
+  stats_.automaton_transitions().Set(transitions_.size());
+  return Status::OK();
+}
+
+int LazyDfaFilter::InternSymbol(const std::string& name) const {
+  for (size_t i = 0; i < symbols_.size(); ++i) {
+    if (symbols_[i] == name) return static_cast<int>(i) + 1;
+  }
+  return kOtherSymbol;
+}
+
+int LazyDfaFilter::InternState(uint64_t mask) {
+  auto it = state_of_mask_.find(mask);
+  if (it != state_of_mask_.end()) return it->second;
+  int id = static_cast<int>(mask_of_state_.size());
+  state_of_mask_[mask] = id;
+  mask_of_state_.push_back(mask);
+  stats_.automaton_states().Set(state_of_mask_.size());
+  return id;
+}
+
+uint64_t LazyDfaFilter::Descend(uint64_t mask, int symbol) const {
+  uint64_t next = 0;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if ((mask & (1ULL << i)) == 0) continue;
+    const Step& step = steps_[i];
+    if (step.axis == Axis::kDescendant) next |= 1ULL << i;
+    bool passes = step.ntest == "*" ||
+                  (symbol != kOtherSymbol &&
+                   symbols_[static_cast<size_t>(symbol) - 1] == step.ntest);
+    if (passes) next |= 1ULL << (i + 1);
+  }
+  return next;
+}
+
+int LazyDfaFilter::Transition(int state, int symbol) {
+  auto key = std::make_pair(state, symbol);
+  auto it = transitions_.find(key);
+  if (it != transitions_.end()) return it->second;
+  uint64_t next_mask =
+      Descend(mask_of_state_[static_cast<size_t>(state)], symbol);
+  int next = InternState(next_mask);
+  transitions_[key] = next;
+  stats_.automaton_transitions().Set(transitions_.size());
+  return next;
+}
+
+Status LazyDfaFilter::OnEvent(const Event& event) {
+  switch (event.type) {
+    case EventType::kStartDocument: {
+      stack_.clear();
+      matched_ = false;
+      done_ = false;
+      stack_.push_back(InternState(1));
+      break;
+    }
+    case EventType::kEndDocument:
+      done_ = true;
+      break;
+    case EventType::kStartElement: {
+      if (stack_.empty()) return Status::NotWellFormed("no startDocument");
+      int next = Transition(stack_.back(), InternSymbol(event.name));
+      if ((mask_of_state_[static_cast<size_t>(next)] &
+           (1ULL << steps_.size())) != 0) {
+        matched_ = true;
+      }
+      stack_.push_back(next);
+      break;
+    }
+    case EventType::kEndElement:
+      if (stack_.size() <= 1) {
+        return Status::NotWellFormed("unbalanced endElement");
+      }
+      stack_.pop_back();
+      break;
+    case EventType::kText:
+    case EventType::kAttribute:
+      break;
+  }
+  stats_.table_entries().Set(stack_.size());
+  stats_.auxiliary_bytes().Set(stack_.size() * sizeof(int));
+  return Status::OK();
+}
+
+Result<bool> LazyDfaFilter::Matched() const {
+  if (!done_) return Status::InvalidArgument("document not complete");
+  return matched_;
+}
+
+std::string LazyDfaFilter::SerializeState() const {
+  // Protocol-relevant state: the stack of NFA-subset masks (ids are an
+  // artifact of interning order, masks are canonical) plus the verdict.
+  std::string out = matched_ ? "M1|" : "M0|";
+  for (int s : stack_) {
+    out += StringPrintf("%llx,",
+                        (unsigned long long)mask_of_state_[(size_t)s]);
+  }
+  return out;
+}
+
+void LazyDfaFilter::MaterializeFully() {
+  std::deque<int> queue;
+  queue.push_back(InternState(1));
+  std::set<int> seen(queue.begin(), queue.end());
+  while (!queue.empty()) {
+    int state = queue.front();
+    queue.pop_front();
+    for (int symbol = 0; symbol <= static_cast<int>(symbols_.size());
+         ++symbol) {
+      int next = Transition(state, symbol);
+      if (seen.insert(next).second) queue.push_back(next);
+    }
+  }
+}
+
+}  // namespace xpstream

@@ -1,0 +1,81 @@
+#ifndef XPSTREAM_STREAM_LAZY_DFA_FILTER_H_
+#define XPSTREAM_STREAM_LAZY_DFA_FILTER_H_
+
+/// \file
+/// A lazily determinized automaton filter in the style of Green et al.
+/// ("Processing XML streams with deterministic automata", [18]) — the
+/// paradigm whose worst-case exponential transition tables motivate the
+/// paper (§1.2). DFA states are subsets of the linear-path NFA's states,
+/// interned on first contact; transitions are cached per (state, symbol)
+/// where unknown element names collapse onto a single OTHER symbol.
+///
+/// The MemoryStats expose materialized state and transition counts, which
+/// experiment E5 sweeps against FrontierFilter's frontier table.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/filter.h"
+#include "stream/nfa_filter.h"
+#include "xpath/ast.h"
+
+namespace xpstream {
+
+class LazyDfaFilter : public StreamFilter {
+ public:
+  /// Requires IsLinearPathQuery(*query) with at most 63 steps.
+  static Result<std::unique_ptr<LazyDfaFilter>> Create(const Query* query);
+
+  Status Reset() override;
+  Status OnEvent(const Event& event) override;
+  Result<bool> Matched() const override;
+  std::string SerializeState() const override;
+  const MemoryStats& stats() const override { return stats_; }
+  std::string name() const override { return "LazyDfaFilter"; }
+
+  /// Materialized DFA size so far (persists across documents, like the
+  /// shared transition table of a dissemination engine).
+  size_t NumStates() const { return state_of_mask_.size(); }
+  size_t NumTransitions() const { return transitions_.size(); }
+
+  /// Eagerly materializes every reachable state/transition, as an
+  /// eager-DFA engine would; used to measure worst-case table size.
+  void MaterializeFully();
+
+ private:
+  struct Step {
+    Axis axis;
+    std::string ntest;
+    bool Passes(const std::string& name) const {
+      return ntest == "*" || ntest == name;
+    }
+  };
+
+  explicit LazyDfaFilter(std::vector<Step> steps);
+
+  static constexpr int kOtherSymbol = 0;
+
+  int InternSymbol(const std::string& name) const;
+  int InternState(uint64_t mask);
+  uint64_t Descend(uint64_t mask, int symbol) const;
+  int Transition(int state, int symbol);
+
+  std::vector<Step> steps_;
+  std::vector<std::string> symbols_;  // 1-based; 0 = OTHER
+
+  std::map<uint64_t, int> state_of_mask_;
+  std::vector<uint64_t> mask_of_state_;
+  std::map<std::pair<int, int>, int> transitions_;
+
+  std::vector<int> stack_;
+  bool matched_ = false;
+  bool done_ = false;
+  MemoryStats stats_;
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_STREAM_LAZY_DFA_FILTER_H_

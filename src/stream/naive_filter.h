@@ -1,0 +1,44 @@
+#ifndef XPSTREAM_STREAM_NAIVE_FILTER_H_
+#define XPSTREAM_STREAM_NAIVE_FILTER_H_
+
+/// \file
+/// The buffering strawman: materialize the whole document tree, then run
+/// the ground-truth evaluator at endDocument. Supports the full Forward
+/// XPath fragment (anything the reference evaluator handles) at the cost
+/// of Θ(|D|) memory — the baseline every streaming algorithm is trying to
+/// beat, and the oracle in differential tests.
+
+#include <memory>
+
+#include "stream/filter.h"
+#include "xml/tree_builder.h"
+#include "xpath/ast.h"
+
+namespace xpstream {
+
+class NaiveTreeFilter : public StreamFilter {
+ public:
+  /// The query must outlive the filter.
+  static Result<std::unique_ptr<NaiveTreeFilter>> Create(const Query* query);
+
+  Status Reset() override;
+  Status OnEvent(const Event& event) override;
+  Result<bool> Matched() const override;
+  std::string SerializeState() const override;
+  const MemoryStats& stats() const override { return stats_; }
+  std::string name() const override { return "NaiveTreeFilter"; }
+
+ private:
+  explicit NaiveTreeFilter(const Query* query) : query_(query) {}
+
+  const Query* query_;
+  std::unique_ptr<TreeBuilder> builder_;
+  EventStream buffered_;  // the serialized state is the full prefix
+  bool done_ = false;
+  bool matched_ = false;
+  MemoryStats stats_;
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_STREAM_NAIVE_FILTER_H_

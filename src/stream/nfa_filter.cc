@@ -1,0 +1,115 @@
+#include "stream/nfa_filter.h"
+
+#include "common/string_util.h"
+
+namespace xpstream {
+
+bool IsLinearPathQuery(const Query& query) {
+  for (const QueryNode* node : query.AllNodes()) {
+    if (node->predicate() != nullptr) return false;
+    if (node->children().size() > 1) return false;
+    if (node->children().size() == 1 && node->successor() == nullptr) {
+      return false;  // a lone predicate child
+    }
+  }
+  return true;
+}
+
+Result<std::unique_ptr<NfaFilter>> NfaFilter::Create(const Query* query) {
+  if (!IsLinearPathQuery(*query)) {
+    return Status::Unsupported(
+        "NfaFilter supports linear path queries (no predicates) only");
+  }
+  std::vector<Step> steps;
+  for (const QueryNode* n = query->root()->successor(); n != nullptr;
+       n = n->successor()) {
+    steps.push_back(Step{n->axis(), n->ntest()});
+  }
+  if (steps.size() > 63) {
+    return Status::Unsupported("NfaFilter supports at most 63 steps");
+  }
+  auto filter = std::unique_ptr<NfaFilter>(new NfaFilter(std::move(steps)));
+  XPS_RETURN_IF_ERROR(filter->Reset());
+  return filter;
+}
+
+Status NfaFilter::Reset() {
+  stack_.clear();
+  matched_ = false;
+  done_ = false;
+  stats_.Reset();
+  return Status::OK();
+}
+
+uint64_t NfaFilter::Descend(uint64_t active, const std::string& name) const {
+  uint64_t next = 0;
+  const size_t n = steps_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if ((active & (1ULL << i)) == 0) continue;
+    const Step& step = steps_[i];  // the (i+1)-st step, 0-based
+    if (step.axis == Axis::kDescendant) {
+      next |= 1ULL << i;  // '//' self-loop: skip this element
+    }
+    if (step.axis != Axis::kAttribute && step.Passes(name)) {
+      next |= 1ULL << (i + 1);
+    }
+  }
+  return next;
+}
+
+Status NfaFilter::OnEvent(const Event& event) {
+  switch (event.type) {
+    case EventType::kStartDocument:
+      XPS_RETURN_IF_ERROR(Reset());
+      stack_.push_back(1);  // state 0: before the first step
+      break;
+    case EventType::kEndDocument:
+      done_ = true;
+      break;
+    case EventType::kStartElement: {
+      if (stack_.empty()) return Status::NotWellFormed("no startDocument");
+      uint64_t next = Descend(stack_.back(), event.name);
+      if ((next & (1ULL << steps_.size())) != 0) matched_ = true;
+      stack_.push_back(next);
+      break;
+    }
+    case EventType::kEndElement:
+      if (stack_.size() <= 1) {
+        return Status::NotWellFormed("unbalanced endElement");
+      }
+      stack_.pop_back();
+      break;
+    case EventType::kText:
+      break;
+    case EventType::kAttribute: {
+      if (stack_.empty()) return Status::NotWellFormed("no startDocument");
+      // The element's own active set is one below the attribute step.
+      uint64_t active = stack_.back();
+      for (size_t i = 0; i < steps_.size(); ++i) {
+        if ((active & (1ULL << i)) == 0) continue;
+        const Step& step = steps_[i];
+        if (step.axis == Axis::kAttribute && step.Passes(event.name) &&
+            i + 1 == steps_.size()) {
+          matched_ = true;
+        }
+      }
+      break;
+    }
+  }
+  stats_.table_entries().Set(stack_.size());
+  stats_.auxiliary_bytes().Set(stack_.size() * sizeof(uint64_t));
+  return Status::OK();
+}
+
+Result<bool> NfaFilter::Matched() const {
+  if (!done_) return Status::InvalidArgument("document not complete");
+  return matched_;
+}
+
+std::string NfaFilter::SerializeState() const {
+  std::string out = matched_ ? "M1|" : "M0|";
+  for (uint64_t s : stack_) out += StringPrintf("%llx,", (unsigned long long)s);
+  return out;
+}
+
+}  // namespace xpstream

@@ -1,0 +1,180 @@
+#include "stream/nfa_index.h"
+
+#include <algorithm>
+
+#include "stream/nfa_filter.h"
+
+namespace xpstream {
+
+NfaIndex::NfaIndex() { NewState(); /* state 0 = root */ }
+
+int NfaIndex::NewState() {
+  states_.push_back(State());
+  return static_cast<int>(states_.size()) - 1;
+}
+
+int NfaIndex::ChildTarget(int from, const std::string& ntest) {
+  if (ntest == "*") {
+    // One shared wildcard edge per state keeps prefixes like a/*/b and
+    // a/*/c sharing the middle state.
+    if (states_[static_cast<size_t>(from)].wildcard_edges.empty()) {
+      int target = NewState();
+      states_[static_cast<size_t>(from)].wildcard_edges.push_back(target);
+    }
+    return states_[static_cast<size_t>(from)].wildcard_edges.front();
+  }
+  auto& edges = states_[static_cast<size_t>(from)].child_edges[ntest];
+  if (edges.empty()) {
+    int target = NewState();
+    // NewState may reallocate states_; re-take the reference.
+    states_[static_cast<size_t>(from)].child_edges[ntest].push_back(target);
+    return target;
+  }
+  return edges.front();
+}
+
+int NfaIndex::DdState(int from) {
+  if (states_[static_cast<size_t>(from)].dd_state < 0) {
+    int dd = NewState();
+    states_[static_cast<size_t>(dd)].self_loop = true;
+    states_[static_cast<size_t>(from)].dd_state = dd;
+  }
+  return states_[static_cast<size_t>(from)].dd_state;
+}
+
+Status NfaIndex::AddQuery(size_t id, const Query& query) {
+  if (!IsLinearPathQuery(query)) {
+    return Status::Unsupported(
+        "NfaIndex supports linear path queries (no predicates) only");
+  }
+  int current = 0;
+  const QueryNode* step = query.root()->successor();
+  if (step == nullptr) {
+    return Status::Unsupported("query has no steps");
+  }
+  for (; step != nullptr; step = step->successor()) {
+    switch (step->axis()) {
+      case Axis::kChild:
+        current = ChildTarget(current, step->ntest());
+        break;
+      case Axis::kDescendant:
+        current = ChildTarget(DdState(current), step->ntest());
+        break;
+      case Axis::kAttribute: {
+        if (step->successor() != nullptr) {
+          // Attribute nodes have no children: further steps can never
+          // match, so the query is unsatisfiable. Register it with no
+          // accepting state.
+          num_queries_++;
+          max_id_ = std::max(max_id_, id);
+          return Status::OK();
+        }
+        states_[static_cast<size_t>(current)]
+            .attribute_accepts[step->ntest()]
+            .push_back(id);
+        num_queries_++;
+        max_id_ = std::max(max_id_, id);
+        return Status::OK();
+      }
+    }
+  }
+  states_[static_cast<size_t>(current)].accepts.push_back(id);
+  num_queries_++;
+  max_id_ = std::max(max_id_, id);
+  return Status::OK();
+}
+
+void NfaIndex::AddClosed(int state, std::vector<int>* set) const {
+  if (std::find(set->begin(), set->end(), state) == set->end()) {
+    set->push_back(state);
+  }
+  int dd = states_[static_cast<size_t>(state)].dd_state;
+  if (dd >= 0 &&
+      std::find(set->begin(), set->end(), dd) == set->end()) {
+    set->push_back(dd);
+    // dd companions can themselves carry dd states only via their
+    // outgoing edges, which are handled on transition; no deeper ε here.
+  }
+}
+
+Result<std::vector<bool>> NfaIndex::FilterDocument(
+    const EventStream& events) const {
+  std::vector<bool> verdicts(max_id_ + 1, false);
+  std::vector<std::vector<int>> stack;
+  stats_.Reset();
+  size_t active_entries = 0;
+
+  auto accept = [&](int state) {
+    for (size_t id : states_[static_cast<size_t>(state)].accepts) {
+      verdicts[id] = true;
+    }
+  };
+
+  for (const Event& event : events) {
+    switch (event.type) {
+      case EventType::kStartDocument: {
+        stack.clear();
+        std::vector<int> initial;
+        AddClosed(0, &initial);
+        active_entries = initial.size();
+        stack.push_back(std::move(initial));
+        break;
+      }
+      case EventType::kEndDocument:
+        break;
+      case EventType::kStartElement: {
+        if (stack.empty()) {
+          return Status::NotWellFormed("element before startDocument");
+        }
+        std::vector<int> next;
+        for (int s : stack.back()) {
+          const State& state = states_[static_cast<size_t>(s)];
+          auto it = state.child_edges.find(event.name);
+          if (it != state.child_edges.end()) {
+            for (int t : it->second) {
+              accept(t);
+              AddClosed(t, &next);
+            }
+          }
+          for (int t : state.wildcard_edges) {
+            accept(t);
+            AddClosed(t, &next);
+          }
+          if (state.self_loop) {
+            AddClosed(s, &next);
+          }
+        }
+        active_entries += next.size();
+        stack.push_back(std::move(next));
+        stats_.table_entries().Set(active_entries);
+        break;
+      }
+      case EventType::kEndElement:
+        if (stack.size() <= 1) {
+          return Status::NotWellFormed("unbalanced endElement");
+        }
+        active_entries -= stack.back().size();
+        stack.pop_back();
+        break;
+      case EventType::kText:
+        break;
+      case EventType::kAttribute: {
+        if (stack.empty()) {
+          return Status::NotWellFormed("attribute before startDocument");
+        }
+        for (int s : stack.back()) {
+          const State& state = states_[static_cast<size_t>(s)];
+          auto it = state.attribute_accepts.find(event.name);
+          if (it != state.attribute_accepts.end()) {
+            for (size_t id : it->second) verdicts[id] = true;
+          }
+        }
+        break;
+      }
+    }
+  }
+  stats_.automaton_states().Set(states_.size());
+  return verdicts;
+}
+
+}  // namespace xpstream

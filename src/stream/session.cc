@@ -1,0 +1,50 @@
+#include "stream/session.h"
+
+#include <algorithm>
+
+namespace xpstream {
+
+Status FilterSession::OnEvent(const Event& event) {
+  switch (event.type) {
+    case EventType::kStartDocument:
+      if (in_document_) {
+        return Status::NotWellFormed("nested startDocument in session");
+      }
+      in_document_ = true;
+      XPS_RETURN_IF_ERROR(filter_->Reset());
+      return filter_->OnEvent(event);
+    case EventType::kEndDocument: {
+      if (!in_document_) {
+        return Status::NotWellFormed("endDocument outside a document");
+      }
+      XPS_RETURN_IF_ERROR(filter_->OnEvent(event));
+      in_document_ = false;
+      auto verdict = filter_->Matched();
+      if (!verdict.ok()) return verdict.status();
+      verdicts_.push_back(*verdict);
+      peak_table_entries_ = std::max(
+          peak_table_entries_, filter_->stats().table_entries().peak());
+      peak_buffered_bytes_ = std::max(
+          peak_buffered_bytes_, filter_->stats().buffered_bytes().peak());
+      return Status::OK();
+    }
+    default:
+      if (!in_document_) {
+        return Status::NotWellFormed("content outside a document");
+      }
+      return filter_->OnEvent(event);
+  }
+}
+
+Result<std::vector<bool>> FilterDocumentBatch(
+    StreamFilter* filter, const std::vector<EventStream>& documents) {
+  FilterSession session(filter);
+  for (const EventStream& events : documents) {
+    for (const Event& event : events) {
+      XPS_RETURN_IF_ERROR(session.OnEvent(event));
+    }
+  }
+  return session.verdicts();
+}
+
+}  // namespace xpstream

@@ -1,0 +1,56 @@
+#ifndef XPSTREAM_STREAM_SESSION_H_
+#define XPSTREAM_STREAM_SESSION_H_
+
+/// \file
+/// The paper's filtering task is posed over a *sequence* of streaming
+/// XML documents (§1: "filtering a sequence of streaming XML documents
+/// based on whether they match a given XPath query"). FilterSession wraps
+/// any StreamFilter and consumes a concatenation of document streams,
+/// resetting the engine at each document boundary and recording the
+/// per-document verdicts.
+///
+/// It is itself an EventSink, so it can be driven directly by the
+/// streaming XmlParser over a byte stream of back-to-back documents.
+
+#include <vector>
+
+#include "common/status.h"
+#include "stream/filter.h"
+
+namespace xpstream {
+
+class FilterSession : public EventSink {
+ public:
+  /// The filter must outlive the session.
+  explicit FilterSession(StreamFilter* filter) : filter_(filter) {}
+
+  /// Consumes the next event; document boundaries are detected on
+  /// startDocument/endDocument events.
+  Status OnEvent(const Event& event) override;
+
+  /// Verdicts of the documents completed so far.
+  const std::vector<bool>& verdicts() const { return verdicts_; }
+
+  /// Number of completed documents.
+  size_t documents_seen() const { return verdicts_.size(); }
+
+  /// Peak memory across all documents so far.
+  size_t peak_table_entries() const { return peak_table_entries_; }
+  size_t peak_buffered_bytes() const { return peak_buffered_bytes_; }
+
+ private:
+  StreamFilter* filter_;
+  std::vector<bool> verdicts_;
+  bool in_document_ = false;
+  size_t peak_table_entries_ = 0;
+  size_t peak_buffered_bytes_ = 0;
+};
+
+/// Convenience: runs a batch of documents through one filter; returns
+/// the verdict vector.
+Result<std::vector<bool>> FilterDocumentBatch(
+    StreamFilter* filter, const std::vector<EventStream>& documents);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_STREAM_SESSION_H_

@@ -1,0 +1,98 @@
+#include "workload/doc_generator.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xpstream {
+
+namespace {
+
+void FillRandom(XmlNode* node, size_t depth, Random* rng,
+                const DocGenOptions& opts) {
+  size_t pool = std::min(opts.name_pool, opts.names.size());
+  if (rng->Bernoulli(opts.attr_prob)) {
+    node->AddAttribute(opts.names[rng->Uniform(pool)] + "id",
+                       FormatXPathNumber(
+                           static_cast<double>(rng->Uniform(100))));
+  }
+  if (rng->Bernoulli(opts.text_prob)) {
+    if (rng->Bernoulli(opts.numeric_text_prob)) {
+      node->AddText(
+          FormatXPathNumber(static_cast<double>(rng->UniformRange(-5, 20))));
+    } else {
+      node->AddText(rng->NextName(1 + rng->Uniform(5)));
+    }
+  }
+  if (depth == 0) return;
+  size_t fanout = rng->Uniform(opts.max_fanout + 1);
+  for (size_t i = 0; i < fanout; ++i) {
+    XmlNode* child = node->AddElement(opts.names[rng->Uniform(pool)]);
+    FillRandom(child, depth - 1, rng, opts);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<XmlDocument> GenerateRandomDocument(
+    Random* rng, const DocGenOptions& opts) {
+  auto doc = std::make_unique<XmlDocument>();
+  size_t pool = std::min(opts.name_pool, opts.names.size());
+  XmlNode* root = doc->root()->AddElement(opts.names[rng->Uniform(pool)]);
+  FillRandom(root, opts.max_depth == 0 ? 0 : opts.max_depth - 1, rng, opts);
+  doc->Index();
+  return doc;
+}
+
+std::unique_ptr<XmlDocument> GenerateNestedDocument(
+    const std::string& name, const std::string& left,
+    const std::string& right, const std::vector<bool>& s,
+    const std::vector<bool>& t) {
+  auto doc = std::make_unique<XmlDocument>();
+  // Build the spine top-down, then attach right children bottom-up.
+  std::vector<XmlNode*> spine;
+  XmlNode* current = doc->root();
+  for (size_t i = 0; i < s.size(); ++i) {
+    XmlNode* next = current->AddElement(name);
+    if (i < s.size() && s[i]) next->AddElement(left);
+    spine.push_back(next);
+    current = next;
+  }
+  // Right children are appended after the nested chain, mirroring the
+  // stream order of the Thm 4.5 construction.
+  for (size_t i = t.size(); i-- > 0;) {
+    if (i < spine.size() && t[i]) spine[i]->AddElement(right);
+  }
+  doc->Index();
+  return doc;
+}
+
+std::unique_ptr<XmlDocument> GenerateDeepChain(const std::string& top,
+                                               const std::string& pad,
+                                               size_t depth,
+                                               const std::string& leaf) {
+  auto doc = std::make_unique<XmlDocument>();
+  XmlNode* current = doc->root()->AddElement(top);
+  for (size_t i = 0; i < depth; ++i) {
+    current = current->AddElement(pad);
+  }
+  current->AddElement(leaf);
+  doc->Index();
+  return doc;
+}
+
+std::unique_ptr<XmlDocument> GenerateWideDocument(const std::string& root,
+                                                  const std::string& child,
+                                                  size_t n, Random* rng) {
+  auto doc = std::make_unique<XmlDocument>();
+  XmlNode* r = doc->root()->AddElement(root);
+  for (size_t i = 0; i < n; ++i) {
+    XmlNode* c = r->AddElement(child);
+    c->AddText(
+        FormatXPathNumber(static_cast<double>(rng->UniformRange(0, 100))));
+  }
+  doc->Index();
+  return doc;
+}
+
+}  // namespace xpstream

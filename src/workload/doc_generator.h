@@ -1,0 +1,52 @@
+#ifndef XPSTREAM_WORKLOAD_DOC_GENERATOR_H_
+#define XPSTREAM_WORKLOAD_DOC_GENERATOR_H_
+
+/// \file
+/// Parameterized document generators for property tests and benchmarks.
+/// All generators are deterministic given the Random seed.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "xml/node.h"
+
+namespace xpstream {
+
+struct DocGenOptions {
+  size_t max_depth = 5;        ///< element nesting below the root element
+  size_t max_fanout = 3;       ///< element children per element
+  double text_prob = 0.5;      ///< chance an element gets a text child
+  double attr_prob = 0.15;     ///< chance of an attribute per element
+  double numeric_text_prob = 0.6;  ///< text is a small number vs a word
+  size_t name_pool = 4;        ///< element names drawn from names[0..pool)
+  std::vector<std::string> names = {"a", "b", "c", "d", "e",
+                                    "f", "g", "h"};
+};
+
+/// Random tree with the given shape parameters.
+std::unique_ptr<XmlDocument> GenerateRandomDocument(Random* rng,
+                                                    const DocGenOptions& opts);
+
+/// The proof-shape document of Thm 4.5: r nested `name` elements; level i
+/// gets a left `left` child iff s[i], and a right `right` child iff t[i].
+std::unique_ptr<XmlDocument> GenerateNestedDocument(
+    const std::string& name, const std::string& left,
+    const std::string& right, const std::vector<bool>& s,
+    const std::vector<bool>& t);
+
+/// ⟨top⟩⟨pad⟩^depth ⟨leaf/⟩ ⟨/pad⟩^depth⟨/top⟩ — a deep chain document.
+std::unique_ptr<XmlDocument> GenerateDeepChain(const std::string& top,
+                                               const std::string& pad,
+                                               size_t depth,
+                                               const std::string& leaf);
+
+/// A flat document: ⟨root⟩ n children named `child` with numeric text.
+std::unique_ptr<XmlDocument> GenerateWideDocument(const std::string& root,
+                                                  const std::string& child,
+                                                  size_t n, Random* rng);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_WORKLOAD_DOC_GENERATOR_H_

@@ -1,0 +1,99 @@
+#include "workload/scenarios.h"
+
+#include "common/string_util.h"
+
+namespace xpstream {
+
+namespace {
+
+const char* kTitles[] = {"data", "streams", "logic", "systems", "queries"};
+const char* kAuthors[] = {"baryossef", "fontoura", "josifovski", "vardi",
+                          "fagin"};
+const char* kPublishers[] = {"acm", "ieee", "elsevier"};
+
+}  // namespace
+
+std::unique_ptr<XmlDocument> GenerateBookDocument(Random* rng) {
+  auto doc = std::make_unique<XmlDocument>();
+  XmlNode* book = doc->root()->AddElement("book");
+  book->AddAttribute("publisher", kPublishers[rng->Uniform(3)]);
+  XmlNode* title = book->AddElement("title");
+  title->AddText(std::string(kTitles[rng->Uniform(5)]) + " " +
+                 std::string(kTitles[rng->Uniform(5)]));
+  size_t authors = 1 + rng->Uniform(3);
+  for (size_t i = 0; i < authors; ++i) {
+    XmlNode* author = book->AddElement("author");
+    XmlNode* last = author->AddElement("last");
+    last->AddText(kAuthors[rng->Uniform(5)]);
+    XmlNode* first = author->AddElement("first");
+    first->AddText(rng->NextName(4));
+  }
+  XmlNode* year = book->AddElement("year");
+  year->AddText(StringPrintf("%d", (int)(1990 + rng->Uniform(20))));
+  XmlNode* price = book->AddElement("price");
+  price->AddText(StringPrintf("%d", (int)(10 + rng->Uniform(90))));
+  doc->Index();
+  return doc;
+}
+
+std::vector<std::unique_ptr<XmlDocument>> GenerateBibliographyCorpus(
+    size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::unique_ptr<XmlDocument>> corpus;
+  corpus.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    corpus.push_back(GenerateBookDocument(&rng));
+  }
+  return corpus;
+}
+
+std::vector<std::string> BibliographySubscriptions() {
+  return {
+      "/book[price < 30]/title",
+      "/book[year > 2000 and price < 60]/title",
+      "/book[author/last = \"vardi\"]/title",
+      "/book[.//last = \"fagin\" and year > 1995]/title",
+      "/book[@publisher = \"acm\"]/title",
+      "/book[contains(title, \"streams\")]/year",
+      "/book[author[last and first] and price > 50]/title",
+  };
+}
+
+std::unique_ptr<XmlDocument> GenerateMessageFeed(size_t messages,
+                                                 size_t recursion,
+                                                 Random* rng) {
+  auto doc = std::make_unique<XmlDocument>();
+  XmlNode* feed = doc->root()->AddElement("feed");
+  for (size_t i = 0; i < messages; ++i) {
+    XmlNode* msg = feed->AddElement("msg");
+    size_t depth = rng->Uniform(recursion + 1);
+    XmlNode* current = msg;
+    for (size_t level = 0;; ++level) {
+      XmlNode* header = current->AddElement("header");
+      XmlNode* from = header->AddElement("from");
+      from->AddText(rng->NextName(5));
+      XmlNode* prio = header->AddElement("priority");
+      prio->AddText(StringPrintf("%d", (int)rng->Uniform(10)));
+      if (level >= depth) {
+        XmlNode* body = current->AddElement("body");
+        body->AddText(rng->NextName(8));
+        break;
+      }
+      // Forwarded message: envelopes nest — the recursive hard case.
+      current = current->AddElement("msg");
+    }
+  }
+  doc->Index();
+  return doc;
+}
+
+std::vector<std::string> MessageFeedSubscriptions() {
+  return {
+      "//msg[header/priority > 7 and body]",
+      "//msg[header[from and priority] and msg]",
+      "/feed/msg[.//priority > 8]",
+      "//msg[body and header/priority < 2]",
+  };
+}
+
+}  // namespace xpstream

@@ -1,0 +1,43 @@
+#ifndef XPSTREAM_WORKLOAD_SCENARIOS_H_
+#define XPSTREAM_WORKLOAD_SCENARIOS_H_
+
+/// \file
+/// Realistic workload scenarios for the examples and the dissemination
+/// benchmark (E9): a bibliography corpus in the style of the XQuery Use
+/// Cases the paper cites, and a nested message feed exercising document
+/// recursion (the paper's motivating hard case).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "xml/node.h"
+
+namespace xpstream {
+
+/// One random ⟨book⟩ document with title / author+ / year / price and a
+/// publisher attribute.
+std::unique_ptr<XmlDocument> GenerateBookDocument(Random* rng);
+
+/// A corpus of `n` book documents.
+std::vector<std::unique_ptr<XmlDocument>> GenerateBibliographyCorpus(
+    size_t n, uint64_t seed);
+
+/// Subscription-style queries over the corpus (all in the fragment the
+/// FrontierFilter supports).
+std::vector<std::string> BibliographySubscriptions();
+
+/// A message feed document whose envelopes nest to `recursion` levels —
+/// each ⟨msg⟩ may carry a forwarded ⟨msg⟩ — with headers and bodies.
+std::unique_ptr<XmlDocument> GenerateMessageFeed(size_t messages,
+                                                 size_t recursion,
+                                                 Random* rng);
+
+/// Queries over the message feed exercising descendant axes over
+/// recursive structure.
+std::vector<std::string> MessageFeedSubscriptions();
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,99 @@
+#include "xml/event.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace xpstream {
+
+std::string Event::ToString() const {
+  switch (type) {
+    case EventType::kStartDocument:
+      return "<$>";
+    case EventType::kEndDocument:
+      return "</$>";
+    case EventType::kStartElement:
+      return "<" + name + ">";
+    case EventType::kEndElement:
+      return "</" + name + ">";
+    case EventType::kText:
+      return text;
+    case EventType::kAttribute:
+      return "@" + name + "=\"" + text + "\"";
+  }
+  return "?";
+}
+
+std::string EventStreamToString(const EventStream& events) {
+  std::string out;
+  for (const Event& e : events) out += e.ToString();
+  return out;
+}
+
+Status ValidateEventStream(const EventStream& events) {
+  if (events.empty()) return Status::NotWellFormed("empty event stream");
+  if (events.front().type != EventType::kStartDocument) {
+    return Status::NotWellFormed("stream must begin with startDocument");
+  }
+  if (events.back().type != EventType::kEndDocument) {
+    return Status::NotWellFormed("stream must end with endDocument");
+  }
+
+  std::vector<std::string> open;  // element name stack
+  size_t root_elements = 0;
+  bool attribute_position = false;  // directly after a startElement
+  for (size_t i = 1; i + 1 < events.size(); ++i) {
+    const Event& e = events[i];
+    switch (e.type) {
+      case EventType::kStartDocument:
+      case EventType::kEndDocument:
+        return Status::NotWellFormed("nested document envelope");
+      case EventType::kStartElement:
+        if (!IsValidXmlName(e.name)) {
+          return Status::NotWellFormed("invalid element name: " + e.name);
+        }
+        if (open.empty()) {
+          if (++root_elements > 1) {
+            return Status::NotWellFormed("multiple root elements");
+          }
+        }
+        open.push_back(e.name);
+        attribute_position = true;
+        continue;
+      case EventType::kEndElement:
+        if (open.empty()) {
+          return Status::NotWellFormed("endElement without open element");
+        }
+        if (open.back() != e.name) {
+          return Status::NotWellFormed("mismatched endElement: expected " +
+                                       open.back() + " got " + e.name);
+        }
+        open.pop_back();
+        break;
+      case EventType::kText:
+        if (open.empty()) {
+          return Status::NotWellFormed("text outside the root element");
+        }
+        break;
+      case EventType::kAttribute:
+        if (!attribute_position) {
+          return Status::NotWellFormed(
+              "attribute event not directly after startElement");
+        }
+        if (!IsValidXmlName(e.name)) {
+          return Status::NotWellFormed("invalid attribute name: " + e.name);
+        }
+        continue;  // keep attribute_position set
+    }
+    attribute_position = false;
+  }
+  if (!open.empty()) {
+    return Status::NotWellFormed("unclosed element: " + open.back());
+  }
+  if (root_elements == 0) {
+    return Status::NotWellFormed("document has no root element");
+  }
+  return Status::OK();
+}
+
+}  // namespace xpstream

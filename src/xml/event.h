@@ -1,0 +1,94 @@
+#ifndef XPSTREAM_XML_EVENT_H_
+#define XPSTREAM_XML_EVENT_H_
+
+/// \file
+/// The SAX event model from paper §3.1.4. A streaming algorithm consumes a
+/// document as a sequence of these events and may not revisit them.
+///
+/// The paper lists five events: startDocument (⟨$⟩), endDocument (⟨/$⟩),
+/// startElement(n) (⟨n⟩), endElement(n) (⟨/n⟩) and text(α). We add a sixth,
+/// kAttribute, emitted immediately after a start element for each XML
+/// attribute; the paper folds the attribute axis into the child axis
+/// (§3.1.2) and this event makes that folding explicit in the stream.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xpstream {
+
+enum class EventType : uint8_t {
+  kStartDocument,
+  kEndDocument,
+  kStartElement,
+  kEndElement,
+  kText,
+  kAttribute,
+};
+
+/// One SAX event. `name` is used by kStartElement / kEndElement /
+/// kAttribute; `text` carries text content (kText) or the attribute value
+/// (kAttribute).
+struct Event {
+  EventType type;
+  std::string name;
+  std::string text;
+
+  static Event StartDocument() { return {EventType::kStartDocument, "", ""}; }
+  static Event EndDocument() { return {EventType::kEndDocument, "", ""}; }
+  static Event StartElement(std::string n) {
+    return {EventType::kStartElement, std::move(n), ""};
+  }
+  static Event EndElement(std::string n) {
+    return {EventType::kEndElement, std::move(n), ""};
+  }
+  static Event Text(std::string t) {
+    return {EventType::kText, "", std::move(t)};
+  }
+  static Event Attribute(std::string n, std::string v) {
+    return {EventType::kAttribute, std::move(n), std::move(v)};
+  }
+
+  bool operator==(const Event& other) const = default;
+
+  /// Paper-style rendering: ⟨n⟩, ⟨/n⟩, text, @n="v", ⟨$⟩, ⟨/$⟩.
+  std::string ToString() const;
+};
+
+/// A full event stream. Streams produced by this library always begin with
+/// kStartDocument and end with kEndDocument.
+using EventStream = std::vector<Event>;
+
+/// Renders a stream compactly for debugging / golden tests.
+std::string EventStreamToString(const EventStream& events);
+
+/// Verifies SAX well-formedness: exactly one document envelope, matching
+/// element nesting, a single root element, attributes only directly after
+/// a start element, no content outside the root.
+Status ValidateEventStream(const EventStream& events);
+
+/// Callback consumer interface for push-style parsing.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// Receives the next event. Returning a non-OK status aborts parsing.
+  virtual Status OnEvent(const Event& event) = 0;
+};
+
+/// An EventSink that appends into an EventStream vector.
+class CollectingSink : public EventSink {
+ public:
+  explicit CollectingSink(EventStream* out) : out_(out) {}
+  Status OnEvent(const Event& event) override {
+    out_->push_back(event);
+    return Status::OK();
+  }
+
+ private:
+  EventStream* out_;
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_XML_EVENT_H_

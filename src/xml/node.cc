@@ -1,0 +1,158 @@
+#include "xml/node.h"
+
+#include <cassert>
+
+namespace xpstream {
+
+XmlNode* XmlNode::AddChild(std::unique_ptr<XmlNode> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+XmlNode* XmlNode::AddElement(std::string name) {
+  return AddChild(
+      std::make_unique<XmlNode>(NodeKind::kElement, std::move(name), ""));
+}
+
+XmlNode* XmlNode::AddAttribute(std::string name, std::string value) {
+  return AddChild(std::make_unique<XmlNode>(NodeKind::kAttribute,
+                                            std::move(name),
+                                            std::move(value)));
+}
+
+XmlNode* XmlNode::AddText(std::string text) {
+  return AddChild(
+      std::make_unique<XmlNode>(NodeKind::kText, "", std::move(text)));
+}
+
+std::string XmlNode::StringValue() const {
+  if (kind_ == NodeKind::kText || kind_ == NodeKind::kAttribute) {
+    return text_;
+  }
+  std::string out;
+  for (const auto& c : children_) {
+    if (c->kind_ == NodeKind::kAttribute) continue;  // not descendants' text
+    out += c->StringValue();
+  }
+  return out;
+}
+
+bool XmlNode::IsAncestorOf(const XmlNode* other) const {
+  for (const XmlNode* p = other->parent(); p != nullptr; p = p->parent()) {
+    if (p == this) return true;
+  }
+  return false;
+}
+
+size_t XmlNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& c : children_) n += c->SubtreeSize();
+  return n;
+}
+
+size_t XmlNode::Depth() const {
+  size_t d = 1;
+  for (const XmlNode* p = parent_; p != nullptr; p = p->parent()) ++d;
+  return d;
+}
+
+XmlDocument::XmlDocument()
+    : root_(std::make_unique<XmlNode>(NodeKind::kRoot, "", "")) {}
+
+const XmlNode* XmlDocument::root_element() const {
+  for (const auto& c : root_->children()) {
+    if (c->kind() == NodeKind::kElement) return c.get();
+  }
+  return nullptr;
+}
+
+void XmlDocument::Index() {
+  size_t counter = 0;
+  auto rec = [&](auto&& self, XmlNode* node) -> void {
+    node->order_index_ = counter++;
+    for (const auto& c : node->children_) self(self, c.get());
+  };
+  rec(rec, root_.get());
+}
+
+namespace {
+void CollectRec(const XmlNode* node, std::vector<const XmlNode*>* out) {
+  out->push_back(node);
+  for (const auto& c : node->children()) CollectRec(c.get(), out);
+}
+
+size_t DepthRec(const XmlNode* node) {
+  size_t best = 0;
+  for (const auto& c : node->children()) {
+    if (c->kind() != NodeKind::kElement) continue;
+    best = std::max(best, 1 + DepthRec(c.get()));
+  }
+  return best;
+}
+
+void EventsRec(const XmlNode* node, EventStream* out) {
+  switch (node->kind()) {
+    case NodeKind::kRoot:
+      for (const auto& c : node->children()) EventsRec(c.get(), out);
+      return;
+    case NodeKind::kText:
+      out->push_back(Event::Text(node->text()));
+      return;
+    case NodeKind::kAttribute:
+      out->push_back(Event::Attribute(node->name(), node->text()));
+      return;
+    case NodeKind::kElement: {
+      out->push_back(Event::StartElement(node->name()));
+      // Attributes first (as parsed), then other children in order.
+      for (const auto& c : node->children()) {
+        if (c->kind() == NodeKind::kAttribute) {
+          out->push_back(Event::Attribute(c->name(), c->text()));
+        }
+      }
+      for (const auto& c : node->children()) {
+        if (c->kind() != NodeKind::kAttribute) EventsRec(c.get(), out);
+      }
+      out->push_back(Event::EndElement(node->name()));
+      return;
+    }
+  }
+}
+
+std::unique_ptr<XmlNode> CloneRec(const XmlNode* node) {
+  auto copy =
+      std::make_unique<XmlNode>(node->kind(), node->name(), node->text());
+  for (const auto& c : node->children()) {
+    copy->AddChild(CloneRec(c.get()));
+  }
+  return copy;
+}
+}  // namespace
+
+std::vector<const XmlNode*> XmlDocument::AllNodes() const {
+  std::vector<const XmlNode*> out;
+  CollectRec(root_.get(), &out);
+  return out;
+}
+
+size_t XmlDocument::Depth() const { return DepthRec(root_.get()); }
+
+size_t XmlDocument::Size() const { return root_->SubtreeSize() - 1; }
+
+EventStream XmlDocument::ToEvents() const {
+  EventStream out;
+  out.push_back(Event::StartDocument());
+  EventsRec(root_.get(), &out);
+  out.push_back(Event::EndDocument());
+  return out;
+}
+
+std::unique_ptr<XmlDocument> XmlDocument::Clone() const {
+  auto doc = std::make_unique<XmlDocument>();
+  for (const auto& c : root_->children()) {
+    doc->root()->AddChild(CloneRec(c.get()));
+  }
+  return doc;
+}
+
+}  // namespace xpstream

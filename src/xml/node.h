@@ -1,0 +1,122 @@
+#ifndef XPSTREAM_XML_NODE_H_
+#define XPSTREAM_XML_NODE_H_
+
+/// \file
+/// The XPath 2.0 / XQuery 1.0 data model from paper §3.1.1: an XML document
+/// is a rooted tree whose nodes carry a kind (root / element / attribute /
+/// text), a name, and a string value. The in-memory tree is the ground
+/// truth representation: the reference (non-streaming) evaluator and all
+/// document-analysis code run over it.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/event.h"
+
+namespace xpstream {
+
+enum class NodeKind : uint8_t {
+  kRoot,
+  kElement,
+  kAttribute,
+  kText,
+};
+
+/// One node of a document tree. Nodes own their children; parent links are
+/// raw back-pointers managed by the owning XmlDocument.
+class XmlNode {
+ public:
+  XmlNode(NodeKind kind, std::string name, std::string text)
+      : kind_(kind), name_(std::move(name)), text_(std::move(text)) {}
+
+  NodeKind kind() const { return kind_; }
+
+  /// NAME(x). Empty for root and text nodes (paper: they are unnamed).
+  const std::string& name() const { return name_; }
+
+  /// Text content for text and attribute nodes; empty otherwise.
+  const std::string& text() const { return text_; }
+
+  XmlNode* parent() const { return parent_; }
+
+  const std::vector<std::unique_ptr<XmlNode>>& children() const {
+    return children_;
+  }
+
+  /// Appends a child and returns a borrowed pointer to it.
+  XmlNode* AddChild(std::unique_ptr<XmlNode> child);
+
+  /// Convenience constructors for building documents programmatically.
+  XmlNode* AddElement(std::string name);
+  XmlNode* AddAttribute(std::string name, std::string value);
+  XmlNode* AddText(std::string text);
+
+  /// STRVAL(x): concatenation of the text content of text-node descendants
+  /// in document order (paper §3.1.1 property 3). For attribute and text
+  /// nodes this is their own content.
+  std::string StringValue() const;
+
+  /// True if `other` is a strict descendant of this node.
+  bool IsAncestorOf(const XmlNode* other) const;
+
+  /// Number of nodes (including this one) in this subtree.
+  size_t SubtreeSize() const;
+
+  /// Depth of this node: ROOT has depth 1 (paper's DEPTH(u) = |PATH(u)|).
+  size_t Depth() const;
+
+  /// Pre-order (document order) index assigned by XmlDocument::Index().
+  size_t order_index() const { return order_index_; }
+
+ private:
+  friend class XmlDocument;
+
+  NodeKind kind_;
+  std::string name_;
+  std::string text_;
+  XmlNode* parent_ = nullptr;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+  size_t order_index_ = 0;
+};
+
+/// An XML document: owns the root node (kind kRoot, representing ⟨$⟩).
+class XmlDocument {
+ public:
+  XmlDocument();
+
+  XmlNode* root() { return root_.get(); }
+  const XmlNode* root() const { return root_.get(); }
+
+  /// The unique element child of the root, or nullptr when absent.
+  const XmlNode* root_element() const;
+
+  /// (Re)assigns document-order indices to all nodes; call after mutation
+  /// when order_index() is needed.
+  void Index();
+
+  /// All nodes in document order (pre-order traversal).
+  std::vector<const XmlNode*> AllNodes() const;
+
+  /// Length of the longest root-to-leaf path counting element nodes
+  /// (paper §4.3: the depth of the document). The root node itself does
+  /// not count; text/attribute nodes do not count.
+  size_t Depth() const;
+
+  /// Total node count, excluding the synthetic root.
+  size_t Size() const;
+
+  /// Serializes to the paper's stream form: startDocument ... endDocument.
+  EventStream ToEvents() const;
+
+  /// Deep copy.
+  std::unique_ptr<XmlDocument> Clone() const;
+
+ private:
+  std::unique_ptr<XmlNode> root_;
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_XML_NODE_H_

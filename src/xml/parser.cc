@@ -1,0 +1,294 @@
+#include "xml/parser.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace xpstream {
+
+XmlParser::XmlParser(EventSink* sink) : sink_(sink) {}
+
+Status XmlParser::Fail(const std::string& msg) {
+  state_ = State::kFailed;
+  return Status::ParseError(StringPrintf("line %zu: %s", line_, msg.c_str()));
+}
+
+Status XmlParser::Emit(Event event) {
+  if (!started_) {
+    started_ = true;
+    XPS_RETURN_IF_ERROR(sink_->OnEvent(Event::StartDocument()));
+  }
+  return sink_->OnEvent(event);
+}
+
+Status XmlParser::Feed(std::string_view chunk) {
+  if (state_ == State::kFailed) {
+    return Status::ParseError("parser already failed");
+  }
+  if (state_ == State::kDone) {
+    return Status::ParseError("Feed after Finish");
+  }
+  buf_.append(chunk);
+  return Drain(/*at_eof=*/false);
+}
+
+Status XmlParser::Finish() {
+  if (state_ == State::kFailed) {
+    return Status::ParseError("parser already failed");
+  }
+  XPS_RETURN_IF_ERROR(Drain(/*at_eof=*/true));
+  if (pos_ != buf_.size()) {
+    return Fail("trailing incomplete markup at end of input");
+  }
+  if (!open_.empty()) {
+    return Fail("unclosed element: " + open_.back());
+  }
+  if (state_ != State::kEpilog) {
+    return Fail("document has no root element");
+  }
+  state_ = State::kDone;
+  if (!started_) {
+    started_ = true;
+    XPS_RETURN_IF_ERROR(sink_->OnEvent(Event::StartDocument()));
+  }
+  return sink_->OnEvent(Event::EndDocument());
+}
+
+Status XmlParser::Drain(bool at_eof) {
+  while (pos_ < buf_.size()) {
+    if (buf_[pos_] == '<') {
+      // Comments and CDATA may contain '>' internally; find their real end.
+      std::string_view rest(buf_.data() + pos_, buf_.size() - pos_);
+      size_t end;  // index (relative to pos_) one past the closing '>'
+      if (StartsWith(rest, "<!--")) {
+        size_t close = rest.find("-->");
+        if (close == std::string_view::npos) {
+          if (at_eof) return Fail("unterminated comment");
+          break;
+        }
+        end = close + 3;
+        for (size_t i = 0; i < end; ++i) line_ += (rest[i] == '\n');
+        pos_ += end;
+        continue;
+      }
+      if (StartsWith(rest, "<![CDATA[")) {
+        size_t close = rest.find("]]>");
+        if (close == std::string_view::npos) {
+          if (at_eof) return Fail("unterminated CDATA section");
+          break;
+        }
+        if (state_ != State::kContent) {
+          return Fail("CDATA outside the root element");
+        }
+        std::string_view content = rest.substr(9, close - 9);
+        XPS_RETURN_IF_ERROR(Emit(Event::Text(std::string(content))));
+        end = close + 3;
+        for (size_t i = 0; i < end; ++i) line_ += (rest[i] == '\n');
+        pos_ += end;
+        continue;
+      }
+      size_t close = rest.find('>');
+      if (close == std::string_view::npos) {
+        if (at_eof) return Fail("unterminated markup");
+        break;
+      }
+      end = close + 1;
+      std::string_view tok = rest.substr(0, end);
+      for (char c : tok) line_ += (c == '\n');
+      pos_ += end;
+      XPS_RETURN_IF_ERROR(HandleMarkup(tok));
+    } else {
+      size_t next = buf_.find('<', pos_);
+      if (next == std::string::npos) {
+        if (!at_eof) break;  // wait for more input
+        next = buf_.size();
+      }
+      std::string_view raw(buf_.data() + pos_, next - pos_);
+      for (char c : raw) line_ += (c == '\n');
+      pos_ = next;
+      XPS_RETURN_IF_ERROR(HandleText(raw));
+    }
+  }
+  // Compact the consumed prefix to keep memory proportional to one token.
+  if (pos_ > 0) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return Status::OK();
+}
+
+Status XmlParser::HandleMarkup(std::string_view tok) {
+  // tok is "<...>" with the angle brackets included.
+  std::string_view body = tok.substr(1, tok.size() - 2);
+  if (body.empty()) return Fail("empty tag");
+  if (body[0] == '?') {
+    // XML declaration or processing instruction: skipped.
+    if (!EndsWith(body, "?")) return Fail("malformed processing instruction");
+    return Status::OK();
+  }
+  if (body[0] == '!') {
+    return Fail("DTD declarations are not supported");
+  }
+  if (body[0] == '/') {
+    return HandleEndTag(body.substr(1));
+  }
+  return HandleStartTag(body);
+}
+
+Status XmlParser::HandleStartTag(std::string_view body) {
+  if (state_ == State::kEpilog) {
+    return Fail("content after the root element");
+  }
+  bool self_closing = false;
+  if (EndsWith(body, "/")) {
+    self_closing = true;
+    body.remove_suffix(1);
+  }
+  // Element name.
+  size_t i = 0;
+  while (i < body.size() && !IsXmlWhitespace(body[i])) ++i;
+  std::string name(body.substr(0, i));
+  if (!IsValidXmlName(name)) {
+    return Fail("invalid element name: '" + name + "'");
+  }
+  XPS_RETURN_IF_ERROR(Emit(Event::StartElement(name)));
+  state_ = State::kContent;
+
+  // Attributes: name = "value" | name = 'value'.
+  while (i < body.size()) {
+    while (i < body.size() && IsXmlWhitespace(body[i])) ++i;
+    if (i == body.size()) break;
+    size_t name_start = i;
+    while (i < body.size() && IsNameChar(body[i])) ++i;
+    std::string attr_name(body.substr(name_start, i - name_start));
+    if (!IsValidXmlName(attr_name)) {
+      return Fail("invalid attribute name in <" + name + ">");
+    }
+    while (i < body.size() && IsXmlWhitespace(body[i])) ++i;
+    if (i == body.size() || body[i] != '=') {
+      return Fail("attribute '" + attr_name + "' missing '='");
+    }
+    ++i;
+    while (i < body.size() && IsXmlWhitespace(body[i])) ++i;
+    if (i == body.size() || (body[i] != '"' && body[i] != '\'')) {
+      return Fail("attribute '" + attr_name + "' missing quoted value");
+    }
+    char quote = body[i++];
+    size_t val_start = i;
+    while (i < body.size() && body[i] != quote) ++i;
+    if (i == body.size()) {
+      return Fail("unterminated attribute value for '" + attr_name + "'");
+    }
+    auto decoded = DecodeText(body.substr(val_start, i - val_start));
+    if (!decoded.ok()) return Fail(decoded.status().message());
+    ++i;  // closing quote
+    XPS_RETURN_IF_ERROR(
+        Emit(Event::Attribute(attr_name, std::move(decoded.value()))));
+  }
+
+  if (self_closing) {
+    XPS_RETURN_IF_ERROR(Emit(Event::EndElement(name)));
+    if (open_.empty()) state_ = State::kEpilog;
+  } else {
+    open_.push_back(std::move(name));
+  }
+  return Status::OK();
+}
+
+Status XmlParser::HandleEndTag(std::string_view body) {
+  std::string name(TrimWhitespace(body));
+  if (open_.empty()) {
+    return Fail("closing tag </" + name + "> with no open element");
+  }
+  if (open_.back() != name) {
+    return Fail("mismatched closing tag: expected </" + open_.back() +
+                "> got </" + name + ">");
+  }
+  open_.pop_back();
+  XPS_RETURN_IF_ERROR(Emit(Event::EndElement(name)));
+  if (open_.empty()) state_ = State::kEpilog;
+  return Status::OK();
+}
+
+Status XmlParser::HandleText(std::string_view raw) {
+  if (open_.empty()) {
+    // Whitespace is allowed (and ignored) outside the root element.
+    if (TrimWhitespace(raw).empty()) return Status::OK();
+    return Fail("character data outside the root element");
+  }
+  if (raw.empty()) return Status::OK();
+  auto decoded = DecodeText(raw);
+  if (!decoded.ok()) return Fail(decoded.status().message());
+  return Emit(Event::Text(std::move(decoded.value())));
+}
+
+Result<std::string> XmlParser::DecodeText(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size();) {
+    if (raw[i] != '&') {
+      out += raw[i++];
+      continue;
+    }
+    size_t semi = raw.find(';', i);
+    if (semi == std::string_view::npos) {
+      return Status::ParseError("unterminated entity reference");
+    }
+    std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (ent == "amp") {
+      out += '&';
+    } else if (ent == "lt") {
+      out += '<';
+    } else if (ent == "gt") {
+      out += '>';
+    } else if (ent == "quot") {
+      out += '"';
+    } else if (ent == "apos") {
+      out += '\'';
+    } else if (!ent.empty() && ent[0] == '#') {
+      long code;
+      std::string digits(ent.substr(1));
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        code = std::strtol(digits.c_str() + 1, nullptr, 16);
+      } else {
+        code = std::strtol(digits.c_str(), nullptr, 10);
+      }
+      if (code <= 0 || code > 0x10FFFF) {
+        return Status::ParseError("invalid character reference &" +
+                                  std::string(ent) + ";");
+      }
+      // UTF-8 encode.
+      unsigned long cp = static_cast<unsigned long>(code);
+      if (cp < 0x80) {
+        out += static_cast<char>(cp);
+      } else if (cp < 0x800) {
+        out += static_cast<char>(0xC0 | (cp >> 6));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else if (cp < 0x10000) {
+        out += static_cast<char>(0xE0 | (cp >> 12));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else {
+        out += static_cast<char>(0xF0 | (cp >> 18));
+        out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+      }
+    } else {
+      return Status::ParseError("unknown entity &" + std::string(ent) + ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+Result<EventStream> ParseXmlToEvents(std::string_view xml) {
+  EventStream events;
+  CollectingSink sink(&events);
+  XmlParser parser(&sink);
+  XPS_RETURN_IF_ERROR(parser.Feed(xml));
+  XPS_RETURN_IF_ERROR(parser.Finish());
+  return events;
+}
+
+}  // namespace xpstream

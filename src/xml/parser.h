@@ -1,0 +1,80 @@
+#ifndef XPSTREAM_XML_PARSER_H_
+#define XPSTREAM_XML_PARSER_H_
+
+/// \file
+/// A from-scratch streaming (push) XML parser, the expat-equivalent
+/// substrate the paper's streaming model assumes. Input text may be fed in
+/// arbitrary chunks; SAX events are emitted incrementally to an EventSink,
+/// so memory use is bounded by the largest single token, never by the
+/// document size.
+///
+/// Supported XML subset (sufficient for the paper's data model): elements,
+/// attributes, character data, self-closing tags, comments, processing
+/// instructions and the XML declaration (both skipped), CDATA sections,
+/// the five predefined entities and decimal/hex character references.
+/// DTDs are not supported.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/event.h"
+
+namespace xpstream {
+
+class XmlParser {
+ public:
+  /// `sink` must outlive the parser. Events (including the enclosing
+  /// startDocument/endDocument pair) are pushed to it.
+  explicit XmlParser(EventSink* sink);
+
+  /// Feeds the next chunk of document text. Returns the first error
+  /// encountered; after an error the parser is unusable.
+  Status Feed(std::string_view chunk);
+
+  /// Declares end of input, emits endDocument, and verifies that the
+  /// document was complete and well-formed.
+  Status Finish();
+
+ private:
+  enum class State {
+    kProlog,        // before the root element
+    kContent,       // inside the root element
+    kEpilog,        // after the root element closed
+    kDone,
+    kFailed,
+  };
+
+  Status Fail(const std::string& msg);
+  Status Emit(Event event);
+
+  /// Processes complete tokens in buf_; leaves an unfinished trailing
+  /// token buffered for the next Feed call.
+  Status Drain(bool at_eof);
+
+  /// Handles one complete markup token buf_[start..end) == "<...>".
+  Status HandleMarkup(std::string_view tok);
+  Status HandleStartTag(std::string_view body);
+  Status HandleEndTag(std::string_view body);
+  Status HandleText(std::string_view raw);
+
+  /// Decodes entity and character references. Fails on unknown entities.
+  Result<std::string> DecodeText(std::string_view raw);
+
+  EventSink* sink_;
+  State state_ = State::kProlog;
+  std::string buf_;        // unconsumed input
+  size_t pos_ = 0;         // consumed prefix of buf_
+  size_t line_ = 1;        // for error messages
+  std::vector<std::string> open_;  // open element stack
+  bool started_ = false;   // startDocument emitted
+};
+
+/// Convenience: parses a full in-memory document into an event stream.
+Result<EventStream> ParseXmlToEvents(std::string_view xml);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_XML_PARSER_H_

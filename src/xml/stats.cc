@@ -1,0 +1,62 @@
+#include "xml/stats.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xpstream {
+
+namespace {
+void Walk(const XmlNode* node, size_t element_depth, DocumentStats* stats) {
+  if (node->kind() != NodeKind::kRoot) {
+    stats->total_nodes++;
+  }
+  switch (node->kind()) {
+    case NodeKind::kRoot:
+      break;
+    case NodeKind::kElement: {
+      stats->element_count++;
+      stats->depth = std::max(stats->depth, element_depth);
+      size_t element_children = 0;
+      for (const auto& c : node->children()) {
+        if (c->kind() == NodeKind::kElement) ++element_children;
+      }
+      stats->max_fanout = std::max(stats->max_fanout, element_children);
+      break;
+    }
+    case NodeKind::kAttribute:
+      stats->attribute_count++;
+      stats->max_text_length =
+          std::max(stats->max_text_length, node->text().size());
+      stats->total_text_bytes += node->text().size();
+      break;
+    case NodeKind::kText:
+      stats->text_count++;
+      stats->max_text_length =
+          std::max(stats->max_text_length, node->text().size());
+      stats->total_text_bytes += node->text().size();
+      break;
+  }
+  for (const auto& c : node->children()) {
+    size_t next_depth =
+        c->kind() == NodeKind::kElement ? element_depth + 1 : element_depth;
+    Walk(c.get(), next_depth, stats);
+  }
+}
+}  // namespace
+
+DocumentStats ComputeDocumentStats(const XmlDocument& doc) {
+  DocumentStats stats;
+  Walk(doc.root(), 0, &stats);
+  return stats;
+}
+
+std::string DocumentStats::ToString() const {
+  return StringPrintf(
+      "nodes=%zu elements=%zu attributes=%zu texts=%zu depth=%zu "
+      "max_fanout=%zu max_text=%zu text_bytes=%zu",
+      total_nodes, element_count, attribute_count, text_count, depth,
+      max_fanout, max_text_length, total_text_bytes);
+}
+
+}  // namespace xpstream

@@ -1,0 +1,35 @@
+#ifndef XPSTREAM_XML_STATS_H_
+#define XPSTREAM_XML_STATS_H_
+
+/// \file
+/// Query-independent document statistics used throughout the experiments:
+/// size, depth (paper §4.3), element/text counts and maximum text length.
+/// Query-relative statistics (recursion depth, path recursion depth, text
+/// width, Defs. 8.3/8.4) live in analysis/matching.h because they need the
+/// matching machinery.
+
+#include <cstddef>
+#include <string>
+
+#include "xml/node.h"
+
+namespace xpstream {
+
+struct DocumentStats {
+  size_t total_nodes = 0;     ///< Elements + attributes + text nodes.
+  size_t element_count = 0;
+  size_t attribute_count = 0;
+  size_t text_count = 0;
+  size_t depth = 0;           ///< Longest root-to-leaf element path.
+  size_t max_fanout = 0;      ///< Max element children of one element.
+  size_t max_text_length = 0; ///< Longest single text node.
+  size_t total_text_bytes = 0;
+
+  std::string ToString() const;
+};
+
+DocumentStats ComputeDocumentStats(const XmlDocument& doc);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_XML_STATS_H_

@@ -1,0 +1,95 @@
+#include "xml/tree_builder.h"
+
+#include "xml/parser.h"
+
+namespace xpstream {
+
+TreeBuilder::TreeBuilder() : doc_(std::make_unique<XmlDocument>()) {}
+
+Status TreeBuilder::OnEvent(const Event& event) {
+  switch (event.type) {
+    case EventType::kStartDocument:
+      if (started_) return Status::NotWellFormed("duplicate startDocument");
+      started_ = true;
+      current_ = doc_->root();
+      return Status::OK();
+    case EventType::kEndDocument:
+      if (!started_ || current_ != doc_->root()) {
+        return Status::NotWellFormed("endDocument with open elements");
+      }
+      complete_ = true;
+      return Status::OK();
+    case EventType::kStartElement:
+      if (current_ == nullptr) {
+        return Status::NotWellFormed("element before startDocument");
+      }
+      current_ = current_->AddElement(event.name);
+      return Status::OK();
+    case EventType::kEndElement:
+      if (current_ == nullptr || current_ == doc_->root()) {
+        return Status::NotWellFormed("unbalanced endElement");
+      }
+      if (current_->name() != event.name) {
+        return Status::NotWellFormed("mismatched endElement: " + event.name);
+      }
+      current_ = current_->parent();
+      return Status::OK();
+    case EventType::kText: {
+      if (current_ == nullptr || current_ == doc_->root()) {
+        return Status::NotWellFormed("text outside the root element");
+      }
+      // Merge adjacent text nodes.
+      const auto& kids = current_->children();
+      if (!kids.empty() && kids.back()->kind() == NodeKind::kText) {
+        XmlNode* last = kids.back().get();
+        // Rebuild the node: XmlNode text is immutable from outside, so we
+        // append by replacing. Cheap because this only occurs for split
+        // text chunks.
+        std::string merged = last->text() + event.text;
+        const_cast<std::vector<std::unique_ptr<XmlNode>>&>(kids).pop_back();
+        current_->AddText(std::move(merged));
+      } else {
+        current_->AddText(event.text);
+      }
+      return Status::OK();
+    }
+    case EventType::kAttribute:
+      if (current_ == nullptr || current_ == doc_->root()) {
+        return Status::NotWellFormed("attribute outside an element");
+      }
+      current_->AddAttribute(event.name, event.text);
+      return Status::OK();
+  }
+  return Status::Internal("unknown event type");
+}
+
+std::unique_ptr<XmlDocument> TreeBuilder::TakeDocument() {
+  doc_->Index();
+  return std::move(doc_);
+}
+
+Result<std::unique_ptr<XmlDocument>> ParseXmlToDocument(std::string_view xml) {
+  TreeBuilder builder;
+  XmlParser parser(&builder);
+  XPS_RETURN_IF_ERROR(parser.Feed(xml));
+  XPS_RETURN_IF_ERROR(parser.Finish());
+  if (!builder.complete()) {
+    return Status::NotWellFormed("incomplete document");
+  }
+  return builder.TakeDocument();
+}
+
+Result<std::unique_ptr<XmlDocument>> EventsToDocument(
+    const EventStream& events) {
+  XPS_RETURN_IF_ERROR(ValidateEventStream(events));
+  TreeBuilder builder;
+  for (const Event& e : events) {
+    XPS_RETURN_IF_ERROR(builder.OnEvent(e));
+  }
+  if (!builder.complete()) {
+    return Status::NotWellFormed("incomplete document");
+  }
+  return builder.TakeDocument();
+}
+
+}  // namespace xpstream

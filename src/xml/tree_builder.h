@@ -1,0 +1,51 @@
+#ifndef XPSTREAM_XML_TREE_BUILDER_H_
+#define XPSTREAM_XML_TREE_BUILDER_H_
+
+/// \file
+/// Builds an in-memory XmlDocument from a SAX event stream. This is the
+/// bridge between the streaming world and the ground-truth evaluator:
+/// streaming engines are validated by building the tree and running the
+/// reference evaluation over it.
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/event.h"
+#include "xml/node.h"
+
+namespace xpstream {
+
+/// An EventSink that assembles a document tree. Adjacent text events are
+/// merged into a single text node (their concatenation is what STRVAL
+/// observes anyway; merging normalizes chunked parser output).
+class TreeBuilder : public EventSink {
+ public:
+  TreeBuilder();
+
+  Status OnEvent(const Event& event) override;
+
+  /// True once endDocument was received without error.
+  bool complete() const { return complete_; }
+
+  /// Takes ownership of the built document. Must only be called when
+  /// complete().
+  std::unique_ptr<XmlDocument> TakeDocument();
+
+ private:
+  std::unique_ptr<XmlDocument> doc_;
+  XmlNode* current_ = nullptr;
+  bool started_ = false;
+  bool complete_ = false;
+};
+
+/// Parses XML text straight into a document tree.
+Result<std::unique_ptr<XmlDocument>> ParseXmlToDocument(std::string_view xml);
+
+/// Builds a document tree from an already materialized event stream.
+Result<std::unique_ptr<XmlDocument>> EventsToDocument(
+    const EventStream& events);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_XML_TREE_BUILDER_H_

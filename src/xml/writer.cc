@@ -1,0 +1,81 @@
+#include "xml/writer.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace xpstream {
+
+namespace {
+
+void Indent(std::string* out, size_t depth) {
+  out->push_back('\n');
+  out->append(depth * 2, ' ');
+}
+
+}  // namespace
+
+Result<std::string> EventsToXml(const EventStream& events,
+                                const WriterOptions& options) {
+  XPS_RETURN_IF_ERROR(ValidateEventStream(events));
+  std::string out;
+  size_t depth = 0;
+  // A start tag stays open ("<name") until we know whether attributes
+  // follow; closed lazily before any non-attribute event.
+  bool tag_open = false;
+  bool had_text = false;  // suppress indentation around mixed content
+  for (size_t i = 1; i + 1 < events.size(); ++i) {
+    const Event& e = events[i];
+    switch (e.type) {
+      case EventType::kStartElement:
+        if (tag_open) out += ">";
+        if (options.indent && depth > 0 && !had_text) Indent(&out, depth);
+        out += "<" + e.name;
+        tag_open = true;
+        ++depth;
+        break;
+      case EventType::kAttribute:
+        out += " " + e.name + "=\"" + XmlEscape(e.text) + "\"";
+        break;
+      case EventType::kEndElement: {
+        --depth;
+        bool was_empty =
+            tag_open;  // <a></a> collapses to <a/> when nothing emitted
+        if (was_empty) {
+          out += "/>";
+        } else {
+          if (options.indent && !had_text) Indent(&out, depth);
+          out += "</" + e.name + ">";
+        }
+        tag_open = false;
+        had_text = false;
+        break;
+      }
+      case EventType::kText:
+        if (tag_open) {
+          out += ">";
+          tag_open = false;
+        }
+        out += XmlEscape(e.text);
+        had_text = true;
+        break;
+      default:
+        return Status::Internal("unexpected event in validated stream");
+    }
+    if (e.type != EventType::kAttribute && e.type != EventType::kText &&
+        e.type != EventType::kStartElement) {
+      // after an end tag, following sibling content is not "mixed"
+      had_text = false;
+    }
+    if (e.type == EventType::kStartElement) had_text = false;
+  }
+  if (options.indent) out += "\n";
+  return out;
+}
+
+Result<std::string> DocumentToXml(const XmlDocument& doc,
+                                  const WriterOptions& options) {
+  return EventsToXml(doc.ToEvents(), options);
+}
+
+}  // namespace xpstream

@@ -1,0 +1,34 @@
+#ifndef XPSTREAM_XML_WRITER_H_
+#define XPSTREAM_XML_WRITER_H_
+
+/// \file
+/// Serialization of documents and event streams back to XML text. Used by
+/// workload generators (to materialize benchmark inputs as real XML) and
+/// by round-trip tests of the streaming parser.
+
+#include <string>
+
+#include "common/status.h"
+#include "xml/event.h"
+#include "xml/node.h"
+
+namespace xpstream {
+
+struct WriterOptions {
+  /// Pretty-print with newlines and two-space indentation. Text content is
+  /// never reindented (that would change string values).
+  bool indent = false;
+};
+
+/// Serializes an event stream to XML text. The stream must be well-formed
+/// (ValidateEventStream).
+Result<std::string> EventsToXml(const EventStream& events,
+                                const WriterOptions& options = {});
+
+/// Serializes a document tree to XML text.
+Result<std::string> DocumentToXml(const XmlDocument& doc,
+                                  const WriterOptions& options = {});
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_XML_WRITER_H_

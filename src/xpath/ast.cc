@@ -1,0 +1,328 @@
+#include "xpath/ast.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+#include "xpath/functions.h"
+
+namespace xpstream {
+
+const char* AxisToString(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kAttribute:
+      return "attribute";
+  }
+  return "?";
+}
+
+const char* CompOpToString(CompOp op) {
+  switch (op) {
+    case CompOp::kEq:
+      return "=";
+    case CompOp::kNe:
+      return "!=";
+    case CompOp::kLt:
+      return "<";
+    case CompOp::kLe:
+      return "<=";
+    case CompOp::kGt:
+      return ">";
+    case CompOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "div";
+    case ArithOp::kIDiv:
+      return "idiv";
+    case ArithOp::kMod:
+      return "mod";
+  }
+  return "?";
+}
+
+bool ExprNode::HasBooleanOutput() const {
+  switch (kind_) {
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+    case ExprKind::kCompare:
+      return true;
+    case ExprKind::kFunc:
+      return func != nullptr && func->returns_boolean;
+    default:
+      return false;
+  }
+}
+
+bool ExprNode::HasBooleanArgs() const {
+  return kind_ == ExprKind::kAnd || kind_ == ExprKind::kOr ||
+         kind_ == ExprKind::kNot;
+}
+
+namespace {
+
+/// Renders a step (and its successor chain). `relative` marks the first
+/// step of a relative path inside a predicate, which uses the RelAxis
+/// spellings from the Fig. 1 grammar.
+std::string StepToString(const QueryNode* node, bool relative) {
+  std::string out;
+  switch (node->axis()) {
+    case Axis::kChild:
+      out += relative ? "" : "/";
+      break;
+    case Axis::kDescendant:
+      out += relative ? ".//" : "//";
+      break;
+    case Axis::kAttribute:
+      out += relative ? "@" : "/@";
+      break;
+  }
+  out += node->ntest();
+  if (node->predicate() != nullptr) {
+    out += "[" + node->predicate()->ToString() + "]";
+  }
+  if (node->successor() != nullptr) {
+    out += StepToString(node->successor(), /*relative=*/false);
+  }
+  return out;
+}
+
+int Precedence(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kOr:
+      return 1;
+    case ExprKind::kAnd:
+      return 2;
+    case ExprKind::kCompare:
+      return 3;
+    case ExprKind::kArith:
+      return 4;
+    case ExprKind::kNeg:
+      return 5;
+    default:
+      return 6;
+  }
+}
+
+std::string ExprChildToString(const ExprNode* parent, const ExprNode* child) {
+  std::string s = child->ToString();
+  if (Precedence(child->kind()) < Precedence(parent->kind())) {
+    return "(" + s + ")";
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string ExprNode::ToString() const {
+  switch (kind_) {
+    case ExprKind::kConstNumber:
+      return FormatXPathNumber(number_value);
+    case ExprKind::kConstString:
+      return "\"" + string_value + "\"";
+    case ExprKind::kPathRef:
+      return StepToString(path_child, /*relative=*/true);
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      const char* sep = kind_ == ExprKind::kAnd ? " and " : " or ";
+      std::string out;
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += ExprChildToString(this, args_[i].get());
+      }
+      return out;
+    }
+    case ExprKind::kNot:
+      return "not(" + args_[0]->ToString() + ")";
+    case ExprKind::kCompare:
+      return ExprChildToString(this, args_[0].get()) + " " +
+             CompOpToString(comp_op) + " " +
+             ExprChildToString(this, args_[1].get());
+    case ExprKind::kArith:
+      return ExprChildToString(this, args_[0].get()) + " " +
+             ArithOpToString(arith_op) + " " +
+             ExprChildToString(this, args_[1].get());
+    case ExprKind::kNeg:
+      return "-" + ExprChildToString(this, args_[0].get());
+    case ExprKind::kFunc: {
+      std::string out = func_name + "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args_[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::vector<const QueryNode*> QueryNode::PredicateChildren() const {
+  std::vector<const QueryNode*> out;
+  for (const auto& c : children_) {
+    if (c.get() != successor()) out.push_back(c.get());
+  }
+  return out;
+}
+
+size_t QueryNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& c : children_) n += c->SubtreeSize();
+  return n;
+}
+
+size_t QueryNode::Depth() const {
+  size_t d = 1;
+  for (const QueryNode* p = parent_; p != nullptr; p = p->parent()) ++d;
+  return d;
+}
+
+std::vector<const QueryNode*> QueryNode::PathFromRoot() const {
+  std::vector<const QueryNode*> out;
+  for (const QueryNode* n = this; n != nullptr; n = n->parent()) {
+    out.push_back(n);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+bool QueryNode::IsAncestorOf(const QueryNode* other) const {
+  for (const QueryNode* p = other->parent(); p != nullptr; p = p->parent()) {
+    if (p == this) return true;
+  }
+  return false;
+}
+
+QueryNode* QueryNode::AddChild(std::unique_ptr<QueryNode> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+void QueryNode::MarkSuccessor(const QueryNode* child) {
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].get() == child) {
+      successor_index_ = static_cast<int>(i);
+      return;
+    }
+  }
+  assert(false && "MarkSuccessor: not a child");
+}
+
+void Query::Index() {
+  size_t counter = 0;
+  auto rec = [&](auto&& self, QueryNode* node) -> void {
+    node->id_ = counter++;
+    for (const auto& c : node->children_) self(self, c.get());
+  };
+  rec(rec, root_.get());
+}
+
+std::vector<const QueryNode*> Query::AllNodes() const {
+  std::vector<const QueryNode*> out;
+  auto rec = [&](auto&& self, const QueryNode* node) -> void {
+    out.push_back(node);
+    for (const auto& c : node->children()) self(self, c.get());
+  };
+  rec(rec, root_.get());
+  return out;
+}
+
+std::string Query::ToString() const {
+  std::string out;
+  if (root_->predicate() != nullptr) {
+    out += "$[" + root_->predicate()->ToString() + "]";
+  }
+  if (root_->successor() != nullptr) {
+    out += StepToString(root_->successor(), /*relative=*/false);
+  }
+  return out;
+}
+
+namespace {
+
+int ChildIndexOf(const QueryNode* child) {
+  const QueryNode* parent = child->parent();
+  for (size_t i = 0; i < parent->children().size(); ++i) {
+    if (parent->children()[i].get() == child) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool ExprEquals(const ExprNode* a, const ExprNode* b) {
+  if (a == nullptr || b == nullptr) return a == b;
+  if (a->kind() != b->kind()) return false;
+  if (a->args().size() != b->args().size()) return false;
+  switch (a->kind()) {
+    case ExprKind::kConstNumber:
+      if (a->number_value != b->number_value) return false;
+      break;
+    case ExprKind::kConstString:
+      if (a->string_value != b->string_value) return false;
+      break;
+    case ExprKind::kPathRef:
+      // Compared positionally; subtree equality is checked by the caller's
+      // recursion over query children.
+      if (ChildIndexOf(a->path_child) != ChildIndexOf(b->path_child)) {
+        return false;
+      }
+      break;
+    case ExprKind::kCompare:
+      if (a->comp_op != b->comp_op) return false;
+      break;
+    case ExprKind::kArith:
+      if (a->arith_op != b->arith_op) return false;
+      break;
+    case ExprKind::kFunc:
+      if (a->func_name != b->func_name) return false;
+      break;
+    default:
+      break;
+  }
+  for (size_t i = 0; i < a->args().size(); ++i) {
+    if (!ExprEquals(a->args()[i].get(), b->args()[i].get())) return false;
+  }
+  return true;
+}
+
+bool NodeEquals(const QueryNode* a, const QueryNode* b) {
+  if (a->is_root() != b->is_root()) return false;
+  if (!a->is_root()) {
+    if (a->axis() != b->axis() || a->ntest() != b->ntest()) return false;
+  }
+  if (a->children().size() != b->children().size()) return false;
+  const QueryNode* sa = a->successor();
+  const QueryNode* sb = b->successor();
+  if ((sa == nullptr) != (sb == nullptr)) return false;
+  if (sa != nullptr && ChildIndexOf(sa) != ChildIndexOf(sb)) return false;
+  if (!ExprEquals(a->predicate(), b->predicate())) return false;
+  for (size_t i = 0; i < a->children().size(); ++i) {
+    if (!NodeEquals(a->children()[i].get(), b->children()[i].get())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Query::Equals(const Query& other) const {
+  return NodeEquals(root(), other.root());
+}
+
+}  // namespace xpstream

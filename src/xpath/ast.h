@@ -1,0 +1,234 @@
+#ifndef XPSTREAM_XPATH_AST_H_
+#define XPSTREAM_XPATH_AST_H_
+
+/// \file
+/// The query tree model from paper §3.1.2. A Forward XPath query is a
+/// rooted tree of QueryNodes. Each non-root node has an axis (child,
+/// descendant, or attribute), a node test (a name or the wildcard "*"),
+/// an optional predicate expression tree, and at most one child designated
+/// as its *successor* (the next step on the location path); all remaining
+/// children are *predicate children*, each referenced by exactly one leaf
+/// of the predicate expression.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xpstream {
+
+/// AXIS(u). The attribute axis is the paper's "@"; §3.1.2 treats it as a
+/// special case of the child axis restricted to attribute nodes.
+enum class Axis : uint8_t {
+  kChild,
+  kDescendant,
+  kAttribute,
+};
+
+const char* AxisToString(Axis axis);
+
+/// Comparison operators (compop in the Fig. 1 grammar).
+enum class CompOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Arithmetic operators (arithop in the Fig. 1 grammar).
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv, kIDiv, kMod };
+
+const char* CompOpToString(CompOp op);
+const char* ArithOpToString(ArithOp op);
+
+class QueryNode;
+struct FunctionSpec;  // defined in xpath/functions.h
+
+/// Kinds of predicate expression nodes.
+enum class ExprKind : uint8_t {
+  kConstNumber,  ///< numeric literal
+  kConstString,  ///< string literal
+  kPathRef,      ///< leaf pointing at a predicate child of the step node
+  kAnd,          ///< logical conjunction (boolean args, boolean output)
+  kOr,           ///< logical disjunction
+  kNot,          ///< logical negation
+  kCompare,      ///< compop (non-boolean args, boolean output)
+  kArith,        ///< arithop (non-boolean args and output)
+  kNeg,          ///< unary minus
+  kFunc,         ///< funcop: basic XPath function on atomic arguments
+};
+
+/// One node of a predicate expression tree (paper §3.1.2: internal nodes
+/// carry logical/comparison/arithmetic/function operators; leaves carry
+/// constants or pointers to predicate children of the step node).
+class ExprNode {
+ public:
+  explicit ExprNode(ExprKind kind) : kind_(kind) {}
+
+  ExprKind kind() const { return kind_; }
+
+  // kConstNumber / kConstString payloads.
+  double number_value = 0;
+  std::string string_value;
+
+  // kPathRef payload: borrowed pointer into the owning query's node tree.
+  const QueryNode* path_child = nullptr;
+
+  // kCompare / kArith payloads.
+  CompOp comp_op = CompOp::kEq;
+  ArithOp arith_op = ArithOp::kAdd;
+
+  // kFunc payload: resolved at parse time against the function registry.
+  std::string func_name;
+  const FunctionSpec* func = nullptr;
+
+  const std::vector<std::unique_ptr<ExprNode>>& args() const { return args_; }
+  ExprNode* AddArg(std::unique_ptr<ExprNode> arg) {
+    args_.push_back(std::move(arg));
+    return args_.back().get();
+  }
+
+  /// True for operators whose output is boolean (and/or/not, comparisons,
+  /// boolean-valued functions). Drives the existential evaluation rule
+  /// (Def. 3.5 part 4) and the atomic-predicate analysis (Def. 5.3).
+  bool HasBooleanOutput() const;
+
+  /// True for operators whose *arguments* are boolean (the logical
+  /// connectives).
+  bool HasBooleanArgs() const;
+
+  /// Serializes the expression back to XPath-ish text.
+  std::string ToString() const;
+
+ private:
+  ExprKind kind_;
+  std::vector<std::unique_ptr<ExprNode>> args_;
+};
+
+/// One node of the query tree.
+class QueryNode {
+ public:
+  /// Root constructor.
+  QueryNode() : is_root_(true), ntest_("$") {}
+  /// Step constructor.
+  QueryNode(Axis axis, std::string ntest)
+      : is_root_(false), axis_(axis), ntest_(std::move(ntest)) {}
+
+  bool is_root() const { return is_root_; }
+
+  /// AXIS(u); meaningless for the root.
+  Axis axis() const { return axis_; }
+
+  /// NTEST(u): a name or "*". "$" for the root.
+  const std::string& ntest() const { return ntest_; }
+  bool is_wildcard() const { return !is_root_ && ntest_ == "*"; }
+
+  const QueryNode* parent() const { return parent_; }
+
+  const std::vector<std::unique_ptr<QueryNode>>& children() const {
+    return children_;
+  }
+
+  /// SUCCESSOR(u): the designated next step, or nullptr.
+  const QueryNode* successor() const {
+    return successor_index_ < 0 ? nullptr
+                                : children_[successor_index_].get();
+  }
+
+  /// True if this node is its parent's successor. Succession roots (the
+  /// query root and predicate children) return false.
+  bool is_successor() const {
+    return parent_ != nullptr && parent_->successor() == this;
+  }
+
+  /// PREDICATE(u), or nullptr when empty.
+  const ExprNode* predicate() const { return predicate_.get(); }
+
+  /// LEAF(u): the succession leaf reached by following successors.
+  const QueryNode* SuccessionLeaf() const {
+    const QueryNode* n = this;
+    while (n->successor() != nullptr) n = n->successor();
+    return n;
+  }
+
+  /// The succession root of this node: the highest ancestor-or-self
+  /// reachable by walking up while this node is its parent's successor.
+  const QueryNode* SuccessionRoot() const {
+    const QueryNode* n = this;
+    while (n->is_successor()) n = n->parent();
+    return n;
+  }
+
+  /// Predicate children (all children except the successor), in order.
+  std::vector<const QueryNode*> PredicateChildren() const;
+
+  /// Node count of this subtree.
+  size_t SubtreeSize() const;
+
+  /// DEPTH(u) = |PATH(u)|; the root has depth 1.
+  size_t Depth() const;
+
+  /// PATH(u): nodes from the query root down to (and including) this node.
+  std::vector<const QueryNode*> PathFromRoot() const;
+
+  /// True if `other` is a strict descendant of this node.
+  bool IsAncestorOf(const QueryNode* other) const;
+
+  /// Pre-order index within the owning Query (assigned by Query::Index).
+  size_t id() const { return id_; }
+
+  /// True if this node is a leaf of the query tree.
+  bool IsLeaf() const { return children_.empty(); }
+
+  // --- mutation API used by the parser and query generator ---
+
+  QueryNode* AddChild(std::unique_ptr<QueryNode> child);
+  void MarkSuccessor(const QueryNode* child);
+  void SetPredicate(std::unique_ptr<ExprNode> predicate) {
+    predicate_ = std::move(predicate);
+  }
+  ExprNode* mutable_predicate() { return predicate_.get(); }
+
+ private:
+  friend class Query;
+
+  bool is_root_;
+  Axis axis_ = Axis::kChild;
+  std::string ntest_;
+  QueryNode* parent_ = nullptr;
+  std::vector<std::unique_ptr<QueryNode>> children_;
+  int successor_index_ = -1;
+  std::unique_ptr<ExprNode> predicate_;
+  size_t id_ = 0;
+};
+
+/// A complete Forward XPath query.
+class Query {
+ public:
+  Query() : root_(std::make_unique<QueryNode>()) {}
+
+  QueryNode* root() { return root_.get(); }
+  const QueryNode* root() const { return root_.get(); }
+
+  /// OUT(Q): the succession leaf of the root (the query output node).
+  const QueryNode* output_node() const { return root_->SuccessionLeaf(); }
+
+  /// Assigns pre-order ids; must be called after construction/mutation.
+  void Index();
+
+  /// All nodes in pre-order. Index() must have been called.
+  std::vector<const QueryNode*> AllNodes() const;
+
+  /// |Q|: number of nodes including the root.
+  size_t size() const { return root_->SubtreeSize(); }
+
+  /// Serializes back to XPath text (normal form; round-trips through the
+  /// parser).
+  std::string ToString() const;
+
+  /// Structural + predicate equality with another query.
+  bool Equals(const Query& other) const;
+
+ private:
+  std::unique_ptr<QueryNode> root_;
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_XPATH_AST_H_

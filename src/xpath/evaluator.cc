@@ -1,0 +1,250 @@
+#include "xpath/evaluator.h"
+
+#include <cassert>
+
+#include "xpath/functions.h"
+
+namespace xpstream {
+
+bool PassesNodeTest(const QueryNode* u, const XmlNode* x) {
+  if (u->is_wildcard()) return true;
+  return x->name() == u->ntest();
+}
+
+void Evaluator::AxisNodes(const XmlNode* x, Axis axis,
+                          std::vector<const XmlNode*>* out) {
+  switch (axis) {
+    case Axis::kChild:
+      for (const auto& c : x->children()) {
+        if (c->kind() == NodeKind::kElement) out->push_back(c.get());
+      }
+      return;
+    case Axis::kAttribute:
+      for (const auto& c : x->children()) {
+        if (c->kind() == NodeKind::kAttribute) out->push_back(c.get());
+      }
+      return;
+    case Axis::kDescendant: {
+      for (const auto& c : x->children()) {
+        if (c->kind() == NodeKind::kElement) {
+          out->push_back(c.get());
+          AxisNodes(c.get(), Axis::kDescendant, out);
+        }
+      }
+      return;
+    }
+  }
+}
+
+std::vector<const XmlNode*> Evaluator::Select(const QueryNode* v,
+                                              const QueryNode* u,
+                                              const XmlNode* x) const {
+  // Case 1: u = v.
+  if (u == v) return {x};
+
+  // Case 2: u = PARENT(v).
+  if (u == v->parent()) {
+    std::vector<const XmlNode*> candidates;
+    AxisNodes(x, v->axis(), &candidates);
+    std::vector<const XmlNode*> out;
+    for (const XmlNode* y : candidates) {
+      if (!PassesNodeTest(v, y)) continue;
+      if (!SatisfiesPredicate(v, y)) continue;
+      out.push_back(y);
+    }
+    return out;
+  }
+
+  // Case 3: u is a higher ancestor. Recurse through PARENT(v).
+  std::vector<const XmlNode*> zs = Select(v->parent(), u, x);
+  std::vector<const XmlNode*> out;
+  for (const XmlNode* z : zs) {
+    std::vector<const XmlNode*> part = Select(v, v->parent(), z);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+bool Evaluator::SatisfiesPredicate(const QueryNode* u, const XmlNode* x) const {
+  const ExprNode* pred = u->predicate();
+  if (pred == nullptr) return true;
+  return PEval(pred, u, x).EffectiveBooleanValue();
+}
+
+namespace {
+
+/// Iterates over the cartesian product of atomized argument sequences in
+/// lexicographic order, invoking `fn` on each combination. `fn` returns
+/// true to stop early (used by the existential rule).
+bool ForEachCombination(
+    const std::vector<std::vector<Value>>& sequences,
+    const std::function<bool(const std::vector<Value>&)>& fn) {
+  for (const auto& seq : sequences) {
+    if (seq.empty()) return false;  // empty operand: no combinations
+  }
+  std::vector<size_t> idx(sequences.size(), 0);
+  std::vector<Value> combo(sequences.size());
+  while (true) {
+    for (size_t i = 0; i < sequences.size(); ++i) combo[i] = sequences[i][idx[i]];
+    if (fn(combo)) return true;
+    // Advance odometer (last index varies fastest = lexicographic order).
+    size_t i = sequences.size();
+    while (i > 0) {
+      --i;
+      if (++idx[i] < sequences[i].size()) break;
+      idx[i] = 0;
+      if (i == 0) return false;
+    }
+    if (sequences.empty()) return false;
+  }
+}
+
+}  // namespace
+
+Value Evaluator::PEval(const ExprNode* s, const QueryNode* u,
+                       const XmlNode* x) const {
+  switch (s->kind()) {
+    // Part 1: constants.
+    case ExprKind::kConstNumber:
+      return Value::Number(s->number_value);
+    case ExprKind::kConstString:
+      return Value::String(s->string_value);
+
+    // Part 2: a pointer to a predicate child v of u. The value is the
+    // sequence of data values of SELECT(LEAF(v) | u = x).
+    case ExprKind::kPathRef: {
+      const QueryNode* v = s->path_child;
+      const QueryNode* leaf = v->SuccessionLeaf();
+      std::vector<const XmlNode*> nodes = Select(leaf, u, x);
+      std::vector<Value> items;
+      items.reserve(nodes.size());
+      for (const XmlNode* n : nodes) {
+        items.push_back(Value::String(n->StringValue()));
+      }
+      return Value::Sequence(std::move(items));
+    }
+
+    // Part 3: operators on boolean arguments; operands cast by EBV.
+    case ExprKind::kAnd: {
+      for (const auto& arg : s->args()) {
+        if (!PEval(arg.get(), u, x).EffectiveBooleanValue()) {
+          return Value::Boolean(false);
+        }
+      }
+      return Value::Boolean(true);
+    }
+    case ExprKind::kOr: {
+      for (const auto& arg : s->args()) {
+        if (PEval(arg.get(), u, x).EffectiveBooleanValue()) {
+          return Value::Boolean(true);
+        }
+      }
+      return Value::Boolean(false);
+    }
+    case ExprKind::kNot:
+      return Value::Boolean(
+          !PEval(s->args()[0].get(), u, x).EffectiveBooleanValue());
+
+    // Part 4: boolean output, non-boolean arguments — existential rule.
+    case ExprKind::kCompare: {
+      std::vector<std::vector<Value>> seqs;
+      seqs.push_back(PEval(s->args()[0].get(), u, x).Atomized());
+      seqs.push_back(PEval(s->args()[1].get(), u, x).Atomized());
+      bool found = ForEachCombination(seqs, [&](const std::vector<Value>& c) {
+        return CompareAtomic(c[0], s->comp_op, c[1]);
+      });
+      return Value::Boolean(found);
+    }
+
+    // Parts 4+5 for funcop, depending on the function's output type.
+    case ExprKind::kFunc: {
+      const FunctionSpec* spec = s->func;
+      assert(spec != nullptr);
+      std::vector<std::vector<Value>> seqs;
+      std::vector<bool> was_atomic;
+      for (const auto& arg : s->args()) {
+        Value v = PEval(arg.get(), u, x);
+        was_atomic.push_back(v.is_atomic());
+        seqs.push_back(v.Atomized());
+      }
+      auto convert = [&](const std::vector<Value>& combo) {
+        std::vector<Value> converted(combo.size());
+        for (size_t i = 0; i < combo.size(); ++i) {
+          converted[i] = spec->ConvertArg(i, combo[i]);
+        }
+        return converted;
+      };
+      if (spec->returns_boolean) {
+        if (s->args().empty()) return spec->eval({});
+        bool found =
+            ForEachCombination(seqs, [&](const std::vector<Value>& c) {
+              return spec->eval(convert(c)).EffectiveBooleanValue();
+            });
+        return Value::Boolean(found);
+      }
+      // Non-boolean output: map over all combinations (Def. 3.5 part 5).
+      if (s->args().empty()) return spec->eval({});
+      bool all_atomic = true;
+      for (bool a : was_atomic) all_atomic = all_atomic && a;
+      std::vector<Value> results;
+      ForEachCombination(seqs, [&](const std::vector<Value>& c) {
+        results.push_back(spec->eval(convert(c)));
+        return false;
+      });
+      if (all_atomic && results.size() == 1) return results[0];
+      return Value::Sequence(std::move(results));
+    }
+
+    // Part 5: arithmetic (non-boolean in and out).
+    case ExprKind::kArith: {
+      std::vector<std::vector<Value>> seqs;
+      bool all_atomic = true;
+      for (const auto& arg : s->args()) {
+        Value v = PEval(arg.get(), u, x);
+        all_atomic = all_atomic && v.is_atomic();
+        seqs.push_back(v.Atomized());
+      }
+      std::vector<Value> results;
+      ForEachCombination(seqs, [&](const std::vector<Value>& c) {
+        results.push_back(Value::Number(ApplyArith(c[0], s->arith_op, c[1])));
+        return false;
+      });
+      if (all_atomic && results.size() == 1) return results[0];
+      return Value::Sequence(std::move(results));
+    }
+    case ExprKind::kNeg: {
+      Value v = PEval(s->args()[0].get(), u, x);
+      bool atomic = v.is_atomic();
+      std::vector<Value> results;
+      for (const Value& item : v.Atomized()) {
+        results.push_back(Value::Number(-item.ToNumber()));
+      }
+      if (atomic && results.size() == 1) return results[0];
+      return Value::Sequence(std::move(results));
+    }
+  }
+  return Value::EmptySequence();
+}
+
+std::vector<const XmlNode*> Evaluator::FullEval(const XmlDocument& doc) const {
+  const QueryNode* root = query_->root();
+  if (!SatisfiesPredicate(root, doc.root())) return {};
+  const QueryNode* out_node = query_->output_node();
+  if (out_node == root) return {doc.root()};
+  return Select(out_node, root, doc.root());
+}
+
+bool Evaluator::BoolEval(const XmlDocument& doc) const {
+  return !FullEval(doc).empty();
+}
+
+bool BoolEval(const Query& query, const XmlDocument& doc) {
+  return Evaluator(&query).BoolEval(doc);
+}
+
+std::vector<const XmlNode*> FullEval(const Query& query,
+                                     const XmlDocument& doc) {
+  return Evaluator(&query).FullEval(doc);
+}
+
+}  // namespace xpstream

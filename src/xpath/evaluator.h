@@ -1,0 +1,69 @@
+#ifndef XPSTREAM_XPATH_EVALUATOR_H_
+#define XPSTREAM_XPATH_EVALUATOR_H_
+
+/// \file
+/// The reference (non-streaming) evaluator: a direct implementation of the
+/// paper's query semantics, Definitions 3.1–3.6. It runs over the full
+/// in-memory document tree and serves as ground truth for every streaming
+/// engine and for the matching machinery.
+///
+/// Semantics notes (paper §3.1.3 Remark): the existential evaluation rule
+/// applies to *every* operator/function with boolean output, and
+/// non-boolean operators map over argument sequences producing sequences.
+/// DATAVAL is realized as the untyped string value (no schema); typed
+/// behaviour comes from per-operator conversion (see value.h).
+
+#include <vector>
+
+#include "xml/node.h"
+#include "xpath/ast.h"
+#include "xpath/value.h"
+
+namespace xpstream {
+
+class Evaluator {
+ public:
+  /// The query must outlive the evaluator.
+  explicit Evaluator(const Query* query) : query_(query) {}
+
+  /// FULLEVAL(Q, D): the node sequence selected by OUT(Q), in document
+  /// order (concatenation semantics of Def. 3.4; may contain duplicates
+  /// for overlapping descendant selections, exactly as defined).
+  std::vector<const XmlNode*> FullEval(const XmlDocument& doc) const;
+
+  /// BOOLEVAL(Q, D): true iff D matches Q.
+  bool BoolEval(const XmlDocument& doc) const;
+
+  /// SELECT(v | u = x), Def. 3.4. `u` must lie on PATH(v).
+  std::vector<const XmlNode*> Select(const QueryNode* v, const QueryNode* u,
+                                     const XmlNode* x) const;
+
+  /// Predicate satisfaction, Def. 3.3.
+  bool SatisfiesPredicate(const QueryNode* u, const XmlNode* x) const;
+
+  /// PEVAL(s, x), Def. 3.5, where s lives in PREDICATE(u).
+  Value PEval(const ExprNode* s, const QueryNode* u, const XmlNode* x) const;
+
+  const Query* query() const { return query_; }
+
+ private:
+  /// Nodes related to x by `axis`, in document order, restricted to the
+  /// node kinds the axis ranges over (elements for child/descendant,
+  /// attributes for the attribute axis).
+  static void AxisNodes(const XmlNode* x, Axis axis,
+                        std::vector<const XmlNode*>* out);
+
+  const Query* query_;
+};
+
+/// Convenience helpers.
+bool BoolEval(const Query& query, const XmlDocument& doc);
+std::vector<const XmlNode*> FullEval(const Query& query,
+                                     const XmlDocument& doc);
+
+/// Whether NAME(x) passes NTEST(u) (Def. 3.1).
+bool PassesNodeTest(const QueryNode* u, const XmlNode* x);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_XPATH_EVALUATOR_H_

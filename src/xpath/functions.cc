@@ -1,0 +1,258 @@
+#include "xpath/functions.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace xpstream {
+
+Value FunctionSpec::ConvertArg(size_t index, const Value& raw) const {
+  ArgType type = arg_types.empty()
+                     ? ArgType::kAny
+                     : arg_types[std::min(index, arg_types.size() - 1)];
+  switch (type) {
+    case ArgType::kString:
+      return Value::String(raw.ToString());
+    case ArgType::kNumber:
+      return Value::Number(raw.ToNumber());
+    case ArgType::kAny:
+      return raw;
+  }
+  return raw;
+}
+
+namespace {
+
+// --- regex-lite -----------------------------------------------------------
+
+// Matches `pat` against `text` starting at text position `ti`; the match
+// must consume text up to the end only if the pattern ends with '$'.
+bool MatchHere(const std::string& text, size_t ti, const std::string& pat,
+               size_t pi) {
+  while (true) {
+    if (pi == pat.size()) return true;
+    if (pat[pi] == '$' && pi + 1 == pat.size()) return ti == text.size();
+    char pc = pat[pi];
+    bool star = pi + 1 < pat.size() && pat[pi + 1] == '*';
+    bool plus = pi + 1 < pat.size() && pat[pi + 1] == '+';
+    if (star || plus) {
+      size_t min_count = plus ? 1 : 0;
+      // Greedy with backtracking: try longest first.
+      size_t count = 0;
+      while (ti + count < text.size() &&
+             (pc == '.' || text[ti + count] == pc)) {
+        ++count;
+      }
+      for (size_t take = count + 1; take-- > min_count;) {
+        if (MatchHere(text, ti + take, pat, pi + 2)) return true;
+        if (take == min_count) break;
+      }
+      return false;
+    }
+    if (ti < text.size() && (pc == '.' || text[ti] == pc)) {
+      ++ti;
+      ++pi;
+      continue;
+    }
+    return false;
+  }
+}
+
+}  // namespace
+
+bool RegexLiteMatch(const std::string& text, const std::string& pattern) {
+  std::string pat = pattern;
+  bool anchored = !pat.empty() && pat[0] == '^';
+  if (anchored) pat.erase(0, 1);
+  if (anchored) return MatchHere(text, 0, pat, 0);
+  for (size_t start = 0; start <= text.size(); ++start) {
+    if (MatchHere(text, start, pat, 0)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+using Args = std::vector<Value>;
+
+FunctionSpec Make(std::string name, size_t min_args, size_t max_args,
+                  bool returns_boolean, std::vector<ArgType> arg_types,
+                  std::function<Value(const Args&)> eval) {
+  FunctionSpec spec;
+  spec.name = std::move(name);
+  spec.min_args = min_args;
+  spec.max_args = max_args;
+  spec.returns_boolean = returns_boolean;
+  spec.arg_types = std::move(arg_types);
+  spec.eval = std::move(eval);
+  return spec;
+}
+
+std::vector<FunctionSpec> BuildSpecs() {
+  std::vector<FunctionSpec> specs;
+
+  // --- boolean-valued functions (take part in existential evaluation) ---
+  specs.push_back(Make(
+      "contains", 2, 2, true, {ArgType::kString, ArgType::kString},
+      [](const Args& a) {
+        return Value::Boolean(Contains(a[0].string(), a[1].string()));
+      }));
+  specs.push_back(Make(
+      "starts-with", 2, 2, true, {ArgType::kString, ArgType::kString},
+      [](const Args& a) {
+        return Value::Boolean(StartsWith(a[0].string(), a[1].string()));
+      }));
+  specs.push_back(Make(
+      "ends-with", 2, 2, true, {ArgType::kString, ArgType::kString},
+      [](const Args& a) {
+        return Value::Boolean(EndsWith(a[0].string(), a[1].string()));
+      }));
+  specs.push_back(Make(
+      "matches", 2, 2, true, {ArgType::kString, ArgType::kString},
+      [](const Args& a) {
+        return Value::Boolean(RegexLiteMatch(a[0].string(), a[1].string()));
+      }));
+  specs.push_back(Make("boolean", 1, 1, true, {ArgType::kAny},
+                       [](const Args& a) {
+                         return Value::Boolean(a[0].EffectiveBooleanValue());
+                       }));
+  specs.push_back(Make("true", 0, 0, true, {},
+                       [](const Args&) { return Value::Boolean(true); }));
+  specs.push_back(Make("false", 0, 0, true, {},
+                       [](const Args&) { return Value::Boolean(false); }));
+
+  // --- string-valued functions ---
+  specs.push_back(Make("string", 1, 1, false, {ArgType::kAny},
+                       [](const Args& a) {
+                         return Value::String(a[0].ToString());
+                       }));
+  specs.push_back(Make(
+      "concat", 2, SIZE_MAX, false, {ArgType::kString},
+      [](const Args& a) {
+        std::string out;
+        for (const Value& v : a) out += v.string();
+        return Value::String(out);
+      }));
+  specs.push_back(Make(
+      "substring", 2, 3, false,
+      {ArgType::kString, ArgType::kNumber, ArgType::kNumber},
+      [](const Args& a) {
+        const std::string& s = a[0].string();
+        // XPath substring: 1-based, rounds, clamps.
+        double start_d = std::round(a[1].number());
+        double len_d = a.size() > 2 ? std::round(a[2].number())
+                                    : static_cast<double>(s.size()) + 1;
+        if (std::isnan(start_d) || std::isnan(len_d) || len_d <= 0) {
+          return Value::String("");
+        }
+        double from = std::max(start_d, 1.0);
+        double to = start_d + len_d;  // exclusive
+        if (to <= from || from > static_cast<double>(s.size())) {
+          return Value::String("");
+        }
+        size_t begin = static_cast<size_t>(from) - 1;
+        size_t end = std::min(static_cast<double>(s.size()), to - 1);
+        return Value::String(s.substr(begin, static_cast<size_t>(end) - begin));
+      }));
+  specs.push_back(Make(
+      "normalize-space", 1, 1, false, {ArgType::kString},
+      [](const Args& a) {
+        std::string out;
+        bool in_space = true;
+        for (char c : a[0].string()) {
+          if (IsXmlWhitespace(c)) {
+            in_space = true;
+          } else {
+            if (in_space && !out.empty()) out += ' ';
+            in_space = false;
+            out += c;
+          }
+        }
+        return Value::String(out);
+      }));
+  specs.push_back(Make(
+      "upper-case", 1, 1, false, {ArgType::kString}, [](const Args& a) {
+        std::string out = a[0].string();
+        std::transform(out.begin(), out.end(), out.begin(), [](char c) {
+          return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        });
+        return Value::String(out);
+      }));
+  specs.push_back(Make(
+      "lower-case", 1, 1, false, {ArgType::kString}, [](const Args& a) {
+        std::string out = a[0].string();
+        std::transform(out.begin(), out.end(), out.begin(), [](char c) {
+          return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        });
+        return Value::String(out);
+      }));
+  specs.push_back(Make(
+      "translate", 3, 3, false,
+      {ArgType::kString, ArgType::kString, ArgType::kString},
+      [](const Args& a) {
+        const std::string& from = a[1].string();
+        const std::string& to = a[2].string();
+        std::string out;
+        for (char c : a[0].string()) {
+          size_t idx = from.find(c);
+          if (idx == std::string::npos) {
+            out += c;
+          } else if (idx < to.size()) {
+            out += to[idx];
+          }  // else: dropped
+        }
+        return Value::String(out);
+      }));
+
+  // --- numeric functions ---
+  specs.push_back(Make("number", 1, 1, false, {ArgType::kAny},
+                       [](const Args& a) {
+                         return Value::Number(a[0].ToNumber());
+                       }));
+  specs.push_back(Make("string-length", 1, 1, false, {ArgType::kString},
+                       [](const Args& a) {
+                         return Value::Number(
+                             static_cast<double>(a[0].string().size()));
+                       }));
+  specs.push_back(Make("floor", 1, 1, false, {ArgType::kNumber},
+                       [](const Args& a) {
+                         return Value::Number(std::floor(a[0].number()));
+                       }));
+  specs.push_back(Make("ceiling", 1, 1, false, {ArgType::kNumber},
+                       [](const Args& a) {
+                         return Value::Number(std::ceil(a[0].number()));
+                       }));
+  specs.push_back(Make("round", 1, 1, false, {ArgType::kNumber},
+                       [](const Args& a) {
+                         double v = a[0].number();
+                         // XPath rounds half toward +inf.
+                         return Value::Number(std::floor(v + 0.5));
+                       }));
+  specs.push_back(Make("abs", 1, 1, false, {ArgType::kNumber},
+                       [](const Args& a) {
+                         return Value::Number(std::fabs(a[0].number()));
+                       }));
+  return specs;
+}
+
+}  // namespace
+
+FunctionRegistry::FunctionRegistry() : specs_(BuildSpecs()) {}
+
+const FunctionRegistry& FunctionRegistry::Global() {
+  static const FunctionRegistry* registry = new FunctionRegistry();
+  return *registry;
+}
+
+const FunctionSpec* FunctionRegistry::Find(const std::string& name) const {
+  std::string plain = name;
+  if (StartsWith(plain, "fn:")) plain = plain.substr(3);
+  for (const FunctionSpec& spec : specs_) {
+    if (spec.name == plain) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace xpstream

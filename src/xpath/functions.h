@@ -1,0 +1,62 @@
+#ifndef XPSTREAM_XPATH_FUNCTIONS_H_
+#define XPSTREAM_XPATH_FUNCTIONS_H_
+
+/// \file
+/// The funcop library: basic XPath functions and operators on atomic
+/// arguments (paper Fig. 1; the referenced XQuery F&O spec), excluding the
+/// context-sensitive position() and last() exactly as the paper does.
+/// Boolean-valued functions participate in the existential evaluation rule
+/// (Def. 3.5 part 4); others map over sequences (part 5).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/value.h"
+
+namespace xpstream {
+
+/// Expected atomic type of one function argument; drives the "proper
+/// conversion" step of Def. 3.5.
+enum class ArgType : uint8_t { kString, kNumber, kAny };
+
+/// Static description + implementation of one registered function.
+struct FunctionSpec {
+  std::string name;
+  size_t min_args;
+  size_t max_args;  ///< SIZE_MAX for variadic (e.g. concat).
+  bool returns_boolean;
+  std::vector<ArgType> arg_types;  ///< last entry repeats for variadics.
+
+  /// Evaluates on already-converted atomic arguments.
+  std::function<Value(const std::vector<Value>&)> eval;
+
+  /// Converts `raw` to the declared type of argument `index`.
+  Value ConvertArg(size_t index, const Value& raw) const;
+};
+
+/// Global registry. Lookup accepts both plain names ("contains") and the
+/// fn-prefixed form the paper uses ("fn:contains").
+class FunctionRegistry {
+ public:
+  static const FunctionRegistry& Global();
+
+  /// Returns the spec, or nullptr when unknown.
+  const FunctionSpec* Find(const std::string& name) const;
+
+  const std::vector<FunctionSpec>& all() const { return specs_; }
+
+ private:
+  FunctionRegistry();
+  std::vector<FunctionSpec> specs_;
+};
+
+/// The "matches" regular-expression subset used by the paper's examples:
+/// supports '^', '$', '.', '*', '+' and literal characters. Unanchored by
+/// default, per fn:matches.
+bool RegexLiteMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_XPATH_FUNCTIONS_H_

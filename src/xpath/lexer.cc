@@ -1,0 +1,178 @@
+#include "xpath/lexer.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace xpstream {
+
+namespace {
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+}  // namespace
+
+Result<std::vector<Token>> LexXPath(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](TokenType type, std::string text, size_t pos) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    size_t pos = i;
+    if (IsXmlWhitespace(c)) {
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '/':
+        if (i + 1 < input.size() && input[i + 1] == '/') {
+          push(TokenType::kDoubleSlash, "//", pos);
+          i += 2;
+        } else {
+          push(TokenType::kSlash, "/", pos);
+          ++i;
+        }
+        continue;
+      case '.':
+        if (i + 2 < input.size() && input[i + 1] == '/' &&
+            input[i + 2] == '/') {
+          push(TokenType::kDotDoubleSlash, ".//", pos);
+          i += 3;
+          continue;
+        }
+        if (i + 1 < input.size() && input[i + 1] == '/') {
+          push(TokenType::kDotSlash, "./", pos);
+          i += 2;
+          continue;
+        }
+        if (i + 1 < input.size() && IsDigit(input[i + 1])) {
+          break;  // fall through to number lexing below
+        }
+        return Status::ParseError(
+            StringPrintf("position %zu: unexpected '.'", pos));
+      case '@':
+        push(TokenType::kAt, "@", pos);
+        ++i;
+        continue;
+      case '$':
+        push(TokenType::kDollar, "$", pos);
+        ++i;
+        continue;
+      case '[':
+        push(TokenType::kLBracket, "[", pos);
+        ++i;
+        continue;
+      case ']':
+        push(TokenType::kRBracket, "]", pos);
+        ++i;
+        continue;
+      case '(':
+        push(TokenType::kLParen, "(", pos);
+        ++i;
+        continue;
+      case ')':
+        push(TokenType::kRParen, ")", pos);
+        ++i;
+        continue;
+      case ',':
+        push(TokenType::kComma, ",", pos);
+        ++i;
+        continue;
+      case '*':
+        push(TokenType::kStar, "*", pos);
+        ++i;
+        continue;
+      case '+':
+        push(TokenType::kPlus, "+", pos);
+        ++i;
+        continue;
+      case '-':
+        push(TokenType::kMinus, "-", pos);
+        ++i;
+        continue;
+      case '=':
+        push(TokenType::kCompOp, "=", pos);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenType::kCompOp, "!=", pos);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError(
+            StringPrintf("position %zu: unexpected '!'", pos));
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenType::kCompOp, "<=", pos);
+          i += 2;
+        } else {
+          push(TokenType::kCompOp, "<", pos);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenType::kCompOp, ">=", pos);
+          i += 2;
+        } else {
+          push(TokenType::kCompOp, ">", pos);
+          ++i;
+        }
+        continue;
+      case '"':
+      case '\'': {
+        char quote = c;
+        size_t end = input.find(quote, i + 1);
+        if (end == std::string_view::npos) {
+          return Status::ParseError(
+              StringPrintf("position %zu: unterminated string literal", pos));
+        }
+        push(TokenType::kString, std::string(input.substr(i + 1, end - i - 1)),
+             pos);
+        i = end + 1;
+        continue;
+      }
+      default:
+        break;
+    }
+
+    if (IsDigit(c) || c == '.') {
+      size_t start = i;
+      while (i < input.size() && IsDigit(input[i])) ++i;
+      if (i < input.size() && input[i] == '.') {
+        ++i;
+        while (i < input.size() && IsDigit(input[i])) ++i;
+      }
+      std::string text(input.substr(start, i - start));
+      Token t;
+      t.type = TokenType::kNumber;
+      t.text = text;
+      t.number = std::strtod(text.c_str(), nullptr);
+      t.position = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    if (IsNameStartChar(c)) {
+      size_t start = i;
+      while (i < input.size() && IsNameChar(input[i])) ++i;
+      push(TokenType::kName, std::string(input.substr(start, i - start)),
+           start);
+      continue;
+    }
+
+    return Status::ParseError(
+        StringPrintf("position %zu: unexpected character '%c'", pos, c));
+  }
+
+  push(TokenType::kEnd, "", input.size());
+  return tokens;
+}
+
+}  // namespace xpstream

@@ -1,0 +1,29 @@
+#ifndef XPSTREAM_XPATH_LEXER_H_
+#define XPSTREAM_XPATH_LEXER_H_
+
+/// \file
+/// Tokenizer for the Forward XPath grammar (paper Fig. 1).
+///
+/// Lexical notes:
+///  * '*' is emitted as kStar; the parser decides between wildcard node
+///    test and multiplication by position, as XPath 1.0 prescribes.
+///  * Names follow XML name rules and therefore may contain '-' and '.';
+///    like XPath itself, `a -b` needs whitespace to read as subtraction.
+///  * Keywords (and, or, not, div, idiv, mod) are emitted as kName and
+///    recognized contextually by the parser.
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/token.h"
+
+namespace xpstream {
+
+/// Tokenizes a full query string. The returned vector always ends with a
+/// kEnd token.
+Result<std::vector<Token>> LexXPath(std::string_view input);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_XPATH_LEXER_H_

@@ -1,0 +1,404 @@
+#include "xpath/parser.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "xpath/functions.h"
+#include "xpath/lexer.h"
+
+namespace xpstream {
+
+namespace {
+
+/// Parser state: a token cursor plus error helpers. All Parse* methods
+/// return Status and write results through out-parameters or build into
+/// the query tree directly.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Status ParseInto(Query* query) {
+    if (Peek().type == TokenType::kDollar) Advance();
+    if (Peek().type == TokenType::kEnd) {
+      return Error("a query must contain at least one step");
+    }
+    XPS_RETURN_IF_ERROR(ParseAbsolutePath(query->root()));
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing " + Peek().Describe());
+    }
+    query->Index();
+    return Status::OK();
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool PeekIsKeyword(const char* kw) const {
+    return Peek().type == TokenType::kName && Peek().text == kw;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(
+        StringPrintf("position %zu: %s", Peek().position, msg.c_str()));
+  }
+
+  /// Path := Step | Path Step, with Axis ∈ {/, //, @}. Builds a successor
+  /// chain under `parent`.
+  Status ParseAbsolutePath(QueryNode* parent) {
+    bool first = true;
+    while (true) {
+      Axis axis;
+      const Token& t = Peek();
+      if (t.type == TokenType::kSlash) {
+        axis = Axis::kChild;
+        Advance();
+        if (Peek().type == TokenType::kAt) {
+          axis = Axis::kAttribute;
+          Advance();
+        }
+      } else if (t.type == TokenType::kDoubleSlash) {
+        axis = Axis::kDescendant;
+        Advance();
+      } else if (t.type == TokenType::kAt) {
+        axis = Axis::kAttribute;
+        Advance();
+      } else {
+        if (first) return Error("expected '/', '//' or '@'");
+        return Status::OK();
+      }
+      XPS_RETURN_IF_ERROR(ParseStepInto(parent, axis, /*as_successor=*/true,
+                                        &parent));
+      first = false;
+    }
+  }
+
+  /// Parses "NodeTest Predicate?" and attaches a new node under `parent`.
+  /// When `as_successor`, the node is marked as the parent's successor.
+  /// The new node is returned through `out`.
+  Status ParseStepInto(QueryNode* parent, Axis axis, bool as_successor,
+                       QueryNode** out) {
+    std::string ntest;
+    if (Peek().type == TokenType::kStar) {
+      ntest = "*";
+      Advance();
+    } else if (Peek().type == TokenType::kName) {
+      ntest = Advance().text;
+    } else {
+      return Error("expected a node test, got " + Peek().Describe());
+    }
+    if (axis == Axis::kAttribute && ntest == "*") {
+      return Error("wildcard attribute tests are not supported");
+    }
+    QueryNode* node =
+        parent->AddChild(std::make_unique<QueryNode>(axis, std::move(ntest)));
+    if (as_successor) parent->MarkSuccessor(node);
+    if (Peek().type == TokenType::kLBracket) {
+      Advance();
+      std::unique_ptr<ExprNode> pred;
+      XPS_RETURN_IF_ERROR(ParsePredicate(node, &pred));
+      if (Peek().type != TokenType::kRBracket) {
+        return Error("expected ']', got " + Peek().Describe());
+      }
+      Advance();
+      node->SetPredicate(std::move(pred));
+    }
+    *out = node;
+    return Status::OK();
+  }
+
+  // Predicate := OrExpr
+  Status ParsePredicate(QueryNode* owner, std::unique_ptr<ExprNode>* out) {
+    return ParseOr(owner, out);
+  }
+
+  Status ParseOr(QueryNode* owner, std::unique_ptr<ExprNode>* out) {
+    std::unique_ptr<ExprNode> lhs;
+    XPS_RETURN_IF_ERROR(ParseAnd(owner, &lhs));
+    if (!PeekIsKeyword("or")) {
+      *out = std::move(lhs);
+      return Status::OK();
+    }
+    auto node = std::make_unique<ExprNode>(ExprKind::kOr);
+    node->AddArg(std::move(lhs));
+    while (PeekIsKeyword("or")) {
+      Advance();
+      std::unique_ptr<ExprNode> rhs;
+      XPS_RETURN_IF_ERROR(ParseAnd(owner, &rhs));
+      node->AddArg(std::move(rhs));
+    }
+    *out = std::move(node);
+    return Status::OK();
+  }
+
+  Status ParseAnd(QueryNode* owner, std::unique_ptr<ExprNode>* out) {
+    std::unique_ptr<ExprNode> lhs;
+    XPS_RETURN_IF_ERROR(ParseBooleanAtom(owner, &lhs));
+    if (!PeekIsKeyword("and")) {
+      *out = std::move(lhs);
+      return Status::OK();
+    }
+    auto node = std::make_unique<ExprNode>(ExprKind::kAnd);
+    node->AddArg(std::move(lhs));
+    while (PeekIsKeyword("and")) {
+      Advance();
+      std::unique_ptr<ExprNode> rhs;
+      XPS_RETURN_IF_ERROR(ParseBooleanAtom(owner, &rhs));
+      node->AddArg(std::move(rhs));
+    }
+    *out = std::move(node);
+    return Status::OK();
+  }
+
+  /// not(P) | (P) | Expression (compop Expression)?
+  Status ParseBooleanAtom(QueryNode* owner, std::unique_ptr<ExprNode>* out) {
+    if (PeekIsKeyword("not") && Peek(1).type == TokenType::kLParen) {
+      Advance();
+      Advance();
+      std::unique_ptr<ExprNode> inner;
+      XPS_RETURN_IF_ERROR(ParseOr(owner, &inner));
+      if (Peek().type != TokenType::kRParen) {
+        return Error("expected ')' closing not(...)");
+      }
+      Advance();
+      auto node = std::make_unique<ExprNode>(ExprKind::kNot);
+      node->AddArg(std::move(inner));
+      *out = std::move(node);
+      return Status::OK();
+    }
+    if (Peek().type == TokenType::kLParen) {
+      Advance();
+      std::unique_ptr<ExprNode> inner;
+      XPS_RETURN_IF_ERROR(ParseOr(owner, &inner));
+      if (Peek().type != TokenType::kRParen) {
+        return Error("expected ')'");
+      }
+      Advance();
+      // A parenthesized predicate may still be compared:  (a) = 5 is not
+      // grammar-legal, so we stop here.
+      *out = std::move(inner);
+      return Status::OK();
+    }
+    std::unique_ptr<ExprNode> lhs;
+    XPS_RETURN_IF_ERROR(ParseExpression(owner, &lhs));
+    if (Peek().type == TokenType::kCompOp) {
+      std::string op = Advance().text;
+      std::unique_ptr<ExprNode> rhs;
+      XPS_RETURN_IF_ERROR(ParseExpression(owner, &rhs));
+      auto node = std::make_unique<ExprNode>(ExprKind::kCompare);
+      if (op == "=") {
+        node->comp_op = CompOp::kEq;
+      } else if (op == "!=") {
+        node->comp_op = CompOp::kNe;
+      } else if (op == "<") {
+        node->comp_op = CompOp::kLt;
+      } else if (op == "<=") {
+        node->comp_op = CompOp::kLe;
+      } else if (op == ">") {
+        node->comp_op = CompOp::kGt;
+      } else {
+        node->comp_op = CompOp::kGe;
+      }
+      node->AddArg(std::move(lhs));
+      node->AddArg(std::move(rhs));
+      *out = std::move(node);
+      return Status::OK();
+    }
+    *out = std::move(lhs);
+    return Status::OK();
+  }
+
+  // Expression := AddExpr (additive level).
+  Status ParseExpression(QueryNode* owner, std::unique_ptr<ExprNode>* out) {
+    std::unique_ptr<ExprNode> lhs;
+    XPS_RETURN_IF_ERROR(ParseMultiplicative(owner, &lhs));
+    while (Peek().type == TokenType::kPlus ||
+           Peek().type == TokenType::kMinus) {
+      ArithOp op = Advance().type == TokenType::kPlus ? ArithOp::kAdd
+                                                      : ArithOp::kSub;
+      std::unique_ptr<ExprNode> rhs;
+      XPS_RETURN_IF_ERROR(ParseMultiplicative(owner, &rhs));
+      auto node = std::make_unique<ExprNode>(ExprKind::kArith);
+      node->arith_op = op;
+      node->AddArg(std::move(lhs));
+      node->AddArg(std::move(rhs));
+      lhs = std::move(node);
+    }
+    *out = std::move(lhs);
+    return Status::OK();
+  }
+
+  Status ParseMultiplicative(QueryNode* owner,
+                             std::unique_ptr<ExprNode>* out) {
+    std::unique_ptr<ExprNode> lhs;
+    XPS_RETURN_IF_ERROR(ParseUnary(owner, &lhs));
+    while (true) {
+      ArithOp op;
+      if (Peek().type == TokenType::kStar) {
+        op = ArithOp::kMul;
+      } else if (PeekIsKeyword("div")) {
+        op = ArithOp::kDiv;
+      } else if (PeekIsKeyword("idiv")) {
+        op = ArithOp::kIDiv;
+      } else if (PeekIsKeyword("mod")) {
+        op = ArithOp::kMod;
+      } else {
+        break;
+      }
+      Advance();
+      std::unique_ptr<ExprNode> rhs;
+      XPS_RETURN_IF_ERROR(ParseUnary(owner, &rhs));
+      auto node = std::make_unique<ExprNode>(ExprKind::kArith);
+      node->arith_op = op;
+      node->AddArg(std::move(lhs));
+      node->AddArg(std::move(rhs));
+      lhs = std::move(node);
+    }
+    *out = std::move(lhs);
+    return Status::OK();
+  }
+
+  Status ParseUnary(QueryNode* owner, std::unique_ptr<ExprNode>* out) {
+    if (Peek().type == TokenType::kMinus) {
+      Advance();
+      std::unique_ptr<ExprNode> inner;
+      XPS_RETURN_IF_ERROR(ParseUnary(owner, &inner));
+      auto node = std::make_unique<ExprNode>(ExprKind::kNeg);
+      node->AddArg(std::move(inner));
+      *out = std::move(node);
+      return Status::OK();
+    }
+    return ParsePrimary(owner, out);
+  }
+
+  Status ParsePrimary(QueryNode* owner, std::unique_ptr<ExprNode>* out) {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kNumber: {
+        auto node = std::make_unique<ExprNode>(ExprKind::kConstNumber);
+        node->number_value = Advance().number;
+        *out = std::move(node);
+        return Status::OK();
+      }
+      case TokenType::kString: {
+        auto node = std::make_unique<ExprNode>(ExprKind::kConstString);
+        node->string_value = Advance().text;
+        *out = std::move(node);
+        return Status::OK();
+      }
+      case TokenType::kName:
+        if (Peek(1).type == TokenType::kLParen) {
+          return ParseFunctionCall(owner, out);
+        }
+        return ParseRelPath(owner, Axis::kChild, out);
+      case TokenType::kStar:
+        // A '*' in operand position starts a wildcard step ("*/b > 5").
+        return ParseRelPath(owner, Axis::kChild, out);
+      case TokenType::kDotDoubleSlash:
+        Advance();
+        return ParseRelPath(owner, Axis::kDescendant, out);
+      case TokenType::kDotSlash:
+        Advance();
+        return ParseRelPath(owner, Axis::kChild, out);
+      case TokenType::kAt:
+        Advance();
+        return ParseRelPath(owner, Axis::kAttribute, out);
+      default:
+        return Error("expected an expression, got " + t.Describe());
+    }
+  }
+
+  Status ParseFunctionCall(QueryNode* owner, std::unique_ptr<ExprNode>* out) {
+    std::string name = Advance().text;
+    const FunctionSpec* spec = FunctionRegistry::Global().Find(name);
+    if (spec == nullptr) {
+      return Error("unknown function '" + name + "'");
+    }
+    Advance();  // '('
+    auto node = std::make_unique<ExprNode>(ExprKind::kFunc);
+    node->func_name = name;
+    node->func = spec;
+    if (Peek().type != TokenType::kRParen) {
+      while (true) {
+        std::unique_ptr<ExprNode> arg;
+        XPS_RETURN_IF_ERROR(ParseExpression(owner, &arg));
+        node->AddArg(std::move(arg));
+        if (Peek().type == TokenType::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().type != TokenType::kRParen) {
+      return Error("expected ')' in call to " + name);
+    }
+    Advance();
+    size_t n = node->args().size();
+    if (n < spec->min_args || n > spec->max_args) {
+      return Error(StringPrintf("function %s expects %zu..%zu arguments",
+                                name.c_str(), spec->min_args,
+                                spec->max_args == SIZE_MAX ? n
+                                                           : spec->max_args));
+    }
+    *out = std::move(node);
+    return Status::OK();
+  }
+
+  /// RelPath: first step attaches to `owner` as a predicate child; later
+  /// steps build a successor chain. Returns a kPathRef leaf.
+  Status ParseRelPath(QueryNode* owner, Axis first_axis,
+                      std::unique_ptr<ExprNode>* out) {
+    QueryNode* first = nullptr;
+    XPS_RETURN_IF_ERROR(
+        ParseStepInto(owner, first_axis, /*as_successor=*/false, &first));
+    XPS_RETURN_IF_ERROR(ParseAbsolutePathOptional(first));
+    auto leaf = std::make_unique<ExprNode>(ExprKind::kPathRef);
+    leaf->path_child = first;
+    *out = std::move(leaf);
+    return Status::OK();
+  }
+
+  /// Zero or more further steps (Path Step in the grammar).
+  Status ParseAbsolutePathOptional(QueryNode* parent) {
+    while (true) {
+      Axis axis;
+      if (Peek().type == TokenType::kSlash) {
+        axis = Axis::kChild;
+        Advance();
+        if (Peek().type == TokenType::kAt) {
+          axis = Axis::kAttribute;
+          Advance();
+        }
+      } else if (Peek().type == TokenType::kDoubleSlash) {
+        axis = Axis::kDescendant;
+        Advance();
+      } else {
+        return Status::OK();
+      }
+      QueryNode* next = nullptr;
+      XPS_RETURN_IF_ERROR(
+          ParseStepInto(parent, axis, /*as_successor=*/true, &next));
+      parent = next;
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Query>> ParseQuery(std::string_view text) {
+  XPS_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexXPath(text));
+  auto query = std::make_unique<Query>();
+  Parser parser(std::move(tokens));
+  XPS_RETURN_IF_ERROR(parser.ParseInto(query.get()));
+  return query;
+}
+
+}  // namespace xpstream

@@ -1,0 +1,31 @@
+#ifndef XPSTREAM_XPATH_PARSER_H_
+#define XPSTREAM_XPATH_PARSER_H_
+
+/// \file
+/// Recursive-descent parser for Forward XPath (paper Fig. 1). Produces the
+/// query tree model of §3.1.2: location steps become successor chains;
+/// relative paths inside predicates become predicate children referenced
+/// by kPathRef expression leaves.
+///
+/// Deviations from the literal grammar, matching the paper's own examples:
+///  * The first step of a relative path may use an implicit child axis
+///    ("b > 5" in Fig. 2), optionally written "./b".
+///  * Attribute steps may be written "/@n" as well as "@n".
+///  * A predicate may be parenthesized.
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xpstream {
+
+/// Parses an absolute Forward XPath query, e.g.
+/// "/a[c[.//e and f] and b > 5]/b". An optional leading "$" (the paper's
+/// root marker) is accepted.
+Result<std::unique_ptr<Query>> ParseQuery(std::string_view text);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_XPATH_PARSER_H_

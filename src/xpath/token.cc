@@ -1,0 +1,56 @@
+#include "xpath/token.h"
+
+#include "common/string_util.h"
+
+namespace xpstream {
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kDoubleSlash:
+      return "'//'";
+    case TokenType::kDotDoubleSlash:
+      return "'.//'";
+    case TokenType::kDotSlash:
+      return "'./'";
+    case TokenType::kAt:
+      return "'@'";
+    case TokenType::kDollar:
+      return "'$'";
+    case TokenType::kLBracket:
+      return "'['";
+    case TokenType::kRBracket:
+      return "']'";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kName:
+      return "name";
+    case TokenType::kNumber:
+      return "number";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kCompOp:
+      return "comparison";
+    case TokenType::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  if (text.empty()) return TokenTypeToString(type);
+  return StringPrintf("%s '%s'", TokenTypeToString(type), text.c_str());
+}
+
+}  // namespace xpstream

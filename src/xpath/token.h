@@ -1,0 +1,50 @@
+#ifndef XPSTREAM_XPATH_TOKEN_H_
+#define XPSTREAM_XPATH_TOKEN_H_
+
+/// \file
+/// Token model for the Forward XPath lexer (paper Fig. 1 grammar).
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xpstream {
+
+enum class TokenType : uint8_t {
+  kSlash,          // '/'
+  kDoubleSlash,    // '//'
+  kDotDoubleSlash, // './/'
+  kDotSlash,       // './'
+  kAt,             // '@'
+  kDollar,         // '$'
+  kLBracket,       // '['
+  kRBracket,       // ']'
+  kLParen,         // '('
+  kRParen,         // ')'
+  kComma,          // ','
+  kStar,           // '*' (wildcard node test OR multiplication; the
+                   //      parser disambiguates by position)
+  kPlus,           // '+'
+  kMinus,          // '-'
+  kName,           // XML name; also keywords and/or/not/div/idiv/mod
+  kNumber,         // numeric literal
+  kString,         // quoted string literal
+  kCompOp,         // '=' '!=' '<' '<=' '>' '>='
+  kEnd,            // end of input
+};
+
+const char* TokenTypeToString(TokenType type);
+
+struct Token {
+  TokenType type;
+  std::string text;   ///< Literal text (name, operator spelling, etc.).
+  double number = 0;  ///< Value for kNumber.
+  size_t position = 0;  ///< Byte offset in the query string, for errors.
+
+  std::string Describe() const;
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_XPATH_TOKEN_H_

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "analysis/automorphism.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Query> query;
+  const QueryNode* Node(const std::string& name, size_t skip = 0) const {
+    for (const QueryNode* n : query->AllNodes()) {
+      if (n->ntest() == name) {
+        if (skip == 0) return n;
+        --skip;
+      }
+    }
+    return nullptr;
+  }
+};
+
+Fixture Make(const std::string& text) {
+  Fixture f;
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  f.query = std::move(q).value();
+  return f;
+}
+
+TEST(AutomorphismTest, PaperDef68Example) {
+  // /a[b and .//b]: a non-trivial automorphism maps both b nodes to the
+  // left (child-axis) b — so the left b structurally subsumes the right.
+  Fixture f = Make("/a[b and .//b]");
+  const QueryNode* left_b = f.Node("b", 0);
+  const QueryNode* right_b = f.Node("b", 1);
+  ASSERT_NE(left_b, nullptr);
+  ASSERT_NE(right_b, nullptr);
+  ASSERT_EQ(right_b->axis(), Axis::kDescendant);
+  EXPECT_EQ(ExistsAutomorphismMapping(*f.query, right_b, left_b),
+            Decision::kYes);
+  // The reverse fails: the left b has a child axis, so its image must
+  // also have a child axis (axis preservation), but right_b is a
+  // descendant-axis node.
+  EXPECT_EQ(ExistsAutomorphismMapping(*f.query, left_b, right_b),
+            Decision::kNo);
+}
+
+TEST(AutomorphismTest, DistinctNamesHaveOnlyIdentity) {
+  Fixture f = Make("/a[b and c]/d");
+  StructuralDomination dom = StructuralDomination::Compute(*f.query);
+  EXPECT_FALSE(dom.HasNonTrivialDomination());
+  EXPECT_FALSE(dom.incomplete());
+}
+
+TEST(AutomorphismTest, DominationSetExample) {
+  // §6.4.1 example query: the second b structurally subsumes the first
+  // (leaf) b; the first d structurally subsumes the second (leaf) d.
+  Fixture f = Make("/a[*/b > 5 and c/b//d > 12 and .//d < 30]");
+  const QueryNode* b1 = f.Node("b", 0);  // under *
+  const QueryNode* b2 = f.Node("b", 1);  // under c
+  const QueryNode* d1 = f.Node("d", 0);  // under b2 (//d)
+  const QueryNode* d2 = f.Node("d", 1);  // under a (.//d)
+  ASSERT_TRUE(b1 && b2 && d1 && d2);
+  StructuralDomination dom = StructuralDomination::Compute(*f.query);
+  ASSERT_FALSE(dom.incomplete());
+  // b2 subsumes b1:
+  auto b2_dom = dom.DominatedBy(b2);
+  EXPECT_NE(std::find(b2_dom.begin(), b2_dom.end(), b1), b2_dom.end());
+  // d1 subsumes d2:
+  auto d1_dom = dom.DominatedBy(d1);
+  EXPECT_NE(std::find(d1_dom.begin(), d1_dom.end(), d2), d1_dom.end());
+  // d2 does NOT subsume d1: ψ(d1) must stay a descendant of ψ(b)'s
+  // image, and d2 hangs off the root's a, not below b.
+  auto d2_dom = dom.DominatedBy(d2);
+  EXPECT_EQ(std::find(d2_dom.begin(), d2_dom.end(), d1), d2_dom.end());
+}
+
+TEST(AutomorphismTest, AxisPreservationBlocksChildToDescendant) {
+  // In /a[b/x and .//b/y], mapping the child-axis x to y is impossible
+  // (names differ); mapping left b to right b is fine.
+  Fixture f = Make("/a[b/x and .//b/y]");
+  const QueryNode* x = f.Node("x");
+  const QueryNode* y = f.Node("y");
+  EXPECT_EQ(ExistsAutomorphismMapping(*f.query, x, y), Decision::kNo);
+}
+
+TEST(AutomorphismTest, NodeTestPreservation) {
+  Fixture f = Make("/a[b and c]");
+  const QueryNode* b = f.Node("b");
+  const QueryNode* c = f.Node("c");
+  EXPECT_EQ(ExistsAutomorphismMapping(*f.query, b, c), Decision::kNo);
+  EXPECT_EQ(ExistsAutomorphismMapping(*f.query, c, b), Decision::kNo);
+}
+
+TEST(AutomorphismTest, WildcardMapsAnywhere) {
+  // In /a[* and b] (star-restricted? the * is a leaf — irrelevant for
+  // automorphism mechanics), the wildcard can map onto b.
+  Fixture f = Make("/a[*/x and b/x]");
+  const QueryNode* star = f.Node("*");
+  const QueryNode* b = f.Node("b");
+  EXPECT_EQ(ExistsAutomorphismMapping(*f.query, star, b), Decision::kYes);
+  // But b cannot map onto the wildcard (node test must be preserved).
+  EXPECT_EQ(ExistsAutomorphismMapping(*f.query, b, star), Decision::kNo);
+}
+
+TEST(AutomorphismTest, RootMapsToRootOnly) {
+  Fixture f = Make("/a/b");
+  EXPECT_EQ(ExistsAutomorphismMapping(*f.query, f.query->root(),
+                                      f.query->root()),
+            Decision::kYes);
+  EXPECT_EQ(
+      ExistsAutomorphismMapping(*f.query, f.query->root(), f.Node("a")),
+      Decision::kNo);
+}
+
+TEST(AutomorphismTest, IdentityAlwaysExists) {
+  Fixture f = Make("/a[b[c] and d]//e");
+  for (const QueryNode* n : f.query->AllNodes()) {
+    EXPECT_EQ(ExistsAutomorphismMapping(*f.query, n, n), Decision::kYes);
+  }
+}
+
+TEST(AutomorphismTest, DominatedLeavesFiltersLeaves) {
+  // In /a[b[c] and .//b[c]] the child-axis b (with its c) subsumes the
+  // descendant-axis b, but that b is internal, so DominatedLeaves keeps
+  // only the dominated c leaf.
+  Fixture f = Make("/a[b[c] and .//b[c]]");
+  const QueryNode* left_b = f.Node("b", 0);
+  const QueryNode* right_b = f.Node("b", 1);
+  const QueryNode* left_c = f.Node("c", 0);
+  ASSERT_TRUE(left_b && right_b && left_c);
+  StructuralDomination dom = StructuralDomination::Compute(*f.query);
+  auto dominated = dom.DominatedBy(left_b);
+  EXPECT_NE(std::find(dominated.begin(), dominated.end(), right_b),
+            dominated.end());
+  auto leaves = dom.DominatedLeaves(left_b);
+  EXPECT_EQ(std::find(leaves.begin(), leaves.end(), right_b), leaves.end());
+  // And the left c dominates the right c (both leaves).
+  auto c_leaves = dom.DominatedLeaves(left_c);
+  ASSERT_EQ(c_leaves.size(), 1u);
+  EXPECT_TRUE(c_leaves[0]->IsLeaf());
+  EXPECT_EQ(c_leaves[0]->ntest(), "c");
+  for (const QueryNode* n : leaves) {
+    EXPECT_TRUE(n->IsLeaf());
+  }
+}
+
+}  // namespace
+}  // namespace xpstream

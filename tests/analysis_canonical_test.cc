@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "analysis/canonical.h"
+#include "analysis/matching.h"
+#include "xml/writer.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+std::unique_ptr<Query> Q(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(q).value();
+}
+
+TEST(CanonicalTest, AuxiliaryNameAvoidsQueryNames) {
+  auto q = Q("/a/b[c]");
+  EXPECT_EQ(GetAuxiliaryName(*q), "Z");
+  auto q2 = Q("/Z/Z0[Z1]");
+  EXPECT_EQ(GetAuxiliaryName(*q2), "Z2");
+}
+
+TEST(CanonicalTest, WildcardChainLength) {
+  EXPECT_EQ(LongestWildcardChain(*Q("/a/b")), 0u);
+  EXPECT_EQ(LongestWildcardChain(*Q("/a/*/b")), 1u);
+  EXPECT_EQ(LongestWildcardChain(*Q("/a/*/*/b[*/c]")), 2u);
+}
+
+TEST(CanonicalTest, SimpleChainShape) {
+  auto q = Q("/a/b");
+  auto canonical = BuildCanonicalDocument(*q);
+  ASSERT_TRUE(canonical.ok()) << canonical.status().ToString();
+  const XmlDocument& doc = *canonical->document;
+  ASSERT_NE(doc.root_element(), nullptr);
+  EXPECT_EQ(doc.root_element()->name(), "a");
+  // SHADOW maps query nodes to elements of the right names.
+  for (const QueryNode* node : q->AllNodes()) {
+    ASSERT_TRUE(canonical->shadow.count(node));
+  }
+}
+
+TEST(CanonicalTest, DescendantAxisInsertsArtificialChain) {
+  auto q = Q("//a");
+  auto canonical = BuildCanonicalDocument(*q);
+  ASSERT_TRUE(canonical.ok());
+  // h = 0, so the chain has length 1: root element is artificial Z, its
+  // child is the a shadow.
+  const XmlNode* top = canonical->document->root_element();
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->name(), canonical->auxiliary_name);
+  EXPECT_TRUE(canonical->IsArtificial(top));
+  const QueryNode* a = q->root()->successor();
+  const XmlNode* shadow = canonical->shadow.at(a);
+  EXPECT_EQ(shadow->parent(), top);
+  EXPECT_FALSE(canonical->IsArtificial(shadow));
+}
+
+TEST(CanonicalTest, ChainLengthIsHPlusOne) {
+  auto q = Q("/a[*/b]//c");  // h = 1
+  auto canonical = BuildCanonicalDocument(*q);
+  ASSERT_TRUE(canonical.ok()) << canonical.status().ToString();
+  const QueryNode* c = q->output_node();
+  ASSERT_EQ(c->ntest(), "c");
+  const XmlNode* shadow = canonical->shadow.at(c);
+  // Two artificial nodes between shadow(c) and shadow(a).
+  const XmlNode* p1 = shadow->parent();
+  const XmlNode* p2 = p1->parent();
+  EXPECT_TRUE(canonical->IsArtificial(p1));
+  EXPECT_TRUE(canonical->IsArtificial(p2));
+  EXPECT_FALSE(canonical->IsArtificial(p2->parent()));
+}
+
+TEST(CanonicalTest, CanonicalDocumentMatchesQuery) {
+  // Lemma 6.11: the canonical matching exists, so D_c matches Q.
+  for (const char* text :
+       {"/a/b", "//a[b and c]", "/a[c[.//e and f] and b > 5]",
+        "/a[*/b > 5 and c/b//d > 12 and .//d < 30]",
+        "/book[price < 30]/title", "/a[b = \"xy\" and c > 2]//d"}) {
+    auto q = Q(text);
+    auto canonical = BuildCanonicalDocument(*q);
+    ASSERT_TRUE(canonical.ok()) << text << ": "
+                                << canonical.status().ToString();
+    EXPECT_TRUE(BoolEval(*q, *canonical->document)) << text;
+  }
+}
+
+TEST(CanonicalTest, CanonicalMatchingIsUnique) {
+  // Lemma 6.15: exactly one matching of D_c with Q.
+  for (const char* text :
+       {"/a/b", "//a[b and c]", "/a[c[.//e and f] and b > 5]",
+        "/a[*/b > 5 and c/b//d > 12 and .//d < 30]"}) {
+    auto q = Q(text);
+    auto canonical = BuildCanonicalDocument(*q);
+    ASSERT_TRUE(canonical.ok()) << text;
+    auto analyzer = MatchingAnalyzer::Create(q.get(),
+                                             canonical->document.get());
+    ASSERT_TRUE(analyzer.ok()) << text;
+    EXPECT_EQ(analyzer->CountMatchings(), 1u) << text;
+  }
+}
+
+TEST(CanonicalTest, UniqueMatchingIsTheShadowMap) {
+  auto q = Q("/a[c[.//e and f] and b > 5]");
+  auto canonical = BuildCanonicalDocument(*q);
+  ASSERT_TRUE(canonical.ok());
+  auto analyzer =
+      MatchingAnalyzer::Create(q.get(), canonical->document.get());
+  ASSERT_TRUE(analyzer.ok());
+  auto matching = analyzer->FindMatching();
+  ASSERT_TRUE(matching.ok());
+  for (const auto& [u, x] : *matching) {
+    EXPECT_EQ(canonical->shadow.at(u), x) << u->ntest();
+  }
+}
+
+TEST(CanonicalTest, PaperSection641Example) {
+  // The worked example: /a[*/b > 5 and c/b//d > 12 and .//d < 30].
+  auto q = Q("/a[*/b > 5 and c/b//d > 12 and .//d < 30]");
+  auto canonical = BuildCanonicalDocument(*q);
+  ASSERT_TRUE(canonical.ok()) << canonical.status().ToString();
+  // The shadow of the first b carries a value in (5, inf); the first d
+  // in (12, inf) but NOT in (-inf, 30) — i.e. > 30, like the paper's 31;
+  // the second d in (-inf, 30).
+  const QueryNode* b1 = nullptr;
+  const QueryNode* d1 = nullptr;
+  const QueryNode* d2 = nullptr;
+  for (const QueryNode* n : q->AllNodes()) {
+    if (n->ntest() == "b" && n->IsLeaf() && b1 == nullptr) b1 = n;
+    if (n->ntest() == "d") {
+      if (d1 == nullptr) {
+        d1 = n;
+      } else {
+        d2 = n;
+      }
+    }
+  }
+  ASSERT_TRUE(b1 && d1 && d2);
+  double b1_val = std::stod(canonical->shadow.at(b1)->StringValue());
+  EXPECT_GT(b1_val, 5);
+  double d1_val = std::stod(canonical->shadow.at(d1)->StringValue());
+  EXPECT_GT(d1_val, 12);
+  EXPECT_GE(d1_val, 30);  // must avoid the dominated (< 30) truth set
+  double d2_val = std::stod(canonical->shadow.at(d2)->StringValue());
+  EXPECT_LT(d2_val, 30);
+}
+
+TEST(CanonicalTest, FailsOnPrefixSunflowerViolation) {
+  auto q = Q("/a[b[c = \"A\"] and fn:ends-with(b, \"B\")]");
+  auto canonical = BuildCanonicalDocument(*q);
+  EXPECT_FALSE(canonical.ok());
+  EXPECT_EQ(canonical.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CanonicalTest, FailsOnSubsumedExistence) {
+  // /a[b and .//b]: left b subsumes right b; no unique leaf value exists
+  // (both truth sets are universal).
+  auto q = Q("/a[b and .//b]");
+  EXPECT_FALSE(BuildCanonicalDocument(*q).ok());
+}
+
+TEST(CanonicalTest, StructuralVariantSkipsValues) {
+  auto q = Q("/a[b and .//b]");  // fails with values...
+  auto structural = BuildStructuralCanonicalDocument(*q);
+  ASSERT_TRUE(structural.ok());  // ...but works structurally
+  for (const XmlNode* node : structural->document->AllNodes()) {
+    EXPECT_NE(node->kind(), NodeKind::kText);
+  }
+}
+
+TEST(CanonicalTest, AttributeShadows) {
+  auto q = Q("/a[@id = 7]/b");
+  auto canonical = BuildCanonicalDocument(*q);
+  ASSERT_TRUE(canonical.ok()) << canonical.status().ToString();
+  EXPECT_TRUE(BoolEval(*q, *canonical->document));
+}
+
+}  // namespace
+}  // namespace xpstream

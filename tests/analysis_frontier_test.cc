@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "analysis/frontier.h"
+#include "xml/tree_builder.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+size_t FS(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return FrontierSize(**q);
+}
+
+TEST(FrontierTest, PaperExampleTheorem42) {
+  // Paper §4.1 example: FS(/a[c[.//e and f] and b > 5]) = 3, attained at
+  // the node named "e" ({e, f, b}).
+  auto q = ParseQuery("/a[c[.//e and f] and b > 5]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(FrontierSize(**q), 3u);
+  const QueryNode* largest = LargestFrontierNode(**q);
+  ASSERT_NE(largest, nullptr);
+  EXPECT_EQ(largest->ntest(), "e");
+}
+
+TEST(FrontierTest, ChainHasFrontierOne) {
+  EXPECT_EQ(FS("/a/b/c/d"), 1u);
+  EXPECT_EQ(FS("//a//b"), 1u);
+}
+
+TEST(FrontierTest, FlatSiblingsCountThemselves) {
+  // frontier at any predicate child = itself + its k-1 siblings (+
+  // nothing above: a is the only child of the root).
+  EXPECT_EQ(FS("/a[b and c and d]"), 3u);
+  EXPECT_EQ(FS("/a[b and c and d and e]/f"), 5u);
+}
+
+TEST(FrontierTest, GrowsLinearlyInPredicateCount) {
+  for (size_t k = 1; k <= 8; ++k) {
+    std::string text = "/r[p0";
+    for (size_t i = 1; i < k; ++i) {
+      text += " and p" + std::to_string(i);
+    }
+    text += "]";
+    EXPECT_EQ(FS(text), k);
+  }
+}
+
+TEST(FrontierTest, DeepNestingAccumulatesAncestorSiblings) {
+  // At the innermost node: itself + one sibling per level above.
+  EXPECT_EQ(FS("/a[x and b[y and c[z and d]]]"), 4u);
+}
+
+TEST(FrontierTest, FrontierAtIncludesSelfAndSuperSiblings) {
+  auto q = ParseQuery("/a[c[.//e and f] and b > 5]");
+  ASSERT_TRUE(q.ok());
+  const QueryNode* e = nullptr;
+  for (const QueryNode* node : (*q)->AllNodes()) {
+    if (node->ntest() == "e") e = node;
+  }
+  ASSERT_NE(e, nullptr);
+  auto frontier = FrontierAt(e);
+  std::vector<std::string> names;
+  for (const QueryNode* n : frontier) names.push_back(n->ntest());
+  EXPECT_EQ(names, (std::vector<std::string>{"e", "f", "b"}));
+}
+
+TEST(FrontierTest, DocumentFrontierIgnoresText) {
+  auto d = ParseXmlToDocument("<a><c><e>text</e><f/></c><b>6</b></a>");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(FrontierSize(**d), 3u);
+  const XmlNode* largest = LargestFrontierNode(**d);
+  ASSERT_NE(largest, nullptr);
+  EXPECT_TRUE(largest->name() == "e" || largest->name() == "f");
+}
+
+TEST(FrontierTest, CanonicalDocMatchesQueryFrontier) {
+  // Artificial chains have no siblings, so FS(D_c) = FS(Q) (proof of
+  // Thm 7.1). Checked here on the document shape directly.
+  auto d = ParseXmlToDocument(
+      "<a><c><Z><e/></Z><f/></c><b>6</b></a>");  // canonical-like
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(FrontierSize(**d), 3u);
+}
+
+TEST(FrontierTest, RootOnlyDocument) {
+  auto d = ParseXmlToDocument("<a/>");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(FrontierSize(**d), 1u);
+}
+
+}  // namespace
+}  // namespace xpstream

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "analysis/matching.h"
+#include "common/random.h"
+#include "workload/doc_generator.h"
+#include "workload/query_generator.h"
+#include "xml/tree_builder.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+struct Pair {
+  std::unique_ptr<Query> query;
+  std::unique_ptr<XmlDocument> doc;
+};
+
+Pair Make(const std::string& q, const std::string& xml) {
+  Pair p;
+  auto query = ParseQuery(q);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  p.query = std::move(query).value();
+  auto doc = ParseXmlToDocument(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  p.doc = std::move(doc).value();
+  return p;
+}
+
+bool HasMatching(const std::string& q, const std::string& xml) {
+  Pair p = Make(q, xml);
+  auto analyzer = MatchingAnalyzer::Create(p.query.get(), p.doc.get());
+  EXPECT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+  return analyzer->HasMatching();
+}
+
+TEST(MatchingTest, PaperFig7) {
+  // /a[b > 5] on <a><b>7</b><b>9</b></a>: two matchings exist (either b).
+  Pair p = Make("/a[b > 5]", "<a><b>7</b><b>9</b></a>");
+  auto analyzer = MatchingAnalyzer::Create(p.query.get(), p.doc.get());
+  ASSERT_TRUE(analyzer.ok());
+  EXPECT_TRUE(analyzer->HasMatching());
+  EXPECT_EQ(analyzer->CountMatchings(), 2u);
+}
+
+TEST(MatchingTest, ValueMatchRequired) {
+  EXPECT_TRUE(HasMatching("/a[b > 5]", "<a><b>6</b></a>"));
+  EXPECT_FALSE(HasMatching("/a[b > 5]", "<a><b>5</b></a>"));
+}
+
+TEST(MatchingTest, Lemma510EquivalenceOnExamples) {
+  // Matching exists iff BOOLEVAL true (Lemma 5.10), spot checks.
+  struct Case {
+    const char* q;
+    const char* xml;
+  };
+  const Case cases[] = {
+      {"/a[b and c]", "<a><b/><c/></a>"},
+      {"/a[b and c]", "<a><b/></a>"},
+      {"//a[b]", "<x><a><b/></a></x>"},
+      {"//a[b]", "<x><a/></x>"},
+      {"/a[b/c > 2]", "<a><b><c>3</c></b></a>"},
+      {"/a[b/c > 2]", "<a><b><c>1</c></b></a>"},
+      {"/a[.//d < 30]", "<a><x><d>29</d></x></a>"},
+      {"/a[contains(b, \"el\")]", "<a><b>hello</b></a>"},
+      {"/a[@id = 7]", "<a id=\"7\"/>"},
+      {"/a[@id = 7]", "<a id=\"6\"/>"},
+  };
+  for (const Case& c : cases) {
+    Pair p = Make(c.q, c.xml);
+    auto analyzer = MatchingAnalyzer::Create(p.query.get(), p.doc.get());
+    ASSERT_TRUE(analyzer.ok()) << c.q;
+    EXPECT_EQ(analyzer->HasMatching(), BoolEval(*p.query, *p.doc))
+        << c.q << " on " << c.xml;
+  }
+}
+
+TEST(MatchingTest, Lemma510EquivalenceRandomized) {
+  // Property test: matching existence == BOOLEVAL over random pairs from
+  // the univariate conjunctive fragment.
+  Random rng(20240613);
+  QueryGenOptions qopts;
+  DocGenOptions dopts;
+  size_t checked = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto query = GenerateRandomQuery(&rng, qopts);
+    ASSERT_TRUE(query.ok());
+    auto doc = GenerateRandomDocument(&rng, dopts);
+    auto analyzer = MatchingAnalyzer::Create(query->get(), doc.get());
+    if (!analyzer.ok()) continue;  // multivariate slipped in: skip
+    ++checked;
+    EXPECT_EQ(analyzer->HasMatching(), BoolEval(**query, *doc))
+        << (*query)->ToString();
+  }
+  EXPECT_GT(checked, 200u);
+}
+
+TEST(MatchingTest, FeasibleImages) {
+  Pair p = Make("//a[b]", "<a><a><b/></a></a>");
+  auto analyzer = MatchingAnalyzer::Create(p.query.get(), p.doc.get());
+  ASSERT_TRUE(analyzer.ok());
+  const QueryNode* a = p.query->root()->successor();
+  auto images = analyzer->FeasibleImages(a);
+  // Only the inner a has a b child.
+  ASSERT_EQ(images.size(), 1u);
+  EXPECT_EQ(images[0]->parent()->name(), "a");
+}
+
+TEST(MatchingTest, FindMatchingReturnsValidMap) {
+  Pair p = Make("/a[b and c]/d", "<a><b/><c/><d/></a>");
+  auto analyzer = MatchingAnalyzer::Create(p.query.get(), p.doc.get());
+  ASSERT_TRUE(analyzer.ok());
+  auto matching = analyzer->FindMatching();
+  ASSERT_TRUE(matching.ok());
+  EXPECT_EQ(matching->size(), p.query->size());
+  for (const auto& [u, x] : *matching) {
+    if (u->is_root()) {
+      EXPECT_EQ(x->kind(), NodeKind::kRoot);
+    } else if (!u->is_wildcard()) {
+      EXPECT_EQ(x->name(), u->ntest());
+    }
+  }
+}
+
+TEST(PathMatchingTest, Definition82Example) {
+  // //a[b] on <a><a/></a>: both a's path match the query's a, though
+  // neither fully matches (no b child anywhere).
+  Pair p = Make("//a[b]", "<a><a/></a>");
+  const QueryNode* a = p.query->root()->successor();
+  const XmlNode* outer = p.doc->root_element();
+  const XmlNode* inner = outer->children()[0].get();
+  EXPECT_TRUE(PathMatches(a, outer));
+  EXPECT_TRUE(PathMatches(a, inner));
+  EXPECT_EQ(PathRecursionDepth(*p.query, *p.doc), 2u);
+  EXPECT_EQ(RecursionDepth(*p.query, *p.doc), 0u);
+}
+
+TEST(PathMatchingTest, ChildAxisLevels) {
+  Pair p = Make("/a/b", "<a><b><b/></b></a>");
+  const QueryNode* b = p.query->output_node();
+  const XmlNode* outer_b = p.doc->root_element()->children()[0].get();
+  const XmlNode* inner_b = outer_b->children()[0].get();
+  EXPECT_TRUE(PathMatches(b, outer_b));
+  EXPECT_FALSE(PathMatches(b, inner_b));  // wrong level for child axis
+}
+
+TEST(RecursionDepthTest, Section42Example) {
+  // Q=//a[b and c], D=<a><a><b/><c/></a></a>: recursion depth w.r.t. a
+  // is 2 (both nested a's feasibly match: inner directly, outer via its
+  // own b?? -- outer has no b/c children, so only if...).
+  Pair p = Make("//a[b and c]", "<a><b/><c/><a><b/><c/></a></a>");
+  const QueryNode* a = p.query->root()->successor();
+  EXPECT_EQ(RecursionDepthWrt(*p.query, a, *p.doc), 2u);
+}
+
+TEST(TextWidthTest, Definition84Example) {
+  // Q=/a[b], D=<a>dear<b>sir</b>or<b>madam</b></a>: text width 5
+  // ("madam" is the longest value of a node path matching leaf b).
+  Pair p = Make("/a[b]", "<a>dear<b>sir</b>or<b>madam</b></a>");
+  EXPECT_EQ(TextWidth(*p.query, *p.doc), 5u);
+}
+
+TEST(HomomorphismTest, PaperSection61Example) {
+  // D has two copies of the c subtree and reordered children; a weak
+  // homomorphism to D' exists but a full one does not (root string value
+  // differs).
+  auto from = ParseXmlToDocument(
+      "<a><c>world</c><c>world</c><b>hello</b></a>");
+  auto to = ParseXmlToDocument("<a><b>hello</b><c>world</c></a>");
+  ASSERT_TRUE(from.ok() && to.ok());
+  EXPECT_TRUE(
+      DocumentHomomorphismExists(**from, **to, HomomorphismMode::kWeak));
+  EXPECT_FALSE(
+      DocumentHomomorphismExists(**from, **to, HomomorphismMode::kFull));
+  EXPECT_TRUE(DocumentHomomorphismExists(**from, **to,
+                                         HomomorphismMode::kStructural));
+}
+
+TEST(HomomorphismTest, NamePreservationRequired) {
+  auto from = ParseXmlToDocument("<a><b/></a>");
+  auto to = ParseXmlToDocument("<a><c/></a>");
+  ASSERT_TRUE(from.ok() && to.ok());
+  EXPECT_FALSE(DocumentHomomorphismExists(**from, **to,
+                                          HomomorphismMode::kStructural));
+}
+
+TEST(HomomorphismTest, ChildrenMayCollapse) {
+  auto from = ParseXmlToDocument("<a><b/><b/><b/></a>");
+  auto to = ParseXmlToDocument("<a><b/></a>");
+  ASSERT_TRUE(from.ok() && to.ok());
+  EXPECT_TRUE(DocumentHomomorphismExists(**from, **to,
+                                         HomomorphismMode::kStructural));
+  // The reverse also works: homomorphisms need not be injective or onto.
+  EXPECT_TRUE(DocumentHomomorphismExists(**to, **from,
+                                         HomomorphismMode::kStructural));
+}
+
+TEST(HomomorphismTest, Proposition617) {
+  // A weak homomorphism from the canonical document transports the
+  // match: if D_c -> D weakly and D_c matches Q, then D matches Q.
+  // Checked here concretely on a reordered copy.
+  Pair p = Make("/a[c[.//e and f] and b > 5]",
+                "<a><b>6</b><c><f/><Z><e/></Z></c></a>");
+  EXPECT_TRUE(BoolEval(*p.query, *p.doc));
+}
+
+}  // namespace
+}  // namespace xpstream

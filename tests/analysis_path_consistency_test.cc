@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "analysis/frontier.h"
+#include "analysis/path_consistency.h"
+#include "common/random.h"
+#include "stream/frontier_filter.h"
+#include "workload/doc_generator.h"
+#include "xml/tree_builder.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Query> query;
+  const QueryNode* Node(const std::string& name, size_t skip = 0) const {
+    for (const QueryNode* n : query->AllNodes()) {
+      if (n->ntest() == name) {
+        if (skip == 0) return n;
+        --skip;
+      }
+    }
+    return nullptr;
+  }
+};
+
+Fixture Make(const std::string& text) {
+  Fixture f;
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  f.query = std::move(q).value();
+  return f;
+}
+
+TEST(PathConsistencyTest, PaperDef85Example) {
+  // /a[.//b/c and b//c]: the node <a><b><c/></b></a>'s c path matches
+  // both c steps.
+  Fixture f = Make("/a[.//b/c and b//c]");
+  const QueryNode* c1 = f.Node("c", 0);
+  const QueryNode* c2 = f.Node("c", 1);
+  ASSERT_TRUE(c1 && c2);
+  EXPECT_TRUE(ArePathConsistent(c1, c2));
+  EXPECT_FALSE(IsPathConsistencyFree(*f.query));
+}
+
+TEST(PathConsistencyTest, DistinctNamesChildOnlyAreFree) {
+  for (const char* text :
+       {"/a[b and c]", "/a[b[x and y] and c > 1]/d",
+        "/r[p0 > 0 and p1 > 1]/s", "/book[price < 30]/title"}) {
+    Fixture f = Make(text);
+    EXPECT_TRUE(IsPathConsistencyFree(*f.query)) << text;
+  }
+}
+
+TEST(PathConsistencyTest, SameNameSiblingsAreNotConsistent) {
+  // /a/b and /a/c: different final names, never the same node.
+  Fixture f = Make("/a[b and c]");
+  EXPECT_FALSE(ArePathConsistent(f.Node("b"), f.Node("c")));
+  // A node is never path-consistent with its own parent of a different
+  // name either.
+  EXPECT_FALSE(ArePathConsistent(f.Node("a"), f.Node("b")));
+}
+
+TEST(PathConsistencyTest, DescendantSelfOverlap) {
+  // //a/a: the inner a's image also path matches the outer step.
+  Fixture f = Make("//a/a");
+  EXPECT_TRUE(ArePathConsistent(f.Node("a", 0), f.Node("a", 1)));
+  EXPECT_FALSE(IsPathConsistencyFree(*f.query));
+}
+
+TEST(PathConsistencyTest, WildcardsOverlapEverything) {
+  Fixture f = Make("/a[*/x and b/x]");
+  // The two x steps: /a/*/x and /a/b/x — the same document node
+  // <a><b><x/></b></a> path matches both.
+  EXPECT_TRUE(ArePathConsistent(f.Node("x", 0), f.Node("x", 1)));
+  // And b itself is consistent with the wildcard step.
+  EXPECT_TRUE(ArePathConsistent(f.Node("*"), f.Node("b")));
+}
+
+TEST(PathConsistencyTest, LevelsSeparateChildChains) {
+  // /a/b vs /a/b/b: a node cannot be at depth 2 and 3 simultaneously.
+  Fixture f = Make("/a[b/x and b/b/x]");
+  const QueryNode* x1 = f.Node("x", 0);  // depth 3
+  const QueryNode* x2 = f.Node("x", 1);  // depth 4
+  ASSERT_TRUE(x1 && x2);
+  EXPECT_FALSE(ArePathConsistent(x1, x2));
+}
+
+TEST(PathConsistencyTest, DescendantGapsAlign) {
+  // /a[.//x and b/x]: the .//x can sit exactly at /a/b/x.
+  Fixture f = Make("/a[.//x and b/x]");
+  EXPECT_TRUE(ArePathConsistent(f.Node("x", 0), f.Node("x", 1)));
+}
+
+TEST(PathConsistencyTest, AttributesOnlyMatchAttributes) {
+  Fixture f = Make("/a[@k = 1 and k]");
+  // @k is an attribute node; k is an element node — never the same node.
+  const QueryNode* attr = f.Node("k", 0);
+  const QueryNode* elem = f.Node("k", 1);
+  ASSERT_TRUE(attr && elem);
+  ASSERT_EQ(attr->axis(), Axis::kAttribute);
+  EXPECT_FALSE(ArePathConsistent(attr, elem));
+}
+
+TEST(PathConsistencyTest, Theorem88SecondPartMemoryBound) {
+  // For closure-free, path-consistency-free queries the frontier table
+  // stays within FS(Q) (+1 root record) on ANY document — checked on
+  // random documents engineered to include the query's names.
+  Random rng(515);
+  const char* queries[] = {"/a[b and c and d]/e", "/a[b[x and y] and c]",
+                           "/r[p0 > 1 and p1 < 5]/s"};
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(IsPathConsistencyFree(**q)) << text;
+    auto filter = FrontierFilter::Create(q->get());
+    ASSERT_TRUE(filter.ok());
+    size_t fs = FrontierSize(**q);
+    DocGenOptions dopts;
+    dopts.max_depth = 6;
+    dopts.names = {"a", "b", "c", "d", "e", "x", "y", "r"};
+    dopts.name_pool = 8;
+    for (int i = 0; i < 50; ++i) {
+      auto doc = GenerateRandomDocument(&rng, dopts);
+      ASSERT_TRUE(RunFilter(filter->get(), doc->ToEvents()).ok());
+      EXPECT_LE((*filter)->stats().table_entries().peak(), fs + 1)
+          << text;
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpstream

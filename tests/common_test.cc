@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <limits>
+
+#include "common/memory_stats.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace xpstream {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusNormalizedToInternal) {
+  Result<int> r{Status::OK()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(StringUtilTest, XmlNameValidation) {
+  EXPECT_TRUE(IsValidXmlName("a"));
+  EXPECT_TRUE(IsValidXmlName("fn:contains"));
+  EXPECT_TRUE(IsValidXmlName("a-b.c"));
+  EXPECT_TRUE(IsValidXmlName("_x"));
+  EXPECT_FALSE(IsValidXmlName(""));
+  EXPECT_FALSE(IsValidXmlName("1a"));
+  EXPECT_FALSE(IsValidXmlName("-a"));
+  EXPECT_FALSE(IsValidXmlName("a b"));
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, ParseXPathNumber) {
+  EXPECT_EQ(ParseXPathNumber("42").value(), 42.0);
+  EXPECT_EQ(ParseXPathNumber("-3.5").value(), -3.5);
+  EXPECT_EQ(ParseXPathNumber(" 7 ").value(), 7.0);
+  EXPECT_EQ(ParseXPathNumber(".5").value(), 0.5);
+  EXPECT_EQ(ParseXPathNumber("1e3").value(), 1000.0);
+  EXPECT_FALSE(ParseXPathNumber("").has_value());
+  EXPECT_FALSE(ParseXPathNumber("abc").has_value());
+  EXPECT_FALSE(ParseXPathNumber("4abc").has_value());
+  EXPECT_FALSE(ParseXPathNumber("4 5").has_value());
+}
+
+TEST(StringUtilTest, FormatXPathNumber) {
+  EXPECT_EQ(FormatXPathNumber(5), "5");
+  EXPECT_EQ(FormatXPathNumber(-2), "-2");
+  EXPECT_EQ(FormatXPathNumber(2.5), "2.5");
+  EXPECT_EQ(FormatXPathNumber(0), "0");
+  EXPECT_EQ(FormatXPathNumber(std::numeric_limits<double>::quiet_NaN()), "NaN");
+}
+
+TEST(StringUtilTest, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+TEST(StringUtilTest, AffixHelpers) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_TRUE(Contains("hello", "ell"));
+  EXPECT_FALSE(Contains("hello", "xyz"));
+}
+
+TEST(StringUtilTest, SplitString) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(7);
+  Random b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(2);
+  bool low = false, high = false;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    low = low || v == -2;
+    high = high || v == 2;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(RandomTest, BernoulliEdges) {
+  Random rng(3);
+  EXPECT_FALSE(rng.Bernoulli(0));
+  EXPECT_TRUE(rng.Bernoulli(1));
+}
+
+TEST(RandomTest, NextNameShape) {
+  Random rng(4);
+  std::string name = rng.NextName(6);
+  EXPECT_EQ(name.size(), 6u);
+  for (char c : name) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(MemoryStatsTest, GaugeTracksPeak) {
+  MemoryStats stats;
+  stats.table_entries().Set(3);
+  stats.table_entries().Set(10);
+  stats.table_entries().Set(2);
+  EXPECT_EQ(stats.table_entries().current(), 2u);
+  EXPECT_EQ(stats.table_entries().peak(), 10u);
+  stats.Reset();
+  EXPECT_EQ(stats.table_entries().peak(), 0u);
+}
+
+TEST(MemoryStatsTest, PeakStateBits) {
+  MemoryStats stats;
+  stats.table_entries().Set(4);
+  stats.buffered_bytes().Set(2);
+  EXPECT_EQ(stats.PeakStateBits(10), 4 * 10 + 2 * 8u);
+}
+
+TEST(MemoryStatsTest, BitWidth) {
+  EXPECT_EQ(BitWidth(0), 1u);
+  EXPECT_EQ(BitWidth(1), 1u);
+  EXPECT_EQ(BitWidth(2), 2u);
+  EXPECT_EQ(BitWidth(255), 8u);
+  EXPECT_EQ(BitWidth(256), 9u);
+}
+
+}  // namespace
+}  // namespace xpstream

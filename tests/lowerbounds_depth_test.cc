@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "lowerbounds/fooling_depth.h"
+#include "xml/tree_builder.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+std::unique_ptr<Query> Q(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(q).value();
+}
+
+bool StreamMatches(const Query& q, const EventStream& events) {
+  auto valid = ValidateEventStream(events);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n"
+                          << EventStreamToString(events);
+  auto doc = EventsToDocument(events);
+  EXPECT_TRUE(doc.ok());
+  return BoolEval(q, **doc);
+}
+
+TEST(DepthFoolingTest, Theorem46PaddedDocumentsMatch) {
+  // Every D_i matches /a/b (the padding hangs off a, not between a and b).
+  auto q = Q("/a/b");
+  auto family = DepthFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok()) << family.status().ToString();
+  for (size_t i = 0; i < 12; ++i) {
+    EXPECT_TRUE(StreamMatches(*q, family->Document(i, i))) << i;
+  }
+}
+
+TEST(DepthFoolingTest, Theorem46CrossoversReparent) {
+  // D_{i,j} with i > j re-parents b under the auxiliary chain: no match.
+  auto q = Q("/a/b");
+  auto family = DepthFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok());
+  for (size_t i = 1; i < 8; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      EventStream doc = family->Document(i, j);
+      ASSERT_TRUE(ValidateEventStream(doc).ok()) << i << "," << j;
+      EXPECT_FALSE(StreamMatches(*q, doc)) << i << "," << j;
+    }
+  }
+}
+
+TEST(DepthFoolingTest, DocumentDepthGrowsLinearly) {
+  auto q = Q("/a/b");
+  auto family = DepthFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok());
+  auto d0 = EventsToDocument(family->Document(0, 0));
+  auto d10 = EventsToDocument(family->Document(10, 10));
+  ASSERT_TRUE(d0.ok() && d10.ok());
+  // The padding chains dangle from SHADOW(u)'s parent, so depth is
+  // max(s, depth(parent) + i): it grows linearly once i dominates s.
+  EXPECT_GE((*d10)->Depth(), 10u);
+  EXPECT_LE((*d10)->Depth(), (*d0)->Depth() + 10);
+}
+
+TEST(DepthFoolingTest, GeneralizedQueries) {
+  for (const char* text : {"/a/b[c and d]", "/x/y/z", "//q/a/b",
+                           "/a[c > 1]/b"}) {
+    auto q = Q(text);
+    auto family = DepthFoolingFamily::Build(q.get());
+    ASSERT_TRUE(family.ok()) << text << ": " << family.status().ToString();
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_TRUE(StreamMatches(*q, family->Document(i, i)))
+          << text << " i=" << i;
+    }
+    for (size_t i = 2; i < 5; ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        EXPECT_FALSE(StreamMatches(*q, family->Document(i, j)))
+            << text << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(DepthFoolingTest, RejectsQueriesWithoutChildStep) {
+  // //a//b has no non-wildcard child step (Thm 7.14 remark).
+  auto q = Q("//a//b");
+  EXPECT_FALSE(DepthFoolingFamily::Build(q.get()).ok());
+}
+
+}  // namespace
+}  // namespace xpstream

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lowerbounds/fooling_disj.h"
+#include "xml/tree_builder.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+std::unique_ptr<Query> Q(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(q).value();
+}
+
+bool StreamMatches(const Query& q, const EventStream& events) {
+  auto valid = ValidateEventStream(events);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n"
+                          << EventStreamToString(events);
+  auto doc = EventsToDocument(events);
+  EXPECT_TRUE(doc.ok());
+  return BoolEval(q, **doc);
+}
+
+std::vector<bool> Bits(uint64_t v, size_t r) {
+  std::vector<bool> out(r);
+  for (size_t i = 0; i < r; ++i) out[i] = (v >> i) & 1;
+  return out;
+}
+
+TEST(DisjFoolingTest, BuildsForPaperQuery) {
+  auto q = Q("//a[b and c]");
+  auto family = DisjFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok()) << family.status().ToString();
+  EXPECT_EQ(family->v()->ntest(), "a");
+}
+
+TEST(DisjFoolingTest, Theorem45ExhaustiveSmallR) {
+  // D_{s,t} matches iff the sets intersect — exhaustively for r = 3.
+  auto q = Q("//a[b and c]");
+  auto family = DisjFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok());
+  const size_t r = 3;
+  for (uint64_t sv = 0; sv < 8; ++sv) {
+    for (uint64_t tv = 0; tv < 8; ++tv) {
+      auto s = Bits(sv, r);
+      auto t = Bits(tv, r);
+      EventStream doc = family->Document(s, t);
+      EXPECT_EQ(StreamMatches(*q, doc),
+                DisjFoolingFamily::ExpectIntersects(s, t))
+          << "s=" << sv << " t=" << tv << "\n"
+          << EventStreamToString(doc);
+    }
+  }
+}
+
+TEST(DisjFoolingTest, PaperWalkthroughQuery) {
+  // //d[f and a[b and c]] from the proof exposition (Figs. 11–14).
+  auto q = Q("//d[f and a[b and c]]");
+  auto family = DisjFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok()) << family.status().ToString();
+  // The worked example: r=3, s=110, t=010 → intersect at i=2 → match.
+  std::vector<bool> s = {true, true, false};
+  std::vector<bool> t = {false, true, false};
+  EXPECT_TRUE(StreamMatches(*q, family->Document(s, t)));
+  // s=110, t=001 → disjoint → no match.
+  std::vector<bool> t2 = {false, false, true};
+  EXPECT_FALSE(StreamMatches(*q, family->Document(s, t2)));
+}
+
+TEST(DisjFoolingTest, RandomizedLargeR) {
+  auto q = Q("//a[b and c]");
+  auto family = DisjFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok());
+  Random rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t r = 1 + rng.Uniform(16);
+    std::vector<bool> s(r), t(r);
+    for (size_t i = 0; i < r; ++i) {
+      s[i] = rng.Bernoulli(0.4);
+      t[i] = rng.Bernoulli(0.4);
+    }
+    EXPECT_EQ(StreamMatches(*q, family->Document(s, t)),
+              DisjFoolingFamily::ExpectIntersects(s, t));
+  }
+}
+
+TEST(DisjFoolingTest, NestedQueryVariants) {
+  for (const char* text :
+       {"//a[b and c]/e", "/top//a[b and c]", "//a[b and c and d]"}) {
+    auto q = Q(text);
+    auto family = DisjFoolingFamily::Build(q.get());
+    ASSERT_TRUE(family.ok()) << text << ": " << family.status().ToString();
+    std::vector<bool> s = {true, false};
+    std::vector<bool> t = {true, false};
+    EXPECT_TRUE(StreamMatches(*q, family->Document(s, t))) << text;
+    std::vector<bool> t2 = {false, true};
+    EXPECT_FALSE(StreamMatches(*q, family->Document(s, t2))) << text;
+  }
+}
+
+TEST(DisjFoolingTest, RecursionDepthBounded) {
+  // The documents have recursion depth ≤ r w.r.t. v (Thm 7.4).
+  auto q = Q("//a[b and c]");
+  auto family = DisjFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok());
+  std::vector<bool> s = {true, true, true, true};
+  auto doc = EventsToDocument(family->Document(s, s));
+  ASSERT_TRUE(doc.ok());
+  // 4 nested a's, each with b and c -> depth-4 recursion is possible but
+  // never more.
+  EXPECT_LE((*doc)->Depth(), 4 * 3 + family->canonical().document->Depth());
+}
+
+TEST(DisjFoolingTest, RejectsNonRecursiveQueries) {
+  auto q = Q("/a[b and c]");
+  EXPECT_FALSE(DisjFoolingFamily::Build(q.get()).ok());
+  auto q2 = Q("//a//b");
+  EXPECT_FALSE(DisjFoolingFamily::Build(q2.get()).ok());
+}
+
+}  // namespace
+}  // namespace xpstream

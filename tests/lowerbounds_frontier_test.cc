@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "lowerbounds/fooling_frontier.h"
+#include "xml/tree_builder.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+std::unique_ptr<Query> Q(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(q).value();
+}
+
+bool StreamMatches(const Query& q, const EventStream& events) {
+  auto valid = ValidateEventStream(events);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n"
+                          << EventStreamToString(events);
+  auto doc = EventsToDocument(events);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return BoolEval(q, **doc);
+}
+
+TEST(FrontierFoolingTest, Theorem42FamilySize) {
+  auto q = Q("/a[c[.//e and f] and b > 5]");
+  auto family = FrontierFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok()) << family.status().ToString();
+  EXPECT_EQ(family->size(), 3u);  // FS(Q) = 3
+}
+
+TEST(FrontierFoolingTest, Theorem42DiagonalMatches) {
+  // Claim 4.3 / 7.2: every D_T is well-formed and matches Q.
+  auto q = Q("/a[c[.//e and f] and b > 5]");
+  auto family = FrontierFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok());
+  for (uint64_t t = 0; t < (1ULL << family->size()); ++t) {
+    EXPECT_TRUE(StreamMatches(*q, family->Document(t, t))) << "T=" << t;
+  }
+}
+
+TEST(FrontierFoolingTest, Theorem42CrossoversFool) {
+  // Claim 4.4 / 7.3: for T != T', at least one crossover fails to match.
+  auto q = Q("/a[c[.//e and f] and b > 5]");
+  auto family = FrontierFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok());
+  const uint64_t n = 1ULL << family->size();
+  for (uint64_t t1 = 0; t1 < n; ++t1) {
+    for (uint64_t t2 = t1 + 1; t2 < n; ++t2) {
+      bool m12 = StreamMatches(*q, family->Document(t1, t2));
+      bool m21 = StreamMatches(*q, family->Document(t2, t1));
+      EXPECT_FALSE(m12 && m21) << "T=" << t1 << " T'=" << t2;
+    }
+  }
+}
+
+TEST(FrontierFoolingTest, GeneralizedQueries) {
+  // Thm 7.1 on other redundancy-free queries.
+  for (const char* text :
+       {"/a[b and c and d]", "/r[p0 > 0 and p1 > 1 and p2 > 2]/s",
+        "//a[b and c]", "/a[b[x and y] and c > 1]"}) {
+    auto q = Q(text);
+    auto family = FrontierFoolingFamily::Build(q.get());
+    ASSERT_TRUE(family.ok()) << text << ": " << family.status().ToString();
+    const uint64_t n = 1ULL << family->size();
+    for (uint64_t t = 0; t < n; ++t) {
+      EXPECT_TRUE(StreamMatches(*q, family->Document(t, t)))
+          << text << " T=" << t;
+    }
+    size_t fooling_failures = 0;
+    for (uint64_t t1 = 0; t1 < n; ++t1) {
+      for (uint64_t t2 = t1 + 1; t2 < n; ++t2) {
+        bool m12 = StreamMatches(*q, family->Document(t1, t2));
+        bool m21 = StreamMatches(*q, family->Document(t2, t1));
+        if (m12 && m21) ++fooling_failures;
+      }
+    }
+    EXPECT_EQ(fooling_failures, 0u) << text;
+  }
+}
+
+TEST(FrontierFoolingTest, AlphaBetaConcatenationIsWellFormed) {
+  auto q = Q("/a[b and c]");
+  auto family = FrontierFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok());
+  for (uint64_t t1 = 0; t1 < 4; ++t1) {
+    for (uint64_t t2 = 0; t2 < 4; ++t2) {
+      EXPECT_TRUE(ValidateEventStream(family->Document(t1, t2)).ok());
+    }
+  }
+}
+
+TEST(FrontierFoolingTest, RejectsNonRedundancyFree) {
+  auto q = Q("/a[b and .//b]");
+  EXPECT_FALSE(FrontierFoolingFamily::Build(q.get()).ok());
+}
+
+TEST(FrontierFoolingTest, SpansCoverDocument) {
+  auto q = Q("/a[b and c]");
+  auto family = FrontierFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok());
+  std::map<const XmlNode*, EventSpan> spans;
+  EventStream events =
+      DocumentToEventsWithSpans(*family->canonical().document, &spans);
+  for (const auto& [node, span] : spans) {
+    ASSERT_LT(span.end, events.size());
+    if (node->kind() == NodeKind::kElement) {
+      EXPECT_EQ(events[span.start].type, EventType::kStartElement);
+      EXPECT_EQ(events[span.end].type, EventType::kEndElement);
+      EXPECT_EQ(events[span.start].name, node->name());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpstream

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "lowerbounds/fooling_depth.h"
+#include "lowerbounds/fooling_disj.h"
+#include "lowerbounds/fooling_frontier.h"
+#include "lowerbounds/state_counter.h"
+#include "stream/frontier_filter.h"
+#include "stream/nfa_filter.h"
+#include "xml/tree_builder.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+std::unique_ptr<Query> Q(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(q).value();
+}
+
+TEST(StateCounterTest, FrontierFamilyInformationBound) {
+  // Lemma 3.7 + Thm 3.9 realized: at the cut, the engine must be in 2^FS
+  // distinct states — one per subset — so its information content is at
+  // least FS(Q) bits. Verified on our own engine.
+  auto q = Q("/a[c[.//e and f] and b > 5]");
+  auto family = FrontierFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok());
+  auto filter = FrontierFilter::Create(q.get());
+  ASSERT_TRUE(filter.ok());
+
+  std::vector<EventStream> alphas, betas;
+  for (uint64_t t = 0; t < (1ULL << family->size()); ++t) {
+    EventStream alpha;
+    alpha.push_back(Event::StartDocument());
+    EventStream a = family->Alpha(t);
+    alpha.insert(alpha.end(), a.begin(), a.end());
+    alphas.push_back(std::move(alpha));
+    EventStream beta = family->Beta(t);
+    beta.push_back(Event::EndDocument());
+    betas.push_back(std::move(beta));
+  }
+
+  auto count = CountStatesAtCut(filter->get(), alphas);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count->distinct_states, 1ULL << family->size());
+  EXPECT_GE(count->InformationBits(), family->size());
+
+  // Protocol correctness on all crossovers, against the evaluator.
+  auto expected = [&](size_t i, size_t j) {
+    auto doc = EventsToDocument(family->Document(i, j));
+    EXPECT_TRUE(doc.ok());
+    return BoolEval(*q, **doc);
+  };
+  auto verdicts =
+      CheckCrossoverVerdicts(filter->get(), alphas, betas, expected);
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_EQ(verdicts->mismatches, 0u) << verdicts->first_mismatch;
+}
+
+TEST(StateCounterTest, DisjFamilyStateGrowth) {
+  // At the DISJ cut the engine state must distinguish all 2^r subsets s.
+  auto q = Q("//a[b and c]");
+  auto family = DisjFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok());
+  auto filter = FrontierFilter::Create(q.get());
+  ASSERT_TRUE(filter.ok());
+
+  const size_t r = 5;
+  std::vector<EventStream> alphas, betas;
+  std::vector<std::vector<bool>> svecs;
+  for (uint64_t v = 0; v < (1ULL << r); ++v) {
+    std::vector<bool> s(r);
+    for (size_t i = 0; i < r; ++i) s[i] = (v >> i) & 1;
+    alphas.push_back(family->Alpha(s));
+    betas.push_back(family->Beta(s));
+    svecs.push_back(std::move(s));
+  }
+  auto count = CountStatesAtCut(filter->get(), alphas);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->distinct_states, 1ULL << r);
+  EXPECT_GE(count->InformationBits(), r);
+
+  auto expected = [&](size_t i, size_t j) {
+    return DisjFoolingFamily::ExpectIntersects(svecs[i], svecs[j]);
+  };
+  auto verdicts =
+      CheckCrossoverVerdicts(filter->get(), alphas, betas, expected);
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_EQ(verdicts->mismatches, 0u) << verdicts->first_mismatch;
+}
+
+TEST(StateCounterTest, DepthFamilyStateGrowth) {
+  // The Ω(log d) bound: the d prefixes α_i force d distinct states
+  // (the engine must know the current level).
+  auto q = Q("/a/b");
+  auto family = DepthFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok());
+  auto filter = FrontierFilter::Create(q.get());
+  ASSERT_TRUE(filter.ok());
+
+  const size_t d = 16;
+  std::vector<EventStream> alphas;
+  for (size_t i = 0; i < d; ++i) {
+    alphas.push_back(family->AlphaI(i));
+  }
+  auto count = CountStatesAtCut(filter->get(), alphas);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->distinct_states, d);
+  EXPECT_GE(count->InformationBits(), 4u);  // log2(16)
+}
+
+TEST(StateCounterTest, NfaStateCountOnDepthFamily) {
+  // The automaton baseline must equally distinguish the depth prefixes.
+  auto q = Q("/a/b");
+  auto family = DepthFoolingFamily::Build(q.get());
+  ASSERT_TRUE(family.ok());
+  auto filter = NfaFilter::Create(q.get());
+  ASSERT_TRUE(filter.ok());
+  std::vector<EventStream> alphas;
+  for (size_t i = 0; i < 8; ++i) alphas.push_back(family->AlphaI(i));
+  auto count = CountStatesAtCut(filter->get(), alphas);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->distinct_states, 8u);
+}
+
+TEST(StateCounterTest, IdenticalPrefixesCollapse) {
+  auto q = Q("/a/b");
+  auto filter = FrontierFilter::Create(q.get());
+  ASSERT_TRUE(filter.ok());
+  EventStream prefix = {Event::StartDocument(), Event::StartElement("a")};
+  auto count = CountStatesAtCut(filter->get(), {prefix, prefix, prefix});
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->num_inputs, 3u);
+  EXPECT_EQ(count->distinct_states, 1u);
+  EXPECT_EQ(count->InformationBits(), 0u);
+}
+
+}  // namespace
+}  // namespace xpstream

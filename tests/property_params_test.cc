@@ -1,0 +1,232 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+// each suite states one paper invariant and checks it across a value
+// range.
+
+#include <gtest/gtest.h>
+
+#include "analysis/fragment.h"
+#include "analysis/frontier.h"
+#include "analysis/matching.h"
+#include "common/random.h"
+#include "lowerbounds/fooling_depth.h"
+#include "lowerbounds/fooling_frontier.h"
+#include "lowerbounds/state_counter.h"
+#include "stream/frontier_filter.h"
+#include "workload/doc_generator.h"
+#include "workload/query_generator.h"
+#include "xml/parser.h"
+#include "xml/tree_builder.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+// --- Property: FS lower bound is met with equality by the engine over
+// the frontier query family (Thms 7.1 + 8.8). ---------------------------
+
+class FrontierFamilyProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FrontierFamilyProperty, StatesEqualTwoToTheFS) {
+  size_t k = GetParam();
+  auto query = ParseQuery(FrontierFamilyQueryText(k));
+  ASSERT_TRUE(query.ok());
+  size_t fs = FrontierSize(**query);
+  EXPECT_EQ(fs, k + 1);
+
+  auto family = FrontierFoolingFamily::Build(query->get());
+  ASSERT_TRUE(family.ok()) << family.status().ToString();
+  ASSERT_EQ(family->size(), fs);
+
+  auto filter = FrontierFilter::Create(query->get());
+  ASSERT_TRUE(filter.ok());
+  std::vector<EventStream> alphas;
+  for (uint64_t t = 0; t < (1ULL << fs); ++t) {
+    EventStream alpha;
+    alpha.push_back(Event::StartDocument());
+    EventStream a = family->Alpha(t);
+    alpha.insert(alpha.end(), a.begin(), a.end());
+    alphas.push_back(std::move(alpha));
+  }
+  auto count = CountStatesAtCut(filter->get(), alphas);
+  ASSERT_TRUE(count.ok());
+  // Lower bound: at least 2^FS states. Our engine achieves it exactly.
+  EXPECT_EQ(count->distinct_states, 1ULL << fs);
+  EXPECT_GE(count->InformationBits(), fs);
+}
+
+TEST_P(FrontierFamilyProperty, PeakTuplesTrackFS) {
+  size_t k = GetParam();
+  auto query = ParseQuery(FrontierFamilyQueryText(k));
+  ASSERT_TRUE(query.ok());
+  auto family = FrontierFoolingFamily::Build(query->get());
+  ASSERT_TRUE(family.ok());
+  auto filter = FrontierFilter::Create(query->get());
+  ASSERT_TRUE(filter.ok());
+  auto verdict = RunFilter(filter->get(), family->Document(0, 0));
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(*verdict);
+  size_t fs = k + 1;
+  // Thm 8.8 second part: FS tuples; our implementation adds the root
+  // record (one extra).
+  EXPECT_LE((*filter)->stats().table_entries().peak(), fs + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, FrontierFamilyProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Property: depth family forces exactly d states while the engine's
+// table stays flat (Thms 7.14 + 8.8). ----------------------------------
+
+class DepthFamilyProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DepthFamilyProperty, StatesEqualDepth) {
+  size_t d = GetParam();
+  auto query = ParseQuery("/a/b");
+  ASSERT_TRUE(query.ok());
+  auto family = DepthFoolingFamily::Build(query->get());
+  ASSERT_TRUE(family.ok());
+  auto filter = FrontierFilter::Create(query->get());
+  ASSERT_TRUE(filter.ok());
+  std::vector<EventStream> alphas;
+  for (size_t i = 0; i < d; ++i) alphas.push_back(family->AlphaI(i));
+  auto count = CountStatesAtCut(filter->get(), alphas);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->distinct_states, d);
+
+  auto verdict = RunFilter(filter->get(), family->Document(d, d));
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(*verdict);
+  EXPECT_LE((*filter)->stats().table_entries().peak(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(DepthSweep, DepthFamilyProperty,
+                         ::testing::Values(2, 4, 8, 16, 64, 256));
+
+// --- Property: Lemma 5.10 (matching ⇔ BOOLEVAL) per random seed. ------
+
+class MatchingEquivalenceProperty
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatchingEquivalenceProperty, MatchingIffBoolEval) {
+  Random rng(GetParam());
+  QueryGenOptions qopts;
+  qopts.max_depth = 3;
+  qopts.name_pool = 3;
+  DocGenOptions dopts;
+  dopts.max_depth = 5;
+  dopts.name_pool = 3;
+  for (int i = 0; i < 60; ++i) {
+    auto query = GenerateRandomQuery(&rng, qopts);
+    ASSERT_TRUE(query.ok());
+    auto doc = GenerateRandomDocument(&rng, dopts);
+    auto analyzer = MatchingAnalyzer::Create(query->get(), doc.get());
+    if (!analyzer.ok()) continue;
+    EXPECT_EQ(analyzer->HasMatching(), BoolEval(**query, *doc))
+        << (*query)->ToString();
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingEquivalenceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// --- Property: canonical documents of redundancy-free queries have a
+// unique matching (Lemma 6.15) per generated query. --------------------
+
+class CanonicalUniquenessProperty
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CanonicalUniquenessProperty, ExactlyOneMatching) {
+  Random rng(GetParam());
+  QueryGenOptions qopts;
+  qopts.max_depth = 3;
+  qopts.distinct_names = true;
+  qopts.value_predicate_prob = 0.5;
+  for (int i = 0; i < 20; ++i) {
+    auto query = GenerateRandomQuery(&rng, qopts);
+    ASSERT_TRUE(query.ok());
+    FragmentReport report = ClassifyQuery(**query);
+    if (!report.redundancy_free) continue;
+    auto canonical = BuildCanonicalDocument(**query);
+    ASSERT_TRUE(canonical.ok()) << (*query)->ToString();
+    EXPECT_TRUE(BoolEval(**query, *canonical->document))
+        << (*query)->ToString();
+    auto analyzer =
+        MatchingAnalyzer::Create(query->get(), canonical->document.get());
+    ASSERT_TRUE(analyzer.ok());
+    EXPECT_EQ(analyzer->CountMatchings(), 1u) << (*query)->ToString();
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalUniquenessProperty,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+// --- Property: the streaming parser is chunking-invariant. -------------
+
+class ParserChunkProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParserChunkProperty, ChunkSizeDoesNotChangeEvents) {
+  const std::string xml =
+      "<feed><msg a=\"1\"><header><from>x&amp;y</from></header>"
+      "<body>hello <b>world</b></body></msg><!--c--><msg/></feed>";
+  auto whole = ParseXmlToEvents(xml);
+  ASSERT_TRUE(whole.ok());
+  size_t chunk = GetParam();
+  EventStream events;
+  CollectingSink sink(&events);
+  XmlParser parser(&sink);
+  for (size_t pos = 0; pos < xml.size(); pos += chunk) {
+    ASSERT_TRUE(parser.Feed(xml.substr(pos, chunk)).ok());
+  }
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(events, *whole);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, ParserChunkProperty,
+                         ::testing::Values(1, 2, 3, 5, 7, 16, 64, 1024));
+
+// --- Property: engine agreement under every event-stream cut (the
+// Lemma 3.7 protocol at every position). --------------------------------
+
+class CutPointProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CutPointProperty, StateCarriesAcrossEveryCut) {
+  Random rng(GetParam());
+  QueryGenOptions qopts;
+  qopts.max_depth = 3;
+  qopts.name_pool = 3;
+  DocGenOptions dopts;
+  dopts.max_depth = 4;
+  dopts.name_pool = 3;
+  auto query = GenerateRandomQuery(&rng, qopts);
+  ASSERT_TRUE(query.ok());
+  auto filter = FrontierFilter::Create(query->get());
+  if (!filter.ok()) GTEST_SKIP();
+  auto doc = GenerateRandomDocument(&rng, dopts);
+  EventStream events = doc->ToEvents();
+  bool expected = BoolEval(**query, *doc);
+  // Feeding the stream with an interruption at every position must give
+  // the same verdict (the state is self-contained).
+  for (size_t cut = 1; cut < events.size(); ++cut) {
+    ASSERT_TRUE((*filter)->Reset().ok());
+    for (size_t i = 0; i < events.size(); ++i) {
+      ASSERT_TRUE((*filter)->OnEvent(events[i]).ok());
+      if (i + 1 == cut) {
+        // Serialize at the cut: must not disturb the run.
+        (void)(*filter)->SerializeState();
+      }
+    }
+    auto verdict = (*filter)->Matched();
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_EQ(*verdict, expected) << "cut=" << cut;
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutPointProperty,
+                         ::testing::Values(31, 32, 33, 34, 35));
+
+}  // namespace
+}  // namespace xpstream

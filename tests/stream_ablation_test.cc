@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stream/frontier_filter.h"
+#include "workload/doc_generator.h"
+#include "workload/query_generator.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+/// Runs the filter in the given pseudo-code mode.
+Result<bool> RunMode(const Query* q, const EventStream& events,
+                     bool literal) {
+  auto f = FrontierFilter::Create(q);
+  if (!f.ok()) return f.status();
+  (*f)->SetLiteralPseudocodeMode(literal);
+  return RunFilter(f->get(), events);
+}
+
+TEST(AblationTest, LiteralModeMatchesOnNonRecursiveDocuments) {
+  // Without recursion, the assignment and OR semantics coincide.
+  Random rng(111);
+  DocGenOptions dopts;
+  dopts.max_depth = 3;
+  dopts.name_pool = 6;  // few name collisions -> low recursion
+  QueryGenOptions qopts;
+  qopts.max_depth = 3;
+  qopts.name_pool = 6;
+  qopts.descendant_prob = 0.0;
+  for (int i = 0; i < 150; ++i) {
+    auto query = GenerateRandomQuery(&rng, qopts);
+    ASSERT_TRUE(query.ok());
+    auto doc = GenerateRandomDocument(&rng, dopts);
+    auto fixed = RunMode(query->get(), doc->ToEvents(), false);
+    auto literal = RunMode(query->get(), doc->ToEvents(), true);
+    if (!fixed.ok()) continue;
+    ASSERT_TRUE(literal.ok());
+    EXPECT_EQ(*fixed, *literal) << (*query)->ToString();
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(AblationTest, LiteralModeErasesMatchUnderRecursion) {
+  // The documented regression (DESIGN.md §5 fix 1): //a[b and c] on a
+  // document where an inner a matches but the outer a does not. The
+  // literal Fig. 21 line 28 overwrites the descendant-axis record's
+  // matched bit with the outer (failing) verdict.
+  auto q = ParseQuery("//a[b and c]");
+  ASSERT_TRUE(q.ok());
+  auto events = ParseXmlToEvents("<a><a><b/><c/></a></a>");
+  ASSERT_TRUE(events.ok());
+  auto fixed = RunMode(q->get(), *events, false);
+  auto literal = RunMode(q->get(), *events, true);
+  ASSERT_TRUE(fixed.ok() && literal.ok());
+  EXPECT_TRUE(*fixed);     // ground truth: the inner a matches
+  EXPECT_FALSE(*literal);  // the literal pseudo-code loses the match
+}
+
+TEST(AblationTest, FixedModeAlwaysAgreesWithGroundTruth) {
+  // The companion claim: with the fixes, recursion-heavy fuzzing agrees
+  // with BOOLEVAL while literal mode shows a measurable divergence rate.
+  Random rng(222);
+  DocGenOptions dopts;
+  dopts.max_depth = 7;
+  dopts.name_pool = 2;
+  QueryGenOptions qopts;
+  qopts.max_depth = 3;
+  qopts.name_pool = 2;
+  qopts.descendant_prob = 0.6;
+  qopts.value_predicate_prob = 0.1;
+  size_t literal_divergences = 0;
+  size_t checked = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto query = GenerateRandomQuery(&rng, qopts);
+    ASSERT_TRUE(query.ok());
+    auto doc = GenerateRandomDocument(&rng, dopts);
+    bool expected = BoolEval(**query, *doc);
+    auto fixed = RunMode(query->get(), doc->ToEvents(), false);
+    auto literal = RunMode(query->get(), doc->ToEvents(), true);
+    if (!fixed.ok()) continue;
+    ++checked;
+    EXPECT_EQ(*fixed, expected) << (*query)->ToString();
+    ASSERT_TRUE(literal.ok());
+    if (*literal != expected) ++literal_divergences;
+    if (::testing::Test::HasFailure()) return;
+  }
+  EXPECT_GT(checked, 200u);
+  EXPECT_GT(literal_divergences, 0u)
+      << "expected the literal pseudo-code to diverge somewhere on a "
+         "recursion-heavy workload";
+}
+
+}  // namespace
+}  // namespace xpstream

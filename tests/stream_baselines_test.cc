@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stream/frontier_filter.h"
+#include "stream/lazy_dfa_filter.h"
+#include "stream/naive_filter.h"
+#include "stream/nfa_filter.h"
+#include "workload/doc_generator.h"
+#include "workload/query_generator.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+template <typename FilterT>
+bool RunEngine(const std::string& query_text, const std::string& xml) {
+  auto q = ParseQuery(query_text);
+  EXPECT_TRUE(q.ok());
+  auto f = FilterT::Create(q->get());
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  auto events = ParseXmlToEvents(xml);
+  EXPECT_TRUE(events.ok());
+  auto verdict = RunFilter(f->get(), *events);
+  EXPECT_TRUE(verdict.ok()) << verdict.status().ToString();
+  return verdict.ok() && *verdict;
+}
+
+TEST(NfaFilterTest, LinearQueries) {
+  EXPECT_TRUE(RunEngine<NfaFilter>("/a/b", "<a><b/></a>"));
+  EXPECT_FALSE(RunEngine<NfaFilter>("/a/b", "<a><x><b/></x></a>"));
+  EXPECT_TRUE(RunEngine<NfaFilter>("//b", "<a><x><b/></x></a>"));
+  EXPECT_TRUE(RunEngine<NfaFilter>("/a//b/c", "<a><x><b><c/></b></x></a>"));
+  EXPECT_FALSE(RunEngine<NfaFilter>("/a//b/c", "<a><x><b><d/></b></x></a>"));
+  EXPECT_TRUE(RunEngine<NfaFilter>("/a/*/c", "<a><q><c/></q></a>"));
+  EXPECT_TRUE(RunEngine<NfaFilter>("//a//a", "<a><x><a/></x></a>"));
+  EXPECT_FALSE(RunEngine<NfaFilter>("//a//a", "<a><x/></a>"));
+}
+
+TEST(NfaFilterTest, AttributeLastStep) {
+  EXPECT_TRUE(RunEngine<NfaFilter>("/a/@id", "<a id=\"1\"/>"));
+  EXPECT_FALSE(RunEngine<NfaFilter>("/a/@id", "<a><b id=\"1\"/></a>"));
+  EXPECT_TRUE(RunEngine<NfaFilter>("//b/@k", "<a><b k=\"v\"/></a>"));
+}
+
+TEST(NfaFilterTest, RejectsTwigQueries) {
+  auto q = ParseQuery("/a[b]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(NfaFilter::Create(q->get()).ok());
+}
+
+TEST(NfaFilterTest, StackDepthTracksDocumentDepth) {
+  auto q = ParseQuery("//a/b");
+  ASSERT_TRUE(q.ok());
+  auto f = NfaFilter::Create(q->get());
+  ASSERT_TRUE(f.ok());
+  std::string xml;
+  for (int i = 0; i < 30; ++i) xml += "<a>";
+  for (int i = 0; i < 30; ++i) xml += "</a>";
+  auto events = ParseXmlToEvents(xml);
+  ASSERT_TRUE(events.ok());
+  ASSERT_TRUE(RunFilter(f->get(), *events).ok());
+  EXPECT_GE((*f)->stats().table_entries().peak(), 30u);
+}
+
+TEST(LazyDfaFilterTest, AgreesOnBasics) {
+  EXPECT_TRUE(RunEngine<LazyDfaFilter>("/a/b", "<a><b/></a>"));
+  EXPECT_FALSE(RunEngine<LazyDfaFilter>("/a/b", "<a><x><b/></x></a>"));
+  EXPECT_TRUE(RunEngine<LazyDfaFilter>("//a//b", "<a><q><b/></q></a>"));
+  EXPECT_TRUE(RunEngine<LazyDfaFilter>("/a/*/c", "<a><q><c/></q></a>"));
+}
+
+TEST(LazyDfaFilterTest, TransitionTablePersistsAcrossDocuments) {
+  auto q = ParseQuery("//a//b//c");
+  ASSERT_TRUE(q.ok());
+  auto f = LazyDfaFilter::Create(q->get());
+  ASSERT_TRUE(f.ok());
+  auto events = ParseXmlToEvents("<a><b><c/></b></a>");
+  ASSERT_TRUE(events.ok());
+  ASSERT_TRUE(RunFilter(f->get(), *events).ok());
+  size_t states_after_first = (*f)->NumStates();
+  EXPECT_GT(states_after_first, 1u);
+  ASSERT_TRUE(RunFilter(f->get(), *events).ok());
+  EXPECT_EQ((*f)->NumStates(), states_after_first);  // cached
+}
+
+TEST(LazyDfaFilterTest, EagerMaterializationBlowsUp) {
+  // §1.2: determinizing queries mixing // with wildcards explodes the
+  // table. The classic Green-et-al. shape //a/*^k forces the DFA to
+  // remember which of the last k ancestors were named a: 2^k states.
+  auto small = ParseQuery("//a/*/*/*");
+  auto large = ParseQuery("//a/*/*/*/*/*/*/*/*");
+  ASSERT_TRUE(small.ok() && large.ok());
+  auto fs = LazyDfaFilter::Create(small->get());
+  auto fl = LazyDfaFilter::Create(large->get());
+  ASSERT_TRUE(fs.ok() && fl.ok());
+  (*fs)->MaterializeFully();
+  (*fl)->MaterializeFully();
+  EXPECT_GT((*fl)->NumStates(), (*fs)->NumStates());
+  EXPECT_GE((*fl)->NumStates(), 1u << 8);  // ≥ 2^k reachable subsets
+}
+
+TEST(NaiveFilterTest, FullFragment) {
+  EXPECT_TRUE(RunEngine<NaiveTreeFilter>("/a[b or c]", "<a><c/></a>"));
+  EXPECT_FALSE(RunEngine<NaiveTreeFilter>("/a[not(b)]", "<a><b/></a>"));
+  EXPECT_TRUE(RunEngine<NaiveTreeFilter>("/a[b = c]", "<a><b>1</b><c>1</c></a>"));
+}
+
+TEST(NaiveFilterTest, BuffersWholeDocument) {
+  auto q = ParseQuery("/a/b");
+  ASSERT_TRUE(q.ok());
+  auto f = NaiveTreeFilter::Create(q->get());
+  ASSERT_TRUE(f.ok());
+  std::string xml = "<a>";
+  for (int i = 0; i < 100; ++i) xml += "<b>text</b>";
+  xml += "</a>";
+  auto events = ParseXmlToEvents(xml);
+  ASSERT_TRUE(events.ok());
+  ASSERT_TRUE(RunFilter(f->get(), *events).ok());
+  EXPECT_GE((*f)->stats().table_entries().peak(), 300u);
+}
+
+TEST(BaselineDifferentialTest, NfaAndDfaAgreeWithGroundTruth) {
+  Random rng(7007);
+  DocGenOptions dopts;
+  dopts.max_depth = 6;
+  dopts.name_pool = 3;
+  dopts.names = {"s0", "s1", "s2"};
+  for (int i = 0; i < 250; ++i) {
+    auto query = GenerateLinearQuery(&rng, 1 + rng.Uniform(5), 0.4, 0.2, 3);
+    ASSERT_TRUE(query.ok());
+    auto nfa = NfaFilter::Create(query->get());
+    auto dfa = LazyDfaFilter::Create(query->get());
+    ASSERT_TRUE(nfa.ok() && dfa.ok()) << (*query)->ToString();
+    auto doc = GenerateRandomDocument(&rng, dopts);
+    bool expected = BoolEval(**query, *doc);
+    auto v1 = RunFilter(nfa->get(), doc->ToEvents());
+    auto v2 = RunFilter(dfa->get(), doc->ToEvents());
+    ASSERT_TRUE(v1.ok() && v2.ok());
+    EXPECT_EQ(*v1, expected) << "NFA " << (*query)->ToString();
+    EXPECT_EQ(*v2, expected) << "DFA " << (*query)->ToString();
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(BaselineDifferentialTest, AllEnginesAgreeOnLinearQueries) {
+  Random rng(8008);
+  DocGenOptions dopts;
+  dopts.max_depth = 5;
+  dopts.name_pool = 3;
+  dopts.names = {"s0", "s1", "s2"};
+  for (int i = 0; i < 150; ++i) {
+    auto query = GenerateLinearQuery(&rng, 1 + rng.Uniform(4), 0.4, 0.0, 3);
+    ASSERT_TRUE(query.ok());
+    auto frontier = FrontierFilter::Create(query->get());
+    auto nfa = NfaFilter::Create(query->get());
+    ASSERT_TRUE(frontier.ok() && nfa.ok());
+    auto doc = GenerateRandomDocument(&rng, dopts);
+    auto v1 = RunFilter(frontier->get(), doc->ToEvents());
+    auto v2 = RunFilter(nfa->get(), doc->ToEvents());
+    ASSERT_TRUE(v1.ok() && v2.ok());
+    EXPECT_EQ(*v1, *v2) << (*query)->ToString();
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace xpstream

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stream/frontier_filter.h"
+#include "workload/doc_generator.h"
+#include "workload/query_generator.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+/// Runs the filter in output-collection mode; returns selected values.
+std::vector<std::string> Collect(const std::string& query_text,
+                                 const std::string& xml) {
+  auto q = ParseQuery(query_text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  auto f = FrontierFilter::Create(q->get());
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  Status enable = (*f)->EnableOutputCollection();
+  EXPECT_TRUE(enable.ok()) << enable.ToString();
+  auto events = ParseXmlToEvents(xml);
+  EXPECT_TRUE(events.ok());
+  auto verdict = RunFilter(f->get(), *events);
+  EXPECT_TRUE(verdict.ok()) << verdict.status().ToString();
+  return (*f)->outputs();
+}
+
+/// Ground truth: FULLEVAL string values.
+std::vector<std::string> Expected(const Query& q, const XmlDocument& doc) {
+  std::vector<std::string> out;
+  for (const XmlNode* node : FullEval(q, doc)) {
+    out.push_back(node->StringValue());
+  }
+  return out;
+}
+
+TEST(OutputCollectionTest, SimpleSelection) {
+  EXPECT_EQ(Collect("/a/b", "<a><b>1</b><c/><b>2</b></a>"),
+            (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(OutputCollectionTest, EmptyWhenNoMatch) {
+  EXPECT_TRUE(Collect("/a/b", "<a><c/></a>").empty());
+}
+
+TEST(OutputCollectionTest, PredicateOnOutputNode) {
+  EXPECT_EQ(Collect("/a/b[c]", "<a><b>x<c/></b><b>y</b><b>z<c/></b></a>"),
+            (std::vector<std::string>{"x", "z"}));
+}
+
+TEST(OutputCollectionTest, ValuePredicateOnOutputSubtree) {
+  EXPECT_EQ(Collect("/a/b[c > 5]",
+                    "<a><b>u<c>6</c></b><b>v<c>2</c></b></a>"),
+            (std::vector<std::string>{"u6"}));
+}
+
+TEST(OutputCollectionTest, AncestorPredicateGatesOutputs) {
+  // The root-level predicate fails: nothing is emitted even though b
+  // elements exist.
+  EXPECT_TRUE(Collect("/a[q]/b", "<a><b>1</b></a>").empty());
+  EXPECT_EQ(Collect("/a[q]/b", "<a><q/><b>1</b></a>"),
+            (std::vector<std::string>{"1"}));
+}
+
+TEST(OutputCollectionTest, MidChainPredicate) {
+  // /a/b[c]/d: only d's under a c-bearing b are selected.
+  EXPECT_EQ(Collect("/a/b[c]/d",
+                    "<a><b><c/><d>1</d></b><b><d>2</d></b>"
+                    "<b><d>3</d><c/></b></a>"),
+            (std::vector<std::string>{"1", "3"}));
+}
+
+TEST(OutputCollectionTest, PaperFig2Query) {
+  EXPECT_EQ(Collect("/a[c[.//e and f] and b > 5]/b",
+                    "<a><c><e/><f/></c><b>6</b></a>"),
+            (std::vector<std::string>{"6"}));
+  EXPECT_TRUE(Collect("/a[c[.//e and f] and b > 5]/b",
+                      "<a><c><f/></c><b>6</b></a>")
+                  .empty());
+}
+
+TEST(OutputCollectionTest, NestedTextConcatenated) {
+  EXPECT_EQ(Collect("/a/b", "<a><b>x<i>y</i>z</b></a>"),
+            (std::vector<std::string>{"xyz"}));
+}
+
+TEST(OutputCollectionTest, RejectsDescendantChain) {
+  auto q = ParseQuery("//a/b");
+  ASSERT_TRUE(q.ok());
+  auto f = FrontierFilter::Create(q->get());
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE((*f)->EnableOutputCollection().ok());
+}
+
+TEST(OutputCollectionTest, BooleanVerdictUnaffected) {
+  auto q = ParseQuery("/a/b[c]");
+  ASSERT_TRUE(q.ok());
+  auto f = FrontierFilter::Create(q->get());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->EnableOutputCollection().ok());
+  auto events = ParseXmlToEvents("<a><b><c/></b></a>");
+  ASSERT_TRUE(events.ok());
+  auto verdict = RunFilter(f->get(), *events);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(*verdict);
+  EXPECT_EQ((*f)->outputs().size(), 1u);
+}
+
+TEST(OutputCollectionTest, DifferentialAgainstFullEval) {
+  // Random child-axis-chain queries vs the reference FULLEVAL.
+  Random rng(909);
+  DocGenOptions dopts;
+  dopts.max_depth = 5;
+  dopts.name_pool = 3;
+  QueryGenOptions qopts;
+  qopts.max_depth = 3;
+  qopts.name_pool = 3;
+  qopts.descendant_prob = 0;  // child-axis chains only
+  size_t checked = 0;
+  for (int i = 0; i < 250; ++i) {
+    auto query = GenerateRandomQuery(&rng, qopts);
+    ASSERT_TRUE(query.ok());
+    auto filter = FrontierFilter::Create(query->get());
+    if (!filter.ok()) continue;
+    if (!(*filter)->EnableOutputCollection().ok()) continue;
+    auto doc = GenerateRandomDocument(&rng, dopts);
+    auto verdict = RunFilter(filter->get(), doc->ToEvents());
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_EQ((*filter)->outputs(), Expected(**query, *doc))
+        << (*query)->ToString() << "\n"
+        << EventStreamToString(doc->ToEvents());
+    ++checked;
+    if (::testing::Test::HasFailure()) return;
+  }
+  EXPECT_GT(checked, 150u);
+}
+
+TEST(OutputCollectionTest, DifferentialWithDescendantPredicates) {
+  // Chain must be child-axis, but predicates may use '//' freely.
+  Random rng(910);
+  DocGenOptions dopts;
+  dopts.max_depth = 6;
+  dopts.name_pool = 3;
+  for (int i = 0; i < 120; ++i) {
+    auto query = GenerateRandomQuery(&rng, [] {
+      QueryGenOptions o;
+      o.max_depth = 3;
+      o.name_pool = 3;
+      o.descendant_prob = 0.4;
+      return o;
+    }());
+    ASSERT_TRUE(query.ok());
+    auto filter = FrontierFilter::Create(query->get());
+    if (!filter.ok()) continue;
+    if (!(*filter)->EnableOutputCollection().ok()) continue;  // '//' chain
+    auto doc = GenerateRandomDocument(&rng, dopts);
+    auto verdict = RunFilter(filter->get(), doc->ToEvents());
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_EQ((*filter)->outputs(), Expected(**query, *doc))
+        << (*query)->ToString();
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace xpstream

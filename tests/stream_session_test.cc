@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stream/frontier_filter.h"
+#include "stream/session.h"
+#include "workload/doc_generator.h"
+#include "workload/scenarios.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+TEST(SessionTest, SequenceOfDocuments) {
+  auto q = ParseQuery("/a[b]");
+  ASSERT_TRUE(q.ok());
+  auto f = FrontierFilter::Create(q->get());
+  ASSERT_TRUE(f.ok());
+  std::vector<EventStream> docs;
+  for (const char* xml : {"<a><b/></a>", "<a><c/></a>", "<a><b>1</b></a>"}) {
+    auto events = ParseXmlToEvents(xml);
+    ASSERT_TRUE(events.ok());
+    docs.push_back(std::move(events).value());
+  }
+  auto verdicts = FilterDocumentBatch(f->get(), docs);
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_EQ(*verdicts, (std::vector<bool>{true, false, true}));
+}
+
+TEST(SessionTest, StateDoesNotLeakBetweenDocuments) {
+  // A match in document 1 must not bleed into document 2 and vice versa.
+  auto q = ParseQuery("/a[b and c]");
+  ASSERT_TRUE(q.ok());
+  auto f = FrontierFilter::Create(q->get());
+  ASSERT_TRUE(f.ok());
+  std::vector<EventStream> docs;
+  for (const char* xml : {"<a><b/></a>", "<a><c/></a>"}) {
+    auto events = ParseXmlToEvents(xml);
+    ASSERT_TRUE(events.ok());
+    docs.push_back(std::move(events).value());
+  }
+  auto verdicts = FilterDocumentBatch(f->get(), docs);
+  ASSERT_TRUE(verdicts.ok());
+  // Neither document alone has both b and c.
+  EXPECT_EQ(*verdicts, (std::vector<bool>{false, false}));
+}
+
+TEST(SessionTest, DrivenDirectlyByStreamingParser) {
+  // End-to-end: bytes -> XmlParser -> FilterSession -> verdicts, with
+  // documents arriving back to back in one byte stream, fed in tiny
+  // chunks.
+  auto q = ParseQuery("/m[p > 5]");
+  ASSERT_TRUE(q.ok());
+  auto f = FrontierFilter::Create(q->get());
+  ASSERT_TRUE(f.ok());
+  FilterSession session(f->get());
+
+  const char* documents[] = {"<m><p>7</p></m>", "<m><p>3</p></m>",
+                             "<m><p>9</p></m>"};
+  for (const char* xml : documents) {
+    XmlParser parser(&session);
+    std::string text = xml;
+    for (size_t i = 0; i < text.size(); i += 3) {
+      ASSERT_TRUE(parser.Feed(text.substr(i, 3)).ok());
+    }
+    ASSERT_TRUE(parser.Finish().ok());
+  }
+  EXPECT_EQ(session.verdicts(), (std::vector<bool>{true, false, true}));
+  EXPECT_EQ(session.documents_seen(), 3u);
+}
+
+TEST(SessionTest, RejectsMalformedBoundaries) {
+  auto q = ParseQuery("/a");
+  ASSERT_TRUE(q.ok());
+  auto f = FrontierFilter::Create(q->get());
+  ASSERT_TRUE(f.ok());
+  FilterSession session(f->get());
+  EXPECT_FALSE(session.OnEvent(Event::StartElement("a")).ok());
+  ASSERT_TRUE(session.OnEvent(Event::StartDocument()).ok());
+  EXPECT_FALSE(session.OnEvent(Event::StartDocument()).ok());
+}
+
+TEST(SessionTest, TracksPeakMemoryAcrossDocuments) {
+  auto q = ParseQuery("//a[b and c]");
+  ASSERT_TRUE(q.ok());
+  auto f = FrontierFilter::Create(q->get());
+  ASSERT_TRUE(f.ok());
+  std::vector<EventStream> docs;
+  // Second document is much deeper; the session peak reflects it.
+  std::string deep;
+  for (int i = 0; i < 10; ++i) deep += "<a>";
+  for (int i = 0; i < 10; ++i) deep += "</a>";
+  for (const std::string& xml : {std::string("<a/>"), deep}) {
+    auto events = ParseXmlToEvents(xml);
+    ASSERT_TRUE(events.ok());
+    docs.push_back(std::move(events).value());
+  }
+  auto verdicts = FilterDocumentBatch(f->get(), docs);
+  ASSERT_TRUE(verdicts.ok());
+  FilterSession session(f->get());
+  for (const auto& d : docs) {
+    for (const Event& e : d) ASSERT_TRUE(session.OnEvent(e).ok());
+  }
+  EXPECT_GE(session.peak_table_entries(), 10u);
+}
+
+TEST(SessionTest, RandomizedAgainstGroundTruth) {
+  Random rng(4242);
+  auto q = ParseQuery("/book[price < 50]/title");
+  ASSERT_TRUE(q.ok());
+  auto f = FrontierFilter::Create(q->get());
+  ASSERT_TRUE(f.ok());
+  auto corpus = GenerateBibliographyCorpus(30, 99);
+  std::vector<EventStream> docs;
+  std::vector<bool> expected;
+  for (const auto& doc : corpus) {
+    docs.push_back(doc->ToEvents());
+    expected.push_back(BoolEval(**q, *doc));
+  }
+  auto verdicts = FilterDocumentBatch(f->get(), docs);
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_EQ(*verdicts, expected);
+}
+
+}  // namespace
+}  // namespace xpstream

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "xml/event.h"
+
+namespace xpstream {
+namespace {
+
+EventStream Wrap(EventStream inner) {
+  EventStream out;
+  out.push_back(Event::StartDocument());
+  for (auto& e : inner) out.push_back(std::move(e));
+  out.push_back(Event::EndDocument());
+  return out;
+}
+
+TEST(EventTest, PaperNotation) {
+  EXPECT_EQ(Event::StartDocument().ToString(), "<$>");
+  EXPECT_EQ(Event::EndDocument().ToString(), "</$>");
+  EXPECT_EQ(Event::StartElement("a").ToString(), "<a>");
+  EXPECT_EQ(Event::EndElement("a").ToString(), "</a>");
+  EXPECT_EQ(Event::Text("hi").ToString(), "hi");
+  EXPECT_EQ(Event::Attribute("k", "v").ToString(), "@k=\"v\"");
+}
+
+TEST(EventTest, StreamToString) {
+  EventStream s = Wrap({Event::StartElement("a"), Event::Text("x"),
+                        Event::EndElement("a")});
+  EXPECT_EQ(EventStreamToString(s), "<$><a>x</a></$>");
+}
+
+TEST(ValidateTest, AcceptsWellFormed) {
+  EventStream s = Wrap({Event::StartElement("a"),
+                        Event::Attribute("id", "1"),
+                        Event::StartElement("b"), Event::Text("t"),
+                        Event::EndElement("b"), Event::EndElement("a")});
+  EXPECT_TRUE(ValidateEventStream(s).ok());
+}
+
+TEST(ValidateTest, RejectsEmpty) {
+  EXPECT_FALSE(ValidateEventStream({}).ok());
+}
+
+TEST(ValidateTest, RejectsMissingEnvelope) {
+  EventStream s = {Event::StartElement("a"), Event::EndElement("a")};
+  EXPECT_FALSE(ValidateEventStream(s).ok());
+}
+
+TEST(ValidateTest, RejectsMismatchedNesting) {
+  EventStream s = Wrap({Event::StartElement("a"), Event::EndElement("b")});
+  EXPECT_FALSE(ValidateEventStream(s).ok());
+}
+
+TEST(ValidateTest, RejectsUnclosedElement) {
+  EventStream s = Wrap({Event::StartElement("a")});
+  EXPECT_FALSE(ValidateEventStream(s).ok());
+}
+
+TEST(ValidateTest, RejectsMultipleRoots) {
+  EventStream s = Wrap({Event::StartElement("a"), Event::EndElement("a"),
+                        Event::StartElement("b"), Event::EndElement("b")});
+  EXPECT_FALSE(ValidateEventStream(s).ok());
+}
+
+TEST(ValidateTest, RejectsTextOutsideRoot) {
+  EventStream s = Wrap({Event::Text("x"), Event::StartElement("a"),
+                        Event::EndElement("a")});
+  EXPECT_FALSE(ValidateEventStream(s).ok());
+}
+
+TEST(ValidateTest, RejectsMisplacedAttribute) {
+  EventStream s = Wrap({Event::StartElement("a"), Event::Text("t"),
+                        Event::Attribute("k", "v"), Event::EndElement("a")});
+  EXPECT_FALSE(ValidateEventStream(s).ok());
+}
+
+TEST(ValidateTest, AllowsConsecutiveAttributes) {
+  EventStream s = Wrap({Event::StartElement("a"), Event::Attribute("k", "v"),
+                        Event::Attribute("l", "w"), Event::EndElement("a")});
+  EXPECT_TRUE(ValidateEventStream(s).ok());
+}
+
+TEST(ValidateTest, RejectsNoRootElement) {
+  EventStream s = Wrap({});
+  EXPECT_FALSE(ValidateEventStream(s).ok());
+}
+
+TEST(ValidateTest, RejectsInvalidElementName) {
+  EventStream s = Wrap({Event::StartElement("1bad"), Event::EndElement("1bad")});
+  EXPECT_FALSE(ValidateEventStream(s).ok());
+}
+
+TEST(CollectingSinkTest, Collects) {
+  EventStream out;
+  CollectingSink sink(&out);
+  ASSERT_TRUE(sink.OnEvent(Event::StartDocument()).ok());
+  ASSERT_TRUE(sink.OnEvent(Event::EndDocument()).ok());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace xpstream

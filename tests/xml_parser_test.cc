@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/tree_builder.h"
+#include "xml/writer.h"
+
+namespace xpstream {
+namespace {
+
+std::string ParseToString(std::string_view xml) {
+  auto events = ParseXmlToEvents(xml);
+  EXPECT_TRUE(events.ok()) << events.status().ToString();
+  if (!events.ok()) return "";
+  return EventStreamToString(*events);
+}
+
+TEST(XmlParserTest, SimpleDocument) {
+  EXPECT_EQ(ParseToString("<a><b>hi</b></a>"), "<$><a><b>hi</b></a></$>");
+}
+
+TEST(XmlParserTest, SelfClosingTag) {
+  EXPECT_EQ(ParseToString("<a><b/></a>"), "<$><a><b></b></a></$>");
+}
+
+TEST(XmlParserTest, Attributes) {
+  EXPECT_EQ(ParseToString("<a x=\"1\" y='two'/>"),
+            "<$><a>@x=\"1\"@y=\"two\"</a></$>");
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  EXPECT_EQ(ParseToString("<a>&lt;&gt;&amp;&quot;&apos;</a>"),
+            "<$><a><>&\"'</a></$>");
+}
+
+TEST(XmlParserTest, CharacterReferences) {
+  EXPECT_EQ(ParseToString("<a>&#65;&#x42;</a>"), "<$><a>AB</a></$>");
+}
+
+TEST(XmlParserTest, Utf8CharacterReference) {
+  auto events = ParseXmlToEvents("<a>&#955;</a>");  // greek lambda
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ((*events)[2].text, "\xCE\xBB");
+}
+
+TEST(XmlParserTest, CommentsSkipped) {
+  EXPECT_EQ(ParseToString("<a><!-- hello <b> --><c/></a>"),
+            "<$><a><c></c></a></$>");
+}
+
+TEST(XmlParserTest, XmlDeclarationSkipped) {
+  EXPECT_EQ(ParseToString("<?xml version=\"1.0\"?><a/>"), "<$><a></a></$>");
+}
+
+TEST(XmlParserTest, CdataSection) {
+  EXPECT_EQ(ParseToString("<a><![CDATA[<raw>&amp;]]></a>"),
+            "<$><a><raw>&amp;</a></$>");
+}
+
+TEST(XmlParserTest, WhitespaceOutsideRootAllowed) {
+  EXPECT_EQ(ParseToString("  <a/>  \n"), "<$><a></a></$>");
+}
+
+TEST(XmlParserTest, ChunkedFeedingAnySplit) {
+  const std::string xml =
+      "<?xml version=\"1.0\"?><root a=\"v\"><x>text &amp; more</x>"
+      "<!--c--><y/></root>";
+  auto whole = ParseXmlToEvents(xml);
+  ASSERT_TRUE(whole.ok());
+  for (size_t split = 1; split < xml.size(); ++split) {
+    EventStream events;
+    CollectingSink sink(&events);
+    XmlParser parser(&sink);
+    ASSERT_TRUE(parser.Feed(xml.substr(0, split)).ok()) << split;
+    ASSERT_TRUE(parser.Feed(xml.substr(split)).ok()) << split;
+    ASSERT_TRUE(parser.Finish().ok()) << split;
+    EXPECT_EQ(events, *whole) << "split at " << split;
+  }
+}
+
+TEST(XmlParserTest, ErrorMismatchedTags) {
+  EXPECT_FALSE(ParseXmlToEvents("<a><b></a></b>").ok());
+}
+
+TEST(XmlParserTest, ErrorUnclosedElement) {
+  EXPECT_FALSE(ParseXmlToEvents("<a><b>").ok());
+}
+
+TEST(XmlParserTest, ErrorTextOutsideRoot) {
+  EXPECT_FALSE(ParseXmlToEvents("hello<a/>").ok());
+}
+
+TEST(XmlParserTest, ErrorContentAfterRoot) {
+  EXPECT_FALSE(ParseXmlToEvents("<a/><b/>").ok());
+}
+
+TEST(XmlParserTest, ErrorUnknownEntity) {
+  EXPECT_FALSE(ParseXmlToEvents("<a>&nope;</a>").ok());
+}
+
+TEST(XmlParserTest, ErrorBadAttributeSyntax) {
+  EXPECT_FALSE(ParseXmlToEvents("<a x=1/>").ok());
+  EXPECT_FALSE(ParseXmlToEvents("<a x></a>").ok());
+}
+
+TEST(XmlParserTest, ErrorDtdUnsupported) {
+  EXPECT_FALSE(ParseXmlToEvents("<!DOCTYPE a><a/>").ok());
+}
+
+TEST(XmlParserTest, ErrorEmptyInput) {
+  EXPECT_FALSE(ParseXmlToEvents("").ok());
+}
+
+TEST(XmlParserTest, ErrorInvalidName) {
+  EXPECT_FALSE(ParseXmlToEvents("<1a/>").ok());
+}
+
+TEST(XmlWriterTest, RoundTripThroughWriter) {
+  const std::string xml = "<a p=\"1\"><b>x &amp; y</b><c/><d>z</d></a>";
+  auto events = ParseXmlToEvents(xml);
+  ASSERT_TRUE(events.ok());
+  auto text = EventsToXml(*events);
+  ASSERT_TRUE(text.ok());
+  auto reparsed = ParseXmlToEvents(*text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, *events);
+}
+
+TEST(XmlWriterTest, IndentedOutputReparses) {
+  auto events = ParseXmlToEvents("<a><b><c/></b><d>t</d></a>");
+  ASSERT_TRUE(events.ok());
+  WriterOptions options;
+  options.indent = true;
+  auto text = EventsToXml(*events, options);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find('\n'), std::string::npos);
+  // Reparse and compare element structure (whitespace text may differ).
+  auto doc = ParseXmlToDocument(*text);
+  ASSERT_TRUE(doc.ok());
+}
+
+TEST(XmlWriterTest, EscapesSpecialCharacters) {
+  EventStream events = {Event::StartDocument(), Event::StartElement("a"),
+                        Event::Text("<&>"), Event::EndElement("a"),
+                        Event::EndDocument()};
+  auto text = EventsToXml(events);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "<a>&lt;&amp;&gt;</a>");
+}
+
+}  // namespace
+}  // namespace xpstream

@@ -1,0 +1,130 @@
+// Round-trip fuzzing of the XML substrate:
+//   tree -> events -> text -> (chunked) parser -> events -> tree
+// must be the identity on structure and string values, for randomly
+// generated documents and random chunkings.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/doc_generator.h"
+#include "workload/scenarios.h"
+#include "xml/parser.h"
+#include "xml/tree_builder.h"
+#include "xml/writer.h"
+
+namespace xpstream {
+namespace {
+
+/// Normalizes an event stream: merges adjacent text events (the parser
+/// may split text at chunk boundaries before the TreeBuilder merges).
+EventStream NormalizeText(const EventStream& events) {
+  EventStream out;
+  for (const Event& e : events) {
+    if (e.type == EventType::kText && !out.empty() &&
+        out.back().type == EventType::kText) {
+      out.back().text += e.text;
+      continue;
+    }
+    if (e.type == EventType::kText && e.text.empty()) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+TEST(XmlRoundTripFuzzTest, RandomDocumentsSurviveSerializationCycles) {
+  Random rng(13579);
+  DocGenOptions opts;
+  opts.max_depth = 5;
+  opts.text_prob = 0.7;
+  opts.attr_prob = 0.3;
+  for (int i = 0; i < 120; ++i) {
+    auto doc = GenerateRandomDocument(&rng, opts);
+    EventStream original = doc->ToEvents();
+
+    auto xml = EventsToXml(original);
+    ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+
+    // Re-parse in random chunks.
+    EventStream reparsed;
+    CollectingSink sink(&reparsed);
+    XmlParser parser(&sink);
+    size_t pos = 0;
+    while (pos < xml->size()) {
+      size_t chunk = 1 + rng.Uniform(17);
+      ASSERT_TRUE(parser.Feed(xml->substr(pos, chunk)).ok());
+      pos += chunk;
+    }
+    ASSERT_TRUE(parser.Finish().ok());
+
+    EXPECT_EQ(NormalizeText(reparsed), NormalizeText(original))
+        << "cycle " << i << "\n"
+        << *xml;
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(XmlRoundTripFuzzTest, IndentedOutputPreservesStructure) {
+  // Pretty printing may alter whitespace-only text, but the element
+  // structure and attribute values must survive.
+  Random rng(8642);
+  DocGenOptions opts;
+  opts.max_depth = 4;
+  opts.text_prob = 0.0;  // avoid mixed content, where indent adds text
+  opts.attr_prob = 0.4;
+  WriterOptions writer_opts;
+  writer_opts.indent = true;
+  for (int i = 0; i < 60; ++i) {
+    auto doc = GenerateRandomDocument(&rng, opts);
+    auto xml = DocumentToXml(*doc, writer_opts);
+    ASSERT_TRUE(xml.ok());
+    auto reparsed = ParseXmlToDocument(*xml);
+    ASSERT_TRUE(reparsed.ok()) << *xml;
+    // Compare structure: strip whitespace-only text events.
+    EventStream a, b;
+    for (const Event& e : doc->ToEvents()) {
+      if (e.type != EventType::kText) a.push_back(e);
+    }
+    for (const Event& e : (*reparsed)->ToEvents()) {
+      if (e.type != EventType::kText) b.push_back(e);
+    }
+    EXPECT_EQ(a, b);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(XmlRoundTripFuzzTest, ScenarioDocumentsRoundTrip) {
+  Random rng(11);
+  auto feed = GenerateMessageFeed(15, 5, &rng);
+  auto xml = DocumentToXml(*feed);
+  ASSERT_TRUE(xml.ok());
+  auto reparsed = ParseXmlToDocument(*xml);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(NormalizeText((*reparsed)->ToEvents()),
+            NormalizeText(feed->ToEvents()));
+  for (const auto& book : GenerateBibliographyCorpus(10, 5)) {
+    auto text = DocumentToXml(*book);
+    ASSERT_TRUE(text.ok());
+    auto back = ParseXmlToDocument(*text);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(NormalizeText((*back)->ToEvents()),
+              NormalizeText(book->ToEvents()));
+  }
+}
+
+TEST(XmlRoundTripFuzzTest, EscapingSurvivesHostileText) {
+  auto doc = std::make_unique<XmlDocument>();
+  XmlNode* root = doc->root()->AddElement("r");
+  root->AddAttribute("k", "a<b>&\"c'");
+  root->AddText("x < y & z > w \"quoted\"");
+  auto xml = DocumentToXml(*doc);
+  ASSERT_TRUE(xml.ok());
+  auto back = ParseXmlToDocument(*xml);
+  ASSERT_TRUE(back.ok());
+  const XmlNode* r = (*back)->root_element();
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->children()[0]->text(), "a<b>&\"c'");
+  EXPECT_EQ(r->StringValue(), "x < y & z > w \"quoted\"");
+}
+
+}  // namespace
+}  // namespace xpstream

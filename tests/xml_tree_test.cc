@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "xml/node.h"
+#include "xml/stats.h"
+#include "xml/tree_builder.h"
+
+namespace xpstream {
+namespace {
+
+TEST(XmlNodeTest, StringValueConcatenatesDescendantText) {
+  // Paper §3.1.1: STRVAL(x) concatenates text descendants in doc order.
+  auto doc = ParseXmlToDocument("<a>one<b>two</b>three<c><d>four</d></c></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->root_element()->StringValue(), "onetwothreefour");
+}
+
+TEST(XmlNodeTest, StringValueExcludesAttributes) {
+  auto doc = ParseXmlToDocument("<a k=\"zzz\">x</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->root_element()->StringValue(), "x");
+}
+
+TEST(XmlNodeTest, AttributeStringValue) {
+  auto doc = ParseXmlToDocument("<a k=\"v\"/>");
+  ASSERT_TRUE(doc.ok());
+  const XmlNode* attr = (*doc)->root_element()->children()[0].get();
+  EXPECT_EQ(attr->kind(), NodeKind::kAttribute);
+  EXPECT_EQ(attr->StringValue(), "v");
+}
+
+TEST(XmlNodeTest, AncestorAndDepth) {
+  auto doc = ParseXmlToDocument("<a><b><c/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  const XmlNode* a = (*doc)->root_element();
+  const XmlNode* b = a->children()[0].get();
+  const XmlNode* c = b->children()[0].get();
+  EXPECT_TRUE(a->IsAncestorOf(c));
+  EXPECT_TRUE((*doc)->root()->IsAncestorOf(c));
+  EXPECT_FALSE(c->IsAncestorOf(a));
+  EXPECT_FALSE(a->IsAncestorOf(a));
+  EXPECT_EQ(a->Depth(), 2u);  // root node is depth 1
+  EXPECT_EQ(c->Depth(), 4u);
+}
+
+TEST(XmlDocumentTest, DepthCountsElements) {
+  auto doc = ParseXmlToDocument("<a><b><c>deep text</c></b><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->Depth(), 3u);
+}
+
+TEST(XmlDocumentTest, ToEventsRoundTrip) {
+  auto doc = ParseXmlToDocument("<a k=\"v\"><b>t</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  EventStream events = (*doc)->ToEvents();
+  ASSERT_TRUE(ValidateEventStream(events).ok());
+  auto rebuilt = EventsToDocument(events);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ((*rebuilt)->ToEvents(), events);
+}
+
+TEST(XmlDocumentTest, CloneIsDeepAndEqual) {
+  auto doc = ParseXmlToDocument("<a><b>x</b></a>");
+  ASSERT_TRUE(doc.ok());
+  auto copy = (*doc)->Clone();
+  EXPECT_EQ(copy->ToEvents(), (*doc)->ToEvents());
+  EXPECT_NE(copy->root(), (*doc)->root());
+}
+
+TEST(XmlDocumentTest, IndexAssignsPreOrder) {
+  auto doc = ParseXmlToDocument("<a><b/><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  (*doc)->Index();
+  auto nodes = (*doc)->AllNodes();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i]->order_index(), i);
+  }
+}
+
+TEST(TreeBuilderTest, MergesAdjacentText) {
+  TreeBuilder builder;
+  ASSERT_TRUE(builder.OnEvent(Event::StartDocument()).ok());
+  ASSERT_TRUE(builder.OnEvent(Event::StartElement("a")).ok());
+  ASSERT_TRUE(builder.OnEvent(Event::Text("he")).ok());
+  ASSERT_TRUE(builder.OnEvent(Event::Text("llo")).ok());
+  ASSERT_TRUE(builder.OnEvent(Event::EndElement("a")).ok());
+  ASSERT_TRUE(builder.OnEvent(Event::EndDocument()).ok());
+  ASSERT_TRUE(builder.complete());
+  auto doc = builder.TakeDocument();
+  ASSERT_EQ(doc->root_element()->children().size(), 1u);
+  EXPECT_EQ(doc->root_element()->StringValue(), "hello");
+}
+
+TEST(TreeBuilderTest, RejectsUnbalanced) {
+  TreeBuilder builder;
+  ASSERT_TRUE(builder.OnEvent(Event::StartDocument()).ok());
+  EXPECT_FALSE(builder.OnEvent(Event::EndElement("a")).ok());
+}
+
+TEST(TreeBuilderTest, RejectsTextBeforeRoot) {
+  TreeBuilder builder;
+  ASSERT_TRUE(builder.OnEvent(Event::StartDocument()).ok());
+  EXPECT_FALSE(builder.OnEvent(Event::Text("x")).ok());
+}
+
+TEST(DocumentStatsTest, CountsEverything) {
+  auto doc = ParseXmlToDocument(
+      "<a k=\"v\"><b>hello</b><b>hi</b><c><d/></c></a>");
+  ASSERT_TRUE(doc.ok());
+  DocumentStats stats = ComputeDocumentStats(**doc);
+  EXPECT_EQ(stats.element_count, 5u);
+  EXPECT_EQ(stats.attribute_count, 1u);
+  EXPECT_EQ(stats.text_count, 2u);
+  EXPECT_EQ(stats.depth, 3u);
+  EXPECT_EQ(stats.max_fanout, 3u);
+  EXPECT_EQ(stats.max_text_length, 5u);
+  EXPECT_EQ(stats.total_text_bytes, 5u + 2u + 1u);
+}
+
+}  // namespace
+}  // namespace xpstream

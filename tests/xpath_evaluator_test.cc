@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "xml/tree_builder.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+bool Matches(const std::string& query_text, const std::string& xml) {
+  auto q = ParseQuery(query_text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  auto d = ParseXmlToDocument(xml);
+  EXPECT_TRUE(d.ok()) << d.status().ToString();
+  return BoolEval(**q, **d);
+}
+
+size_t CountSelected(const std::string& query_text, const std::string& xml) {
+  auto q = ParseQuery(query_text);
+  auto d = ParseXmlToDocument(xml);
+  EXPECT_TRUE(q.ok() && d.ok());
+  return FullEval(**q, **d).size();
+}
+
+TEST(EvaluatorTest, SimpleChildMatch) {
+  EXPECT_TRUE(Matches("/a/b", "<a><b/></a>"));
+  EXPECT_FALSE(Matches("/a/b", "<a><c/></a>"));
+  EXPECT_FALSE(Matches("/a/b", "<b><a/></b>"));
+}
+
+TEST(EvaluatorTest, ChildIsNotDescendant) {
+  EXPECT_FALSE(Matches("/a/b", "<a><x><b/></x></a>"));
+  EXPECT_TRUE(Matches("/a//b", "<a><x><b/></x></a>"));
+}
+
+TEST(EvaluatorTest, DescendantAxis) {
+  EXPECT_TRUE(Matches("//b", "<a><x><b/></x></a>"));
+  EXPECT_TRUE(Matches("//a//b", "<a><a><b/></a></a>"));
+  EXPECT_FALSE(Matches("//a//b", "<a><b2/></a>"));
+}
+
+TEST(EvaluatorTest, WildcardMatchesElementsOnly) {
+  EXPECT_TRUE(Matches("/a/*/c", "<a><b><c/></b></a>"));
+  EXPECT_FALSE(Matches("/a/*/c", "<a><c/></a>"));
+}
+
+TEST(EvaluatorTest, AttributeAxis) {
+  EXPECT_TRUE(Matches("/a/@id", "<a id=\"1\"/>"));
+  EXPECT_FALSE(Matches("/a/@id", "<a x=\"1\"/>"));
+  EXPECT_TRUE(Matches("/a[@id = 7]", "<a id=\"7\"/>"));
+  EXPECT_FALSE(Matches("/a[@id = 7]", "<a id=\"8\"/>"));
+  // Attributes are not selected by the child axis.
+  EXPECT_FALSE(Matches("/a/id", "<a id=\"1\"/>"));
+}
+
+TEST(EvaluatorTest, PredicateExistence) {
+  EXPECT_TRUE(Matches("/a[b]", "<a><b/></a>"));
+  EXPECT_TRUE(Matches("/a[b]", "<a><c/><b/></a>"));
+  EXPECT_FALSE(Matches("/a[b]", "<a><c/></a>"));
+}
+
+TEST(EvaluatorTest, PredicateComparisonExistential) {
+  // Paper §3.1.3 Remark example: /a[b + 2 = 5] on
+  // <a><b>0</b><b>3</b></a> is true under the paper's semantics because
+  // SOME b satisfies it.
+  EXPECT_TRUE(Matches("/a[b + 2 = 5]", "<a><b>0</b><b>3</b></a>"));
+  EXPECT_FALSE(Matches("/a[b + 2 = 5]", "<a><b>0</b><b>4</b></a>"));
+}
+
+TEST(EvaluatorTest, NumericComparisons) {
+  EXPECT_TRUE(Matches("/a[b > 5]", "<a><b>6</b></a>"));
+  EXPECT_FALSE(Matches("/a[b > 5]", "<a><b>5</b></a>"));
+  EXPECT_FALSE(Matches("/a[b > 5]", "<a><b>junk</b></a>"));
+  EXPECT_TRUE(Matches("/a[b >= 5 and b <= 5]", "<a><b>5</b></a>"));
+  EXPECT_TRUE(Matches("/a[b != 4]", "<a><b>5</b></a>"));
+}
+
+TEST(EvaluatorTest, StringEquality) {
+  EXPECT_TRUE(Matches("/a[b = \"xy\"]", "<a><b>xy</b></a>"));
+  EXPECT_FALSE(Matches("/a[b = \"xy\"]", "<a><b>x</b></a>"));
+}
+
+TEST(EvaluatorTest, LogicalConnectives) {
+  EXPECT_TRUE(Matches("/a[b and c]", "<a><b/><c/></a>"));
+  EXPECT_FALSE(Matches("/a[b and c]", "<a><b/></a>"));
+  EXPECT_TRUE(Matches("/a[b or c]", "<a><c/></a>"));
+  EXPECT_FALSE(Matches("/a[b or c]", "<a><d/></a>"));
+  EXPECT_TRUE(Matches("/a[not(b)]", "<a><c/></a>"));
+  EXPECT_FALSE(Matches("/a[not(b)]", "<a><b/></a>"));
+}
+
+TEST(EvaluatorTest, NestedPredicates) {
+  EXPECT_TRUE(Matches("/a[b[c > 2]]", "<a><b><c>1</c></b><b><c>3</c></b></a>"));
+  EXPECT_FALSE(Matches("/a[b[c > 2]]", "<a><b><c>1</c></b></a>"));
+}
+
+TEST(EvaluatorTest, PaperFig7MatchingExample) {
+  // Query /a[b > 5] against a document with two b children; matches via
+  // either b whose value is > 5 (paper Fig. 7).
+  EXPECT_TRUE(Matches("/a[b > 5]", "<a><b>7</b><b>9</b></a>"));
+  EXPECT_FALSE(Matches("/a[b > 5]", "<a><b>1</b><b>2</b></a>"));
+}
+
+TEST(EvaluatorTest, PaperFig22Example) {
+  // Paper Fig. 22 runs /a[c[.//e and f] and b] over a document shaped
+  // like <a><c><d><e/></d><f/></c><c/><b/></a>.
+  const std::string doc =
+      "<a><c><d><e/></d><f/></c><c/><b/></a>";
+  EXPECT_TRUE(Matches("/a[c[.//e and f] and b]", doc));
+  EXPECT_FALSE(Matches("/a[c[.//e and f] and b]",
+                       "<a><c><d><e/></d></c><b/></a>"));
+}
+
+TEST(EvaluatorTest, Theorem42Query) {
+  // D from the proof of Thm 4.2 matches Q = /a[c[.//e and f] and b > 5].
+  EXPECT_TRUE(Matches("/a[c[.//e and f] and b > 5]",
+                      "<a><c><e/><f/></c><b>6</b></a>"));
+  // Reordering children preserves the match (Claim 4.3).
+  EXPECT_TRUE(Matches("/a[c[.//e and f] and b > 5]",
+                      "<a><b>6</b><c><f/><e/></c></a>"));
+  // Dropping any frontier member breaks it (Claim 4.4).
+  EXPECT_FALSE(Matches("/a[c[.//e and f] and b > 5]",
+                       "<a><b>6</b><c><f/><f/></c></a>"));
+}
+
+TEST(EvaluatorTest, RecursionQuery) {
+  // Thm 4.5 example: D_{s,t} with s=110, t=010 matches //a[b and c]
+  // because s_2 = t_2 = 1.
+  EXPECT_TRUE(Matches("//a[b and c]",
+                      "<a><b/><a><b/><a></a><c/></a></a>"));
+  EXPECT_FALSE(Matches("//a[b and c]", "<a><b/><a><a></a><c/></a></a>"));
+}
+
+TEST(EvaluatorTest, DepthQueryReparenting) {
+  // Thm 4.6: D_i matches /a/b; D_{i,j} (i>j) does not.
+  EXPECT_TRUE(Matches("/a/b", "<a><Z><Z></Z></Z><b/><Z><Z></Z></Z></a>"));
+  EXPECT_FALSE(Matches("/a/b", "<a><Z><Z><b/></Z></Z></a>"));
+}
+
+TEST(EvaluatorTest, FullEvalSelectsInDocumentOrder) {
+  auto q = ParseQuery("/a/b");
+  auto d = ParseXmlToDocument("<a><b>1</b><c/><b>2</b></a>");
+  ASSERT_TRUE(q.ok() && d.ok());
+  auto selected = FullEval(**q, **d);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0]->StringValue(), "1");
+  EXPECT_EQ(selected[1]->StringValue(), "2");
+  EXPECT_LT(selected[0]->order_index(), selected[1]->order_index());
+}
+
+TEST(EvaluatorTest, FullEvalRespectsPredicates) {
+  EXPECT_EQ(CountSelected("/a/b[c]", "<a><b><c/></b><b/><b><c/></b></a>"),
+            2u);
+  EXPECT_EQ(CountSelected("//b", "<a><b><b/></b></a>"), 2u);
+}
+
+TEST(EvaluatorTest, StringValueUsesDescendantText) {
+  // STRVAL concatenates nested text, so b's value is "17".
+  EXPECT_TRUE(Matches("/a[b = 17]", "<a><b>1<x>7</x></b></a>"));
+}
+
+TEST(EvaluatorTest, FunctionsInPredicates) {
+  EXPECT_TRUE(Matches("/a[contains(b, \"ell\")]", "<a><b>hello</b></a>"));
+  EXPECT_FALSE(Matches("/a[contains(b, \"xyz\")]", "<a><b>hello</b></a>"));
+  EXPECT_TRUE(
+      Matches("/a[string-length(b) > 3]", "<a><b>hello</b></a>"));
+  EXPECT_TRUE(Matches("/a[fn:matches(b, \"^A.*B$\")]", "<a><b>AxB</b></a>"));
+  // Existential over multiple children.
+  EXPECT_TRUE(Matches("/a[starts-with(b, \"q\")]",
+                      "<a><b>x</b><b>qq</b></a>"));
+}
+
+TEST(EvaluatorTest, EmptyElementExistence) {
+  // <b/> exists even though its string value is empty.
+  EXPECT_TRUE(Matches("/a[b]", "<a><b/></a>"));
+}
+
+TEST(EvaluatorTest, MultiStepPredicatePaths) {
+  EXPECT_TRUE(Matches("/a[b/c > 5]", "<a><b><c>9</c></b></a>"));
+  EXPECT_FALSE(Matches("/a[b/c > 5]", "<a><b><c>2</c></b></a>"));
+  EXPECT_TRUE(Matches("/a[.//d < 30]", "<a><x><y><d>29</d></y></x></a>"));
+}
+
+TEST(EvaluatorTest, RootOnlyQueryOnEmptyRoot) {
+  EXPECT_FALSE(Matches("/a", "<b/>"));
+  EXPECT_TRUE(Matches("/a", "<a/>"));
+}
+
+}  // namespace
+}  // namespace xpstream

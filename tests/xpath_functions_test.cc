@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "xpath/functions.h"
+
+namespace xpstream {
+namespace {
+
+Value Call(const std::string& name, std::vector<Value> raw_args) {
+  const FunctionSpec* spec = FunctionRegistry::Global().Find(name);
+  EXPECT_NE(spec, nullptr) << name;
+  std::vector<Value> converted;
+  for (size_t i = 0; i < raw_args.size(); ++i) {
+    converted.push_back(spec->ConvertArg(i, raw_args[i]));
+  }
+  return spec->eval(converted);
+}
+
+TEST(FunctionsTest, RegistryLookup) {
+  EXPECT_NE(FunctionRegistry::Global().Find("contains"), nullptr);
+  EXPECT_NE(FunctionRegistry::Global().Find("fn:contains"), nullptr);
+  EXPECT_EQ(FunctionRegistry::Global().Find("position"), nullptr);
+  EXPECT_EQ(FunctionRegistry::Global().Find("last"), nullptr);
+}
+
+TEST(FunctionsTest, StringPredicates) {
+  EXPECT_TRUE(Call("contains", {Value::String("hello"), Value::String("ell")})
+                  .boolean());
+  EXPECT_FALSE(
+      Call("contains", {Value::String("hello"), Value::String("xyz")})
+          .boolean());
+  EXPECT_TRUE(
+      Call("starts-with", {Value::String("hello"), Value::String("he")})
+          .boolean());
+  EXPECT_TRUE(Call("ends-with", {Value::String("hello"), Value::String("lo")})
+                  .boolean());
+}
+
+TEST(FunctionsTest, BooleanOutputsAreFlagged) {
+  EXPECT_TRUE(FunctionRegistry::Global().Find("matches")->returns_boolean);
+  EXPECT_TRUE(FunctionRegistry::Global().Find("boolean")->returns_boolean);
+  EXPECT_FALSE(FunctionRegistry::Global().Find("concat")->returns_boolean);
+  EXPECT_FALSE(
+      FunctionRegistry::Global().Find("string-length")->returns_boolean);
+}
+
+TEST(FunctionsTest, Concat) {
+  EXPECT_EQ(Call("concat", {Value::String("a"), Value::Number(1),
+                            Value::String("b")})
+                .string(),
+            "a1b");
+}
+
+TEST(FunctionsTest, SubstringXPathSemantics) {
+  // XPath substring is 1-based with rounding and clamping.
+  EXPECT_EQ(Call("substring", {Value::String("12345"), Value::Number(2),
+                               Value::Number(3)})
+                .string(),
+            "234");
+  EXPECT_EQ(Call("substring", {Value::String("12345"), Value::Number(0)})
+                .string(),
+            "12345");
+  EXPECT_EQ(Call("substring", {Value::String("12345"), Value::Number(1.5),
+                               Value::Number(2.6)})
+                .string(),
+            "234");
+  EXPECT_EQ(Call("substring", {Value::String("12345"), Value::Number(10)})
+                .string(),
+            "");
+}
+
+TEST(FunctionsTest, NormalizeSpace) {
+  EXPECT_EQ(
+      Call("normalize-space", {Value::String("  a\t b \n c ")}).string(),
+      "a b c");
+}
+
+TEST(FunctionsTest, CaseMapping) {
+  EXPECT_EQ(Call("upper-case", {Value::String("aBc")}).string(), "ABC");
+  EXPECT_EQ(Call("lower-case", {Value::String("aBc")}).string(), "abc");
+}
+
+TEST(FunctionsTest, Translate) {
+  EXPECT_EQ(Call("translate", {Value::String("abcabc"), Value::String("ab"),
+                               Value::String("AB")})
+                .string(),
+            "ABcABc");
+  // Characters with no target are dropped.
+  EXPECT_EQ(Call("translate", {Value::String("abc"), Value::String("b"),
+                               Value::String("")})
+                .string(),
+            "ac");
+}
+
+TEST(FunctionsTest, Numerics) {
+  EXPECT_EQ(Call("number", {Value::String("42")}).number(), 42.0);
+  EXPECT_EQ(Call("string-length", {Value::String("abcd")}).number(), 4.0);
+  EXPECT_EQ(Call("floor", {Value::Number(2.7)}).number(), 2.0);
+  EXPECT_EQ(Call("ceiling", {Value::Number(2.1)}).number(), 3.0);
+  EXPECT_EQ(Call("round", {Value::Number(2.5)}).number(), 3.0);
+  EXPECT_EQ(Call("round", {Value::Number(-2.5)}).number(), -2.0);
+  EXPECT_EQ(Call("abs", {Value::Number(-4)}).number(), 4.0);
+}
+
+TEST(FunctionsTest, TrueFalse) {
+  EXPECT_TRUE(Call("true", {}).boolean());
+  EXPECT_FALSE(Call("false", {}).boolean());
+}
+
+TEST(RegexLiteTest, PaperPatterns) {
+  // The three patterns from the paper's Def. 5.13 example.
+  EXPECT_TRUE(RegexLiteMatch("AxyzB", "^A.*B$"));
+  EXPECT_TRUE(RegexLiteMatch("AB", "^A.*B$"));
+  EXPECT_FALSE(RegexLiteMatch("AxyzBq", "^A.*B$"));
+  EXPECT_FALSE(RegexLiteMatch("xAB", "^A.*B$"));
+  EXPECT_TRUE(RegexLiteMatch("xxAByy", "AB"));
+  EXPECT_FALSE(RegexLiteMatch("AxB", "AB"));
+  EXPECT_TRUE(RegexLiteMatch("AxB", "A.+B"));
+  EXPECT_FALSE(RegexLiteMatch("AB", "A.+B"));
+}
+
+TEST(RegexLiteTest, StarAndPlus) {
+  EXPECT_TRUE(RegexLiteMatch("aaab", "^a*b$"));
+  EXPECT_TRUE(RegexLiteMatch("b", "^a*b$"));
+  EXPECT_FALSE(RegexLiteMatch("b", "^a+b$"));
+  EXPECT_TRUE(RegexLiteMatch("ab", "^a+b$"));
+  EXPECT_TRUE(RegexLiteMatch("anything", ""));
+}
+
+TEST(RegexLiteTest, DollarAnchor) {
+  EXPECT_TRUE(RegexLiteMatch("xyzb", "b$"));
+  EXPECT_FALSE(RegexLiteMatch("bxyz", "b$"));
+}
+
+}  // namespace
+}  // namespace xpstream

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "xpath/lexer.h"
+
+namespace xpstream {
+namespace {
+
+std::vector<TokenType> Types(const std::string& text) {
+  auto tokens = LexXPath(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenType> out;
+  if (!tokens.ok()) return out;
+  for (const Token& t : *tokens) out.push_back(t.type);
+  return out;
+}
+
+TEST(LexerTest, SimplePath) {
+  EXPECT_EQ(Types("/a/b"),
+            (std::vector<TokenType>{TokenType::kSlash, TokenType::kName,
+                                    TokenType::kSlash, TokenType::kName,
+                                    TokenType::kEnd}));
+}
+
+TEST(LexerTest, DoubleSlashAndDotDoubleSlash) {
+  EXPECT_EQ(Types("//a[.//b]"),
+            (std::vector<TokenType>{
+                TokenType::kDoubleSlash, TokenType::kName,
+                TokenType::kLBracket, TokenType::kDotDoubleSlash,
+                TokenType::kName, TokenType::kRBracket, TokenType::kEnd}));
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = LexXPath("= != < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 7u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kCompOp);
+  }
+  EXPECT_EQ((*tokens)[1].text, "!=");
+  EXPECT_EQ((*tokens)[3].text, "<=");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = LexXPath("5 3.25 .5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].number, 5.0);
+  EXPECT_EQ((*tokens)[1].number, 3.25);
+  EXPECT_EQ((*tokens)[2].number, 0.5);
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto tokens = LexXPath("\"abc\" 'x y'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "abc");
+  EXPECT_EQ((*tokens)[1].text, "x y");
+}
+
+TEST(LexerTest, FnPrefixedNames) {
+  auto tokens = LexXPath("fn:matches");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kName);
+  EXPECT_EQ((*tokens)[0].text, "fn:matches");
+}
+
+TEST(LexerTest, StarAndArith) {
+  EXPECT_EQ(Types("* + -"),
+            (std::vector<TokenType>{TokenType::kStar, TokenType::kPlus,
+                                    TokenType::kMinus, TokenType::kEnd}));
+}
+
+TEST(LexerTest, AtAndDollar) {
+  EXPECT_EQ(Types("$/a/@b"),
+            (std::vector<TokenType>{TokenType::kDollar, TokenType::kSlash,
+                                    TokenType::kName, TokenType::kSlash,
+                                    TokenType::kAt, TokenType::kName,
+                                    TokenType::kEnd}));
+}
+
+TEST(LexerTest, ErrorUnterminatedString) {
+  EXPECT_FALSE(LexXPath("\"abc").ok());
+}
+
+TEST(LexerTest, ErrorBareExclamation) {
+  EXPECT_FALSE(LexXPath("a ! b").ok());
+}
+
+TEST(LexerTest, ErrorStrayCharacter) {
+  EXPECT_FALSE(LexXPath("/a#b").ok());
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto tokens = LexXPath("/a [b]");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].position, 0u);
+  EXPECT_EQ((*tokens)[1].position, 1u);
+  EXPECT_EQ((*tokens)[2].position, 3u);
+}
+
+}  // namespace
+}  // namespace xpstream

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+std::unique_ptr<Query> MustParse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+  return q.ok() ? std::move(q).value() : nullptr;
+}
+
+TEST(ParserTest, SimpleChain) {
+  auto q = MustParse("/a/b/c");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->size(), 4u);  // root + 3 steps
+  const QueryNode* a = q->root()->successor();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->ntest(), "a");
+  EXPECT_EQ(a->axis(), Axis::kChild);
+  EXPECT_EQ(q->output_node()->ntest(), "c");
+}
+
+TEST(ParserTest, DescendantAxis) {
+  auto q = MustParse("//a//b");
+  const QueryNode* a = q->root()->successor();
+  EXPECT_EQ(a->axis(), Axis::kDescendant);
+  EXPECT_EQ(a->successor()->axis(), Axis::kDescendant);
+}
+
+TEST(ParserTest, AttributeAxis) {
+  auto q = MustParse("/a/@href");
+  const QueryNode* attr = q->output_node();
+  EXPECT_EQ(attr->axis(), Axis::kAttribute);
+  EXPECT_EQ(attr->ntest(), "href");
+}
+
+TEST(ParserTest, Wildcard) {
+  auto q = MustParse("/a/*/b");
+  const QueryNode* star = q->root()->successor()->successor();
+  EXPECT_TRUE(star->is_wildcard());
+}
+
+TEST(ParserTest, PaperFig2Query) {
+  // Paper Fig. 2: /a[c[.//e and f] and b > 5]/b
+  auto q = MustParse("/a[c[.//e and f] and b > 5]/b");
+  ASSERT_NE(q, nullptr);
+  const QueryNode* a = q->root()->successor();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->ntest(), "a");
+  // a has 3 children: c, b (predicate children) and b (successor).
+  EXPECT_EQ(a->children().size(), 3u);
+  EXPECT_EQ(a->PredicateChildren().size(), 2u);
+  ASSERT_NE(a->successor(), nullptr);
+  EXPECT_EQ(a->successor()->ntest(), "b");
+  // The successor of the root is a; OUT(Q) is the trailing b.
+  EXPECT_EQ(q->output_node(), a->successor());
+  // c has two predicate children: e (descendant) and f (child).
+  const QueryNode* c = a->PredicateChildren()[0];
+  EXPECT_EQ(c->ntest(), "c");
+  ASSERT_EQ(c->PredicateChildren().size(), 2u);
+  EXPECT_EQ(c->PredicateChildren()[0]->ntest(), "e");
+  EXPECT_EQ(c->PredicateChildren()[0]->axis(), Axis::kDescendant);
+  EXPECT_EQ(c->PredicateChildren()[1]->axis(), Axis::kChild);
+}
+
+TEST(ParserTest, SuccessionLeafAndRoot) {
+  auto q = MustParse("/a[b/c]/d");
+  const QueryNode* a = q->root()->successor();
+  const QueryNode* b = a->PredicateChildren()[0];
+  ASSERT_EQ(b->ntest(), "b");
+  const QueryNode* c = b->successor();
+  ASSERT_NE(c, nullptr);
+  // LEAF(b) = c; c's succession root is b; b is a succession root.
+  EXPECT_EQ(b->SuccessionLeaf(), c);
+  EXPECT_EQ(c->SuccessionRoot(), b);
+  EXPECT_FALSE(b->is_successor());
+  EXPECT_TRUE(c->is_successor());
+}
+
+TEST(ParserTest, PredicateExpressionShapes) {
+  EXPECT_NE(MustParse("/a[b = \"x\"]"), nullptr);
+  EXPECT_NE(MustParse("/a[b > 5 and c < 3 and d]"), nullptr);
+  EXPECT_NE(MustParse("/a[b or not(c)]"), nullptr);
+  EXPECT_NE(MustParse("/a[b + 2 = 5]"), nullptr);
+  EXPECT_NE(MustParse("/a[b * 2 > c0]"), nullptr);
+  EXPECT_NE(MustParse("/a[-b < 5]"), nullptr);
+  EXPECT_NE(MustParse("/a[contains(b, \"x\")]"), nullptr);
+  EXPECT_NE(MustParse("/a[fn:matches(b, \"^A.*B$\")]"), nullptr);
+  EXPECT_NE(MustParse("/a[concat(b, \"-\", c) = \"x-y\"]"), nullptr);
+  EXPECT_NE(MustParse("/a[string-length(b) > 3]"), nullptr);
+  EXPECT_NE(MustParse("/a[b div 2 = 3 and c mod 2 = 1]"), nullptr);
+  EXPECT_NE(MustParse("/a[@id = 7]"), nullptr);
+  EXPECT_NE(MustParse("/a[(b and c) or d]"), nullptr);
+  EXPECT_NE(MustParse("/a[./b > 1]"), nullptr);
+}
+
+TEST(ParserTest, DollarPrefixAccepted) {
+  EXPECT_NE(MustParse("$/a/b"), nullptr);
+}
+
+TEST(ParserTest, PredicateChildrenReferencedOnce) {
+  auto q = MustParse("/a[b and c and d > 1]");
+  const QueryNode* a = q->root()->successor();
+  EXPECT_EQ(a->PredicateChildren().size(), 3u);
+  EXPECT_EQ(a->successor(), nullptr);
+  EXPECT_EQ(q->output_node(), a);
+}
+
+TEST(ParserTest, RelPathChainInPredicate) {
+  auto q = MustParse("/a[b//c/d]");
+  const QueryNode* b = q->root()->successor()->PredicateChildren()[0];
+  const QueryNode* c = b->successor();
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->axis(), Axis::kDescendant);
+  ASSERT_NE(c->successor(), nullptr);
+  EXPECT_EQ(c->successor()->ntest(), "d");
+}
+
+TEST(ParserTest, ToStringRoundTrips) {
+  const char* queries[] = {
+      "/a[c[.//e and f] and b > 5]/b",
+      "//a[b and c]",
+      "/a/b",
+      "/a[*/b > 5 and c/b//d > 12 and .//d < 30]",
+      "/a[contains(b, \"x\") and c]/d/@id",
+      "/book[price < 30]/title",
+  };
+  for (const char* text : queries) {
+    auto q1 = MustParse(text);
+    ASSERT_NE(q1, nullptr) << text;
+    std::string printed = q1->ToString();
+    auto q2 = MustParse(printed);
+    ASSERT_NE(q2, nullptr) << printed;
+    EXPECT_TRUE(q1->Equals(*q2)) << text << " -> " << printed;
+  }
+}
+
+TEST(ParserTest, IdsArePreOrder) {
+  auto q = MustParse("/a[b and c]/d");
+  auto nodes = q->AllNodes();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i]->id(), i);
+  }
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("a/b").ok());        // must be absolute
+  EXPECT_FALSE(ParseQuery("/a[").ok());        // unterminated predicate
+  EXPECT_FALSE(ParseQuery("/a]").ok());        // stray bracket
+  EXPECT_FALSE(ParseQuery("/a[b >]").ok());    // missing operand
+  EXPECT_FALSE(ParseQuery("/a[nope(b)]").ok());  // unknown function
+  EXPECT_FALSE(ParseQuery("/a[contains(b)]").ok());  // arity
+  EXPECT_FALSE(ParseQuery("/@*").ok());        // wildcard attribute
+  EXPECT_FALSE(ParseQuery("//").ok());         // missing node test
+  EXPECT_FALSE(ParseQuery("/a/b extra").ok()); // trailing garbage
+}
+
+TEST(ParserTest, EqualsDistinguishesQueries) {
+  auto q1 = MustParse("/a[b and c]");
+  auto q2 = MustParse("/a[c and b]");
+  auto q3 = MustParse("/a[b and c]");
+  EXPECT_FALSE(q1->Equals(*q2));
+  EXPECT_TRUE(q1->Equals(*q3));
+}
+
+}  // namespace
+}  // namespace xpstream

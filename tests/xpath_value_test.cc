@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xpath/value.h"
+
+namespace xpstream {
+namespace {
+
+TEST(ValueTest, EffectiveBooleanValue) {
+  // Paper §3.1.3: EBV gives predicates their existential semantics.
+  EXPECT_TRUE(Value::Boolean(true).EffectiveBooleanValue());
+  EXPECT_FALSE(Value::Boolean(false).EffectiveBooleanValue());
+  EXPECT_TRUE(Value::Number(1).EffectiveBooleanValue());
+  EXPECT_FALSE(Value::Number(0).EffectiveBooleanValue());
+  EXPECT_FALSE(Value::Number(std::nan("")).EffectiveBooleanValue());
+  EXPECT_TRUE(Value::String("x").EffectiveBooleanValue());
+  EXPECT_FALSE(Value::String("").EffectiveBooleanValue());
+  EXPECT_FALSE(Value::EmptySequence().EffectiveBooleanValue());
+  EXPECT_TRUE(
+      Value::Sequence({Value::String("")}).EffectiveBooleanValue());
+}
+
+TEST(ValueTest, ToNumberConversions) {
+  EXPECT_EQ(Value::String("42").ToNumber(), 42.0);
+  EXPECT_EQ(Value::String(" -1.5 ").ToNumber(), -1.5);
+  EXPECT_TRUE(std::isnan(Value::String("abc").ToNumber()));
+  EXPECT_TRUE(std::isnan(Value::String("").ToNumber()));
+  EXPECT_EQ(Value::Boolean(true).ToNumber(), 1.0);
+  EXPECT_TRUE(std::isnan(Value::EmptySequence().ToNumber()));
+  EXPECT_EQ(Value::Sequence({Value::String("7")}).ToNumber(), 7.0);
+}
+
+TEST(ValueTest, ToStringConversions) {
+  EXPECT_EQ(Value::Number(5).ToString(), "5");
+  EXPECT_EQ(Value::Number(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Boolean(true).ToString(), "true");
+  EXPECT_EQ(Value::EmptySequence().ToString(), "");
+}
+
+TEST(ValueTest, SequenceFlattening) {
+  Value nested = Value::Sequence(
+      {Value::Number(1),
+       Value::Sequence({Value::Number(2), Value::Number(3)})});
+  ASSERT_EQ(nested.sequence().size(), 3u);
+  EXPECT_TRUE(nested.sequence()[2].is_atomic());
+}
+
+TEST(ValueTest, Atomized) {
+  EXPECT_EQ(Value::Number(1).Atomized().size(), 1u);
+  EXPECT_EQ(Value::EmptySequence().Atomized().size(), 0u);
+}
+
+TEST(CompareAtomicTest, NumericOrdering) {
+  EXPECT_TRUE(CompareAtomic(Value::Number(3), CompOp::kLt, Value::Number(5)));
+  EXPECT_FALSE(CompareAtomic(Value::Number(5), CompOp::kLt, Value::Number(5)));
+  EXPECT_TRUE(CompareAtomic(Value::Number(5), CompOp::kLe, Value::Number(5)));
+  EXPECT_TRUE(CompareAtomic(Value::Number(6), CompOp::kGt, Value::Number(5)));
+  EXPECT_TRUE(CompareAtomic(Value::Number(5), CompOp::kGe, Value::Number(5)));
+}
+
+TEST(CompareAtomicTest, OrderingCoercesStrings) {
+  // XPath 1.0: <, <=, >, >= always compare numerically.
+  EXPECT_TRUE(
+      CompareAtomic(Value::String("6"), CompOp::kGt, Value::Number(5)));
+  EXPECT_FALSE(
+      CompareAtomic(Value::String("abc"), CompOp::kGt, Value::Number(5)));
+}
+
+TEST(CompareAtomicTest, EqualityByType) {
+  EXPECT_TRUE(
+      CompareAtomic(Value::String("5.0"), CompOp::kEq, Value::Number(5)));
+  EXPECT_FALSE(
+      CompareAtomic(Value::String("5.0"), CompOp::kEq, Value::String("5")));
+  EXPECT_TRUE(
+      CompareAtomic(Value::String("x"), CompOp::kEq, Value::String("x")));
+  EXPECT_TRUE(
+      CompareAtomic(Value::String("x"), CompOp::kNe, Value::String("y")));
+  EXPECT_TRUE(CompareAtomic(Value::Boolean(true), CompOp::kEq,
+                            Value::String("nonempty")));
+}
+
+TEST(CompareAtomicTest, NaNComparesFalse) {
+  Value nan = Value::String("junk");
+  EXPECT_FALSE(CompareAtomic(nan, CompOp::kEq, Value::Number(5)));
+  EXPECT_FALSE(CompareAtomic(nan, CompOp::kLt, Value::Number(5)));
+  EXPECT_FALSE(CompareAtomic(nan, CompOp::kGe, Value::Number(5)));
+  // != on NaN is also false under our IEEE-style rule.
+  EXPECT_FALSE(CompareAtomic(nan, CompOp::kNe, Value::Number(5)));
+}
+
+TEST(ApplyArithTest, Basics) {
+  EXPECT_EQ(ApplyArith(Value::Number(2), ArithOp::kAdd, Value::Number(3)), 5);
+  EXPECT_EQ(ApplyArith(Value::Number(2), ArithOp::kSub, Value::Number(3)), -1);
+  EXPECT_EQ(ApplyArith(Value::Number(2), ArithOp::kMul, Value::Number(3)), 6);
+  EXPECT_EQ(ApplyArith(Value::Number(7), ArithOp::kDiv, Value::Number(2)),
+            3.5);
+  EXPECT_EQ(ApplyArith(Value::Number(7), ArithOp::kIDiv, Value::Number(2)), 3);
+  EXPECT_EQ(ApplyArith(Value::Number(7), ArithOp::kMod, Value::Number(2)), 1);
+}
+
+TEST(ApplyArithTest, StringCoercionAndNaN) {
+  EXPECT_EQ(ApplyArith(Value::String("4"), ArithOp::kAdd, Value::Number(1)),
+            5);
+  EXPECT_TRUE(std::isnan(
+      ApplyArith(Value::String("x"), ArithOp::kAdd, Value::Number(1))));
+  EXPECT_TRUE(std::isnan(
+      ApplyArith(Value::Number(1), ArithOp::kIDiv, Value::Number(0))));
+  EXPECT_TRUE(std::isnan(
+      ApplyArith(Value::Number(1), ArithOp::kMod, Value::Number(0))));
+}
+
+}  // namespace
+}  // namespace xpstream
