@@ -50,7 +50,10 @@ struct Event {
     return {EventType::kAttribute, std::move(n), std::move(v)};
   }
 
-  bool operator==(const Event& other) const = default;
+  bool operator==(const Event& other) const {
+    return type == other.type && name == other.name && text == other.text;
+  }
+  bool operator!=(const Event& other) const { return !(*this == other); }
 
   /// Paper-style rendering: ⟨n⟩, ⟨/n⟩, text, @n="v", ⟨$⟩, ⟨/$⟩.
   std::string ToString() const;

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 #include <limits>
+#include <utility>
 
 #include "common/memory_stats.h"
 #include "common/random.h"
@@ -44,6 +46,54 @@ TEST(ResultTest, OkStatusNormalizedToInternal) {
   EXPECT_EQ(r.status().code(), StatusCode::kInternal);
 }
 
+TEST(ResultTest, HoldsMoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 9);
+  // Rvalue value() moves the payload out rather than copying.
+  std::unique_ptr<int> owned = std::move(r).value();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 9);
+}
+
+TEST(ResultTest, MoveConstructionPreservesAlternative) {
+  Result<std::string> src(std::string(100, 'x'));
+  Result<std::string> dst(std::move(src));
+  ASSERT_TRUE(dst.ok());
+  EXPECT_EQ(dst->size(), 100u);
+
+  Result<std::string> err(Status::Unsupported("axis"));
+  Result<std::string> err_moved(std::move(err));
+  EXPECT_FALSE(err_moved.ok());
+  EXPECT_EQ(err_moved.status().code(), StatusCode::kUnsupported);
+  EXPECT_EQ(err_moved.status().message(), "axis");
+}
+
+TEST(ResultTest, MutableAccessorsWriteThrough) {
+  Result<std::string> r(std::string("ab"));
+  ASSERT_TRUE(r.ok());
+  r.value() += "c";
+  *r += "d";
+  r->push_back('e');
+  EXPECT_EQ(*r, "abcde");
+}
+
+Result<int> DoubleOrFail(Result<int> in) {
+  XPS_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesBothPaths) {
+  Result<int> ok = DoubleOrFail(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+
+  Result<int> err = DoubleOrFail(Status::ParseError("eof"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(err.status().message(), "eof");
+}
+
 TEST(StringUtilTest, XmlNameValidation) {
   EXPECT_TRUE(IsValidXmlName("a"));
   EXPECT_TRUE(IsValidXmlName("fn:contains"));
@@ -84,6 +134,47 @@ TEST(StringUtilTest, FormatXPathNumber) {
 TEST(StringUtilTest, XmlEscape) {
   EXPECT_EQ(XmlEscape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
   EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+TEST(StringUtilTest, EmptyInputEdgeCases) {
+  EXPECT_EQ(XmlEscape(""), "");
+  EXPECT_TRUE(Contains("abc", ""));  // empty needle matches anywhere
+  EXPECT_TRUE(Contains("", ""));
+  EXPECT_FALSE(Contains("", "a"));
+  EXPECT_TRUE(StartsWith("", ""));
+  EXPECT_TRUE(EndsWith("", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+  EXPECT_FALSE(EndsWith("", "a"));
+  // Splitting the empty string yields one empty piece, not zero pieces.
+  auto parts = SplitString("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+}
+
+TEST(StringUtilTest, Utf8MultibyteHandling) {
+  // "λ" (CE BB) and "日本" (E6 97 A5, E6 9C AC): multibyte bytes all have
+  // the high bit set, so they are name characters and never whitespace.
+  const std::string lambda = "\xCE\xBB";
+  const std::string nihon = "\xE6\x97\xA5\xE6\x9C\xAC";
+  EXPECT_TRUE(IsValidXmlName(lambda));
+  EXPECT_TRUE(IsValidXmlName(nihon + "-x"));
+  EXPECT_FALSE(IsValidXmlName("1" + lambda));  // digit still can't lead
+
+  // Trimming only strips ASCII whitespace; multibyte sequences survive
+  // intact even when their bytes sit at the boundaries.
+  EXPECT_EQ(TrimWhitespace(" \t" + lambda + " x " + nihon + "\n"),
+            lambda + " x " + nihon);
+
+  // Escaping is byte-transparent outside the five specials.
+  EXPECT_EQ(XmlEscape(lambda + "<" + nihon), lambda + "&lt;" + nihon);
+
+  // Splitting never breaks a multibyte sequence on a non-ASCII separator
+  // byte, because the separators we use are ASCII.
+  auto parts = SplitString(lambda + "," + nihon, ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], lambda);
+  EXPECT_EQ(parts[1], nihon);
 }
 
 TEST(StringUtilTest, AffixHelpers) {

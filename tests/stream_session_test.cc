@@ -2,6 +2,7 @@
 
 #include "common/random.h"
 #include "stream/frontier_filter.h"
+#include "test_util.h"
 #include "stream/session.h"
 #include "workload/doc_generator.h"
 #include "workload/scenarios.h"
@@ -18,7 +19,7 @@ TEST(SessionTest, SequenceOfDocuments) {
   auto f = FrontierFilter::Create(q->get());
   ASSERT_TRUE(f.ok());
   std::vector<EventStream> docs;
-  for (const char* xml : {"<a><b/></a>", "<a><c/></a>", "<a><b>1</b></a>"}) {
+  for (const std::string& xml : testutil::LoadTestDataLines("session_ab.xml")) {
     auto events = ParseXmlToEvents(xml);
     ASSERT_TRUE(events.ok());
     docs.push_back(std::move(events).value());
@@ -34,8 +35,11 @@ TEST(SessionTest, StateDoesNotLeakBetweenDocuments) {
   ASSERT_TRUE(q.ok());
   auto f = FrontierFilter::Create(q->get());
   ASSERT_TRUE(f.ok());
+  // First two documents of the session_ab fixture: neither has both b and c.
+  auto lines = testutil::LoadTestDataLines("session_ab.xml");
+  lines.resize(2);
   std::vector<EventStream> docs;
-  for (const char* xml : {"<a><b/></a>", "<a><c/></a>"}) {
+  for (const std::string& xml : lines) {
     auto events = ParseXmlToEvents(xml);
     ASSERT_TRUE(events.ok());
     docs.push_back(std::move(events).value());
@@ -56,11 +60,8 @@ TEST(SessionTest, DrivenDirectlyByStreamingParser) {
   ASSERT_TRUE(f.ok());
   FilterSession session(f->get());
 
-  const char* documents[] = {"<m><p>7</p></m>", "<m><p>3</p></m>",
-                             "<m><p>9</p></m>"};
-  for (const char* xml : documents) {
+  for (const std::string& text : testutil::LoadTestDataLines("session_prices.xml")) {
     XmlParser parser(&session);
-    std::string text = xml;
     for (size_t i = 0; i < text.size(); i += 3) {
       ASSERT_TRUE(parser.Feed(text.substr(i, 3)).ok());
     }

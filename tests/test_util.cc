@@ -1,0 +1,39 @@
+#include "test_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace xpstream {
+namespace testutil {
+
+std::string TestDataPath(std::string_view name) {
+  return std::string(XPSTREAM_TESTDATA_DIR) + "/" + std::string(name);
+}
+
+std::string LoadTestData(std::string_view name) {
+  const std::string path = TestDataPath(name);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "test_util: cannot open testdata file %s\n",
+                 path.c_str());
+    std::abort();
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> LoadTestDataLines(std::string_view name) {
+  std::istringstream in(LoadTestData(name));
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace testutil
+}  // namespace xpstream

@@ -1,0 +1,31 @@
+#ifndef XPSTREAM_TESTS_TEST_UTIL_H_
+#define XPSTREAM_TESTS_TEST_UTIL_H_
+
+/// \file
+/// Helpers for loading checked-in documents from tests/testdata/. The
+/// directory is baked in at configure time via XPSTREAM_TESTDATA_DIR, so
+/// tests work from any working directory CTest chooses.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xpstream {
+namespace testutil {
+
+/// Returns the absolute path of a file under tests/testdata/.
+std::string TestDataPath(std::string_view name);
+
+/// Reads a testdata file and returns its contents. Aborts with a message on
+/// a missing or unreadable file — a missing fixture is a harness bug, not a
+/// test outcome.
+std::string LoadTestData(std::string_view name);
+
+/// Reads a testdata file holding one XML document per non-empty line
+/// (used for multi-document session fixtures).
+std::vector<std::string> LoadTestDataLines(std::string_view name);
+
+}  // namespace testutil
+}  // namespace xpstream
+
+#endif  // XPSTREAM_TESTS_TEST_UTIL_H_

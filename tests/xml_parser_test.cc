@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "test_util.h"
 #include "xml/parser.h"
 #include "xml/tree_builder.h"
 #include "xml/writer.h"
@@ -61,9 +62,7 @@ TEST(XmlParserTest, WhitespaceOutsideRootAllowed) {
 }
 
 TEST(XmlParserTest, ChunkedFeedingAnySplit) {
-  const std::string xml =
-      "<?xml version=\"1.0\"?><root a=\"v\"><x>text &amp; more</x>"
-      "<!--c--><y/></root>";
+  const std::string xml = testutil::LoadTestData("mixed.xml");
   auto whole = ParseXmlToEvents(xml);
   ASSERT_TRUE(whole.ok());
   for (size_t split = 1; split < xml.size(); ++split) {
@@ -115,7 +114,7 @@ TEST(XmlParserTest, ErrorInvalidName) {
 }
 
 TEST(XmlWriterTest, RoundTripThroughWriter) {
-  const std::string xml = "<a p=\"1\"><b>x &amp; y</b><c/><d>z</d></a>";
+  const std::string xml = testutil::LoadTestData("attrs.xml");
   auto events = ParseXmlToEvents(xml);
   ASSERT_TRUE(events.ok());
   auto text = EventsToXml(*events);
