@@ -12,24 +12,26 @@
 #include <benchmark/benchmark.h>
 
 #include "common/random.h"
-#include "stream/frontier_filter.h"
 #include "workload/doc_generator.h"
 #include "workload/query_generator.h"
-#include "xpath/parser.h"
+#include "xpstream/xpstream.h"
 
 namespace xpstream {
 namespace {
 
-std::unique_ptr<Query> MustParse(const std::string& text) {
-  auto q = ParseQuery(text);
-  if (!q.ok()) std::abort();
-  return std::move(q).value();
+// All sweeps go through the public facade on the "frontier" engine (the
+// paper's Section 8 algorithm).
+std::unique_ptr<Engine> MustEngine(const std::string& query_text) {
+  EngineOptions options;
+  options.keep_history = false;  // the timed loop must not accumulate
+  auto engine = Engine::Create(options);
+  if (!engine.ok()) std::abort();
+  if (!(*engine)->Subscribe("q", query_text).ok()) std::abort();
+  return std::move(engine).value();
 }
 
 void BM_DocSize(benchmark::State& state) {
-  auto query = MustParse("/feed/msg[header/priority > 7 and body]");
-  auto filter = FrontierFilter::Create(query.get());
-  if (!filter.ok()) std::abort();
+  auto engine = MustEngine("/feed/msg[header/priority > 7 and body]");
   Random rng(1);
   // Flat feed with n messages.
   auto doc = std::make_unique<XmlDocument>();
@@ -43,23 +45,21 @@ void BM_DocSize(benchmark::State& state) {
   }
   EventStream events = doc->ToEvents();
   for (auto _ : state) {
-    auto verdict = RunFilter(filter->get(), events);
-    benchmark::DoNotOptimize(verdict);
+    auto verdicts = engine->FilterEvents(events);
+    benchmark::DoNotOptimize(verdicts);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(events.size()));
   state.counters["events"] = static_cast<double>(events.size());
   state.counters["peak_tuples"] =
-      static_cast<double>((*filter)->stats().table_entries().peak());
+      static_cast<double>(engine->stats().table_entries().peak());
 }
 BENCHMARK(BM_DocSize)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_QuerySize(benchmark::State& state) {
   // Frontier family query with k predicates: |Q| = k + 3.
-  auto query = MustParse(FrontierFamilyQueryText(
+  auto engine = MustEngine(FrontierFamilyQueryText(
       static_cast<size_t>(state.range(0))));
-  auto filter = FrontierFilter::Create(query.get());
-  if (!filter.ok()) std::abort();
   // Document with all the p_i present plus distractors.
   auto doc = std::make_unique<XmlDocument>();
   XmlNode* r = doc->root()->AddElement("r");
@@ -71,21 +71,20 @@ void BM_QuerySize(benchmark::State& state) {
   r->AddElement("s");
   EventStream events = doc->ToEvents();
   for (auto _ : state) {
-    auto verdict = RunFilter(filter->get(), events);
-    benchmark::DoNotOptimize(verdict);
+    auto verdicts = engine->FilterEvents(events);
+    benchmark::DoNotOptimize(verdicts);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(events.size()));
-  state.counters["query_size"] = static_cast<double>(query->size());
+  state.counters["query_size"] =
+      static_cast<double>((*engine->SubscribedQuery("q"))->size());
   state.counters["peak_tuples"] =
-      static_cast<double>((*filter)->stats().table_entries().peak());
+      static_cast<double>(engine->stats().table_entries().peak());
 }
 BENCHMARK(BM_QuerySize)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_RecursionDepth(benchmark::State& state) {
-  auto query = MustParse("//a[b and c]");
-  auto filter = FrontierFilter::Create(query.get());
-  if (!filter.ok()) std::abort();
+  auto engine = MustEngine("//a[b and c]");
   // r nested a's (live simultaneously), padded to constant event count.
   size_t r = static_cast<size_t>(state.range(0));
   const size_t kTotal = 512;
@@ -100,32 +99,30 @@ void BM_RecursionDepth(benchmark::State& state) {
   }
   EventStream events = doc->ToEvents();
   for (auto _ : state) {
-    auto verdict = RunFilter(filter->get(), events);
-    benchmark::DoNotOptimize(verdict);
+    auto verdicts = engine->FilterEvents(events);
+    benchmark::DoNotOptimize(verdicts);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(events.size()));
   state.counters["peak_tuples"] =
-      static_cast<double>((*filter)->stats().table_entries().peak());
+      static_cast<double>(engine->stats().table_entries().peak());
 }
 BENCHMARK(BM_RecursionDepth)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_TextWidth(benchmark::State& state) {
   // Buffering cost: one leaf value of w bytes (Thm 8.8's +w term).
-  auto query = MustParse("/a[b = \"needle\"]");
-  auto filter = FrontierFilter::Create(query.get());
-  if (!filter.ok()) std::abort();
+  auto engine = MustEngine("/a[b = \"needle\"]");
   std::string text(static_cast<size_t>(state.range(0)), 'x');
   auto doc = std::make_unique<XmlDocument>();
   XmlNode* a = doc->root()->AddElement("a");
   a->AddElement("b")->AddText(text);
   EventStream events = doc->ToEvents();
   for (auto _ : state) {
-    auto verdict = RunFilter(filter->get(), events);
-    benchmark::DoNotOptimize(verdict);
+    auto verdicts = engine->FilterEvents(events);
+    benchmark::DoNotOptimize(verdicts);
   }
   state.counters["peak_buffer_bytes"] =
-      static_cast<double>((*filter)->stats().buffered_bytes().peak());
+      static_cast<double>(engine->stats().buffered_bytes().peak());
 }
 BENCHMARK(BM_TextWidth)->Arg(16)->Arg(1024)->Arg(65536);
 

@@ -1,5 +1,7 @@
 // Experiment E10 (YFilter [14] reproduction): prefix sharing in a
-// multi-query NFA index.
+// multi-query NFA index, driven through the public Engine facade — the
+// "nfa_index" engine (one shared automaton scan per document) against
+// the "nfa" engine (a bank of per-query automata sharing the scan).
 //
 // Series printed, for growing subscription counts over a fixed name
 // pool:
@@ -11,11 +13,9 @@
 #include <cstdio>
 
 #include "common/random.h"
-#include "stream/nfa_filter.h"
-#include "stream/nfa_index.h"
 #include "workload/doc_generator.h"
 #include "workload/query_generator.h"
-#include "xpath/evaluator.h"
+#include "xpstream/xpstream.h"
 
 namespace xpstream {
 namespace {
@@ -38,25 +38,27 @@ int RunE10() {
 
   for (size_t n : {16u, 64u, 256u, 1024u}) {
     Random rng(7);
-    NfaIndex index;
-    std::vector<std::unique_ptr<Query>> queries;
-    std::vector<std::unique_ptr<NfaFilter>> filters;
+    EngineOptions index_options, bank_options;
+    index_options.engine = "nfa_index";
+    bank_options.engine = "nfa";
+    index_options.keep_history = bank_options.keep_history = false;
+    auto index_engine = Engine::Create(index_options);
+    auto bank_engine = Engine::Create(bank_options);
+    if (!index_engine.ok() || !bank_engine.ok()) return 1;
     size_t sum_states = 0;
     for (size_t i = 0; i < n; ++i) {
       auto q = GenerateLinearQuery(&rng, 1 + rng.Uniform(5), 0.35, 0.1, 4);
       if (!q.ok()) return 1;
-      if (!index.AddQuery(i, **q).ok()) return 1;
       sum_states += (*q)->size();  // states of a per-query NFA
-      auto f = NfaFilter::Create(q->get());
-      if (!f.ok()) return 1;
-      filters.push_back(std::move(f).value());
-      queries.push_back(std::move(q).value());
+      const std::string id = "S" + std::to_string(i);
+      if (!(*index_engine)->Subscribe(id, (*q)->ToString()).ok()) return 1;
+      if (!(*bank_engine)->Subscribe(id, (*q)->ToString()).ok()) return 1;
     }
 
     auto t0 = std::chrono::steady_clock::now();
     size_t index_matches = 0;
     for (const EventStream& events : docs) {
-      auto verdicts = index.FilterDocument(events);
+      auto verdicts = (*index_engine)->FilterEvents(events);
       if (!verdicts.ok()) return 1;
       for (bool v : *verdicts) index_matches += v;
     }
@@ -64,11 +66,9 @@ int RunE10() {
 
     size_t separate_matches = 0;
     for (const EventStream& events : docs) {
-      for (auto& filter : filters) {
-        auto verdict = RunFilter(filter.get(), events);
-        if (!verdict.ok()) return 1;
-        separate_matches += *verdict;
-      }
+      auto verdicts = (*bank_engine)->FilterEvents(events);
+      if (!verdicts.ok()) return 1;
+      for (bool v : *verdicts) separate_matches += v;
     }
     auto t2 = std::chrono::steady_clock::now();
 
@@ -78,15 +78,17 @@ int RunE10() {
       return 1;
     }
 
+    size_t shared_states =
+        (*index_engine)->stats().automaton_states().current();
     auto us = [&](auto a, auto b) {
       return std::chrono::duration_cast<std::chrono::microseconds>(b - a)
                  .count() /
              static_cast<long long>(docs.size());
     };
     std::printf("%-8zu %-14zu %-14zu %-10.2f %-14lld %-14lld\n", n,
-                index.NumStates(), sum_states,
+                shared_states, sum_states,
                 static_cast<double>(sum_states) /
-                    static_cast<double>(index.NumStates()),
+                    static_cast<double>(shared_states),
                 (long long)us(t0, t1), (long long)us(t1, t2));
   }
   std::printf(

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Runs the self-contained (non-Google-Benchmark) benches and emits a
+comparable JSON baseline.
+
+Each bench prints a '# <title>' line, a whitespace-separated header row,
+and data rows; this runner parses those tables into structured records
+and adds wall-clock timing, so two baseline files diff meaningfully:
+
+    $ bench/run_benches.py --build-dir build --out BENCH_baseline.json
+    $ bench/run_benches.py --build-dir build --out BENCH_new.json
+    $ diff <(jq -S . BENCH_baseline.json) <(jq -S . BENCH_new.json)
+
+Timing columns (*_us/doc, seconds) are machine-dependent; table columns
+(states, tuples, ratios) are deterministic and must not drift.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+# The self-contained timing harnesses (bench/CMakeLists.txt keeps the
+# authoritative list; bench_dissemination and bench_filter_scaling are
+# Google Benchmark binaries with their own JSON reporter).
+BENCHES = [
+    "bench_ablation",
+    "bench_automata_blowup",
+    "bench_document_depth",
+    "bench_frontier_fooling",
+    "bench_frontier_sweep",
+    "bench_nfa_index",
+    "bench_recursion_depth",
+]
+
+
+def parse_tables(stdout: str):
+    """Parses '# title' + header + data-row blocks into records."""
+    tables = []
+    lines = [ln.rstrip() for ln in stdout.splitlines()]
+    i = 0
+    while i < len(lines):
+        if not lines[i].startswith("# "):
+            i += 1
+            continue
+        title = lines[i][2:].strip()
+        i += 1
+        if i >= len(lines) or not lines[i].strip():
+            tables.append({"title": title, "rows": []})
+            continue
+        header = lines[i].split()
+        i += 1
+        rows = []
+        while i < len(lines):
+            fields = lines[i].split()
+            if len(fields) != len(header):
+                break
+            row = {}
+            for key, value in zip(header, fields):
+                try:
+                    row[key] = int(value)
+                except ValueError:
+                    try:
+                        row[key] = float(value)
+                    except ValueError:
+                        row[key] = value
+            rows.append(row)
+            i += 1
+        tables.append({"title": title, "header": header, "rows": rows})
+    return tables
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory containing bench/")
+    parser.add_argument("--out", default="BENCH_baseline.json",
+                        help="output JSON path")
+    parser.add_argument("--timeout", type=int, default=600,
+                        help="per-bench timeout in seconds")
+    args = parser.parse_args()
+
+    bench_dir = Path(args.build_dir) / "bench"
+    if not bench_dir.is_dir():
+        print(f"error: {bench_dir} not found (build first)", file=sys.stderr)
+        return 1
+
+    results = {}
+    failures = 0
+    for name in BENCHES:
+        binary = bench_dir / name
+        if not binary.exists():
+            results[name] = {"status": "missing"}
+            failures += 1
+            print(f"[MISS] {name}", file=sys.stderr)
+            continue
+        start = time.monotonic()
+        try:
+            proc = subprocess.run([str(binary)], capture_output=True,
+                                  text=True, timeout=args.timeout)
+        except subprocess.TimeoutExpired:
+            results[name] = {"status": "timeout", "seconds": args.timeout}
+            failures += 1
+            print(f"[TIME] {name}", file=sys.stderr)
+            continue
+        seconds = round(time.monotonic() - start, 3)
+        entry = {
+            "status": "ok" if proc.returncode == 0 else "failed",
+            "returncode": proc.returncode,
+            "seconds": seconds,
+            "tables": parse_tables(proc.stdout),
+        }
+        if proc.returncode != 0:
+            entry["stderr"] = proc.stderr[-2000:]
+            failures += 1
+        results[name] = entry
+        print(f"[{'ok' if proc.returncode == 0 else 'FAIL':>4}] "
+              f"{name}  ({seconds}s)", file=sys.stderr)
+
+    baseline = {
+        "schema": "xpstream-bench-baseline/1",
+        "benches": results,
+    }
+    Path(args.out).write_text(json.dumps(baseline, indent=2, sort_keys=True)
+                              + "\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

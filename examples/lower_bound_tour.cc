@@ -10,17 +10,22 @@
 #include "lowerbounds/fooling_depth.h"
 #include "lowerbounds/fooling_disj.h"
 #include "lowerbounds/fooling_frontier.h"
-#include "xml/tree_builder.h"
-#include "xpath/evaluator.h"
 #include "xpath/parser.h"
+#include "xpstream/xpstream.h"
 
 namespace {
 
 using namespace xpstream;
 
+// Verdicts come from the public facade (the full-fragment buffering
+// oracle engine), demonstrating that the fooling constructions drive
+// the same engines external users see.
 bool Matches(const Query& q, const EventStream& events) {
-  auto doc = EventsToDocument(events);
-  return doc.ok() && BoolEval(q, **doc);
+  auto engine = Engine::Create("naive");
+  if (!engine.ok()) return false;
+  if (!(*engine)->Subscribe("tour", q.ToString()).ok()) return false;
+  auto verdicts = (*engine)->FilterEvents(events);
+  return verdicts.ok() && (*verdicts)[0];
 }
 
 void Show(const Query& q, const char* label, const EventStream& events) {

@@ -18,6 +18,7 @@
 #include "common/memory_stats.h"
 #include "xml/writer.h"
 #include "xpath/parser.h"
+#include "xpstream/xpstream.h"
 
 int main(int argc, char** argv) {
   using namespace xpstream;
@@ -89,5 +90,25 @@ int main(int argc, char** argv) {
         fs);
   }
   std::printf("time : O~(|D| * |Q| * r)\n");
+
+  // Measured check: run the canonical document through the Section 8
+  // engine via the public facade and compare the actual peak table size
+  // with the theory above.
+  if (canonical.ok()) {
+    auto engine = Engine::Create("frontier");
+    if (engine.ok() && (*engine)->Subscribe("q", text).ok()) {
+      auto verdicts =
+          (*engine)->FilterEvents(canonical->document->ToEvents());
+      if (verdicts.ok()) {
+        std::printf(
+            "\n== measured (engine \"frontier\" on the canonical document) "
+            "==\nverdict: %s\npeak frontier tuples: %zu (FS(Q) = %zu plus "
+            "root record)\n%s\n",
+            (*verdicts)[0] ? "match" : "no match",
+            (*engine)->peak_table_entries(), fs,
+            (*engine)->stats().ToString().c_str());
+      }
+    }
+  }
   return 0;
 }

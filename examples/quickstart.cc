@@ -1,18 +1,15 @@
-// Quickstart: parse a query, stream a document through the paper's
-// filtering algorithm, and compare with the in-memory reference
-// evaluation.
+// Quickstart for the public API: compile a query, pick a filtering
+// engine by registry name, stream a document through it, and cross-check
+// against the buffering "naive" oracle engine — all through
+// include/xpstream/ only.
 //
 //   $ ./quickstart
-//   $ ./quickstart '/book[price < 30]/title' '<book>...</book>'
+//   $ ./quickstart '/book[price < 30]/title' '<book>...</book>' frontier
 
 #include <cstdio>
 #include <string>
 
-#include "stream/frontier_filter.h"
-#include "xml/parser.h"
-#include "xml/tree_builder.h"
-#include "xpath/evaluator.h"
-#include "xpath/parser.h"
+#include "xpstream/xpstream.h"
 
 int main(int argc, char** argv) {
   using namespace xpstream;
@@ -26,48 +23,67 @@ int main(int argc, char** argv) {
                  "<author><last>fontoura</last><first>m</first></author>"
                  "<year>2004</year><price>25</price>"
                  "</book>";
+  std::string engine_name = argc > 3 ? argv[3] : "frontier";
 
-  // 1. Parse the query (Forward XPath, paper Fig. 1 grammar).
-  auto query = ParseQuery(query_text);
+  // 1. Compile the query once (Forward XPath, paper Fig. 1 grammar).
+  auto query = CompileQuery(query_text);
   if (!query.ok()) {
     std::fprintf(stderr, "query error: %s\n",
                  query.status().ToString().c_str());
     return 1;
   }
-  std::printf("query        : %s\n", (*query)->ToString().c_str());
-  std::printf("query size   : %zu nodes\n", (*query)->size());
+  std::printf("query        : %s\n", query->ToString().c_str());
+  std::printf("query size   : %zu nodes\n", query->size());
 
-  // 2. Stream the document through the Section 8 filtering algorithm.
-  auto filter = FrontierFilter::Create(query->get());
-  if (!filter.ok()) {
-    std::fprintf(stderr, "filter error: %s\n",
-                 filter.status().ToString().c_str());
+  // 2. Create the engine by registry name and subscribe the query.
+  auto engine = Engine::Create(engine_name);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine error: %s\n",
+                 engine.status().ToString().c_str());
     return 1;
   }
-  if (!(*filter)->Reset().ok()) return 1;
-  XmlParser parser(filter->get());  // SAX events flow straight in
-  Status status = parser.Feed(xml);
-  if (status.ok()) status = parser.Finish();
-  if (!status.ok()) {
+  Status subscribed =
+      (*engine)->Subscribe("quickstart", std::move(query).value());
+  if (!subscribed.ok()) {
+    std::fprintf(stderr, "subscribe error: %s\n",
+                 subscribed.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Stream the document bytes in chunks: the engine owns the XML
+  //    parser, so memory stays bounded regardless of document size.
+  const size_t kChunk = 16;
+  for (size_t i = 0; i < xml.size(); i += kChunk) {
+    Status status = (*engine)->Feed(xml.substr(i, kChunk));
+    if (!status.ok()) {
+      std::fprintf(stderr, "xml error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (Status status = (*engine)->FinishDocument(); !status.ok()) {
     std::fprintf(stderr, "xml error: %s\n", status.ToString().c_str());
     return 1;
   }
-  auto verdict = (*filter)->Matched();
+  auto verdict = (*engine)->Matched();
   if (!verdict.ok()) return 1;
+  std::printf("engine       : %s\n", (*engine)->engine_name().c_str());
   std::printf("stream match : %s\n", *verdict ? "yes" : "no");
-  std::printf("memory       : %s\n",
-              (*filter)->stats().ToString().c_str());
+  std::printf("memory       : %s\n", (*engine)->stats().ToString().c_str());
 
-  // 3. Cross-check with the reference evaluator (FULLEVAL, Def. 3.6).
-  auto doc = ParseXmlToDocument(xml);
-  if (!doc.ok()) return 1;
-  auto selected = FullEval(**query, **doc);
-  std::printf("FULLEVAL     : %zu node(s) selected\n", selected.size());
-  for (const XmlNode* node : selected) {
-    std::printf("  <%s> = \"%s\"\n", node->name().c_str(),
-                node->StringValue().c_str());
-  }
-  bool agree = (*verdict) == !selected.empty();
+  // 4. Cross-check with the buffering oracle through the same facade.
+  auto oracle = Engine::Create("naive");
+  if (!oracle.ok()) return 1;
+  if (!(*oracle)->Subscribe("quickstart", query_text).ok()) return 1;
+  auto expected = (*oracle)->FilterXml(xml);
+  if (!expected.ok()) return 1;
+  bool agree = *verdict == (*expected)[0];
+  std::printf("naive oracle : %s\n", (*expected)[0] ? "yes" : "no");
   std::printf("agreement    : %s\n", agree ? "ok" : "MISMATCH");
+
+  std::printf("engines      :");
+  for (const std::string& name : Engine::AvailableEngines()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
   return agree ? 0 : 1;
 }

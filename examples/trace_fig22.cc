@@ -6,11 +6,16 @@
 // the frontier table contents (level, node-test, matched) — the same
 // state columns as the figure.
 
+// The per-event trace is a FrontierFilter-specific debugging feature, so
+// this example reaches below the public facade; the final verdict is
+// cross-checked through the public Engine API.
+
 #include <cstdio>
 
 #include "stream/frontier_filter.h"
 #include "xml/parser.h"
 #include "xpath/parser.h"
+#include "xpstream/xpstream.h"
 
 int main() {
   using namespace xpstream;
@@ -46,5 +51,14 @@ int main() {
               *verdict ? "match" : "no match");
   std::printf("peak frontier tuples: %zu  (FS(Q) = 3 plus root record)\n",
               (*filter)->stats().table_entries().peak());
-  return *verdict ? 0 : 1;
+
+  // Cross-check through the public facade.
+  auto engine = Engine::Create("frontier");
+  if (!engine.ok()) return 1;
+  if (!(*engine)->Subscribe("fig22", query_text).ok()) return 1;
+  auto facade_verdict = (*engine)->FilterXml(xml);
+  if (!facade_verdict.ok()) return 1;
+  std::printf("public-API agreement: %s\n",
+              (*facade_verdict)[0] == *verdict ? "ok" : "MISMATCH");
+  return *verdict && (*facade_verdict)[0] == *verdict ? 0 : 1;
 }

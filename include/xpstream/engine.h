@@ -1,0 +1,171 @@
+#ifndef XPSTREAM_PUBLIC_ENGINE_H_
+#define XPSTREAM_PUBLIC_ENGINE_H_
+
+/// \file
+/// The public streaming-filter facade. One Engine answers BOOLEVAL for a
+/// set of subscriptions over a sequence of streaming XML documents:
+///
+///   auto engine = Engine::Create({.engine = "frontier"});
+///   (*engine)->Subscribe("cheap-books", "/book[price < 30]/title");
+///   (*engine)->Feed(xml_chunk);        // bytes, any chunking
+///   (*engine)->FinishDocument();
+///   bool hit = *(*engine)->Matched("cheap-books");
+///
+/// The algorithm is selected by registry name — "naive", "nfa",
+/// "lazy_dfa", "frontier" (the paper's Section 8 algorithm, the
+/// default), or "nfa_index" (a YFilter-style shared automaton for
+/// thousand-query dissemination). Single-query filtering and multi-query
+/// dissemination use the same subscription model; every engine reports
+/// uniform MemoryStats.
+///
+/// Three entry points, highest level first:
+///  * bytes    — Feed()/FinishDocument() or FilterXml(); the engine owns
+///               the streaming XML parser, callers never see SAX;
+///  * SAX      — OnEvent() (the Engine is an EventSink) with document
+///               boundaries taken from start/endDocument events;
+///  * batch    — FilterEvents() for a pre-parsed document.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/memory_stats.h"
+#include "common/status.h"
+#include "xml/event.h"
+#include "xpstream/query.h"
+
+namespace xpstream {
+
+class Matcher;    // internal (stream/matcher.h)
+class XmlParser;  // internal (xml/parser.h)
+
+/// Engine construction options.
+struct EngineOptions {
+  /// Registry name of the filtering algorithm.
+  std::string engine = "frontier";
+
+  /// Record the verdicts of every completed document in history().
+  /// Disable for unbounded document streams where only Matched() /
+  /// last_verdicts() and the peak gauges are consumed.
+  bool keep_history = true;
+};
+
+class Engine : public EventSink {
+ public:
+  /// Creates an engine; kNotFound when options.engine names no
+  /// registered algorithm.
+  static Result<std::unique_ptr<Engine>> Create(const EngineOptions& options);
+  static Result<std::unique_ptr<Engine>> Create(std::string_view engine_name);
+
+  /// Registry names available for EngineOptions::engine, sorted.
+  static std::vector<std::string> AvailableEngines();
+
+  ~Engine() override;
+
+  /// The registry name this engine was created under.
+  const std::string& engine_name() const { return options_.engine; }
+
+  // --- subscriptions -----------------------------------------------
+  // Register before a document starts; between documents is fine,
+  // mid-document is an error. Subscription ids are caller-chosen,
+  // distinct, and keep their registration order in verdict vectors.
+
+  /// Subscribes a compiled query (the engine takes ownership). Fails
+  /// with kUnsupported when the query lies outside the algorithm's
+  /// fragment and with kInvalidArgument on a duplicate id.
+  Status Subscribe(std::string id, CompiledQuery query);
+
+  /// Compiles and subscribes in one step.
+  Status Subscribe(std::string id, std::string_view xpath);
+
+  size_t NumSubscriptions() const { return ids_.size(); }
+
+  /// Subscription ids in registration order — the verdict-vector order.
+  const std::vector<std::string>& subscription_ids() const { return ids_; }
+
+  /// The compiled query subscribed under `id`; kNotFound when unknown.
+  Result<const CompiledQuery*> SubscribedQuery(std::string_view id) const;
+
+  // --- byte-level entry points -------------------------------------
+
+  /// Feeds the next chunk of XML text of the current document; the
+  /// engine owns the streaming parser. Chunk boundaries are arbitrary.
+  Status Feed(std::string_view chunk);
+
+  /// Declares the current document's text complete, verifies
+  /// well-formedness, and records its verdicts. The next Feed() starts
+  /// the next document of the stream.
+  Status FinishDocument();
+
+  /// Convenience: one whole document, returning its verdicts (in
+  /// subscription_ids() order). On failure the partial document is
+  /// discarded, so the engine stays usable for the next document.
+  Result<std::vector<bool>> FilterXml(std::string_view xml);
+
+  /// Discards the current partially-consumed document (bytes or SAX),
+  /// e.g. after a parse error on an incremental Feed(). No verdicts are
+  /// recorded; the engine is ready for the next document.
+  void AbortDocument();
+
+  // --- SAX-level entry points --------------------------------------
+
+  /// Feeds one SAX event; documents are delimited by startDocument /
+  /// endDocument events (the old FilterSession contract).
+  Status OnEvent(const Event& event) override;
+
+  /// Convenience: one pre-parsed document, returning its verdicts.
+  Result<std::vector<bool>> FilterEvents(const EventStream& events);
+
+  // --- results ------------------------------------------------------
+
+  /// Number of completed documents.
+  size_t documents_seen() const { return documents_seen_; }
+
+  /// Per-document verdict history (empty when keep_history is off).
+  const std::vector<std::vector<bool>>& history() const { return history_; }
+
+  /// Verdicts of the most recent completed document.
+  const std::vector<bool>& last_verdicts() const { return last_verdicts_; }
+
+  /// Verdict of subscription `id` in the most recent document.
+  Result<bool> Matched(std::string_view id) const;
+
+  /// Single-subscription convenience; kInvalidArgument unless exactly
+  /// one subscription is registered.
+  Result<bool> Matched() const;
+
+  // --- memory accounting -------------------------------------------
+
+  /// Stats of the current / most recent document (for a filter-bank
+  /// engine, summed over the per-subscription filters).
+  const MemoryStats& stats() const;
+
+  /// Peaks across all documents seen so far.
+  size_t peak_table_entries() const { return peak_table_entries_; }
+  size_t peak_buffered_bytes() const { return peak_buffered_bytes_; }
+
+ private:
+  Engine(EngineOptions options, std::unique_ptr<Matcher> matcher);
+
+  Status CheckSubscribable(const std::string& id) const;
+
+  EngineOptions options_;
+  std::unique_ptr<Matcher> matcher_;
+
+  std::vector<std::string> ids_;
+  std::vector<CompiledQuery> queries_;  // owns the subscribed ASTs
+
+  std::unique_ptr<XmlParser> parser_;  // live while a byte doc is open
+  bool in_document_ = false;
+
+  size_t documents_seen_ = 0;
+  std::vector<std::vector<bool>> history_;
+  std::vector<bool> last_verdicts_;
+  size_t peak_table_entries_ = 0;
+  size_t peak_buffered_bytes_ = 0;
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_PUBLIC_ENGINE_H_

@@ -1,0 +1,57 @@
+#ifndef XPSTREAM_PUBLIC_QUERY_H_
+#define XPSTREAM_PUBLIC_QUERY_H_
+
+/// \file
+/// Public query compilation. A Forward XPath query is compiled once into
+/// an opaque CompiledQuery and then subscribed on any Engine; the
+/// engine-specific fragment check (linear-only automata, the frontier
+/// algorithm's univariate conjunctive fragment, ...) happens at
+/// Subscribe time, so one CompiledQuery can be offered to several
+/// engines.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xpstream {
+
+class Query;  // internal AST (xpath/ast.h)
+
+class CompiledQuery {
+ public:
+  CompiledQuery(CompiledQuery&& other) noexcept;
+  CompiledQuery& operator=(CompiledQuery&& other) noexcept;
+  CompiledQuery(const CompiledQuery&) = delete;
+  CompiledQuery& operator=(const CompiledQuery&) = delete;
+  ~CompiledQuery();
+
+  /// The source text the query was compiled from.
+  const std::string& text() const { return text_; }
+
+  /// Normal-form rendering (round-trips through the compiler).
+  std::string ToString() const;
+
+  /// |Q|: query tree nodes including the root.
+  size_t size() const;
+
+  /// Escape hatch to the internal AST for in-repo analysis tools. Not a
+  /// stable interface; external users should treat CompiledQuery as
+  /// opaque.
+  const Query* query() const { return query_.get(); }
+
+ private:
+  friend Result<CompiledQuery> CompileQuery(std::string_view xpath);
+  CompiledQuery(std::string text, std::unique_ptr<Query> query);
+
+  std::string text_;
+  std::unique_ptr<Query> query_;
+};
+
+/// Parses and validates Forward XPath text (the paper's Fig. 1 grammar).
+Result<CompiledQuery> CompileQuery(std::string_view xpath);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_PUBLIC_QUERY_H_

@@ -1,0 +1,22 @@
+#ifndef XPSTREAM_PUBLIC_XPSTREAM_H_
+#define XPSTREAM_PUBLIC_XPSTREAM_H_
+
+/// \file
+/// Umbrella header of the public xpstream API — everything an external
+/// user needs to compile Forward XPath queries and filter streaming XML
+/// documents:
+///
+///   * CompileQuery / CompiledQuery   (xpstream/query.h)
+///   * Engine / EngineOptions         (xpstream/engine.h)
+///   * Status / Result<T>             (common/status.h)
+///   * MemoryStats                    (common/memory_stats.h)
+///   * Event / EventStream / EventSink, for the SAX entry point
+///                                    (xml/event.h)
+///
+/// Everything else under src/ is internal: usable in-repo, but not part
+/// of the stable surface.
+
+#include "xpstream/engine.h"
+#include "xpstream/query.h"
+
+#endif  // XPSTREAM_PUBLIC_XPSTREAM_H_

@@ -1,0 +1,189 @@
+#include "xpstream/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "stream/engine_registry.h"
+#include "stream/matcher.h"
+#include "xml/parser.h"
+#include "xpath/ast.h"
+
+namespace xpstream {
+
+Engine::Engine(EngineOptions options, std::unique_ptr<Matcher> matcher)
+    : options_(std::move(options)), matcher_(std::move(matcher)) {}
+
+Engine::~Engine() = default;
+
+Result<std::unique_ptr<Engine>> Engine::Create(const EngineOptions& options) {
+  auto matcher = EngineRegistry::Global().CreateMatcher(options.engine);
+  if (!matcher.ok()) return matcher.status();
+  return std::unique_ptr<Engine>(
+      new Engine(options, std::move(matcher).value()));
+}
+
+Result<std::unique_ptr<Engine>> Engine::Create(std::string_view engine_name) {
+  EngineOptions options;
+  options.engine = std::string(engine_name);
+  return Create(options);
+}
+
+std::vector<std::string> Engine::AvailableEngines() {
+  return EngineRegistry::Global().Names();
+}
+
+Status Engine::CheckSubscribable(const std::string& id) const {
+  if (in_document_ || parser_ != nullptr) {
+    return Status::InvalidArgument(
+        "cannot subscribe while a document is being consumed");
+  }
+  if (std::find(ids_.begin(), ids_.end(), id) != ids_.end()) {
+    return Status::InvalidArgument("duplicate subscription id: " + id);
+  }
+  return Status::OK();
+}
+
+Status Engine::Subscribe(std::string id, CompiledQuery query) {
+  XPS_RETURN_IF_ERROR(CheckSubscribable(id));
+  XPS_RETURN_IF_ERROR(matcher_->Subscribe(ids_.size(), query.query()));
+  ids_.push_back(std::move(id));
+  queries_.push_back(std::move(query));
+  return Status::OK();
+}
+
+Status Engine::Subscribe(std::string id, std::string_view xpath) {
+  auto query = CompileQuery(xpath);
+  if (!query.ok()) return query.status();
+  return Subscribe(std::move(id), std::move(query).value());
+}
+
+Result<const CompiledQuery*> Engine::SubscribedQuery(
+    std::string_view id) const {
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id) {
+      const CompiledQuery* query = &queries_[i];
+      return query;
+    }
+  }
+  return Status::NotFound("unknown subscription id: " + std::string(id));
+}
+
+Status Engine::Feed(std::string_view chunk) {
+  if (parser_ == nullptr) {
+    parser_ = std::make_unique<XmlParser>(this);
+  }
+  return parser_->Feed(chunk);
+}
+
+Status Engine::FinishDocument() {
+  if (parser_ == nullptr) {
+    return Status::InvalidArgument("no document text was fed");
+  }
+  Status status = parser_->Finish();
+  // One parser per document: the next Feed() starts the next document.
+  parser_.reset();
+  if (!status.ok()) AbortDocument();
+  return status;
+}
+
+Result<std::vector<bool>> Engine::FilterXml(std::string_view xml) {
+  if (parser_ != nullptr || in_document_) {
+    return Status::InvalidArgument("a document is already being consumed");
+  }
+  Status status = Feed(xml);
+  if (status.ok()) status = FinishDocument();
+  if (!status.ok()) {
+    AbortDocument();
+    return status;
+  }
+  return last_verdicts_;
+}
+
+void Engine::AbortDocument() {
+  parser_.reset();
+  in_document_ = false;  // the next startDocument resets the matcher
+}
+
+Status Engine::OnEvent(const Event& event) {
+  // The old FilterSession contract, folded into the facade: reset the
+  // matcher at each document start, harvest verdicts and fold peak
+  // gauges at each document end.
+  switch (event.type) {
+    case EventType::kStartDocument:
+      if (in_document_) {
+        return Status::NotWellFormed("nested startDocument in stream");
+      }
+      in_document_ = true;
+      XPS_RETURN_IF_ERROR(matcher_->Reset());
+      return matcher_->OnEvent(event);
+    case EventType::kEndDocument: {
+      if (!in_document_) {
+        return Status::NotWellFormed("endDocument outside a document");
+      }
+      XPS_RETURN_IF_ERROR(matcher_->OnEvent(event));
+      in_document_ = false;
+      auto verdicts = matcher_->Verdicts();
+      if (!verdicts.ok()) return verdicts.status();
+      last_verdicts_ = std::move(verdicts).value();
+      if (options_.keep_history) history_.push_back(last_verdicts_);
+      ++documents_seen_;
+      const MemoryStats& document_stats = matcher_->stats();
+      peak_table_entries_ = std::max(peak_table_entries_,
+                                     document_stats.table_entries().peak());
+      peak_buffered_bytes_ = std::max(peak_buffered_bytes_,
+                                      document_stats.buffered_bytes().peak());
+      return Status::OK();
+    }
+    default:
+      if (!in_document_) {
+        return Status::NotWellFormed("content outside a document");
+      }
+      return matcher_->OnEvent(event);
+  }
+}
+
+Result<std::vector<bool>> Engine::FilterEvents(const EventStream& events) {
+  if (in_document_) {
+    return Status::InvalidArgument("a document is already being consumed");
+  }
+  for (const Event& event : events) {
+    Status status = OnEvent(event);
+    if (!status.ok()) {
+      AbortDocument();  // discard the partial document, stay usable
+      return status;
+    }
+  }
+  if (in_document_) {
+    AbortDocument();
+    return Status::NotWellFormed("event stream ended mid-document");
+  }
+  return last_verdicts_;
+}
+
+Result<bool> Engine::Matched(std::string_view id) const {
+  if (documents_seen_ == 0) {
+    return Status::InvalidArgument("no document has completed yet");
+  }
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] != id) continue;
+    if (i >= last_verdicts_.size()) {
+      // Subscribed between documents: no verdict until the next one.
+      return Status::InvalidArgument("subscription \"" + std::string(id) +
+                                     "\" was added after the last document");
+    }
+    return static_cast<bool>(last_verdicts_[i]);
+  }
+  return Status::NotFound("unknown subscription id: " + std::string(id));
+}
+
+Result<bool> Engine::Matched() const {
+  if (ids_.size() != 1) {
+    return Status::InvalidArgument(
+        "Matched() without an id needs exactly one subscription");
+  }
+  return Matched(ids_.front());
+}
+
+const MemoryStats& Engine::stats() const { return matcher_->stats(); }
+
+}  // namespace xpstream

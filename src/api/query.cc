@@ -1,0 +1,26 @@
+#include "xpstream/query.h"
+
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+
+CompiledQuery::CompiledQuery(std::string text, std::unique_ptr<Query> query)
+    : text_(std::move(text)), query_(std::move(query)) {}
+
+CompiledQuery::CompiledQuery(CompiledQuery&& other) noexcept = default;
+CompiledQuery& CompiledQuery::operator=(CompiledQuery&& other) noexcept =
+    default;
+CompiledQuery::~CompiledQuery() = default;
+
+std::string CompiledQuery::ToString() const { return query_->ToString(); }
+
+size_t CompiledQuery::size() const { return query_->size(); }
+
+Result<CompiledQuery> CompileQuery(std::string_view xpath) {
+  auto query = ParseQuery(xpath);
+  if (!query.ok()) return query.status();
+  return CompiledQuery(std::string(xpath), std::move(query).value());
+}
+
+}  // namespace xpstream

@@ -18,6 +18,14 @@ size_t MemoryStats::PeakStateBits(size_t bits_per_tuple) const {
          auxiliary_bytes_.peak() * 8;
 }
 
+void MemoryStats::Accumulate(const MemoryStats& other) {
+  table_entries_.Accumulate(other.table_entries_);
+  buffered_bytes_.Accumulate(other.buffered_bytes_);
+  automaton_states_.Accumulate(other.automaton_states_);
+  automaton_transitions_.Accumulate(other.automaton_transitions_);
+  auxiliary_bytes_.Accumulate(other.auxiliary_bytes_);
+}
+
 void MemoryStats::Reset() {
   table_entries_.Reset();
   buffered_bytes_.Reset();

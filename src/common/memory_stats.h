@@ -32,6 +32,13 @@ class MemoryStats {
     size_t peak() const { return peak_; }
     void Reset() { current_ = peak_ = 0; }
 
+    /// Adds another gauge's readings. Summed peaks are an upper bound on
+    /// the true combined peak (the parts may peak at different moments).
+    void Accumulate(const Gauge& other) {
+      current_ += other.current_;
+      peak_ += other.peak_;
+    }
+
    private:
     size_t current_ = 0;
     size_t peak_ = 0;
@@ -67,6 +74,10 @@ class MemoryStats {
   size_t PeakStateBits(size_t bits_per_tuple) const;
 
   void Reset();
+
+  /// Gauge-wise accumulation, used to aggregate the stats of several
+  /// engines sharing one scan (e.g. a bank of per-subscription filters).
+  void Accumulate(const MemoryStats& other);
 
   std::string ToString() const;
 

@@ -1,0 +1,66 @@
+#include "stream/engine_registry.h"
+
+namespace xpstream {
+
+EngineRegistry& EngineRegistry::Global() {
+  static EngineRegistry* registry = [] {
+    auto* r = new EngineRegistry();
+    RegisterNaiveEngine(*r);
+    RegisterNfaEngine(*r);
+    RegisterLazyDfaEngine(*r);
+    RegisterFrontierEngine(*r);
+    RegisterNfaIndexEngine(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status EngineRegistry::Register(const std::string& name,
+                                MatcherFactory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("engine name must be non-empty");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("engine factory must be non-null");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!factories_.emplace(name, std::move(factory)).second) {
+    return Status::InvalidArgument("engine already registered: " + name);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Matcher>> EngineRegistry::CreateMatcher(
+    const std::string& name) const {
+  MatcherFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::string known;
+      for (const auto& [known_name, unused] : factories_) {
+        if (!known.empty()) known += ", ";
+        known += known_name;
+      }
+      return Status::NotFound("unknown engine \"" + name +
+                              "\" (registered: " + known + ")");
+    }
+    factory = it->second;
+  }
+  return factory();
+}
+
+bool EngineRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, unused] : factories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace xpstream

@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "stream/engine_registry.h"
+#include "stream/matcher.h"
 
 namespace xpstream {
 
@@ -161,6 +163,10 @@ void LazyDfaFilter::MaterializeFully() {
       if (seen.insert(next).second) queue.push_back(next);
     }
   }
+}
+
+void RegisterLazyDfaEngine(EngineRegistry& registry) {
+  RegisterFilterBankEngine<LazyDfaFilter>(registry, "lazy_dfa");
 }
 
 }  // namespace xpstream

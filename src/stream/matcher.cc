@@ -1,0 +1,48 @@
+#include "stream/matcher.h"
+
+namespace xpstream {
+
+Status FilterBankMatcher::Subscribe(size_t slot, const Query* query) {
+  if (slot != filters_.size()) {
+    return Status::InvalidArgument("subscription slots must be dense");
+  }
+  auto filter = factory_(query);
+  if (!filter.ok()) return filter.status();
+  filters_.push_back(std::move(filter).value());
+  return Status::OK();
+}
+
+Status FilterBankMatcher::Reset() {
+  for (auto& filter : filters_) {
+    XPS_RETURN_IF_ERROR(filter->Reset());
+  }
+  return Status::OK();
+}
+
+Status FilterBankMatcher::OnEvent(const Event& event) {
+  for (auto& filter : filters_) {
+    XPS_RETURN_IF_ERROR(filter->OnEvent(event));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<bool>> FilterBankMatcher::Verdicts() const {
+  std::vector<bool> verdicts;
+  verdicts.reserve(filters_.size());
+  for (const auto& filter : filters_) {
+    auto verdict = filter->Matched();
+    if (!verdict.ok()) return verdict.status();
+    verdicts.push_back(*verdict);
+  }
+  return verdicts;
+}
+
+const MemoryStats& FilterBankMatcher::stats() const {
+  stats_.Reset();
+  for (const auto& filter : filters_) {
+    stats_.Accumulate(filter->stats());
+  }
+  return stats_;
+}
+
+}  // namespace xpstream

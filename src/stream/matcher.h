@@ -1,0 +1,95 @@
+#ifndef XPSTREAM_STREAM_MATCHER_H_
+#define XPSTREAM_STREAM_MATCHER_H_
+
+/// \file
+/// The single subscription model behind the public Engine facade. A
+/// Matcher answers BOOLEVAL for a *set* of subscriptions over one
+/// document stream at a time: subscriptions are registered under dense
+/// slots, the document arrives as SAX events, and after endDocument the
+/// matcher reports one verdict per slot plus uniform MemoryStats.
+///
+/// Two families implement the interface:
+///  * FilterBankMatcher — one StreamFilter per subscription sharing a
+///    single SAX scan (frontier / nfa / lazy_dfa / naive engines);
+///  * the shared-automaton matcher over NfaIndex (nfa_index engine),
+///    where all subscriptions run in one automaton.
+/// Both are reached by name through the EngineRegistry.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/memory_stats.h"
+#include "common/status.h"
+#include "stream/filter.h"
+#include "xml/event.h"
+
+namespace xpstream {
+
+class Query;  // xpath/ast.h
+
+class Matcher : public EventSink {
+ public:
+  ~Matcher() override = default;
+
+  /// Engine-registry key this matcher was created under.
+  virtual std::string name() const = 0;
+
+  /// Registers a subscription under the next dense slot; `slot` must
+  /// equal NumSubscriptions(). The query must outlive the matcher.
+  /// Fails with kUnsupported when the query is outside the engine's
+  /// fragment, and must not be called between startDocument and
+  /// endDocument (the facade enforces this).
+  virtual Status Subscribe(size_t slot, const Query* query) = 0;
+
+  virtual size_t NumSubscriptions() const = 0;
+
+  /// Prepares for a new document; verdicts and per-document stats reset.
+  virtual Status Reset() = 0;
+
+  /// Feeds the next SAX event (EventSink interface).
+  Status OnEvent(const Event& event) override = 0;
+
+  /// Per-slot verdicts; valid only after endDocument was consumed.
+  virtual Result<std::vector<bool>> Verdicts() const = 0;
+
+  /// Memory accounting for the current/most recent document. For a
+  /// filter bank this is the sum over member filters (peaks sum to an
+  /// upper bound, since members may peak at different moments).
+  virtual const MemoryStats& stats() const = 0;
+};
+
+/// Creates a Matcher of the engine registered under `name`.
+using MatcherFactory = std::function<Result<std::unique_ptr<Matcher>>()>;
+
+/// Creates one engine-specific StreamFilter for a subscription query.
+using FilterFactory =
+    std::function<Result<std::unique_ptr<StreamFilter>>(const Query*)>;
+
+/// A bank of per-subscription StreamFilters sharing one SAX scan — the
+/// adapter that turns every single-query engine into a multi-query
+/// dissemination engine.
+class FilterBankMatcher : public Matcher {
+ public:
+  FilterBankMatcher(std::string name, FilterFactory factory)
+      : name_(std::move(name)), factory_(std::move(factory)) {}
+
+  std::string name() const override { return name_; }
+  Status Subscribe(size_t slot, const Query* query) override;
+  size_t NumSubscriptions() const override { return filters_.size(); }
+  Status Reset() override;
+  Status OnEvent(const Event& event) override;
+  Result<std::vector<bool>> Verdicts() const override;
+  const MemoryStats& stats() const override;
+
+ private:
+  std::string name_;
+  FilterFactory factory_;
+  std::vector<std::unique_ptr<StreamFilter>> filters_;
+  mutable MemoryStats stats_;  // aggregated on demand
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_STREAM_MATCHER_H_

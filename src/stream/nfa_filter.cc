@@ -1,6 +1,8 @@
 #include "stream/nfa_filter.h"
 
 #include "common/string_util.h"
+#include "stream/engine_registry.h"
+#include "stream/matcher.h"
 
 namespace xpstream {
 
@@ -43,9 +45,11 @@ Status NfaFilter::Reset() {
 
 uint64_t NfaFilter::Descend(uint64_t active, const std::string& name) const {
   uint64_t next = 0;
-  const size_t n = steps_.size();
-  for (size_t i = 0; i < n; ++i) {
-    if ((active & (1ULL << i)) == 0) continue;
+  // Iterate set bits only: the active set is typically much sparser than
+  // the 63-slot step window, and this runs once per start element.
+  for (uint64_t rest = active & ((1ULL << steps_.size()) - 1); rest != 0;
+       rest &= rest - 1) {
+    const size_t i = static_cast<size_t>(__builtin_ctzll(rest));
     const Step& step = steps_[i];  // the (i+1)-st step, 0-based
     if (step.axis == Axis::kDescendant) {
       next |= 1ULL << i;  // '//' self-loop: skip this element
@@ -84,12 +88,13 @@ Status NfaFilter::OnEvent(const Event& event) {
     case EventType::kAttribute: {
       if (stack_.empty()) return Status::NotWellFormed("no startDocument");
       // The element's own active set is one below the attribute step.
-      uint64_t active = stack_.back();
-      for (size_t i = 0; i < steps_.size(); ++i) {
-        if ((active & (1ULL << i)) == 0) continue;
-        const Step& step = steps_[i];
-        if (step.axis == Axis::kAttribute && step.Passes(event.name) &&
-            i + 1 == steps_.size()) {
+      // Only the last step can be an accepting attribute step, so a
+      // single bit test replaces the full scan.
+      if (!steps_.empty()) {
+        const size_t last = steps_.size() - 1;
+        const Step& step = steps_[last];
+        if ((stack_.back() & (1ULL << last)) != 0 &&
+            step.axis == Axis::kAttribute && step.Passes(event.name)) {
           matched_ = true;
         }
       }
@@ -110,6 +115,10 @@ std::string NfaFilter::SerializeState() const {
   std::string out = matched_ ? "M1|" : "M0|";
   for (uint64_t s : stack_) out += StringPrintf("%llx,", (unsigned long long)s);
   return out;
+}
+
+void RegisterNfaEngine(EngineRegistry& registry) {
+  RegisterFilterBankEngine<NfaFilter>(registry, "nfa");
 }
 
 }  // namespace xpstream

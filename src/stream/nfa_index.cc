@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "stream/engine_registry.h"
+#include "stream/matcher.h"
 #include "stream/nfa_filter.h"
 
 namespace xpstream {
@@ -99,82 +101,160 @@ void NfaIndex::AddClosed(int state, std::vector<int>* set) const {
 
 Result<std::vector<bool>> NfaIndex::FilterDocument(
     const EventStream& events) const {
-  std::vector<bool> verdicts(max_id_ + 1, false);
-  std::vector<std::vector<int>> stack;
-  stats_.Reset();
-  size_t active_entries = 0;
+  if (batch_run_ == nullptr) {
+    batch_run_ = std::make_unique<NfaIndexRun>(this);
+  }
+  XPS_RETURN_IF_ERROR(batch_run_->Reset());
+  for (const Event& event : events) {
+    XPS_RETURN_IF_ERROR(batch_run_->OnEvent(event));
+  }
+  stats_ = batch_run_->stats();
+  return batch_run_->Verdicts();
+}
 
+Status NfaIndexRun::Reset() {
+  depth_ = 0;
+  active_entries_ = 0;
+  done_ = false;
+  verdicts_.assign(index_->max_id_ + 1, false);
+  stats_.Reset();
+  return Status::OK();
+}
+
+Status NfaIndexRun::OnEvent(const Event& event) {
+  const std::vector<NfaIndex::State>& states = index_->states_;
   auto accept = [&](int state) {
-    for (size_t id : states_[static_cast<size_t>(state)].accepts) {
-      verdicts[id] = true;
+    for (size_t id : states[static_cast<size_t>(state)].accepts) {
+      verdicts_[id] = true;
     }
   };
+  // Opens one stack level, recycling the storage of a previously popped
+  // level when available.
+  auto open_level = [&]() -> std::vector<int>& {
+    if (depth_ == stack_.size()) stack_.emplace_back();
+    std::vector<int>& level = stack_[depth_++];
+    level.clear();
+    return level;
+  };
 
-  for (const Event& event : events) {
-    switch (event.type) {
-      case EventType::kStartDocument: {
-        stack.clear();
-        std::vector<int> initial;
-        AddClosed(0, &initial);
-        active_entries = initial.size();
-        stack.push_back(std::move(initial));
-        break;
+  switch (event.type) {
+    case EventType::kStartDocument: {
+      XPS_RETURN_IF_ERROR(Reset());
+      std::vector<int>& initial = open_level();
+      index_->AddClosed(0, &initial);
+      active_entries_ = initial.size();
+      break;
+    }
+    case EventType::kEndDocument:
+      done_ = true;
+      stats_.automaton_states().Set(states.size());
+      break;
+    case EventType::kStartElement: {
+      if (depth_ == 0) {
+        return Status::NotWellFormed("element before startDocument");
       }
-      case EventType::kEndDocument:
-        break;
-      case EventType::kStartElement: {
-        if (stack.empty()) {
-          return Status::NotWellFormed("element before startDocument");
-        }
-        std::vector<int> next;
-        for (int s : stack.back()) {
-          const State& state = states_[static_cast<size_t>(s)];
-          auto it = state.child_edges.find(event.name);
-          if (it != state.child_edges.end()) {
-            for (int t : it->second) {
-              accept(t);
-              AddClosed(t, &next);
-            }
-          }
-          for (int t : state.wildcard_edges) {
+      std::vector<int>& next = open_level();
+      const std::vector<int>& current = stack_[depth_ - 2];
+      for (int s : current) {
+        const NfaIndex::State& state = states[static_cast<size_t>(s)];
+        auto it = state.child_edges.find(event.name);
+        if (it != state.child_edges.end()) {
+          for (int t : it->second) {
             accept(t);
-            AddClosed(t, &next);
-          }
-          if (state.self_loop) {
-            AddClosed(s, &next);
+            index_->AddClosed(t, &next);
           }
         }
-        active_entries += next.size();
-        stack.push_back(std::move(next));
-        stats_.table_entries().Set(active_entries);
-        break;
+        for (int t : state.wildcard_edges) {
+          accept(t);
+          index_->AddClosed(t, &next);
+        }
+        if (state.self_loop) {
+          index_->AddClosed(s, &next);
+        }
       }
-      case EventType::kEndElement:
-        if (stack.size() <= 1) {
-          return Status::NotWellFormed("unbalanced endElement");
-        }
-        active_entries -= stack.back().size();
-        stack.pop_back();
-        break;
-      case EventType::kText:
-        break;
-      case EventType::kAttribute: {
-        if (stack.empty()) {
-          return Status::NotWellFormed("attribute before startDocument");
-        }
-        for (int s : stack.back()) {
-          const State& state = states_[static_cast<size_t>(s)];
-          auto it = state.attribute_accepts.find(event.name);
-          if (it != state.attribute_accepts.end()) {
-            for (size_t id : it->second) verdicts[id] = true;
-          }
-        }
-        break;
+      active_entries_ += next.size();
+      stats_.table_entries().Set(active_entries_);
+      break;
+    }
+    case EventType::kEndElement:
+      if (depth_ <= 1) {
+        return Status::NotWellFormed("unbalanced endElement");
       }
+      active_entries_ -= stack_[depth_ - 1].size();
+      --depth_;
+      break;
+    case EventType::kText:
+      break;
+    case EventType::kAttribute: {
+      if (depth_ == 0) {
+        return Status::NotWellFormed("attribute before startDocument");
+      }
+      for (int s : stack_[depth_ - 1]) {
+        const NfaIndex::State& state = states[static_cast<size_t>(s)];
+        auto it = state.attribute_accepts.find(event.name);
+        if (it != state.attribute_accepts.end()) {
+          for (size_t id : it->second) verdicts_[id] = true;
+        }
+      }
+      break;
     }
   }
-  stats_.automaton_states().Set(states_.size());
-  return verdicts;
+  return Status::OK();
+}
+
+Result<std::vector<bool>> NfaIndexRun::Verdicts() const {
+  if (!done_) return Status::InvalidArgument("document not complete");
+  return verdicts_;
+}
+
+namespace {
+
+/// The shared-automaton dissemination engine: all subscriptions run in
+/// one NfaIndex, slots map 1:1 onto index query ids.
+class NfaIndexMatcher : public Matcher {
+ public:
+  NfaIndexMatcher() : run_(&index_) {}
+
+  std::string name() const override { return "nfa_index"; }
+
+  Status Subscribe(size_t slot, const Query* query) override {
+    if (slot != subscriptions_) {
+      return Status::InvalidArgument("subscription slots must be dense");
+    }
+    XPS_RETURN_IF_ERROR(index_.AddQuery(slot, *query));
+    ++subscriptions_;
+    return Status::OK();
+  }
+
+  size_t NumSubscriptions() const override { return subscriptions_; }
+  Status Reset() override { return run_.Reset(); }
+  Status OnEvent(const Event& event) override { return run_.OnEvent(event); }
+
+  Result<std::vector<bool>> Verdicts() const override {
+    auto verdicts = run_.Verdicts();
+    if (!verdicts.ok()) return verdicts.status();
+    // The run sizes verdicts by max query id + 1; trim the placeholder
+    // entry of a subscription-free index.
+    verdicts->resize(subscriptions_);
+    return verdicts;
+  }
+
+  const MemoryStats& stats() const override { return run_.stats(); }
+
+ private:
+  NfaIndex index_;
+  NfaIndexRun run_;
+  size_t subscriptions_ = 0;
+};
+
+}  // namespace
+
+void RegisterNfaIndexEngine(EngineRegistry& registry) {
+  Status status = registry.Register(
+      "nfa_index", []() -> Result<std::unique_ptr<Matcher>> {
+        return std::unique_ptr<Matcher>(std::make_unique<NfaIndexMatcher>());
+      });
+  (void)status;  // duplicate registration is impossible from Global()
 }
 
 }  // namespace xpstream

@@ -30,6 +30,8 @@
 
 namespace xpstream {
 
+class NfaIndexRun;
+
 class NfaIndex {
  public:
   NfaIndex();
@@ -45,7 +47,9 @@ class NfaIndex {
   size_t NumStates() const { return states_.size(); }
 
   /// Runs one document through the index; returns the per-query verdict
-  /// vector (indexed by the ids passed to AddQuery).
+  /// vector (indexed by the ids passed to AddQuery). Implemented as a
+  /// batch drive of an internal NfaIndexRun, whose active-set storage is
+  /// recycled across calls.
   Result<std::vector<bool>> FilterDocument(const EventStream& events) const;
 
   /// Peak memory of the most recent FilterDocument run: active-set
@@ -53,6 +57,7 @@ class NfaIndex {
   const MemoryStats& stats() const { return stats_; }
 
  private:
+  friend class NfaIndexRun;
   struct State {
     /// child-axis edges: element name -> target states.
     std::map<std::string, std::vector<int>> child_edges;
@@ -79,7 +84,51 @@ class NfaIndex {
   std::vector<State> states_;
   size_t num_queries_ = 0;
   size_t max_id_ = 0;
+  mutable std::unique_ptr<NfaIndexRun> batch_run_;
   mutable MemoryStats stats_;
+};
+
+/// Incremental (push-style) execution of an NfaIndex over one document:
+/// the streaming face the Engine facade drives event by event, extracted
+/// from the old batch-only FilterDocument loop.
+///
+/// The active-set stack is a high-water-mark pool: popped levels keep
+/// their vectors, so after the first descent to depth d a run performs
+/// no per-element allocations — the hot-path cut measured in
+/// bench_nfa_index.
+///
+/// The index must outlive the run. Queries may be added to the index
+/// between documents; the verdict width is re-read at startDocument.
+class NfaIndexRun : public EventSink {
+ public:
+  explicit NfaIndexRun(const NfaIndex* index) : index_(index) {}
+
+  /// Prepares for a new document (recycled capacity is kept). A
+  /// startDocument event implies Reset, so calling this is optional.
+  Status Reset();
+
+  Status OnEvent(const Event& event) override;
+
+  /// True once endDocument was consumed.
+  bool done() const { return done_; }
+
+  /// Per-query verdicts (indexed by AddQuery ids); valid after
+  /// endDocument.
+  Result<std::vector<bool>> Verdicts() const;
+
+  /// Active-set entries across the stack, peak automaton size.
+  const MemoryStats& stats() const { return stats_; }
+
+ private:
+  const NfaIndex* index_;
+  std::vector<bool> verdicts_;
+  /// Active sets for the open elements; only the first depth_ entries
+  /// are live, deeper ones are recycled storage.
+  std::vector<std::vector<int>> stack_;
+  size_t depth_ = 0;
+  size_t active_entries_ = 0;
+  bool done_ = false;
+  MemoryStats stats_;
 };
 
 }  // namespace xpstream

@@ -1,0 +1,341 @@
+// Tests of the public facade (include/xpstream/): engine-registry
+// lookup, CompileQuery, the subscription model, byte-level and SAX-level
+// document streams, and error recovery.
+
+#include "xpstream/xpstream.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/engine_registry.h"
+#include "stream/nfa_index.h"
+#include "xpath/parser.h"
+
+namespace xpstream {
+namespace {
+
+const char kBookXml[] =
+    "<book publisher=\"acm\">"
+    "<title>data streams</title>"
+    "<author><last>fontoura</last></author>"
+    "<price>25</price>"
+    "</book>";
+
+std::unique_ptr<Engine> MustCreate(const std::string& name) {
+  auto engine = Engine::Create(name);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+// ---- registry ------------------------------------------------------
+
+TEST(EngineRegistryTest, ListsAllBuiltinEngines) {
+  std::vector<std::string> names = Engine::AvailableEngines();
+  for (const char* expected :
+       {"naive", "nfa", "lazy_dfa", "frontier", "nfa_index"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing engine: " << expected;
+  }
+}
+
+TEST(EngineRegistryTest, UnknownEngineNameIsNotFound) {
+  auto engine = Engine::Create("no_such_engine");
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(engine.status().message().find("no_such_engine"),
+            std::string::npos);
+}
+
+TEST(EngineRegistryTest, DuplicateRegistrationFails) {
+  Status status = EngineRegistry::Global().Register(
+      "frontier", []() -> Result<std::unique_ptr<Matcher>> {
+        return Status::Internal("never called");
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineRegistryTest, EveryBuiltinCreatesAMatcher) {
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    auto matcher = EngineRegistry::Global().CreateMatcher(name);
+    ASSERT_TRUE(matcher.ok()) << name;
+    EXPECT_EQ((*matcher)->name(), name);
+    EXPECT_EQ((*matcher)->NumSubscriptions(), 0u);
+  }
+}
+
+// ---- CompileQuery --------------------------------------------------
+
+TEST(CompileQueryTest, CompilesAndRoundTrips) {
+  auto query = CompileQuery("/book[price < 30]/title");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->text(), "/book[price < 30]/title");
+  EXPECT_GT(query->size(), 1u);
+  auto reparsed = CompileQuery(query->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(), query->ToString());
+}
+
+TEST(CompileQueryTest, RejectsMalformedText) {
+  EXPECT_FALSE(CompileQuery("/book[").ok());
+  EXPECT_FALSE(CompileQuery("").ok());
+}
+
+// ---- facade over every engine --------------------------------------
+
+TEST(EngineTest, SingleQueryVerdictOnEveryEngine) {
+  for (const std::string& name : Engine::AvailableEngines()) {
+    auto engine = MustCreate(name);
+    ASSERT_TRUE(engine->Subscribe("q", "/book/title").ok()) << name;
+    auto hit = engine->FilterXml(kBookXml);
+    ASSERT_TRUE(hit.ok()) << name << ": " << hit.status().ToString();
+    ASSERT_EQ(hit->size(), 1u);
+    EXPECT_TRUE((*hit)[0]) << name;
+    EXPECT_TRUE(*engine->Matched()) << name;
+
+    auto miss = engine->FilterXml("<journal><title>x</title></journal>");
+    ASSERT_TRUE(miss.ok()) << name;
+    EXPECT_FALSE((*miss)[0]) << name;
+    EXPECT_EQ(engine->documents_seen(), 2u) << name;
+  }
+}
+
+TEST(EngineTest, FragmentViolationIsUnsupported) {
+  // Automaton engines handle linear paths only.
+  for (const char* name : {"nfa", "lazy_dfa", "nfa_index"}) {
+    auto engine = MustCreate(name);
+    Status status = engine->Subscribe("twig", "/book[price < 30]/title");
+    ASSERT_FALSE(status.ok()) << name;
+    EXPECT_EQ(status.code(), StatusCode::kUnsupported) << name;
+    EXPECT_EQ(engine->NumSubscriptions(), 0u) << name;
+  }
+}
+
+TEST(EngineTest, DuplicateSubscriptionIdFails) {
+  auto engine = MustCreate("frontier");
+  ASSERT_TRUE(engine->Subscribe("s", "/a").ok());
+  Status status = engine->Subscribe("s", "/b");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, SubscribeCompiledQueryAndLookup) {
+  auto engine = MustCreate("frontier");
+  auto query = CompileQuery("/book/author/last");
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE(engine->Subscribe("authors", std::move(query).value()).ok());
+  auto subscribed = engine->SubscribedQuery("authors");
+  ASSERT_TRUE(subscribed.ok());
+  EXPECT_EQ((*subscribed)->text(), "/book/author/last");
+  EXPECT_EQ(engine->SubscribedQuery("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---- byte-level multi-document streams ------------------------------
+
+TEST(EngineTest, MultiDocumentByteStreamWithArbitraryChunking) {
+  auto engine = MustCreate("frontier");
+  ASSERT_TRUE(engine->Subscribe("cheap", "/book[price < 30]").ok());
+  ASSERT_TRUE(engine->Subscribe("titled", "/book/title").ok());
+
+  // Document 1, fed in chunks that split tags mid-token.
+  const std::string doc1 = kBookXml;
+  for (size_t i = 0; i < doc1.size(); i += 7) {
+    ASSERT_TRUE(engine->Feed(doc1.substr(i, 7)).ok());
+  }
+  ASSERT_TRUE(engine->FinishDocument().ok());
+
+  // Document 2 on the same engine: expensive and untitled.
+  ASSERT_TRUE(engine->Feed("<book><price>99</price></book>").ok());
+  ASSERT_TRUE(engine->FinishDocument().ok());
+
+  ASSERT_EQ(engine->documents_seen(), 2u);
+  ASSERT_EQ(engine->history().size(), 2u);
+  EXPECT_TRUE(engine->history()[0][0]);   // cheap
+  EXPECT_TRUE(engine->history()[0][1]);   // titled
+  EXPECT_FALSE(engine->history()[1][0]);
+  EXPECT_FALSE(engine->history()[1][1]);
+  EXPECT_FALSE(*engine->Matched("cheap"));
+  EXPECT_GT(engine->peak_table_entries(), 0u);
+}
+
+TEST(EngineTest, KeepHistoryOffRecordsOnlyLastVerdicts) {
+  EngineOptions options;
+  options.engine = "naive";
+  options.keep_history = false;
+  auto engine = Engine::Create(options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Subscribe("q", "/a").ok());
+  ASSERT_TRUE((*engine)->FilterXml("<a/>").ok());
+  ASSERT_TRUE((*engine)->FilterXml("<b/>").ok());
+  EXPECT_TRUE((*engine)->history().empty());
+  EXPECT_EQ((*engine)->documents_seen(), 2u);
+  EXPECT_FALSE(*(*engine)->Matched());
+}
+
+TEST(EngineTest, SubscribeMidDocumentFails) {
+  auto engine = MustCreate("frontier");
+  ASSERT_TRUE(engine->Subscribe("a", "/book").ok());
+  ASSERT_TRUE(engine->Feed("<book><titl").ok());
+  Status status = engine->Subscribe("b", "/journal");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // Subscriptions may resume once the document completes.
+  ASSERT_TRUE(engine->Feed("e/></book>").ok());
+  ASSERT_TRUE(engine->FinishDocument().ok());
+  EXPECT_TRUE(engine->Subscribe("b", "/journal").ok());
+}
+
+TEST(EngineTest, MalformedDocumentIsDiscardedAndEngineRecovers) {
+  auto engine = MustCreate("frontier");
+  ASSERT_TRUE(engine->Subscribe("q", "/a/b").ok());
+  auto bad = engine->FilterXml("<a><b></a>");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(engine->documents_seen(), 0u);
+  auto good = engine->FilterXml("<a><b/></a>");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_TRUE((*good)[0]);
+}
+
+TEST(EngineTest, SubscriptionAddedBetweenDocumentsHasNoVerdictYet) {
+  auto engine = MustCreate("frontier");
+  ASSERT_TRUE(engine->Subscribe("a", "/book").ok());
+  ASSERT_TRUE(engine->FilterXml("<book/>").ok());
+  ASSERT_TRUE(engine->Subscribe("b", "/journal").ok());
+  EXPECT_TRUE(*engine->Matched("a"));
+  auto pending = engine->Matched("b");
+  ASSERT_FALSE(pending.ok());
+  EXPECT_EQ(pending.status().code(), StatusCode::kInvalidArgument);
+  // After the next document both have verdicts.
+  ASSERT_TRUE(engine->FilterXml("<journal/>").ok());
+  EXPECT_FALSE(*engine->Matched("a"));
+  EXPECT_TRUE(*engine->Matched("b"));
+}
+
+TEST(EngineTest, FilterEventsDiscardsPartialDocumentOnFailure) {
+  auto engine = MustCreate("frontier");
+  ASSERT_TRUE(engine->Subscribe("q", "/a").ok());
+  EventStream truncated = {Event::StartDocument(), Event::StartElement("a")};
+  ASSERT_FALSE(engine->FilterEvents(truncated).ok());
+  // The engine recovered; the next clean document filters normally.
+  auto verdicts = engine->FilterXml("<a/>");
+  ASSERT_TRUE(verdicts.ok()) << verdicts.status().ToString();
+  EXPECT_TRUE((*verdicts)[0]);
+}
+
+TEST(EngineTest, ZeroSubscriptionsYieldEmptyVerdicts) {
+  for (const std::string& name : Engine::AvailableEngines()) {
+    auto engine = MustCreate(name);
+    auto verdicts = engine->FilterXml("<a/>");
+    ASSERT_TRUE(verdicts.ok()) << name << ": " << verdicts.status().ToString();
+    EXPECT_TRUE(verdicts->empty()) << name;
+  }
+}
+
+// ---- SAX-level entry point -----------------------------------------
+
+TEST(EngineTest, SaxEventsAgreeWithBytes) {
+  EventStream events;
+  events.push_back(Event::StartDocument());
+  events.push_back(Event::StartElement("book"));
+  events.push_back(Event::Attribute("publisher", "acm"));
+  events.push_back(Event::StartElement("title"));
+  events.push_back(Event::Text("data streams"));
+  events.push_back(Event::EndElement("title"));
+  events.push_back(Event::EndElement("book"));
+  events.push_back(Event::EndDocument());
+
+  for (const std::string& name : Engine::AvailableEngines()) {
+    auto by_events = MustCreate(name);
+    auto by_bytes = MustCreate(name);
+    for (Engine* engine : {by_events.get(), by_bytes.get()}) {
+      ASSERT_TRUE(engine->Subscribe("t", "/book/title").ok()) << name;
+      // '@' steps are outside some fragments (lazy_dfa); when an engine
+      // rejects a query it must do so consistently with kUnsupported.
+      Status attr = engine->Subscribe("p", "/book/@publisher");
+      if (!attr.ok()) {
+        EXPECT_EQ(attr.code(), StatusCode::kUnsupported) << name;
+      }
+    }
+    ASSERT_EQ(by_events->NumSubscriptions(), by_bytes->NumSubscriptions())
+        << name;
+    auto from_events = by_events->FilterEvents(events);
+    auto from_bytes = by_bytes->FilterXml(
+        "<book publisher=\"acm\"><title>data streams</title></book>");
+    ASSERT_TRUE(from_events.ok()) << name;
+    ASSERT_TRUE(from_bytes.ok()) << name;
+    EXPECT_EQ(*from_events, *from_bytes) << name;
+    EXPECT_TRUE((*from_events)[0]) << name;
+    if (by_events->NumSubscriptions() == 2) {
+      EXPECT_TRUE((*from_events)[1]) << name;
+    }
+  }
+}
+
+TEST(EngineTest, SaxStreamValidatesDocumentBoundaries) {
+  auto engine = MustCreate("naive");
+  ASSERT_TRUE(engine->Subscribe("q", "/a").ok());
+  // Content before startDocument.
+  EXPECT_FALSE(engine->OnEvent(Event::StartElement("a")).ok());
+  // Nested startDocument.
+  ASSERT_TRUE(engine->OnEvent(Event::StartDocument()).ok());
+  EXPECT_FALSE(engine->OnEvent(Event::StartDocument()).ok());
+  engine->AbortDocument();
+  // A clean document still works after recovery.
+  EventStream events = {Event::StartDocument(), Event::StartElement("a"),
+                        Event::EndElement("a"), Event::EndDocument()};
+  auto verdicts = engine->FilterEvents(events);
+  ASSERT_TRUE(verdicts.ok()) << verdicts.status().ToString();
+  EXPECT_TRUE((*verdicts)[0]);
+}
+
+// ---- streaming NfaIndexRun against the batch API --------------------
+
+TEST(NfaIndexRunTest, StreamingRunAgreesWithBatchFilterDocument) {
+  NfaIndex index;
+  auto q0 = ParseQuery("/s0//s1");
+  auto q1 = ParseQuery("//s2");
+  auto q2 = ParseQuery("/s0/s3/@id");
+  ASSERT_TRUE(q0.ok() && q1.ok() && q2.ok());
+  ASSERT_TRUE(index.AddQuery(0, **q0).ok());
+  ASSERT_TRUE(index.AddQuery(1, **q1).ok());
+  ASSERT_TRUE(index.AddQuery(2, **q2).ok());
+
+  EventStream events = {Event::StartDocument(),
+                        Event::StartElement("s0"),
+                        Event::StartElement("s3"),
+                        Event::Attribute("id", "7"),
+                        Event::StartElement("s1"),
+                        Event::EndElement("s1"),
+                        Event::EndElement("s3"),
+                        Event::EndElement("s0"),
+                        Event::EndDocument()};
+
+  auto batch = index.FilterDocument(events);
+  ASSERT_TRUE(batch.ok());
+
+  NfaIndexRun run(&index);
+  for (const Event& event : events) {
+    ASSERT_TRUE(run.OnEvent(event).ok());
+  }
+  ASSERT_TRUE(run.done());
+  auto streamed = run.Verdicts();
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(*streamed, *batch);
+  EXPECT_TRUE((*streamed)[0]);
+  EXPECT_FALSE((*streamed)[1]);
+  EXPECT_TRUE((*streamed)[2]);
+
+  // The same run object handles the next document (recycled storage).
+  for (const Event& event : events) {
+    ASSERT_TRUE(run.OnEvent(event).ok());
+  }
+  EXPECT_EQ(*run.Verdicts(), *batch);
+}
+
+}  // namespace
+}  // namespace xpstream

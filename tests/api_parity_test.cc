@@ -1,0 +1,144 @@
+// Cross-engine parity through the public facade: every registry engine
+// must produce identical verdicts on the same corpus whenever the
+// queries lie in its fragment. In particular the shared-automaton
+// nfa_index dissemination engine must agree with a bank of single-query
+// filters subscription by subscription.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/doc_generator.h"
+#include "workload/query_generator.h"
+#include "workload/scenarios.h"
+#include "xpstream/xpstream.h"
+
+namespace xpstream {
+namespace {
+
+// Linear-path queries and a random corpus over the same name pool
+// ("s0".."s3"), so verdicts mix matches and misses.
+TEST(ApiParityTest, AllEnginesAgreeOnLinearQueries) {
+  Random query_rng(20240401);
+  std::vector<std::string> queries;
+  for (int i = 0; i < 24; ++i) {
+    auto query = GenerateLinearQuery(&query_rng, 1 + query_rng.Uniform(5),
+                                     0.35, 0.15, 4);
+    ASSERT_TRUE(query.ok());
+    queries.push_back((*query)->ToString());
+  }
+
+  Random doc_rng(7);
+  DocGenOptions doc_options;
+  doc_options.max_depth = 6;
+  doc_options.name_pool = 4;
+  doc_options.names = {"s0", "s1", "s2", "s3"};
+  std::vector<EventStream> corpus;
+  for (int i = 0; i < 16; ++i) {
+    corpus.push_back(GenerateRandomDocument(&doc_rng, doc_options)->ToEvents());
+  }
+
+  std::map<std::string, std::vector<std::vector<bool>>> verdicts_by_engine;
+  for (const std::string& name : Engine::AvailableEngines()) {
+    auto engine = Engine::Create(name);
+    ASSERT_TRUE(engine.ok()) << name;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_TRUE(
+          (*engine)->Subscribe("q" + std::to_string(q), queries[q]).ok())
+          << name << " rejected linear query " << queries[q];
+    }
+    for (const EventStream& events : corpus) {
+      auto verdicts = (*engine)->FilterEvents(events);
+      ASSERT_TRUE(verdicts.ok()) << name;
+      verdicts_by_engine[name].push_back(std::move(verdicts).value());
+    }
+  }
+
+  const auto& reference = verdicts_by_engine.at("naive");
+  size_t total_hits = 0;
+  for (const auto& document : reference) {
+    for (bool hit : document) total_hits += hit;
+  }
+  EXPECT_GT(total_hits, 0u) << "corpus produced no matches at all";
+  for (const auto& [name, verdicts] : verdicts_by_engine) {
+    EXPECT_EQ(verdicts, reference) << name << " disagrees with naive";
+  }
+}
+
+// The dissemination engine against per-subscription single-query
+// engines: same subscriptions, same corpus, same verdict matrix.
+TEST(ApiParityTest, NfaIndexAgreesWithSingleQueryFiltersPerSubscription) {
+  Random query_rng(99);
+  std::vector<std::string> queries;
+  for (int i = 0; i < 32; ++i) {
+    auto query =
+        GenerateLinearQuery(&query_rng, 1 + query_rng.Uniform(4), 0.3, 0.1, 3);
+    ASSERT_TRUE(query.ok());
+    queries.push_back((*query)->ToString());
+  }
+
+  Random doc_rng(1234);
+  DocGenOptions doc_options;
+  doc_options.max_depth = 7;
+  doc_options.name_pool = 3;
+  doc_options.names = {"s0", "s1", "s2"};
+
+  auto index_engine = Engine::Create("nfa_index");
+  ASSERT_TRUE(index_engine.ok());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_TRUE(
+        (*index_engine)->Subscribe("sub" + std::to_string(q), queries[q]).ok());
+  }
+
+  for (int d = 0; d < 12; ++d) {
+    EventStream events =
+        GenerateRandomDocument(&doc_rng, doc_options)->ToEvents();
+    auto index_verdicts = (*index_engine)->FilterEvents(events);
+    ASSERT_TRUE(index_verdicts.ok());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto single = Engine::Create("nfa");
+      ASSERT_TRUE(single.ok());
+      ASSERT_TRUE((*single)->Subscribe("only", queries[q]).ok());
+      auto verdict = (*single)->FilterEvents(events);
+      ASSERT_TRUE(verdict.ok());
+      EXPECT_EQ((*index_verdicts)[q], (*verdict)[0])
+          << "doc " << d << " query " << queries[q];
+    }
+  }
+}
+
+// Predicate subscriptions (outside the automaton fragment): the paper's
+// frontier algorithm against the buffering oracle on the bibliography
+// scenario.
+TEST(ApiParityTest, FrontierAgreesWithNaiveOnBibliographySubscriptions) {
+  auto frontier = Engine::Create("frontier");
+  auto naive = Engine::Create("naive");
+  ASSERT_TRUE(frontier.ok() && naive.ok());
+  std::vector<std::string> subscriptions = BibliographySubscriptions();
+  for (size_t s = 0; s < subscriptions.size(); ++s) {
+    const std::string id = "s" + std::to_string(s);
+    ASSERT_TRUE((*frontier)->Subscribe(id, subscriptions[s]).ok())
+        << subscriptions[s];
+    ASSERT_TRUE((*naive)->Subscribe(id, subscriptions[s]).ok());
+  }
+
+  for (auto& document : GenerateBibliographyCorpus(20, 4242)) {
+    EventStream events = document->ToEvents();
+    auto frontier_verdicts = (*frontier)->FilterEvents(events);
+    auto naive_verdicts = (*naive)->FilterEvents(events);
+    ASSERT_TRUE(frontier_verdicts.ok());
+    ASSERT_TRUE(naive_verdicts.ok());
+    EXPECT_EQ(*frontier_verdicts, *naive_verdicts);
+  }
+  EXPECT_EQ((*frontier)->documents_seen(), 20u);
+  // The streaming engine must not pay the buffering engine's memory.
+  EXPECT_LE((*frontier)->peak_table_entries(),
+            (*naive)->peak_table_entries());
+}
+
+}  // namespace
+}  // namespace xpstream
