@@ -10,8 +10,20 @@ and adds wall-clock timing, so two baseline files diff meaningfully:
     $ bench/run_benches.py --build-dir build --out BENCH_new.json
     $ diff <(jq -S . BENCH_baseline.json) <(jq -S . BENCH_new.json)
 
-Timing columns (*_us/doc, seconds) are machine-dependent; table columns
-(states, tuples, ratios) are deterministic and must not drift.
+Timing columns (*_us/doc, seconds, speedup) are machine-dependent;
+table columns (states, tuples, ratios) are deterministic and must not
+drift.
+
+Regression-gate mode (CI): --compare diffs the fresh run's wall times
+against a committed baseline and fails when any bench regresses past
+the threshold:
+
+    $ bench/run_benches.py --build-dir build --out BENCH_new.json \\
+          --compare BENCH_baseline.json --threshold 1.25
+
+Exit codes: 0 ok, 1 a bench failed to run (missing binary, non-zero
+exit, timeout, or no parseable output), 2 usage/setup error, 3 wall-time
+regression beyond the threshold.
 """
 
 import argparse
@@ -71,6 +83,52 @@ def parse_tables(stdout: str):
     return tables
 
 
+def compare_baselines(new: dict, old: dict, threshold: float,
+                      min_delta: float) -> int:
+    """Wall-time regression gate: fails when any bench present and ok in
+    both runs got slower than `threshold` times the baseline AND by more
+    than `min_delta` seconds (sub-second benches jitter far above 25% on
+    shared runners; a ratio alone would flap). Table columns are
+    intentionally not gated here (new benches legitimately add rows);
+    wall time is the budget CI protects."""
+    regressions = 0
+    old_benches = old.get("benches", {})
+    new_benches = new.get("benches", {})
+    for name in sorted(set(old_benches) | set(new_benches)):
+        old_entry = old_benches.get(name)
+        new_entry = new_benches.get(name)
+        if old_entry is None:
+            print(f"[new ] {name}: no baseline entry, skipped",
+                  file=sys.stderr)
+            continue
+        if new_entry is None:
+            # A bench that vanished from the run silently loses its
+            # wall-time coverage; that must fail the gate, not skip it.
+            print(f"[gone] {name}: in the baseline but not in this run — "
+                  f"regenerate the baseline if it was removed on purpose",
+                  file=sys.stderr)
+            regressions += 1
+            continue
+        if old_entry.get("status") != "ok" or new_entry.get("status") != "ok":
+            print(f"[skip] {name}: not ok in both runs", file=sys.stderr)
+            continue
+        old_s, new_s = old_entry["seconds"], new_entry["seconds"]
+        if old_s <= 0:
+            continue
+        ratio = new_s / old_s
+        slow = ratio > threshold and (new_s - old_s) > min_delta
+        verdict = "SLOW" if slow else "  ok"
+        if slow:
+            regressions += 1
+        print(f"[{verdict}] {name}: {old_s}s -> {new_s}s "
+              f"({ratio:.2f}x, threshold {threshold:.2f}x)", file=sys.stderr)
+    if regressions:
+        print(f"{regressions} bench(es) regressed past {threshold:.2f}x "
+              f"or vanished from the run", file=sys.stderr)
+        return 3
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build",
@@ -79,12 +137,29 @@ def main() -> int:
                         help="output JSON path")
     parser.add_argument("--timeout", type=int, default=600,
                         help="per-bench timeout in seconds")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="baseline JSON to gate wall times against")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="max allowed wall-time ratio vs the baseline "
+                             "(with --compare; default 1.25)")
+    parser.add_argument("--min-delta", type=float, default=0.25,
+                        help="absolute seconds a bench must slow down by "
+                             "before the ratio gate applies (default 0.25)")
     args = parser.parse_args()
 
     bench_dir = Path(args.build_dir) / "bench"
     if not bench_dir.is_dir():
         print(f"error: {bench_dir} not found (build first)", file=sys.stderr)
-        return 1
+        return 2
+
+    baseline_for_compare = None
+    if args.compare:
+        try:
+            baseline_for_compare = json.loads(Path(args.compare).read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"error: cannot read baseline {args.compare}: {err}",
+                  file=sys.stderr)
+            return 2
 
     results = {}
     failures = 0
@@ -104,18 +179,34 @@ def main() -> int:
             failures += 1
             print(f"[TIME] {name}", file=sys.stderr)
             continue
+        except OSError as err:
+            # A binary that exists but cannot be executed (permissions,
+            # wrong arch) must fail the run, not vanish from the report.
+            results[name] = {"status": "exec-error", "error": str(err)}
+            failures += 1
+            print(f"[EXEC] {name}: {err}", file=sys.stderr)
+            continue
         seconds = round(time.monotonic() - start, 3)
+        tables = parse_tables(proc.stdout)
+        if proc.returncode == 0 and not tables:
+            # A bench that exits 0 without printing any '# table' is
+            # broken output, silently passing CI otherwise.
+            status = "no-tables"
+        elif proc.returncode == 0:
+            status = "ok"
+        else:
+            status = "failed"
         entry = {
-            "status": "ok" if proc.returncode == 0 else "failed",
+            "status": status,
             "returncode": proc.returncode,
             "seconds": seconds,
-            "tables": parse_tables(proc.stdout),
+            "tables": tables,
         }
-        if proc.returncode != 0:
+        if status != "ok":
             entry["stderr"] = proc.stderr[-2000:]
             failures += 1
         results[name] = entry
-        print(f"[{'ok' if proc.returncode == 0 else 'FAIL':>4}] "
+        print(f"[{'ok' if status == 'ok' else 'FAIL':>4}] "
               f"{name}  ({seconds}s)", file=sys.stderr)
 
     baseline = {
@@ -125,7 +216,12 @@ def main() -> int:
     Path(args.out).write_text(json.dumps(baseline, indent=2, sort_keys=True)
                               + "\n")
     print(f"wrote {args.out}", file=sys.stderr)
-    return 1 if failures else 0
+    if failures:
+        return 1
+    if baseline_for_compare is not None:
+        return compare_baselines(baseline, baseline_for_compare,
+                                 args.threshold, args.min_delta)
+    return 0
 
 
 if __name__ == "__main__":

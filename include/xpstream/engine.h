@@ -37,8 +37,9 @@
 
 namespace xpstream {
 
-class Matcher;    // internal (stream/matcher.h)
-class XmlParser;  // internal (xml/parser.h)
+class Matcher;     // internal (stream/matcher.h)
+class ThreadPool;  // internal (common/thread_pool.h)
+class XmlParser;   // internal (xml/parser.h)
 
 /// Engine construction options.
 struct EngineOptions {
@@ -49,6 +50,23 @@ struct EngineOptions {
   /// Disable for unbounded document streams where only Matched() /
   /// last_verdicts() and the peak gauges are consumed.
   bool keep_history = true;
+
+  /// Matching threads. 1 (the default) runs the base engine unchanged;
+  /// N > 1 partitions subscriptions round-robin across N shards of the
+  /// base engine and replays every document's event batch to all shards
+  /// on a persistent thread pool. Verdicts and history are bit-identical
+  /// to threads = 1 regardless of scheduling. Stats are deterministic
+  /// (slot-ordered merge, scheduling-independent) but not equal to the
+  /// threads = 1 readings: sharding changes per-shard structure sizes
+  /// (e.g. nfa_index loses cross-shard prefix sharing) and the buffered
+  /// event batch is charged to buffered_bytes. 0 means one thread per
+  /// hardware core.
+  size_t threads = 1;
+
+  /// Documents of parse lookahead in FilterDocuments(): with threads >
+  /// 1, up to this many upcoming documents are parsed on the pool while
+  /// earlier ones are matched. Values below 1 are treated as 1.
+  size_t batch_size = 8;
 };
 
 class Engine : public EventSink {
@@ -117,6 +135,18 @@ class Engine : public EventSink {
   /// Convenience: one pre-parsed document, returning its verdicts.
   Result<std::vector<bool>> FilterEvents(const EventStream& events);
 
+  // --- batch entry point -------------------------------------------
+
+  /// Filters a corpus of whole XML documents in order, returning one
+  /// verdict vector per document; equivalent to FilterXml per element.
+  /// With threads > 1 parsing and matching are pipelined: up to
+  /// batch_size upcoming documents parse on the thread pool while
+  /// earlier ones are matched. On the first failing document the error
+  /// is returned; earlier documents' verdicts remain in history() and
+  /// the engine stays usable for further documents.
+  Result<std::vector<std::vector<bool>>> FilterDocuments(
+      const std::vector<std::string>& xmls);
+
   // --- results ------------------------------------------------------
 
   /// Number of completed documents.
@@ -146,11 +176,13 @@ class Engine : public EventSink {
   size_t peak_buffered_bytes() const { return peak_buffered_bytes_; }
 
  private:
-  Engine(EngineOptions options, std::unique_ptr<Matcher> matcher);
+  Engine(EngineOptions options, std::shared_ptr<ThreadPool> pool,
+         std::unique_ptr<Matcher> matcher);
 
   Status CheckSubscribable(const std::string& id) const;
 
   EngineOptions options_;
+  std::shared_ptr<ThreadPool> pool_;  // live when options_.threads != 1
   std::unique_ptr<Matcher> matcher_;
 
   std::vector<std::string> ids_;

@@ -1,25 +1,52 @@
 #include "xpstream/engine.h"
 
 #include <algorithm>
+#include <deque>
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "stream/engine_registry.h"
 #include "stream/matcher.h"
+#include "stream/sharded_matcher.h"
 #include "xml/parser.h"
 #include "xpath/ast.h"
 
 namespace xpstream {
 
-Engine::Engine(EngineOptions options, std::unique_ptr<Matcher> matcher)
-    : options_(std::move(options)), matcher_(std::move(matcher)) {}
+Engine::Engine(EngineOptions options, std::shared_ptr<ThreadPool> pool,
+               std::unique_ptr<Matcher> matcher)
+    : options_(std::move(options)),
+      pool_(std::move(pool)),
+      matcher_(std::move(matcher)) {}
 
 Engine::~Engine() = default;
 
 Result<std::unique_ptr<Engine>> Engine::Create(const EngineOptions& options) {
-  auto matcher = EngineRegistry::Global().CreateMatcher(options.engine);
+  EngineOptions resolved = options;
+  if (resolved.threads == 0) {
+    resolved.threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (resolved.batch_size == 0) resolved.batch_size = 1;
+
+  if (resolved.threads == 1) {
+    auto matcher = EngineRegistry::Global().CreateMatcher(resolved.engine);
+    if (!matcher.ok()) return matcher.status();
+    return std::unique_ptr<Engine>(
+        new Engine(std::move(resolved), nullptr, std::move(matcher).value()));
+  }
+
+  // threads-1 pool workers: the dispatching thread participates in every
+  // shard replay, so N threads in total drive N shards.
+  auto pool = std::make_shared<ThreadPool>(resolved.threads - 1);
+  auto matcher =
+      ShardedMatcher::Create(resolved.engine, resolved.threads, pool);
   if (!matcher.ok()) return matcher.status();
-  return std::unique_ptr<Engine>(
-      new Engine(options, std::move(matcher).value()));
+  return std::unique_ptr<Engine>(new Engine(
+      std::move(resolved), std::move(pool), std::move(matcher).value()));
 }
 
 Result<std::unique_ptr<Engine>> Engine::Create(std::string_view engine_name) {
@@ -158,6 +185,80 @@ Result<std::vector<bool>> Engine::FilterEvents(const EventStream& events) {
     return Status::NotWellFormed("event stream ended mid-document");
   }
   return last_verdicts_;
+}
+
+namespace {
+
+/// Parses one whole XML document into its SAX event batch.
+Result<EventStream> ParseToEvents(const std::string& xml) {
+  EventStream events;
+  CollectingSink sink(&events);
+  XmlParser parser(&sink);
+  Status status = parser.Feed(xml);
+  if (status.ok()) status = parser.Finish();
+  if (!status.ok()) return status;
+  return events;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<bool>>> Engine::FilterDocuments(
+    const std::vector<std::string>& xmls) {
+  if (parser_ != nullptr || in_document_) {
+    return Status::InvalidArgument("a document is already being consumed");
+  }
+  std::vector<std::vector<bool>> verdicts;
+  verdicts.reserve(xmls.size());
+
+  if (pool_ == nullptr || xmls.size() < 2) {
+    for (const std::string& xml : xmls) {
+      auto document = FilterXml(xml);
+      if (!document.ok()) return document.status();
+      verdicts.push_back(std::move(document).value());
+    }
+    return verdicts;
+  }
+
+  // Pipeline: up to batch_size upcoming documents parse on the pool
+  // while the calling thread matches earlier ones (matching itself fans
+  // out across the same pool's workers shard by shard).
+  using ParseSlot = std::optional<Result<EventStream>>;
+  std::deque<std::pair<std::shared_ptr<ParseSlot>, std::future<void>>> inflight;
+  size_t next = 0;
+  auto submit = [&] {
+    auto slot = std::make_shared<ParseSlot>();
+    const std::string* xml = &xmls[next++];
+    std::future<void> done =
+        pool_->Submit([slot, xml] { slot->emplace(ParseToEvents(*xml)); });
+    inflight.emplace_back(std::move(slot), std::move(done));
+  };
+
+  // On an early error the remaining parses must finish before returning:
+  // their tasks hold pointers into the caller's xmls.
+  auto fail = [&](Status status) -> Status {
+    for (auto& entry : inflight) entry.second.wait();
+    return status;
+  };
+
+  const size_t lookahead = std::max<size_t>(1, options_.batch_size);
+  while (next < xmls.size() && inflight.size() < lookahead) submit();
+  while (!inflight.empty()) {
+    auto [slot, done] = std::move(inflight.front());
+    inflight.pop_front();
+    done.wait();
+    if (next < xmls.size()) submit();  // keep the parse pipeline full
+    if (!slot->has_value()) {
+      // The parse task died before storing a result (it threw, e.g.
+      // bad_alloc); the exception sits in the discarded future.
+      return fail(Status::Internal("document parse task failed"));
+    }
+    Result<EventStream>& parsed = **slot;
+    if (!parsed.ok()) return fail(parsed.status());
+    auto document = FilterEvents(*parsed);
+    if (!document.ok()) return fail(document.status());
+    verdicts.push_back(std::move(document).value());
+  }
+  return verdicts;
 }
 
 Result<bool> Engine::Matched(std::string_view id) const {

@@ -1,0 +1,114 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace xpstream {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (workers_.empty()) {
+    packaged();  // no workers: run inline, the future is already ready
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared loop state. Helper tasks may outlive this call only in the
+  // degenerate "woke up after all indices were claimed" case, where they
+  // read `next`, see the loop exhausted, and never touch `fn`.
+  struct Loop {
+    std::atomic<size_t> next{0};
+    std::mutex m;
+    std::condition_variable done;
+    size_t completed = 0;
+    std::exception_ptr error;
+  };
+  auto loop = std::make_shared<Loop>();
+  const std::function<void(size_t)>* body = &fn;
+
+  // Every claimed index counts as completed even when fn throws:
+  // otherwise a throwing body (e.g. bad_alloc inside an engine) would
+  // leave `completed` short of n and deadlock the caller — or, thrown
+  // on the calling thread, unwind past the join while helpers still run
+  // against the caller's stack. The first exception is rethrown on the
+  // calling thread after the join instead.
+  auto drain = [loop, body, n] {
+    for (;;) {
+      size_t i = loop->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(loop->m);
+        if (!loop->error) loop->error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(loop->m);
+      if (++loop->completed == n) loop->done.notify_all();
+    }
+  };
+
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t h = 0; h < helpers; ++h) {
+      queue_.emplace_back(drain);
+    }
+  }
+  work_available_.notify_all();
+
+  drain();  // the calling thread participates
+
+  std::unique_lock<std::mutex> lock(loop->m);
+  loop->done.wait(lock, [&] { return loop->completed == n; });
+  if (loop->error) std::rethrow_exception(loop->error);
+}
+
+}  // namespace xpstream

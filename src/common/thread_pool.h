@@ -1,0 +1,73 @@
+#ifndef XPSTREAM_COMMON_THREAD_POOL_H_
+#define XPSTREAM_COMMON_THREAD_POOL_H_
+
+/// \file
+/// A persistent fixed-size worker pool for the parallel dissemination
+/// path. Two usage shapes:
+///
+///  * Submit(fn)        — fire-and-track: returns a std::future<void>
+///    the caller may wait on (document parse pipelining);
+///  * ParallelFor(n,fn) — fork-join over indices [0, n): the calling
+///    thread participates in the loop, workers help, and the call
+///    returns only when every index has run (shard replay).
+///
+/// Determinism contract: the pool never reorders *results* — callers
+/// index into pre-sized output slots by loop index, so the merged
+/// outcome is independent of which thread ran which index. Prefer
+/// reporting failure through the output slot (Status); a ParallelFor
+/// body that throws anyway is joined safely and the first exception is
+/// rethrown on the calling thread.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xpstream {
+
+class ThreadPool {
+ public:
+  /// Starts `num_workers` worker threads. Zero workers is valid: Submit
+  /// and ParallelFor both degrade to synchronous execution on the
+  /// calling thread (the threads=1 engine configuration).
+  explicit ThreadPool(size_t num_workers);
+
+  /// Drains nothing: joins after finishing the tasks already queued.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues one task; the future resolves when it has run. With zero
+  /// workers the task runs synchronously inside Submit itself (no
+  /// overlap), and the returned future is already ready.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(0) … fn(n-1), each exactly once, and returns when all have
+  /// completed. The calling thread executes indices alongside the
+  /// workers, so a pool of W workers applies W+1 threads to the loop.
+  /// If any fn throws, every index still runs (or is claimed) and the
+  /// first exception is rethrown here after the join. Safe to call
+  /// concurrently from multiple threads and to nest with Submit; not
+  /// reentrant from inside its own fn.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_COMMON_THREAD_POOL_H_

@@ -1,0 +1,120 @@
+#include "stream/sharded_matcher.h"
+
+#include <utility>
+
+#include "stream/engine_registry.h"
+
+namespace xpstream {
+
+ShardedMatcher::ShardedMatcher(std::string base_engine,
+                               std::vector<std::unique_ptr<Matcher>> shards,
+                               std::shared_ptr<ThreadPool> pool)
+    : base_engine_(std::move(base_engine)),
+      shards_(std::move(shards)),
+      pool_(std::move(pool)) {}
+
+Result<std::unique_ptr<ShardedMatcher>> ShardedMatcher::Create(
+    const std::string& base_engine, size_t num_shards,
+    std::shared_ptr<ThreadPool> pool) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("ShardedMatcher needs at least one shard");
+  }
+  if (pool == nullptr) {
+    return Status::InvalidArgument("ShardedMatcher needs a thread pool");
+  }
+  std::vector<std::unique_ptr<Matcher>> shards;
+  shards.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = EngineRegistry::Global().CreateMatcher(base_engine);
+    if (!shard.ok()) return shard.status();
+    shards.push_back(std::move(shard).value());
+  }
+  return std::unique_ptr<ShardedMatcher>(new ShardedMatcher(
+      base_engine, std::move(shards), std::move(pool)));
+}
+
+Status ShardedMatcher::Subscribe(size_t slot, const Query* query) {
+  if (slot != num_subscriptions_) {
+    return Status::InvalidArgument("subscription slots must be dense");
+  }
+  // Round-robin: global slot s -> shard s % N, local slot s / N. Local
+  // slots stay dense per shard, and uneven counts differ by at most one.
+  const size_t shard = slot % shards_.size();
+  XPS_RETURN_IF_ERROR(shards_[shard]->Subscribe(slot / shards_.size(), query));
+  ++num_subscriptions_;
+  return Status::OK();
+}
+
+Status ShardedMatcher::Reset() {
+  batch_.clear();
+  batch_bytes_ = 0;
+  done_ = false;
+  own_stats_.Reset();
+  return Status::OK();
+}
+
+Status ShardedMatcher::OnEvent(const Event& event) {
+  if (event.type == EventType::kStartDocument) {
+    // The facade resets before forwarding startDocument; direct callers
+    // (and documents after an AbortDocument) get the same guarantee here.
+    XPS_RETURN_IF_ERROR(Reset());
+  }
+  batch_.push_back(event);
+  batch_bytes_ += event.name.size() + event.text.size();
+  own_stats_.buffered_bytes().Set(batch_bytes_);
+  if (event.type == EventType::kEndDocument) return Dispatch();
+  return Status::OK();
+}
+
+Status ShardedMatcher::Dispatch() {
+  const size_t n = shards_.size();
+  std::vector<Status> statuses(n);
+  pool_->ParallelFor(n, [&](size_t i) {
+    Matcher* shard = shards_[i].get();
+    Status status = shard->Reset();
+    for (const Event& event : batch_) {
+      if (!status.ok()) break;
+      status = shard->OnEvent(event);
+    }
+    statuses[i] = std::move(status);
+  });
+  // All shards have completed; report the first failure in shard order
+  // (deterministic, independent of which worker hit it first).
+  for (Status& status : statuses) {
+    XPS_RETURN_IF_ERROR(std::move(status));
+  }
+
+  merged_verdicts_.assign(num_subscriptions_, false);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard_verdicts = shards_[i]->Verdicts();
+    if (!shard_verdicts.ok()) return shard_verdicts.status();
+    const std::vector<bool>& verdicts = *shard_verdicts;
+    for (size_t local = 0; local < verdicts.size(); ++local) {
+      const size_t slot = local * n + i;  // inverse of the round-robin map
+      if (slot < num_subscriptions_) merged_verdicts_[slot] = verdicts[local];
+    }
+  }
+  // The batch was fully replayed; release its text but keep capacity for
+  // the next document of the stream.
+  batch_.clear();
+  batch_bytes_ = 0;
+  own_stats_.buffered_bytes().Set(0);
+  done_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<bool>> ShardedMatcher::Verdicts() const {
+  if (!done_) return Status::InvalidArgument("document not complete");
+  return merged_verdicts_;
+}
+
+const MemoryStats& ShardedMatcher::stats() const {
+  stats_.Reset();
+  stats_.Accumulate(own_stats_);
+  for (const auto& shard : shards_) {
+    stats_.Accumulate(shard->stats());
+  }
+  return stats_;
+}
+
+}  // namespace xpstream

@@ -1,0 +1,81 @@
+#ifndef XPSTREAM_STREAM_SHARDED_MATCHER_H_
+#define XPSTREAM_STREAM_SHARDED_MATCHER_H_
+
+/// \file
+/// Parallel dissemination: subscriptions are partitioned round-robin
+/// across N shards, each shard a full Matcher of the same base engine
+/// ("nfa_index", "frontier", …). The document's SAX events are buffered
+/// while they stream in; at endDocument every shard replays the batch on
+/// a persistent ThreadPool, and per-shard verdicts and MemoryStats are
+/// merged back in subscription-slot order.
+///
+/// Determinism contract: verdict vectors and history are bit-identical
+/// to the single-threaded base engine regardless of thread count or
+/// scheduling — slot s lives in shard s % N at local slot s / N, merges
+/// walk shards in index order, and each shard is touched by exactly one
+/// thread per document. Merged stats are equally scheduling-independent
+/// but not equal to the threads = 1 readings: N separate shard
+/// structures replace one (nfa_index loses cross-shard prefix sharing),
+/// and the buffered batch is charged below.
+///
+/// Memory accounting: buffering the event batch is a real cost the
+/// paper's streaming model charges, so the batch's bytes are reported
+/// in buffered_bytes on top of the shards' own gauges.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/memory_stats.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "stream/matcher.h"
+#include "xml/event.h"
+
+namespace xpstream {
+
+class ShardedMatcher : public Matcher {
+ public:
+  /// Creates `num_shards` matchers of `base_engine` via the global
+  /// EngineRegistry; kNotFound when the name is unregistered. The pool
+  /// is shared with the caller (the facade also uses it to pipeline
+  /// document parsing) and must outlive the matcher's last call.
+  static Result<std::unique_ptr<ShardedMatcher>> Create(
+      const std::string& base_engine, size_t num_shards,
+      std::shared_ptr<ThreadPool> pool);
+
+  std::string name() const override { return base_engine_; }
+  Status Subscribe(size_t slot, const Query* query) override;
+  size_t NumSubscriptions() const override { return num_subscriptions_; }
+  Status Reset() override;
+  Status OnEvent(const Event& event) override;
+  Result<std::vector<bool>> Verdicts() const override;
+  const MemoryStats& stats() const override;
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  ShardedMatcher(std::string base_engine,
+                 std::vector<std::unique_ptr<Matcher>> shards,
+                 std::shared_ptr<ThreadPool> pool);
+
+  /// Replays the buffered document to every shard in parallel and
+  /// merges verdicts; called once per document at endDocument.
+  Status Dispatch();
+
+  std::string base_engine_;
+  std::vector<std::unique_ptr<Matcher>> shards_;
+  std::shared_ptr<ThreadPool> pool_;
+
+  size_t num_subscriptions_ = 0;
+  EventStream batch_;        // the current document's buffered events
+  size_t batch_bytes_ = 0;   // name+text bytes of batch_
+  bool done_ = false;        // endDocument consumed and verdicts merged
+  std::vector<bool> merged_verdicts_;
+  MemoryStats own_stats_;    // buffered_bytes of the batch
+  mutable MemoryStats stats_;  // own_stats_ + shards, merged on demand
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_STREAM_SHARDED_MATCHER_H_

@@ -1,6 +1,11 @@
 #include "workload/scenarios.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/string_util.h"
+#include "workload/doc_generator.h"
+#include "workload/query_generator.h"
 
 namespace xpstream {
 
@@ -94,6 +99,37 @@ std::vector<std::string> MessageFeedSubscriptions() {
       "/feed/msg[.//priority > 8]",
       "//msg[body and header/priority < 2]",
   };
+}
+
+DisseminationSweepWorkload MakeDisseminationSweep(size_t num_queries,
+                                                  size_t num_docs) {
+  DisseminationSweepWorkload workload;
+  Random query_rng(7);
+  workload.queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    auto query = GenerateLinearQuery(&query_rng, 1 + query_rng.Uniform(5),
+                                     0.35, 0.1, 4);
+    if (!query.ok()) {
+      // Silently shrinking the corpus would let the two sweep benches
+      // diverge; the generator cannot fail for these parameters, so a
+      // failure here is a library bug worth a loud stop.
+      std::fprintf(stderr, "MakeDisseminationSweep: query generation failed: %s\n",
+                   query.status().ToString().c_str());
+      std::abort();
+    }
+    workload.queries.push_back((*query)->ToString());
+  }
+  Random doc_rng(42);
+  DocGenOptions options;
+  options.max_depth = 7;
+  options.name_pool = 4;
+  options.names = {"s0", "s1", "s2", "s3"};
+  workload.documents.reserve(num_docs);
+  for (size_t i = 0; i < num_docs; ++i) {
+    workload.documents.push_back(
+        GenerateRandomDocument(&doc_rng, options)->ToEvents());
+  }
+  return workload;
 }
 
 }  // namespace xpstream

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "xml/event.h"
 #include "xml/node.h"
 
 namespace xpstream {
@@ -37,6 +38,18 @@ std::unique_ptr<XmlDocument> GenerateMessageFeed(size_t messages,
 /// Queries over the message feed exercising descendant axes over
 /// recursive structure.
 std::vector<std::string> MessageFeedSubscriptions();
+
+/// The dissemination threads-sweep workload: `num_queries` random
+/// linear-path subscriptions and `num_docs` random documents of depth
+/// ≤ 7, both over the same 4-name pool (fixed seeds). bench_nfa_index
+/// (E10b) and bench_dissemination's threads sweep must measure the
+/// same corpus, so the construction lives here, not in either bench.
+struct DisseminationSweepWorkload {
+  std::vector<std::string> queries;
+  std::vector<EventStream> documents;
+};
+DisseminationSweepWorkload MakeDisseminationSweep(size_t num_queries,
+                                                  size_t num_docs);
 
 }  // namespace xpstream
 

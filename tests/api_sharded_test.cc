@@ -1,0 +1,295 @@
+// Sharded execution parity: EngineOptions{.threads = N} must be
+// observationally identical to the single-threaded base engine — same
+// verdicts, same history, same document count — for every registered
+// engine, every thread count, uneven shard sizes, zero subscriptions,
+// and documents aborted mid-stream. Determinism is the contract: the
+// merge happens in subscription-slot order, independent of scheduling.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/doc_generator.h"
+#include "workload/query_generator.h"
+#include "workload/scenarios.h"
+#include "xml/writer.h"
+#include "xpstream/xpstream.h"
+
+namespace xpstream {
+namespace {
+
+std::vector<std::string> LinearQueries(size_t count, uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < count; ++i) {
+    auto query = GenerateLinearQuery(&rng, 1 + rng.Uniform(5), 0.35, 0.15, 4);
+    EXPECT_TRUE(query.ok());
+    queries.push_back((*query)->ToString());
+  }
+  return queries;
+}
+
+std::vector<EventStream> Corpus(size_t docs, uint64_t seed) {
+  Random rng(seed);
+  DocGenOptions options;
+  options.max_depth = 6;
+  options.name_pool = 4;
+  options.names = {"s0", "s1", "s2", "s3"};
+  std::vector<EventStream> corpus;
+  for (size_t i = 0; i < docs; ++i) {
+    corpus.push_back(GenerateRandomDocument(&rng, options)->ToEvents());
+  }
+  return corpus;
+}
+
+Result<std::unique_ptr<Engine>> MakeEngine(const std::string& name,
+                                           size_t threads) {
+  EngineOptions options;
+  options.engine = name;
+  options.threads = threads;
+  return Engine::Create(options);
+}
+
+// 23 subscriptions: uneven across 2, 4, and 8 shards (8 shards get
+// 3/3/3/3/3/3/3/2). Every engine, every thread count, verdicts and
+// history must match the threads=1 run exactly.
+TEST(ApiShardedTest, AllEnginesAllThreadCountsMatchSingleThreaded) {
+  const std::vector<std::string> queries = LinearQueries(23, 20240401);
+  const std::vector<EventStream> corpus = Corpus(12, 7);
+
+  for (const std::string& name : Engine::AvailableEngines()) {
+    auto reference = MakeEngine(name, 1);
+    ASSERT_TRUE(reference.ok()) << name;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_TRUE(
+          (*reference)->Subscribe("q" + std::to_string(q), queries[q]).ok())
+          << name;
+    }
+    for (const EventStream& events : corpus) {
+      ASSERT_TRUE((*reference)->FilterEvents(events).ok()) << name;
+    }
+
+    for (size_t threads : {2u, 4u, 8u}) {
+      auto sharded = MakeEngine(name, threads);
+      ASSERT_TRUE(sharded.ok()) << name << " threads=" << threads;
+      for (size_t q = 0; q < queries.size(); ++q) {
+        ASSERT_TRUE(
+            (*sharded)->Subscribe("q" + std::to_string(q), queries[q]).ok())
+            << name << " threads=" << threads;
+      }
+      for (const EventStream& events : corpus) {
+        ASSERT_TRUE((*sharded)->FilterEvents(events).ok())
+            << name << " threads=" << threads;
+      }
+      EXPECT_EQ((*sharded)->history(), (*reference)->history())
+          << name << " threads=" << threads;
+      EXPECT_EQ((*sharded)->documents_seen(), corpus.size());
+    }
+  }
+}
+
+// Predicate subscriptions (outside the automaton fragment) through the
+// sharded path: the paper's frontier engine on the bibliography corpus.
+TEST(ApiShardedTest, ShardedFrontierMatchesOnPredicateSubscriptions) {
+  const std::vector<std::string> subscriptions = BibliographySubscriptions();
+  auto reference = MakeEngine("frontier", 1);
+  auto sharded = MakeEngine("frontier", 4);
+  ASSERT_TRUE(reference.ok() && sharded.ok());
+  for (size_t s = 0; s < subscriptions.size(); ++s) {
+    const std::string id = "s" + std::to_string(s);
+    ASSERT_TRUE((*reference)->Subscribe(id, subscriptions[s]).ok());
+    ASSERT_TRUE((*sharded)->Subscribe(id, subscriptions[s]).ok());
+  }
+  for (auto& document : GenerateBibliographyCorpus(15, 4242)) {
+    EventStream events = document->ToEvents();
+    auto expected = (*reference)->FilterEvents(events);
+    auto actual = (*sharded)->FilterEvents(events);
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    EXPECT_EQ(*actual, *expected);
+  }
+  EXPECT_EQ((*sharded)->history(), (*reference)->history());
+}
+
+// More shards than subscriptions: trailing shards carry zero queries
+// and must not perturb the merge.
+TEST(ApiShardedTest, MoreThreadsThanSubscriptions) {
+  const std::vector<std::string> queries = LinearQueries(3, 99);
+  const std::vector<EventStream> corpus = Corpus(6, 1234);
+  auto reference = MakeEngine("nfa_index", 1);
+  auto sharded = MakeEngine("nfa_index", 8);
+  ASSERT_TRUE(reference.ok() && sharded.ok());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const std::string id = "q" + std::to_string(q);
+    ASSERT_TRUE((*reference)->Subscribe(id, queries[q]).ok());
+    ASSERT_TRUE((*sharded)->Subscribe(id, queries[q]).ok());
+  }
+  for (const EventStream& events : corpus) {
+    auto expected = (*reference)->FilterEvents(events);
+    auto actual = (*sharded)->FilterEvents(events);
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    EXPECT_EQ(*actual, *expected);
+  }
+}
+
+// Zero subscriptions: documents still complete, verdicts are empty.
+TEST(ApiShardedTest, ZeroSubscriptions) {
+  auto sharded = MakeEngine("nfa_index", 4);
+  ASSERT_TRUE(sharded.ok());
+  auto verdicts = (*sharded)->FilterXml("<a><b/></a>");
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_TRUE(verdicts->empty());
+  EXPECT_EQ((*sharded)->documents_seen(), 1u);
+}
+
+// A document abandoned mid-stream must leave no trace: the buffered
+// batch is dropped, no verdicts are recorded, and the next document
+// matches the single-threaded engine exactly.
+TEST(ApiShardedTest, AbortDocumentMidStream) {
+  const std::vector<std::string> queries = LinearQueries(10, 5);
+  const std::vector<EventStream> corpus = Corpus(4, 77);
+
+  std::vector<std::vector<bool>> reference_history;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    auto engine = MakeEngine("nfa", threads);
+    ASSERT_TRUE(engine.ok());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_TRUE(
+          (*engine)->Subscribe("q" + std::to_string(q), queries[q]).ok());
+    }
+
+    // Byte-level abort: feed half a document, abandon it.
+    ASSERT_TRUE((*engine)->Feed("<s0><s1><s2>").ok());
+    (*engine)->AbortDocument();
+    EXPECT_EQ((*engine)->documents_seen(), 0u);
+
+    // SAX-level abort: open a document, stream a few events, abandon.
+    ASSERT_TRUE((*engine)->OnEvent(Event::StartDocument()).ok());
+    ASSERT_TRUE((*engine)->OnEvent(Event::StartElement("s0")).ok());
+    (*engine)->AbortDocument();
+    EXPECT_EQ((*engine)->documents_seen(), 0u);
+
+    for (const EventStream& events : corpus) {
+      ASSERT_TRUE((*engine)->FilterEvents(events).ok());
+    }
+    EXPECT_EQ((*engine)->documents_seen(), corpus.size());
+    if (threads == 1) {
+      reference_history = (*engine)->history();
+      ASSERT_EQ(reference_history.size(), corpus.size());
+    } else {
+      EXPECT_EQ((*engine)->history(), reference_history)
+          << "threads=" << threads;
+    }
+  }
+}
+
+// The batched byte-level entry point: FilterDocuments pipelines parsing
+// and matching but must return the same verdict matrix as FilterXml in
+// a loop, for both small batch windows and single-threaded engines.
+TEST(ApiShardedTest, FilterDocumentsMatchesFilterXmlLoop) {
+  const std::vector<std::string> queries = LinearQueries(9, 31);
+  std::vector<std::string> xmls;
+  for (const EventStream& events : Corpus(10, 313)) {
+    auto xml = EventsToXml(events);
+    ASSERT_TRUE(xml.ok());
+    xmls.push_back(std::move(xml).value());
+  }
+
+  auto reference = MakeEngine("nfa_index", 1);
+  ASSERT_TRUE(reference.ok());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_TRUE(
+        (*reference)->Subscribe("q" + std::to_string(q), queries[q]).ok());
+  }
+  std::vector<std::vector<bool>> expected;
+  for (const std::string& xml : xmls) {
+    auto verdicts = (*reference)->FilterXml(xml);
+    ASSERT_TRUE(verdicts.ok());
+    expected.push_back(std::move(verdicts).value());
+  }
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    for (size_t batch : {1u, 3u, 16u}) {
+      EngineOptions options;
+      options.engine = "nfa_index";
+      options.threads = threads;
+      options.batch_size = batch;
+      auto engine = Engine::Create(options);
+      ASSERT_TRUE(engine.ok());
+      for (size_t q = 0; q < queries.size(); ++q) {
+        ASSERT_TRUE(
+            (*engine)->Subscribe("q" + std::to_string(q), queries[q]).ok());
+      }
+      auto verdicts = (*engine)->FilterDocuments(xmls);
+      ASSERT_TRUE(verdicts.ok()) << "threads=" << threads << " batch=" << batch;
+      EXPECT_EQ(*verdicts, expected)
+          << "threads=" << threads << " batch=" << batch;
+      EXPECT_EQ((*engine)->history(), expected);
+    }
+  }
+}
+
+// A malformed document inside a batch: the error surfaces, earlier
+// verdicts stay recorded, and the engine keeps working afterwards.
+TEST(ApiShardedTest, FilterDocumentsSurvivesMalformedDocument) {
+  EngineOptions options;
+  options.engine = "nfa";
+  options.threads = 4;
+  options.batch_size = 2;
+  auto engine = Engine::Create(options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Subscribe("q", "/a/b").ok());
+
+  std::vector<std::string> xmls = {"<a><b/></a>", "<a><b></a>", "<a/>"};
+  auto verdicts = (*engine)->FilterDocuments(xmls);
+  EXPECT_FALSE(verdicts.ok());
+  EXPECT_EQ((*engine)->documents_seen(), 1u);  // only the document before
+  ASSERT_EQ((*engine)->history().size(), 1u);
+  EXPECT_TRUE((*engine)->history()[0][0]);
+
+  auto after = (*engine)->FilterXml("<a><b/></a>");
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE((*after)[0]);
+}
+
+// Stats merge determinism: two identical sharded runs report identical
+// peak gauges (the merge is slot-ordered, not scheduling-ordered).
+TEST(ApiShardedTest, ShardedStatsAreDeterministic) {
+  const std::vector<std::string> queries = LinearQueries(16, 21);
+  const std::vector<EventStream> corpus = Corpus(8, 22);
+  size_t peaks[2][2];
+  for (int run = 0; run < 2; ++run) {
+    auto engine = MakeEngine("nfa_index", 4);
+    ASSERT_TRUE(engine.ok());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_TRUE(
+          (*engine)->Subscribe("q" + std::to_string(q), queries[q]).ok());
+    }
+    for (const EventStream& events : corpus) {
+      ASSERT_TRUE((*engine)->FilterEvents(events).ok());
+    }
+    peaks[run][0] = (*engine)->peak_table_entries();
+    peaks[run][1] = (*engine)->peak_buffered_bytes();
+  }
+  EXPECT_EQ(peaks[0][0], peaks[1][0]);
+  EXPECT_EQ(peaks[0][1], peaks[1][1]);
+}
+
+// Unsupported queries are rejected atomically: a twig query offered to
+// a sharded automaton engine fails without consuming the slot.
+TEST(ApiShardedTest, UnsupportedQueryLeavesShardsConsistent) {
+  auto engine = MakeEngine("nfa_index", 4);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Subscribe("ok0", "/a/b").ok());
+  EXPECT_FALSE((*engine)->Subscribe("twig", "/a[b and c]/d").ok());
+  ASSERT_TRUE((*engine)->Subscribe("ok1", "//c").ok());
+  EXPECT_EQ((*engine)->NumSubscriptions(), 2u);
+
+  auto verdicts = (*engine)->FilterXml("<a><b/><c/></a>");
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_EQ(*verdicts, (std::vector<bool>{true, true}));
+}
+
+}  // namespace
+}  // namespace xpstream

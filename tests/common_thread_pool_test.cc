@@ -1,0 +1,105 @@
+// The persistent worker pool under the sharded dissemination path:
+// Submit/future completion, fork-join ParallelFor coverage (each index
+// exactly once), caller participation, zero-worker degradation, and
+// reuse across many batches (the per-document dispatch pattern).
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace xpstream {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& future : futures) future.wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitWithZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  int ran = 0;
+  auto future = pool.Submit([&ran] { ran = 1; });
+  EXPECT_EQ(ran, 1);  // already complete, no worker involved
+  future.wait();
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEachIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 257;  // not a multiple of the thread count
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kN, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOneAndNoWorkers) {
+  ThreadPool pool(0);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "no index to run"; });
+  size_t sum = 0;
+  pool.ParallelFor(5, [&sum](size_t i) { sum += i; });  // serial: no race
+  EXPECT_EQ(sum, 10u);
+
+  ThreadPool wide(4);
+  std::atomic<size_t> once{0};
+  wide.ParallelFor(1, [&once](size_t i) { once.fetch_add(i + 1); });
+  EXPECT_EQ(once.load(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForIsReusableAcrossBatches) {
+  // The per-document dispatch pattern: many small fork-joins on one pool.
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  for (int doc = 0; doc < 200; ++doc) {
+    pool.ParallelFor(3, [&total](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 600u);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstExceptionAfterJoin) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(8,
+                                [&ran](size_t i) {
+                                  ran.fetch_add(1);
+                                  if (i == 3) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // the join completed: every index still ran
+  std::atomic<int> after{0};  // and the pool stays usable
+  pool.ParallelFor(4, [&after](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(ThreadPoolTest, SubmitAndParallelForInterleave) {
+  // The FilterDocuments pattern: parse jobs queued via Submit while the
+  // caller fork-joins shard replays on the same pool.
+  ThreadPool pool(2);
+  std::atomic<int> parses{0};
+  std::vector<std::future<void>> parse_jobs;
+  for (int i = 0; i < 8; ++i) {
+    parse_jobs.push_back(pool.Submit([&parses] { parses.fetch_add(1); }));
+  }
+  std::atomic<int> shards{0};
+  pool.ParallelFor(4, [&shards](size_t) { shards.fetch_add(1); });
+  EXPECT_EQ(shards.load(), 4);
+  for (auto& job : parse_jobs) job.wait();
+  EXPECT_EQ(parses.load(), 8);
+}
+
+}  // namespace
+}  // namespace xpstream
