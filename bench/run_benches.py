@@ -44,6 +44,7 @@ BENCHES = [
     "bench_frontier_sweep",
     "bench_nfa_index",
     "bench_recursion_depth",
+    "bench_short_circuit",
 ]
 
 

@@ -1,6 +1,7 @@
 // Quickstart for the public API: compile a query, pick a filtering
-// engine by registry name, stream a document through it, and cross-check
-// against the buffering "naive" oracle engine — all through
+// engine by registry name, stream a document through it, cross-check
+// against the buffering "naive" oracle engine, and watch the same match
+// arrive push-style through a ResultSink — all through
 // include/xpstream/ only.
 //
 //   $ ./quickstart
@@ -85,5 +86,35 @@ int main(int argc, char** argv) {
     std::printf(" %s", name.c_str());
   }
   std::printf("\n");
+
+  // 5. Push-based variant: subscribe with DeliveryMode::kEarliest and
+  //    attach a ResultSink — the engine notifies at the first event
+  //    where its verdict is provably decided (its commitment point),
+  //    instead of being polled after endDocument.
+  struct PrintingSink : ResultSink {
+    void OnMatch(size_t slot, size_t doc, size_t ordinal) override {
+      std::printf("push match   : slot %zu, doc %zu, decided at event %zu\n",
+                  slot, doc, ordinal);
+    }
+    void OnDocumentDone(size_t doc,
+                        const std::vector<bool>& verdicts) override {
+      std::printf("push done    : doc %zu, %zu verdict(s)\n", doc,
+                  verdicts.size());
+    }
+  };
+  PrintingSink sink;  // declared before the engine: it must outlive it
+  auto pusher = Engine::Create(engine_name);
+  if (!pusher.ok()) return 1;
+  (*pusher)->SetSink(&sink);
+  if (!(*pusher)->Subscribe("quickstart", query_text,
+                            DeliveryMode::kEarliest).ok()) {
+    return 1;
+  }
+  if (!(*pusher)->FilterXml(xml).ok()) return 1;
+  auto decided = (*pusher)->DecidedAt("quickstart");
+  if (decided.ok()) {
+    std::printf("commit point : event %zu (%s engine)\n", *decided,
+                (*pusher)->engine_name().c_str());
+  }
   return agree ? 0 : 1;
 }

@@ -41,6 +41,55 @@ class Matcher;     // internal (stream/matcher.h)
 class ThreadPool;  // internal (common/thread_pool.h)
 class XmlParser;   // internal (xml/parser.h)
 
+/// When a subscription's result is pushed to the ResultSink.
+enum class DeliveryMode {
+  /// Notify at document completion — the classic pull behavior, the
+  /// default. The reported event ordinal is still the engine's decided
+  /// position; only the callback is deferred to the document boundary.
+  kAtEnd,
+  /// Notify at the first event where the engine's verdict is provably
+  /// decided — its commitment point, the quantity the paper's
+  /// buffering bounds reason about. Different engines commit at
+  /// different positions on the same document (automata on accepting-
+  /// state entry, the frontier algorithm at endElement aggregation,
+  /// the naive engine only at endDocument).
+  kEarliest,
+};
+
+/// Observer for push-based result delivery. Attach with
+/// Engine::SetSink(); override only what you need. Callbacks are
+/// synchronous with the event stream and always arrive on the thread
+/// driving the engine, in a deterministic order that is bit-identical
+/// between threads = 1 and sharded execution: OnMatch calls in
+/// nondecreasing event-ordinal order (ascending slot within one
+/// ordinal), then the document's OnDocumentDone.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Subscription `slot` (its index in subscription_ids() order)
+  /// matched document `doc_index`; `event_ordinal` is the 0-based
+  /// position of the deciding event in the document's SAX stream
+  /// (startDocument = 0). Delivered at the deciding event for
+  /// kEarliest subscriptions and at document completion for kAtEnd
+  /// ones. Non-matches are not reported here — read them from
+  /// OnDocumentDone.
+  virtual void OnMatch(size_t slot, size_t doc_index, size_t event_ordinal) {
+    (void)slot;
+    (void)doc_index;
+    (void)event_ordinal;
+  }
+
+  /// Document `doc_index` completed with these verdicts (in
+  /// subscription_ids() order). Fires for every completed document,
+  /// after all of its OnMatch deliveries.
+  virtual void OnDocumentDone(size_t doc_index,
+                              const std::vector<bool>& verdicts) {
+    (void)doc_index;
+    (void)verdicts;
+  }
+};
+
 /// Engine construction options.
 struct EngineOptions {
   /// Registry name of the filtering algorithm.
@@ -67,6 +116,18 @@ struct EngineOptions {
   /// 1, up to this many upcoming documents are parsed on the pool while
   /// earlier ones are matched. Values below 1 are treated as 1.
   size_t batch_size = 8;
+
+  /// Stop matching a document as soon as every subscription's verdict
+  /// is provably decided (all matched — verdicts are monotone, so
+  /// non-matches only decide at endDocument). The rest of the document
+  /// is consumed through a fast well-formedness-only path: byte input
+  /// is still fully parsed and validated, SAX input is depth-checked,
+  /// but no engine sees the remaining events. A pure work cut — the
+  /// verdicts, decided positions and sink deliveries are identical to
+  /// a full scan. With threads > 1 the skip happens inside each
+  /// shard's batch replay instead (events are already buffered by the
+  /// time matching starts).
+  bool short_circuit = false;
 };
 
 class Engine : public EventSink {
@@ -91,11 +152,15 @@ class Engine : public EventSink {
 
   /// Subscribes a compiled query (the engine takes ownership). Fails
   /// with kUnsupported when the query lies outside the algorithm's
-  /// fragment and with kInvalidArgument on a duplicate id.
-  Status Subscribe(std::string id, CompiledQuery query);
+  /// fragment and with kInvalidArgument on a duplicate id. `mode`
+  /// selects when an attached ResultSink hears about this
+  /// subscription's matches.
+  Status Subscribe(std::string id, CompiledQuery query,
+                   DeliveryMode mode = DeliveryMode::kAtEnd);
 
   /// Compiles and subscribes in one step.
-  Status Subscribe(std::string id, std::string_view xpath);
+  Status Subscribe(std::string id, std::string_view xpath,
+                   DeliveryMode mode = DeliveryMode::kAtEnd);
 
   size_t NumSubscriptions() const { return ids_.size(); }
 
@@ -147,6 +212,35 @@ class Engine : public EventSink {
   Result<std::vector<std::vector<bool>>> FilterDocuments(
       const std::vector<std::string>& xmls);
 
+  // --- push-based results ------------------------------------------
+
+  /// Attaches a result observer (nullptr detaches). Attach between
+  /// documents; matches of the current document may otherwise be
+  /// missed. The sink must outlive the engine or be detached first.
+  void SetSink(ResultSink* sink) { result_sink_ = sink; }
+
+  /// Per-slot event ordinals (subscription_ids() order) at which the
+  /// engine's verdicts became provably decided in the most recent
+  /// completed document: the deciding event for matches, the
+  /// endDocument ordinal for non-matches. The per-engine measurable
+  /// behind the paper's buffering/commitment story — an engine's
+  /// earliest-decision position bounds how long it must hold state.
+  const std::vector<size_t>& last_decided_at() const {
+    return last_decided_at_;
+  }
+
+  /// Decided position of subscription `id` in the most recent
+  /// document; same errors as Matched(id).
+  Result<size_t> DecidedAt(std::string_view id) const;
+
+  /// Documents whose tail was skipped by the facade's streaming
+  /// short-circuit path (threads = 1 only: with threads > 1 the cut
+  /// happens inside each shard's batch replay and is not counted
+  /// here, though the work reduction is just as real).
+  size_t documents_short_circuited() const {
+    return documents_short_circuited_;
+  }
+
   // --- results ------------------------------------------------------
 
   /// Number of completed documents.
@@ -176,24 +270,56 @@ class Engine : public EventSink {
   size_t peak_buffered_bytes() const { return peak_buffered_bytes_; }
 
  private:
+  struct SinkRelay;  // the engine's MatchSink face, defined in engine.cc
+
   Engine(EngineOptions options, std::shared_ptr<ThreadPool> pool,
          std::unique_ptr<Matcher> matcher);
 
   Status CheckSubscribable(const std::string& id) const;
 
+  /// Relay target: the matcher decided slot's verdict (a match) at
+  /// `event_ordinal`.
+  void HandleSlotMatched(size_t slot, size_t event_ordinal);
+
+  /// Consumes one event of the skipped tail of a short-circuited
+  /// document: well-formedness-only depth checking, no matching.
+  Status SkipEvent(const Event& event);
+
+  /// Document-completion bookkeeping shared by the streaming, batch
+  /// and short-circuit paths: decided positions, history, peak gauges,
+  /// deferred sink deliveries. Expects last_verdicts_ set and
+  /// event_ordinal_ at the endDocument ordinal.
+  void FinalizeDocument();
+
+  /// Whole-document fast path around Matcher::OnDocument (sharded
+  /// engines replay the caller-owned span without copying it).
+  Result<std::vector<bool>> FilterEventsBatch(const EventStream& events);
+
   EngineOptions options_;
   std::shared_ptr<ThreadPool> pool_;  // live when options_.threads != 1
   std::unique_ptr<Matcher> matcher_;
+  std::unique_ptr<SinkRelay> relay_;
 
   std::vector<std::string> ids_;
   std::vector<CompiledQuery> queries_;  // owns the subscribed ASTs
+  std::vector<DeliveryMode> modes_;
 
   std::unique_ptr<XmlParser> parser_;  // live while a byte doc is open
   bool in_document_ = false;
 
+  // --- current-document push/skip state ---
+  ResultSink* result_sink_ = nullptr;
+  bool short_circuited_ = false;  // skipping the rest of this document
+  size_t element_depth_ = 0;      // open elements (skip-path validation)
+  size_t event_ordinal_ = 0;      // ordinal of the next event
+  size_t matched_count_ = 0;      // slots decided (matched) so far
+  std::vector<size_t> decided_at_;  // per-slot, current document
+
   size_t documents_seen_ = 0;
+  size_t documents_short_circuited_ = 0;
   std::vector<std::vector<bool>> history_;
   std::vector<bool> last_verdicts_;
+  std::vector<size_t> last_decided_at_;
   size_t peak_table_entries_ = 0;
   size_t peak_buffered_bytes_ = 0;
 };

@@ -17,11 +17,24 @@
 
 namespace xpstream {
 
+/// The facade's MatchSink face: forwards matcher decisions into the
+/// engine's per-document bookkeeping (and on to the public ResultSink).
+struct Engine::SinkRelay : MatchSink {
+  explicit SinkRelay(Engine* engine) : engine(engine) {}
+  void OnSlotMatched(size_t slot, size_t ordinal) override {
+    engine->HandleSlotMatched(slot, ordinal);
+  }
+  Engine* engine;
+};
+
 Engine::Engine(EngineOptions options, std::shared_ptr<ThreadPool> pool,
                std::unique_ptr<Matcher> matcher)
     : options_(std::move(options)),
       pool_(std::move(pool)),
-      matcher_(std::move(matcher)) {}
+      matcher_(std::move(matcher)),
+      relay_(std::make_unique<SinkRelay>(this)) {
+  matcher_->SetSink(relay_.get());
+}
 
 Engine::~Engine() = default;
 
@@ -45,6 +58,10 @@ Result<std::unique_ptr<Engine>> Engine::Create(const EngineOptions& options) {
   auto matcher =
       ShardedMatcher::Create(resolved.engine, resolved.threads, pool);
   if (!matcher.ok()) return matcher.status();
+  // Sharded matching starts at the endDocument dispatch, so the facade
+  // skip path never triggers; the cut happens inside each shard's
+  // replay instead.
+  (*matcher)->EnableShortCircuit(resolved.short_circuit);
   return std::unique_ptr<Engine>(new Engine(
       std::move(resolved), std::move(pool), std::move(matcher).value()));
 }
@@ -70,18 +87,21 @@ Status Engine::CheckSubscribable(const std::string& id) const {
   return Status::OK();
 }
 
-Status Engine::Subscribe(std::string id, CompiledQuery query) {
+Status Engine::Subscribe(std::string id, CompiledQuery query,
+                         DeliveryMode mode) {
   XPS_RETURN_IF_ERROR(CheckSubscribable(id));
   XPS_RETURN_IF_ERROR(matcher_->Subscribe(ids_.size(), query.query()));
   ids_.push_back(std::move(id));
   queries_.push_back(std::move(query));
+  modes_.push_back(mode);
   return Status::OK();
 }
 
-Status Engine::Subscribe(std::string id, std::string_view xpath) {
+Status Engine::Subscribe(std::string id, std::string_view xpath,
+                         DeliveryMode mode) {
   auto query = CompileQuery(xpath);
   if (!query.ok()) return query.status();
-  return Subscribe(std::move(id), std::move(query).value());
+  return Subscribe(std::move(id), std::move(query).value(), mode);
 }
 
 Result<const CompiledQuery*> Engine::SubscribedQuery(
@@ -129,49 +149,193 @@ Result<std::vector<bool>> Engine::FilterXml(std::string_view xml) {
 void Engine::AbortDocument() {
   parser_.reset();
   in_document_ = false;  // the next startDocument resets the matcher
+  short_circuited_ = false;
+}
+
+void Engine::HandleSlotMatched(size_t slot, size_t event_ordinal) {
+  if (slot >= decided_at_.size() ||
+      decided_at_[slot] != kNoEventOrdinal) {
+    return;  // already decided (defensive: matchers report once)
+  }
+  decided_at_[slot] = event_ordinal;
+  ++matched_count_;
+  if (result_sink_ != nullptr && modes_[slot] == DeliveryMode::kEarliest) {
+    result_sink_->OnMatch(slot, documents_seen_, event_ordinal);
+  }
+}
+
+Status Engine::SkipEvent(const Event& event) {
+  // The engines are done with this document; only stream shape is
+  // still enforced so a malformed tail cannot slip through. (Byte
+  // input additionally passes the full XmlParser validation.)
+  switch (event.type) {
+    case EventType::kStartElement:
+      ++element_depth_;
+      return Status::OK();
+    case EventType::kEndElement:
+      if (element_depth_ == 0) {
+        return Status::NotWellFormed("unbalanced endElement");
+      }
+      --element_depth_;
+      return Status::OK();
+    default:
+      return Status::OK();
+  }
+}
+
+void Engine::FinalizeDocument() {
+  in_document_ = false;
+  // Slots still undecided carry non-matches, decided at endDocument.
+  for (size_t& position : decided_at_) {
+    if (position == kNoEventOrdinal) position = event_ordinal_;
+  }
+  last_decided_at_ = decided_at_;
+  if (options_.keep_history) history_.push_back(last_verdicts_);
+  const size_t doc_index = documents_seen_;
+  ++documents_seen_;
+  const MemoryStats& document_stats = matcher_->stats();
+  peak_table_entries_ = std::max(peak_table_entries_,
+                                 document_stats.table_entries().peak());
+  peak_buffered_bytes_ = std::max(peak_buffered_bytes_,
+                                  document_stats.buffered_bytes().peak());
+  if (result_sink_ != nullptr) {
+    for (size_t slot = 0; slot < ids_.size(); ++slot) {
+      if (modes_[slot] == DeliveryMode::kAtEnd && last_verdicts_[slot]) {
+        result_sink_->OnMatch(slot, doc_index, last_decided_at_[slot]);
+      }
+    }
+    result_sink_->OnDocumentDone(doc_index, last_verdicts_);
+  }
 }
 
 Status Engine::OnEvent(const Event& event) {
   // The old FilterSession contract, folded into the facade: reset the
   // matcher at each document start, harvest verdicts and fold peak
-  // gauges at each document end.
+  // gauges at each document end — plus push delivery and the
+  // short-circuit skip path.
   switch (event.type) {
     case EventType::kStartDocument:
       if (in_document_) {
         return Status::NotWellFormed("nested startDocument in stream");
       }
       in_document_ = true;
+      short_circuited_ = false;
+      element_depth_ = 0;
+      event_ordinal_ = 0;
+      matched_count_ = 0;
+      decided_at_.assign(ids_.size(), kNoEventOrdinal);
       XPS_RETURN_IF_ERROR(matcher_->Reset());
-      return matcher_->OnEvent(event);
+      XPS_RETURN_IF_ERROR(matcher_->OnEvent(event));
+      ++event_ordinal_;
+      return Status::OK();
     case EventType::kEndDocument: {
       if (!in_document_) {
         return Status::NotWellFormed("endDocument outside a document");
       }
-      XPS_RETURN_IF_ERROR(matcher_->OnEvent(event));
-      in_document_ = false;
-      auto verdicts = matcher_->Verdicts();
-      if (!verdicts.ok()) return verdicts.status();
-      last_verdicts_ = std::move(verdicts).value();
-      if (options_.keep_history) history_.push_back(last_verdicts_);
-      ++documents_seen_;
-      const MemoryStats& document_stats = matcher_->stats();
-      peak_table_entries_ = std::max(peak_table_entries_,
-                                     document_stats.table_entries().peak());
-      peak_buffered_bytes_ = std::max(peak_buffered_bytes_,
-                                      document_stats.buffered_bytes().peak());
+      if (short_circuited_) {
+        if (element_depth_ != 0) {
+          return Status::NotWellFormed("endDocument with open elements");
+        }
+        // All subscriptions decided mid-document — decided means
+        // matched, so the verdicts are known without the matcher.
+        last_verdicts_.assign(ids_.size(), true);
+        ++documents_short_circuited_;
+      } else {
+        XPS_RETURN_IF_ERROR(matcher_->OnEvent(event));
+        auto verdicts = matcher_->Verdicts();
+        if (!verdicts.ok()) return verdicts.status();
+        last_verdicts_ = std::move(verdicts).value();
+      }
+      FinalizeDocument();
       return Status::OK();
     }
-    default:
+    default: {
       if (!in_document_) {
         return Status::NotWellFormed("content outside a document");
       }
-      return matcher_->OnEvent(event);
+      if (short_circuited_) {
+        XPS_RETURN_IF_ERROR(SkipEvent(event));
+        ++event_ordinal_;
+        return Status::OK();
+      }
+      XPS_RETURN_IF_ERROR(matcher_->OnEvent(event));
+      if (event.type == EventType::kStartElement) {
+        ++element_depth_;
+      } else if (event.type == EventType::kEndElement &&
+                 element_depth_ > 0) {
+        // The matcher validates balance; this mirror only feeds the
+        // skip path (a sharded matcher defers validation to dispatch,
+        // hence the underflow clamp).
+        --element_depth_;
+      }
+      ++event_ordinal_;
+      if (options_.short_circuit && !ids_.empty() &&
+          matched_count_ == ids_.size()) {
+        short_circuited_ = true;
+      }
+      return Status::OK();
+    }
   }
+}
+
+namespace {
+
+/// True when `events` is exactly one document envelope: startDocument
+/// first, endDocument last, no interior document boundaries. Element
+/// balance is left to the engines (a sharded matcher reports it at
+/// dispatch, matching the per-event path's behavior).
+bool IsSingleDocumentEnvelope(const EventStream& events) {
+  if (events.size() < 2 ||
+      events.front().type != EventType::kStartDocument ||
+      events.back().type != EventType::kEndDocument) {
+    return false;
+  }
+  for (size_t i = 1; i + 1 < events.size(); ++i) {
+    if (events[i].type == EventType::kStartDocument ||
+        events[i].type == EventType::kEndDocument) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<bool>> Engine::FilterEventsBatch(
+    const EventStream& events) {
+  // Borrowed-batch replay: the whole span goes to the matcher, which
+  // replays it without copying (ShardedMatcher overrides OnDocument).
+  // The span is only borrowed for the duration of the call.
+  in_document_ = true;
+  short_circuited_ = false;
+  element_depth_ = 0;
+  event_ordinal_ = events.size() - 1;  // the endDocument ordinal
+  matched_count_ = 0;
+  decided_at_.assign(ids_.size(), kNoEventOrdinal);
+  Status status = matcher_->OnDocument(events);
+  if (!status.ok()) {
+    AbortDocument();
+    return status;
+  }
+  auto verdicts = matcher_->Verdicts();
+  if (!verdicts.ok()) {
+    AbortDocument();
+    return verdicts.status();
+  }
+  last_verdicts_ = std::move(verdicts).value();
+  FinalizeDocument();
+  return last_verdicts_;
 }
 
 Result<std::vector<bool>> Engine::FilterEvents(const EventStream& events) {
   if (in_document_) {
     return Status::InvalidArgument("a document is already being consumed");
+  }
+  if (parser_ != nullptr) {
+    return Status::InvalidArgument("a document is already being consumed");
+  }
+  if (pool_ != nullptr && IsSingleDocumentEnvelope(events)) {
+    return FilterEventsBatch(events);
   }
   for (const Event& event : events) {
     Status status = OnEvent(event);
@@ -283,6 +447,21 @@ Result<bool> Engine::Matched() const {
         "Matched() without an id needs exactly one subscription");
   }
   return Matched(ids_.front());
+}
+
+Result<size_t> Engine::DecidedAt(std::string_view id) const {
+  if (documents_seen_ == 0) {
+    return Status::InvalidArgument("no document has completed yet");
+  }
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] != id) continue;
+    if (i >= last_decided_at_.size()) {
+      return Status::InvalidArgument("subscription \"" + std::string(id) +
+                                     "\" was added after the last document");
+    }
+    return last_decided_at_[i];
+  }
+  return Status::NotFound("unknown subscription id: " + std::string(id));
 }
 
 const MemoryStats& Engine::stats() const { return matcher_->stats(); }

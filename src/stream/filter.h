@@ -32,6 +32,17 @@ class StreamFilter : public EventSink {
   /// The verdict; valid only after endDocument was consumed.
   virtual Result<bool> Matched() const = 0;
 
+  /// The 0-based event ordinal (startDocument = 0) at which this
+  /// engine's verdict became provably decided — the commitment point the
+  /// paper reasons about — or kNoEventOrdinal while undecided. Verdicts
+  /// are monotone: an engine decides *true* at the earliest event where
+  /// its own state proves a match, and *false* only at endDocument, so
+  /// mid-document a decided verdict is always a match. Positions are an
+  /// engine-specific measurable: the naive engine commits only at
+  /// endDocument (it buffers everything), automata commit on accepting-
+  /// state entry, the frontier engine at its endElement aggregations.
+  virtual size_t DecidedAt() const = 0;
+
   /// A canonical serialization of the complete algorithm state. Two
   /// moments with different future behaviour must serialize differently;
   /// equal serializations may be merged by the protocol simulator.

@@ -38,12 +38,14 @@ Status FrontierFilter::Reset() {
   done_ = false;
   matched_ = false;
   failed_ = false;
+  ordinal_ = 0;
+  decided_at_ = kNoEventOrdinal;
   stats_.Reset();
   trace_.clear();
   scopes_.clear();
   root_pending_.clear();
   outputs_.clear();
-  aggregated_m_.clear();
+  aggregated_m_.assign(query_->size(), -1);
   suspended_matched_.clear();
   return Status::OK();
 }
@@ -135,9 +137,41 @@ Status FrontierFilter::OnEvent(const Event& event) {
     failed_ = true;
     return status;
   }
+  // Earliest-decision tracking: matched bits only flip at attribute and
+  // endElement handling; endDocument decides whatever is still open.
+  if (decided_at_ == kNoEventOrdinal && !literal_mode_) {
+    if (event.type == EventType::kEndDocument) {
+      decided_at_ = ordinal_;
+    } else if ((event.type == EventType::kAttribute ||
+                event.type == EventType::kEndElement) &&
+               RootVerdictDecided()) {
+      decided_at_ = ordinal_;
+    }
+  }
+  if (decided_at_ == kNoEventOrdinal &&
+      event.type == EventType::kEndDocument) {
+    decided_at_ = ordinal_;  // literal mode commits at the end
+  }
+  ++ordinal_;
   UpdateGauges();
   Snapshot(event);
   return Status::OK();
+}
+
+bool FrontierFilter::RootVerdictDecided() const {
+  const auto& children = query_->root()->children();
+  if (children.empty()) return false;  // degenerate query, decide at end
+  for (const auto& child : children) {
+    const Record* record = nullptr;
+    for (const Record& r : frontier_) {
+      if (r.node == child.get() && r.level == 1) {
+        record = &r;
+        break;
+      }
+    }
+    if (record == nullptr || !record->matched) return false;
+  }
+  return true;
 }
 
 Status FrontierFilter::HandleStartDocument() {
@@ -163,7 +197,8 @@ Status FrontierFilter::HandleStartElement(const std::string& name) {
   // output-collection mode, already-matched succession-chain nodes are
   // still re-expanded: every chain element needs its own m verdict, not
   // just the first matching sibling's.
-  std::vector<size_t> candidates;
+  std::vector<size_t>& candidates = scratch_candidates_;
+  candidates.clear();
   for (size_t i = 0; i < frontier_.size(); ++i) {
     const Record& r = frontier_[i];
     if (r.node->is_root()) continue;
@@ -176,7 +211,9 @@ Status FrontierFilter::HandleStartElement(const std::string& name) {
     candidates.push_back(i);
   }
 
-  std::vector<std::pair<const QueryNode*, size_t>> to_delete;
+  std::vector<std::pair<const QueryNode*, size_t>>& to_delete =
+      scratch_delete_;
+  to_delete.clear();
   for (size_t idx : candidates) {
     // Copy: frontier_ may grow below and invalidate references.
     Record record = frontier_[idx];
@@ -191,8 +228,11 @@ Status FrontierFilter::HandleStartElement(const std::string& name) {
       if (record.node->axis() == Axis::kChild) {
         to_delete.emplace_back(record.node, record.level);
         if (record.matched) {
-          suspended_matched_.emplace(
-              std::make_pair(record.node, record.level), true);
+          const auto key = std::make_pair(record.node, record.level);
+          if (std::find(suspended_matched_.begin(), suspended_matched_.end(),
+                        key) == suspended_matched_.end()) {
+            suspended_matched_.push_back(key);
+          }
         }
       }
       for (const auto& child : record.node->children()) {
@@ -270,8 +310,12 @@ Status FrontierFilter::HandleEndElement() {
   while (!captures_.empty() && captures_.back().elem_level == current_level_) {
     Capture capture = captures_.back();
     captures_.pop_back();
-    std::string value = buffer_.substr(capture.start);
-    if (truths_.Get(capture.node).Contains(value)) {
+    // Universal truth sets (predicate-free leaves, the dissemination
+    // common case) accept any value: skip materializing the captured
+    // string — the per-event allocation the profile flagged.
+    const TruthSet& truths = truths_.Get(capture.node);
+    if (truths.is_universal() ||
+        truths.Contains(buffer_.substr(capture.start))) {
       // A real match for this leaf, in the context of exactly the record
       // the capture was opened for. (Every live record that had this
       // element as a candidate opened its own capture, so per-record
@@ -304,16 +348,14 @@ void FrontierFilter::CloseOutputScopes() {
       bool real = node->IsLeaf()
                       ? truths_.Get(node).Contains(
                             buffer_.substr(scope.value_start))
-                      : (aggregated_m_.count(node) != 0 &&
-                         aggregated_m_.at(node));
+                      : aggregated_m_[node->id()] == 1;
       if (real) {
         sink->push_back(buffer_.substr(scope.value_start));
       }
     } else {
       // Inner chain step: its predicate verdict (the aggregation m bit)
       // decides whether the outputs gathered below survive.
-      bool confirmed =
-          aggregated_m_.count(node) != 0 && aggregated_m_.at(node);
+      bool confirmed = aggregated_m_[node->id()] == 1;
       if (confirmed) {
         for (std::string& value : scope.pending) {
           sink->push_back(std::move(value));
@@ -326,8 +368,9 @@ void FrontierFilter::CloseOutputScopes() {
 void FrontierFilter::AggregateChildren() {
   // Records one level below current_level_ are exactly the children
   // expanded when the closing element started (Fig. 21 lines 11–29).
-  aggregated_m_.clear();
-  std::vector<const QueryNode*> parents;
+  std::fill(aggregated_m_.begin(), aggregated_m_.end(), int8_t{-1});
+  std::vector<const QueryNode*>& parents = scratch_parents_;
+  parents.clear();
   for (const Record& r : frontier_) {
     if (r.level > current_level_ && !r.node->is_root()) {
       const QueryNode* parent = r.node->parent();
@@ -347,7 +390,7 @@ void FrontierFilter::AggregateChildren() {
         break;
       }
     }
-    aggregated_m_[parent] = m;
+    aggregated_m_[parent->id()] = m ? 1 : 0;
     // Delete the child records (line 19).
     frontier_.erase(std::remove_if(frontier_.begin(), frontier_.end(),
                                    [&](const Record& r) {
@@ -377,11 +420,13 @@ void FrontierFilter::AggregateChildren() {
       }
     } else {
       bool prior = false;
-      auto it = suspended_matched_.find(
-          std::make_pair(parent, current_level_));
+      auto it = std::find(suspended_matched_.begin(),
+                          suspended_matched_.end(),
+                          std::make_pair(parent, current_level_));
       if (it != suspended_matched_.end()) {
-        prior = it->second;
-        suspended_matched_.erase(it);
+        prior = true;  // only matched records are suspended
+        *it = suspended_matched_.back();
+        suspended_matched_.pop_back();
       }
       InsertRecord(parent, current_level_,
                    literal_mode_ ? m : (m || prior));

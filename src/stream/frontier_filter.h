@@ -35,9 +35,10 @@
 /// Supported fragment (paper §8): univariate conjunctive
 /// leaf-only-value-restricted Forward XPath; checked at construction.
 
-#include <map>
+#include <cstdint>
 #include <set>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "analysis/truth_set.h"
@@ -55,6 +56,7 @@ class FrontierFilter : public StreamFilter {
   Status Reset() override;
   Status OnEvent(const Event& event) override;
   Result<bool> Matched() const override;
+  size_t DecidedAt() const override { return decided_at_; }
   std::string SerializeState() const override;
   const MemoryStats& stats() const override { return stats_; }
   std::string name() const override { return "FrontierFilter"; }
@@ -123,6 +125,16 @@ class FrontierFilter : public StreamFilter {
   /// Output-collection bookkeeping at element close.
   void CloseOutputScopes();
 
+  /// True when the root verdict is already provably true: every child of
+  /// the query root has a live level-1 record with matched set. Matched
+  /// bits are OR-accumulated (and preserved across candidate-expansion
+  /// suspension), so once this holds the endDocument aggregation must
+  /// report a match — the frontier engine's commitment point. Polled
+  /// only at events that can flip matched bits (attribute / endElement)
+  /// and never in literal pseudo-code mode, whose assignment semantics
+  /// can erase matches.
+  bool RootVerdictDecided() const;
+
   /// True while an OUT(Q) candidate's string value is being captured.
   bool OutValueOpen() const;
 
@@ -136,6 +148,8 @@ class FrontierFilter : public StreamFilter {
   bool done_ = false;
   bool matched_ = false;
   bool failed_ = false;
+  size_t ordinal_ = 0;  ///< ordinal of the event being consumed
+  size_t decided_at_ = kNoEventOrdinal;
 
   MemoryStats stats_;
   bool trace_enabled_ = false;
@@ -157,13 +171,25 @@ class FrontierFilter : public StreamFilter {
   bool collecting_ = false;
   std::vector<const QueryNode*> chain_;  ///< root successors to OUT(Q)
   std::set<const QueryNode*> chain_set_;
-  /// matched bits of child-axis records suspended during expansion,
-  /// restored (OR-merged) at reinsertion.
-  std::map<std::pair<const QueryNode*, size_t>, bool> suspended_matched_;
+  /// Child-axis records suspended during candidate expansion whose
+  /// matched bit must be restored (OR-merged) at reinsertion. Entries
+  /// are only stored for already-matched records, so this is a flat
+  /// set of (query node, level) keys — linear-scanned, since at most
+  /// one entry per open ancestor level can be live.
+  std::vector<std::pair<const QueryNode*, size_t>> suspended_matched_;
   std::vector<OutputScope> scopes_;      ///< innermost last
   std::vector<std::string> root_pending_;
   std::vector<std::string> outputs_;
-  std::map<const QueryNode*, bool> aggregated_m_;  ///< per endElement round
+  /// Per-endElement-round aggregation verdicts indexed by query node
+  /// id: -1 not aggregated this round, else the m bit. A flat array
+  /// (not a map) so the per-event hot path allocates nothing.
+  std::vector<int8_t> aggregated_m_;
+
+  // Scratch for the per-event handlers: cleared per use, capacity kept
+  // across events and documents — the allocation-free hot path.
+  std::vector<size_t> scratch_candidates_;
+  std::vector<std::pair<const QueryNode*, size_t>> scratch_delete_;
+  std::vector<const QueryNode*> scratch_parents_;
 };
 
 }  // namespace xpstream

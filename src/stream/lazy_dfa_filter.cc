@@ -46,6 +46,8 @@ Status LazyDfaFilter::Reset() {
   stack_.clear();
   matched_ = false;
   done_ = false;
+  ordinal_ = 0;
+  decided_at_ = kNoEventOrdinal;
   // The interned DFA persists across documents by design (a shared
   // transition table); only per-document state and stats reset.
   stats_.Reset();
@@ -103,18 +105,23 @@ Status LazyDfaFilter::OnEvent(const Event& event) {
       stack_.clear();
       matched_ = false;
       done_ = false;
+      ordinal_ = 0;
+      decided_at_ = kNoEventOrdinal;
       stack_.push_back(InternState(1));
       break;
     }
     case EventType::kEndDocument:
       done_ = true;
+      if (decided_at_ == kNoEventOrdinal) decided_at_ = ordinal_;
       break;
     case EventType::kStartElement: {
       if (stack_.empty()) return Status::NotWellFormed("no startDocument");
       int next = Transition(stack_.back(), InternSymbol(event.name));
       if ((mask_of_state_[static_cast<size_t>(next)] &
-           (1ULL << steps_.size())) != 0) {
+           (1ULL << steps_.size())) != 0 &&
+          !matched_) {
         matched_ = true;
+        decided_at_ = ordinal_;  // accepting-subset entry decides the verdict
       }
       stack_.push_back(next);
       break;
@@ -129,6 +136,7 @@ Status LazyDfaFilter::OnEvent(const Event& event) {
     case EventType::kAttribute:
       break;
   }
+  ++ordinal_;
   stats_.table_entries().Set(stack_.size());
   stats_.auxiliary_bytes().Set(stack_.size() * sizeof(int));
   return Status::OK();

@@ -2,6 +2,13 @@
 
 namespace xpstream {
 
+Status Matcher::OnDocument(const EventStream& events) {
+  for (const Event& event : events) {
+    XPS_RETURN_IF_ERROR(OnEvent(event));
+  }
+  return Status::OK();
+}
+
 Status FilterBankMatcher::Subscribe(size_t slot, const Query* query) {
   if (slot != filters_.size()) {
     return Status::InvalidArgument("subscription slots must be dense");
@@ -9,6 +16,7 @@ Status FilterBankMatcher::Subscribe(size_t slot, const Query* query) {
   auto filter = factory_(query);
   if (!filter.ok()) return filter.status();
   filters_.push_back(std::move(filter).value());
+  decided_.push_back(0);
   return Status::OK();
 }
 
@@ -16,14 +24,53 @@ Status FilterBankMatcher::Reset() {
   for (auto& filter : filters_) {
     XPS_RETURN_IF_ERROR(filter->Reset());
   }
+  decided_.assign(filters_.size(), 0);
+  decided_count_ = 0;
   return Status::OK();
 }
 
+void FilterBankMatcher::HarvestDecisions(bool at_end) {
+  for (size_t slot = 0; slot < filters_.size(); ++slot) {
+    if (decided_[slot] != 0) continue;
+    const size_t position = filters_[slot]->DecidedAt();
+    if (position == kNoEventOrdinal) continue;
+    decided_[slot] = 1;
+    ++decided_count_;
+    if (sink_ == nullptr) continue;
+    // Mid-document a decided verdict is always a match; at endDocument
+    // the remaining filters decide false and are not reported.
+    if (!at_end) {
+      sink_->OnSlotMatched(slot, position);
+    } else {
+      auto verdict = filters_[slot]->Matched();
+      if (verdict.ok() && *verdict) sink_->OnSlotMatched(slot, position);
+    }
+  }
+}
+
 Status FilterBankMatcher::OnEvent(const Event& event) {
+  if (event.type == EventType::kStartDocument) {
+    // Member filters reset themselves on startDocument; the harvest
+    // bookkeeping must match (direct callers may skip Reset()).
+    decided_.assign(filters_.size(), 0);
+    decided_count_ = 0;
+  }
   for (auto& filter : filters_) {
     XPS_RETURN_IF_ERROR(filter->OnEvent(event));
   }
+  if (decided_count_ != filters_.size()) {
+    HarvestDecisions(event.type == EventType::kEndDocument);
+  }
   return Status::OK();
+}
+
+std::vector<size_t> FilterBankMatcher::DecidedPositions() const {
+  std::vector<size_t> positions;
+  positions.reserve(filters_.size());
+  for (const auto& filter : filters_) {
+    positions.push_back(filter->DecidedAt());
+  }
+  return positions;
 }
 
 Result<std::vector<bool>> FilterBankMatcher::Verdicts() const {

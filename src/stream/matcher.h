@@ -29,9 +29,29 @@ namespace xpstream {
 
 class Query;  // xpath/ast.h
 
+/// Push-notification interface of the matcher layer: as the scan
+/// proceeds, the matcher reports each subscription slot whose verdict
+/// became provably decided *true*, together with the 0-based event
+/// ordinal of the deciding event (startDocument = 0). Verdicts are
+/// monotone, so a slot is reported at most once per document; false
+/// verdicts are never reported (they only decide at endDocument and are
+/// read from Verdicts()). Reports arrive in nondecreasing ordinal
+/// order, ascending slot within one ordinal — ShardedMatcher's merge
+/// reproduces exactly this order, making sink delivery bit-identical to
+/// a single-threaded run.
+class MatchSink {
+ public:
+  virtual ~MatchSink() = default;
+  virtual void OnSlotMatched(size_t slot, size_t ordinal) = 0;
+};
+
 class Matcher : public EventSink {
  public:
   ~Matcher() override = default;
+
+  /// Attaches a push sink for match notifications (nullptr detaches).
+  /// Must not be called between startDocument and endDocument.
+  virtual void SetSink(MatchSink* sink) { sink_ = sink; }
 
   /// Engine-registry key this matcher was created under.
   virtual std::string name() const = 0;
@@ -51,13 +71,36 @@ class Matcher : public EventSink {
   /// Feeds the next SAX event (EventSink interface).
   Status OnEvent(const Event& event) override = 0;
 
+  /// Batch entry point: one whole pre-parsed document (startDocument
+  /// first, endDocument last — the facade validates the envelope). The
+  /// default replays event by event; ShardedMatcher overrides it to
+  /// replay the caller-owned span without copying it into a batch. The
+  /// span is only borrowed for the duration of the call.
+  virtual Status OnDocument(const EventStream& events);
+
   /// Per-slot verdicts; valid only after endDocument was consumed.
   virtual Result<std::vector<bool>> Verdicts() const = 0;
+
+  /// Per-slot event ordinals at which verdicts became provably decided
+  /// (matches: the deciding event, non-matches: the endDocument
+  /// ordinal); kNoEventOrdinal for slots still undecided. Unlike
+  /// Verdicts() this is readable mid-document — the short-circuit path
+  /// harvests positions from matchers that never see endDocument.
+  virtual std::vector<size_t> DecidedPositions() const = 0;
+
+  /// True when every slot's verdict is already provably decided — all
+  /// slots matched so far, since non-matches only decide at
+  /// endDocument. The short-circuit lever: once true, the remaining
+  /// events of the document cannot change any verdict.
+  virtual bool AllDecided() const = 0;
 
   /// Memory accounting for the current/most recent document. For a
   /// filter bank this is the sum over member filters (peaks sum to an
   /// upper bound, since members may peak at different moments).
   virtual const MemoryStats& stats() const = 0;
+
+ protected:
+  MatchSink* sink_ = nullptr;
 };
 
 /// Creates a Matcher of the engine registered under `name`.
@@ -81,12 +124,23 @@ class FilterBankMatcher : public Matcher {
   Status Reset() override;
   Status OnEvent(const Event& event) override;
   Result<std::vector<bool>> Verdicts() const override;
+  std::vector<size_t> DecidedPositions() const override;
+  bool AllDecided() const override {
+    return decided_count_ == filters_.size();
+  }
   const MemoryStats& stats() const override;
 
  private:
+  /// Polls member filters for newly decided verdicts after one event
+  /// and forwards matches to the sink (slot-ascending). `at_end` marks
+  /// the endDocument event, where non-matches decide too.
+  void HarvestDecisions(bool at_end);
+
   std::string name_;
   FilterFactory factory_;
   std::vector<std::unique_ptr<StreamFilter>> filters_;
+  std::vector<uint8_t> decided_;  ///< per-slot: decision already harvested
+  size_t decided_count_ = 0;
   mutable MemoryStats stats_;  // aggregated on demand
 };
 

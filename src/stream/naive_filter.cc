@@ -18,6 +18,7 @@ Status NaiveTreeFilter::Reset() {
   buffered_.clear();
   done_ = false;
   matched_ = false;
+  decided_at_ = kNoEventOrdinal;
   stats_.Reset();
   return Status::OK();
 }
@@ -41,6 +42,9 @@ Status NaiveTreeFilter::OnEvent(const Event& event) {
     std::unique_ptr<XmlDocument> doc = builder_->TakeDocument();
     matched_ = Evaluator(query_).BoolEval(*doc);
     done_ = true;
+    // The buffered prefix is the whole document; the verdict is decided
+    // at the ordinal of this endDocument event.
+    decided_at_ = buffered_.size() - 1;
   }
   return Status::OK();
 }

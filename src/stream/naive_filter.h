@@ -24,6 +24,11 @@ class NaiveTreeFilter : public StreamFilter {
   Status Reset() override;
   Status OnEvent(const Event& event) override;
   Result<bool> Matched() const override;
+  /// The naive engine's commitment point is always the endDocument
+  /// event: it buffers the whole tree and evaluates only at the end —
+  /// the Θ(|D|)-state extreme of the paper's buffering/commitment
+  /// trade-off that earliest-decision instrumentation makes visible.
+  size_t DecidedAt() const override { return decided_at_; }
   std::string SerializeState() const override;
   const MemoryStats& stats() const override { return stats_; }
   std::string name() const override { return "NaiveTreeFilter"; }
@@ -36,6 +41,7 @@ class NaiveTreeFilter : public StreamFilter {
   EventStream buffered_;  // the serialized state is the full prefix
   bool done_ = false;
   bool matched_ = false;
+  size_t decided_at_ = kNoEventOrdinal;
   MemoryStats stats_;
 };
 

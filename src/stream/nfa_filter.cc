@@ -39,6 +39,8 @@ Status NfaFilter::Reset() {
   stack_.clear();
   matched_ = false;
   done_ = false;
+  ordinal_ = 0;
+  decided_at_ = kNoEventOrdinal;
   stats_.Reset();
   return Status::OK();
 }
@@ -69,11 +71,15 @@ Status NfaFilter::OnEvent(const Event& event) {
       break;
     case EventType::kEndDocument:
       done_ = true;
+      if (decided_at_ == kNoEventOrdinal) decided_at_ = ordinal_;
       break;
     case EventType::kStartElement: {
       if (stack_.empty()) return Status::NotWellFormed("no startDocument");
       uint64_t next = Descend(stack_.back(), event.name);
-      if ((next & (1ULL << steps_.size())) != 0) matched_ = true;
+      if ((next & (1ULL << steps_.size())) != 0 && !matched_) {
+        matched_ = true;
+        decided_at_ = ordinal_;  // accepting-state entry decides the verdict
+      }
       stack_.push_back(next);
       break;
     }
@@ -94,13 +100,16 @@ Status NfaFilter::OnEvent(const Event& event) {
         const size_t last = steps_.size() - 1;
         const Step& step = steps_[last];
         if ((stack_.back() & (1ULL << last)) != 0 &&
-            step.axis == Axis::kAttribute && step.Passes(event.name)) {
+            step.axis == Axis::kAttribute && step.Passes(event.name) &&
+            !matched_) {
           matched_ = true;
+          decided_at_ = ordinal_;
         }
       }
       break;
     }
   }
+  ++ordinal_;
   stats_.table_entries().Set(stack_.size());
   stats_.auxiliary_bytes().Set(stack_.size() * sizeof(uint64_t));
   return Status::OK();

@@ -35,6 +35,7 @@ class NfaFilter : public StreamFilter {
   Status Reset() override;
   Status OnEvent(const Event& event) override;
   Result<bool> Matched() const override;
+  size_t DecidedAt() const override { return decided_at_; }
   std::string SerializeState() const override;
   const MemoryStats& stats() const override { return stats_; }
   std::string name() const override { return "NfaFilter"; }
@@ -59,6 +60,8 @@ class NfaFilter : public StreamFilter {
   std::vector<uint64_t> stack_;
   bool matched_ = false;
   bool done_ = false;
+  size_t ordinal_ = 0;  ///< ordinal of the event being consumed
+  size_t decided_at_ = kNoEventOrdinal;
   MemoryStats stats_;
 };
 

@@ -116,16 +116,28 @@ Status NfaIndexRun::Reset() {
   depth_ = 0;
   active_entries_ = 0;
   done_ = false;
+  matched_count_ = 0;
+  ordinal_ = 0;
   verdicts_.assign(index_->max_id_ + 1, false);
+  decided_at_.assign(index_->max_id_ + 1, kNoEventOrdinal);
+  newly_.clear();
   stats_.Reset();
   return Status::OK();
 }
 
 Status NfaIndexRun::OnEvent(const Event& event) {
   const std::vector<NfaIndex::State>& states = index_->states_;
+  // Accepting-state entry decides (and reports) the query's verdict.
+  auto mark = [&](size_t id) {
+    if (verdicts_[id]) return;
+    verdicts_[id] = true;
+    decided_at_[id] = ordinal_;
+    ++matched_count_;
+    if (sink_ != nullptr) newly_.push_back(id);
+  };
   auto accept = [&](int state) {
     for (size_t id : states[static_cast<size_t>(state)].accepts) {
-      verdicts_[id] = true;
+      mark(id);
     }
   };
   // Opens one stack level, recycling the storage of a previously popped
@@ -147,6 +159,10 @@ Status NfaIndexRun::OnEvent(const Event& event) {
     }
     case EventType::kEndDocument:
       done_ = true;
+      // Queries never accepted decide false at the endDocument event.
+      for (size_t& position : decided_at_) {
+        if (position == kNoEventOrdinal) position = ordinal_;
+      }
       stats_.automaton_states().Set(states.size());
       break;
     case EventType::kStartElement: {
@@ -193,12 +209,20 @@ Status NfaIndexRun::OnEvent(const Event& event) {
         const NfaIndex::State& state = states[static_cast<size_t>(s)];
         auto it = state.attribute_accepts.find(event.name);
         if (it != state.attribute_accepts.end()) {
-          for (size_t id : it->second) verdicts_[id] = true;
+          for (size_t id : it->second) mark(id);
         }
       }
       break;
     }
   }
+  if (!newly_.empty()) {
+    // Ids may be touched in automaton order within one event; the sink
+    // contract is ascending slot order per ordinal.
+    std::sort(newly_.begin(), newly_.end());
+    for (size_t id : newly_) sink_->OnSlotMatched(id, ordinal_);
+    newly_.clear();
+  }
+  ++ordinal_;
   return Status::OK();
 }
 
@@ -230,6 +254,11 @@ class NfaIndexMatcher : public Matcher {
   Status Reset() override { return run_.Reset(); }
   Status OnEvent(const Event& event) override { return run_.OnEvent(event); }
 
+  void SetSink(MatchSink* sink) override {
+    sink_ = sink;
+    run_.SetSink(sink);  // slots map 1:1 onto index query ids
+  }
+
   Result<std::vector<bool>> Verdicts() const override {
     auto verdicts = run_.Verdicts();
     if (!verdicts.ok()) return verdicts.status();
@@ -237,6 +266,16 @@ class NfaIndexMatcher : public Matcher {
     // entry of a subscription-free index.
     verdicts->resize(subscriptions_);
     return verdicts;
+  }
+
+  std::vector<size_t> DecidedPositions() const override {
+    std::vector<size_t> positions = run_.DecidedPositions();
+    positions.resize(subscriptions_, kNoEventOrdinal);
+    return positions;
+  }
+
+  bool AllDecided() const override {
+    return run_.NumMatched() >= subscriptions_;
   }
 
   const MemoryStats& stats() const override { return run_.stats(); }

@@ -30,6 +30,7 @@
 
 namespace xpstream {
 
+class MatchSink;  // stream/matcher.h
 class NfaIndexRun;
 
 class NfaIndex {
@@ -109,6 +110,11 @@ class NfaIndexRun : public EventSink {
 
   Status OnEvent(const Event& event) override;
 
+  /// Attaches a push sink notified on accepting-state entry: each query
+  /// id is reported once, at the ordinal of the event that first
+  /// accepted it (ids ascending within one event). nullptr detaches.
+  void SetSink(MatchSink* sink) { sink_ = sink; }
+
   /// True once endDocument was consumed.
   bool done() const { return done_; }
 
@@ -116,12 +122,25 @@ class NfaIndexRun : public EventSink {
   /// endDocument.
   Result<std::vector<bool>> Verdicts() const;
 
+  /// Per-query decided positions: the ordinal of the first accepting
+  /// event, or the endDocument ordinal for queries that never match;
+  /// kNoEventOrdinal while undecided. Readable mid-document.
+  const std::vector<size_t>& DecidedPositions() const { return decided_at_; }
+
+  /// Queries accepted so far in the current document.
+  size_t NumMatched() const { return matched_count_; }
+
   /// Active-set entries across the stack, peak automaton size.
   const MemoryStats& stats() const { return stats_; }
 
  private:
   const NfaIndex* index_;
   std::vector<bool> verdicts_;
+  std::vector<size_t> decided_at_;  ///< per-query-id decided ordinal
+  std::vector<size_t> newly_;       ///< scratch: ids accepted this event
+  size_t matched_count_ = 0;
+  size_t ordinal_ = 0;  ///< ordinal of the event being consumed
+  MatchSink* sink_ = nullptr;
   /// Active sets for the open elements; only the first depth_ entries
   /// are live, deeper ones are recycled storage.
   std::vector<std::vector<int>> stack_;

@@ -1,5 +1,6 @@
 #include "stream/sharded_matcher.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "stream/engine_registry.h"
@@ -45,6 +46,11 @@ Status ShardedMatcher::Subscribe(size_t slot, const Query* query) {
   return Status::OK();
 }
 
+size_t ShardedMatcher::LocalCount(size_t i) const {
+  const size_t n = shards_.size();
+  return num_subscriptions_ / n + (i < num_subscriptions_ % n ? 1 : 0);
+}
+
 Status ShardedMatcher::Reset() {
   batch_.clear();
   batch_bytes_ = 0;
@@ -62,20 +68,52 @@ Status ShardedMatcher::OnEvent(const Event& event) {
   batch_.push_back(event);
   batch_bytes_ += event.name.size() + event.text.size();
   own_stats_.buffered_bytes().Set(batch_bytes_);
-  if (event.type == EventType::kEndDocument) return Dispatch();
+  if (event.type == EventType::kEndDocument) {
+    Status status = Dispatch(batch_);
+    // The batch was fully replayed; release its text but keep capacity
+    // for the next document of the stream.
+    batch_.clear();
+    batch_bytes_ = 0;
+    own_stats_.buffered_bytes().Set(0);
+    return status;
+  }
   return Status::OK();
 }
 
-Status ShardedMatcher::Dispatch() {
+Status ShardedMatcher::OnDocument(const EventStream& events) {
+  // Borrowed-batch replay: the caller already holds the whole document,
+  // so the shards replay the caller's span directly — no copy is made
+  // (or charged to buffered_bytes) and the span is released on return.
+  XPS_RETURN_IF_ERROR(Reset());
+  return Dispatch(events);
+}
+
+Status ShardedMatcher::Dispatch(const EventStream& events) {
   const size_t n = shards_.size();
   std::vector<Status> statuses(n);
+  std::vector<uint8_t> early_exit(n, 0);
+  recorders_.resize(n);
+  for (ShardRecorder& recorder : recorders_) recorder.hits.clear();
   pool_->ParallelFor(n, [&](size_t i) {
     Matcher* shard = shards_[i].get();
+    shard->SetSink(&recorders_[i]);
+    const bool may_cut = short_circuit_ && LocalCount(i) > 0;
     Status status = shard->Reset();
-    for (const Event& event : batch_) {
+    for (const Event& event : events) {
       if (!status.ok()) break;
       status = shard->OnEvent(event);
+      // Monotone verdicts: once every local slot is decided *mid-
+      // document* (decided means matched there), the rest cannot
+      // change this shard's answers. The endDocument event is
+      // excluded — non-matches decide on it too, and by then there is
+      // nothing left to skip.
+      if (status.ok() && may_cut && shard->AllDecided() &&
+          event.type != EventType::kEndDocument) {
+        early_exit[i] = 1;
+        break;
+      }
     }
+    shard->SetSink(nullptr);
     statuses[i] = std::move(status);
   });
   // All shards have completed; report the first failure in shard order
@@ -85,20 +123,43 @@ Status ShardedMatcher::Dispatch() {
   }
 
   merged_verdicts_.assign(num_subscriptions_, false);
+  merged_positions_.assign(num_subscriptions_, kNoEventOrdinal);
   for (size_t i = 0; i < n; ++i) {
-    auto shard_verdicts = shards_[i]->Verdicts();
-    if (!shard_verdicts.ok()) return shard_verdicts.status();
-    const std::vector<bool>& verdicts = *shard_verdicts;
+    const size_t local_count = LocalCount(i);
+    std::vector<bool> verdicts;
+    if (early_exit[i] != 0) {
+      // The shard stopped because all its verdicts were decided — and
+      // mid-document decided means matched.
+      verdicts.assign(local_count, true);
+    } else {
+      auto shard_verdicts = shards_[i]->Verdicts();
+      if (!shard_verdicts.ok()) return shard_verdicts.status();
+      verdicts = std::move(shard_verdicts).value();
+    }
+    const std::vector<size_t> positions = shards_[i]->DecidedPositions();
     for (size_t local = 0; local < verdicts.size(); ++local) {
       const size_t slot = local * n + i;  // inverse of the round-robin map
-      if (slot < num_subscriptions_) merged_verdicts_[slot] = verdicts[local];
+      if (slot >= num_subscriptions_) continue;
+      merged_verdicts_[slot] = verdicts[local];
+      if (local < positions.size()) merged_positions_[slot] = positions[local];
     }
   }
-  // The batch was fully replayed; release its text but keep capacity for
-  // the next document of the stream.
-  batch_.clear();
-  batch_bytes_ = 0;
-  own_stats_.buffered_bytes().Set(0);
+
+  if (sink_ != nullptr) {
+    // Replay the shards' match reports exactly as a single-threaded
+    // scan would have delivered them: ordinal-ascending, slot-ascending
+    // within one ordinal.
+    std::vector<std::pair<size_t, size_t>> merged;  // (ordinal, global slot)
+    for (size_t i = 0; i < n; ++i) {
+      for (const auto& [local, ordinal] : recorders_[i].hits) {
+        merged.emplace_back(ordinal, local * n + i);
+      }
+    }
+    std::sort(merged.begin(), merged.end());
+    for (const auto& [ordinal, slot] : merged) {
+      sink_->OnSlotMatched(slot, ordinal);
+    }
+  }
   done_ = true;
   return Status::OK();
 }
@@ -106,6 +167,20 @@ Status ShardedMatcher::Dispatch() {
 Result<std::vector<bool>> ShardedMatcher::Verdicts() const {
   if (!done_) return Status::InvalidArgument("document not complete");
   return merged_verdicts_;
+}
+
+std::vector<size_t> ShardedMatcher::DecidedPositions() const {
+  if (!done_) {
+    // Events are still buffering: nothing has been replayed yet.
+    return std::vector<size_t>(num_subscriptions_, kNoEventOrdinal);
+  }
+  return merged_positions_;
+}
+
+bool ShardedMatcher::AllDecided() const {
+  // Replay only happens at dispatch, so mid-buffering nothing is
+  // decided; after dispatch everything is.
+  return done_;
 }
 
 const MemoryStats& ShardedMatcher::stats() const {

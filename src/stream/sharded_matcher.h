@@ -6,13 +6,15 @@
 /// across N shards, each shard a full Matcher of the same base engine
 /// ("nfa_index", "frontier", …). The document's SAX events are buffered
 /// while they stream in; at endDocument every shard replays the batch on
-/// a persistent ThreadPool, and per-shard verdicts and MemoryStats are
-/// merged back in subscription-slot order.
+/// a persistent ThreadPool, and per-shard verdicts, decided positions
+/// and MemoryStats are merged back in subscription-slot order.
 ///
-/// Determinism contract: verdict vectors and history are bit-identical
-/// to the single-threaded base engine regardless of thread count or
-/// scheduling — slot s lives in shard s % N at local slot s / N, merges
-/// walk shards in index order, and each shard is touched by exactly one
+/// Determinism contract: verdict vectors, history, decided positions
+/// and MatchSink callback sequences are bit-identical to the
+/// single-threaded base engine regardless of thread count or scheduling
+/// — slot s lives in shard s % N at local slot s / N, merges walk
+/// shards in index order, match reports are re-sorted by (ordinal,
+/// slot) before delivery, and each shard is touched by exactly one
 /// thread per document. Merged stats are equally scheduling-independent
 /// but not equal to the threads = 1 readings: N separate shard
 /// structures replace one (nfa_index loses cross-shard prefix sharing),
@@ -20,10 +22,19 @@
 ///
 /// Memory accounting: buffering the event batch is a real cost the
 /// paper's streaming model charges, so the batch's bytes are reported
-/// in buffered_bytes on top of the shards' own gauges.
+/// in buffered_bytes on top of the shards' own gauges. The borrowed
+/// OnDocument path replays a caller-owned span instead — no copy is
+/// held, so no batch bytes are charged there.
+///
+/// Short-circuit: with EnableShortCircuit(true), each shard's replay
+/// stops at the first event after which all of its local verdicts are
+/// provably decided (all matched — monotone verdicts cannot change
+/// after that). The cut is per shard and deterministic, so results stay
+/// bit-identical; only the work shrinks.
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/memory_stats.h"
@@ -49,29 +60,51 @@ class ShardedMatcher : public Matcher {
   size_t NumSubscriptions() const override { return num_subscriptions_; }
   Status Reset() override;
   Status OnEvent(const Event& event) override;
+  Status OnDocument(const EventStream& events) override;
   Result<std::vector<bool>> Verdicts() const override;
+  std::vector<size_t> DecidedPositions() const override;
+  bool AllDecided() const override;
   const MemoryStats& stats() const override;
 
   size_t num_shards() const { return shards_.size(); }
 
+  /// Allows shards to cut their replay short once all their local
+  /// verdicts are decided (see file comment). Off by default.
+  void EnableShortCircuit(bool on) { short_circuit_ = on; }
+
  private:
+  /// Records one shard's match reports during its replay; drained into
+  /// the slot-ordered merge after the barrier.
+  struct ShardRecorder : MatchSink {
+    std::vector<std::pair<size_t, size_t>> hits;  // (local slot, ordinal)
+    void OnSlotMatched(size_t slot, size_t ordinal) override {
+      hits.emplace_back(slot, ordinal);
+    }
+  };
+
   ShardedMatcher(std::string base_engine,
                  std::vector<std::unique_ptr<Matcher>> shards,
                  std::shared_ptr<ThreadPool> pool);
 
-  /// Replays the buffered document to every shard in parallel and
-  /// merges verdicts; called once per document at endDocument.
-  Status Dispatch();
+  /// Number of subscriptions living in shard `i`.
+  size_t LocalCount(size_t i) const;
+
+  /// Replays `events` to every shard in parallel and merges verdicts,
+  /// positions and sink reports; called once per document.
+  Status Dispatch(const EventStream& events);
 
   std::string base_engine_;
   std::vector<std::unique_ptr<Matcher>> shards_;
   std::shared_ptr<ThreadPool> pool_;
 
   size_t num_subscriptions_ = 0;
+  bool short_circuit_ = false;
   EventStream batch_;        // the current document's buffered events
   size_t batch_bytes_ = 0;   // name+text bytes of batch_
   bool done_ = false;        // endDocument consumed and verdicts merged
   std::vector<bool> merged_verdicts_;
+  std::vector<size_t> merged_positions_;
+  std::vector<ShardRecorder> recorders_;  // reused across documents
   MemoryStats own_stats_;    // buffered_bytes of the batch
   mutable MemoryStats stats_;  // own_stats_ + shards, merged on demand
 };

@@ -101,6 +101,64 @@ std::vector<std::string> MessageFeedSubscriptions() {
   };
 }
 
+EventStream GenerateDeepRecursionDocument(size_t depth) {
+  EventStream events;
+  events.reserve(4 * depth + 8);
+  events.push_back(Event::StartDocument());
+  for (size_t level = 0; level < depth; ++level) {
+    events.push_back(Event::StartElement("m"));
+    events.push_back(Event::StartElement("h"));
+    events.push_back(Event::Text("x"));
+    events.push_back(Event::EndElement("h"));
+  }
+  events.push_back(Event::StartElement("body"));
+  events.push_back(Event::Text("payload"));
+  events.push_back(Event::EndElement("body"));
+  for (size_t level = 0; level < depth; ++level) {
+    events.push_back(Event::EndElement("m"));
+  }
+  events.push_back(Event::EndDocument());
+  return events;
+}
+
+std::vector<std::string> DeepRecursionSubscriptions() {
+  return {
+      "//m/body",
+      "//m[h]/body",
+      "//m[h and m]",
+      "//m[h = \"x\" and body]",
+  };
+}
+
+EventStream GenerateWideFanoutDocument(size_t fanout) {
+  EventStream events;
+  events.reserve(8 * fanout + 4);
+  events.push_back(Event::StartDocument());
+  events.push_back(Event::StartElement("root"));
+  for (size_t i = 0; i < fanout; ++i) {
+    events.push_back(Event::StartElement("item"));
+    events.push_back(Event::StartElement("name"));
+    events.push_back(Event::Text(StringPrintf("n%zu", i)));
+    events.push_back(Event::EndElement("name"));
+    events.push_back(Event::StartElement("val"));
+    events.push_back(Event::Text(StringPrintf("%zu", i % 10)));
+    events.push_back(Event::EndElement("val"));
+    events.push_back(Event::EndElement("item"));
+  }
+  events.push_back(Event::EndElement("root"));
+  events.push_back(Event::EndDocument());
+  return events;
+}
+
+std::vector<std::string> WideFanoutSubscriptions() {
+  return {
+      "/root/item/name",
+      "/root/item[val = \"3\"]/name",
+      "//item[name and val > 7]",
+      "/root/item[name and val]",
+  };
+}
+
 DisseminationSweepWorkload MakeDisseminationSweep(size_t num_queries,
                                                   size_t num_docs) {
   DisseminationSweepWorkload workload;

@@ -51,6 +51,34 @@ struct DisseminationSweepWorkload {
 DisseminationSweepWorkload MakeDisseminationSweep(size_t num_queries,
                                                   size_t num_docs);
 
+// --- adversarial corpora (§4 memory-bound stress) -------------------
+//
+// The paper's lower bounds are driven by two document parameters:
+// recursion depth r (Thm 4.5: Ω(r) bits for recursive documents) and
+// the frontier/candidate width at one level. These deterministic
+// generators push each axis far beyond the realistic scenarios above,
+// so benches and tests can watch the engines pay the bound — and no
+// more.
+
+/// A deep-recursion document: ⟨m⟩ envelopes nested `depth` levels, each
+/// level carrying an ⟨h⟩x⟨/h⟩ header child, with one ⟨body⟩payload⟨/body⟩
+/// at the innermost level. Every prefix of the nest is a live recursive
+/// candidate for //m-style queries, so r = `depth`.
+EventStream GenerateDeepRecursionDocument(size_t depth);
+
+/// Subscriptions over the deep-recursion corpus (frontier fragment):
+/// descendant steps over the recursive ⟨m⟩ nest.
+std::vector<std::string> DeepRecursionSubscriptions();
+
+/// A wide-fanout document: a flat ⟨root⟩ with `fanout` ⟨item⟩ children,
+/// each holding ⟨name⟩/⟨val⟩ leaves (val cycles 0..9). Stresses
+/// per-level candidate pressure and string-value capture churn.
+EventStream GenerateWideFanoutDocument(size_t fanout);
+
+/// Subscriptions over the wide-fanout corpus (frontier fragment),
+/// including value predicates so leaf captures stay on the hot path.
+std::vector<std::string> WideFanoutSubscriptions();
+
 }  // namespace xpstream
 
 #endif  // XPSTREAM_WORKLOAD_SCENARIOS_H_

@@ -63,6 +63,13 @@ struct Event {
 /// kStartDocument and end with kEndDocument.
 using EventStream = std::vector<Event>;
 
+/// Events of one document are numbered by their 0-based *ordinal* in the
+/// stream (startDocument = 0). Ordinals identify stream positions in the
+/// push-based result API: a verdict's decided position is the ordinal of
+/// the event at which the engine committed to it. This sentinel marks
+/// "no position yet".
+inline constexpr size_t kNoEventOrdinal = static_cast<size_t>(-1);
+
 /// Renders a stream compactly for debugging / golden tests.
 std::string EventStreamToString(const EventStream& events);
 

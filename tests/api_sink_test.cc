@@ -1,0 +1,446 @@
+// Push-based result delivery: ResultSink callbacks, per-subscription
+// delivery modes, earliest-decision positions, and short-circuit
+// filtering.
+//
+// The contracts under test:
+//  * decided positions are an engine-specific measurable, exact and
+//    deterministic (automata commit on accepting-state entry, frontier
+//    at endElement aggregation, naive only at endDocument);
+//  * sink callback sequences (slots, doc indices, ordinals, order) are
+//    bit-identical between threads = 1 and sharded engines for every
+//    registered engine;
+//  * short_circuit changes the work, never the results — and malformed
+//    document tails still fail even though no engine sees them.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/doc_generator.h"
+#include "workload/query_generator.h"
+#include "workload/scenarios.h"
+#include "xpstream/xpstream.h"
+
+namespace xpstream {
+namespace {
+
+/// Records every callback in arrival order.
+struct RecordingSink : ResultSink {
+  // (slot, doc_index, event_ordinal)
+  std::vector<std::tuple<size_t, size_t, size_t>> matches;
+  std::vector<std::pair<size_t, std::vector<bool>>> documents;
+
+  void OnMatch(size_t slot, size_t doc_index, size_t ordinal) override {
+    matches.emplace_back(slot, doc_index, ordinal);
+  }
+  void OnDocumentDone(size_t doc_index,
+                      const std::vector<bool>& verdicts) override {
+    documents.emplace_back(doc_index, verdicts);
+  }
+};
+
+// Fixture document, with event ordinals:
+//   0 startDocument, 1 <a>, 2 <b>, 3 </b>, 4 <c>, 5 "v", 6 </c>,
+//   7 </a>, 8 endDocument.
+EventStream FixtureDocument() {
+  return {Event::StartDocument(), Event::StartElement("a"),
+          Event::StartElement("b"), Event::EndElement("b"),
+          Event::StartElement("c"), Event::Text("v"),
+          Event::EndElement("c"),   Event::EndElement("a"),
+          Event::EndDocument()};
+}
+
+std::vector<std::string> LinearQueries(size_t count, uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < count; ++i) {
+    auto query = GenerateLinearQuery(&rng, 1 + rng.Uniform(5), 0.35, 0.15, 4);
+    EXPECT_TRUE(query.ok());
+    queries.push_back((*query)->ToString());
+  }
+  return queries;
+}
+
+std::vector<EventStream> Corpus(size_t docs, uint64_t seed) {
+  Random rng(seed);
+  DocGenOptions options;
+  options.max_depth = 6;
+  options.name_pool = 4;
+  options.names = {"s0", "s1", "s2", "s3"};
+  std::vector<EventStream> corpus;
+  for (size_t i = 0; i < docs; ++i) {
+    corpus.push_back(GenerateRandomDocument(&rng, options)->ToEvents());
+  }
+  return corpus;
+}
+
+// Engine-specific commitment points on the fixture, exact: the NFA
+// decides //b on ⟨b⟩ (ordinal 2), the frontier engine one event later
+// at ⟨/b⟩ (its leaf captures resolve at endElement), and the naive
+// engine only at endDocument (ordinal 8) — the Θ(|D|)-buffering
+// extreme the instrument is built to expose.
+TEST(ApiSinkTest, DecidedPositionsAreEngineCommitmentPoints) {
+  const EventStream doc = FixtureDocument();
+
+  struct Case {
+    const char* engine;
+    const char* query;
+    size_t expected;
+  };
+  const Case cases[] = {
+      {"nfa", "//b", 2},       {"lazy_dfa", "//b", 2},
+      {"nfa_index", "//b", 2}, {"frontier", "//b", 3},
+      {"naive", "//b", 8},     {"nfa", "/a/c", 4},
+      {"frontier", "/a/c", 7},  // child-axis top: aggregated at </a>
+      {"nfa", "//zzz", 8},      // non-match decides at endDocument
+      {"frontier", "//zzz", 8},
+  };
+  for (const Case& c : cases) {
+    auto engine = Engine::Create(c.engine);
+    ASSERT_TRUE(engine.ok()) << c.engine;
+    ASSERT_TRUE((*engine)->Subscribe("q", c.query).ok())
+        << c.engine << " " << c.query;
+    ASSERT_TRUE((*engine)->FilterEvents(doc).ok()) << c.engine;
+    auto decided = (*engine)->DecidedAt("q");
+    ASSERT_TRUE(decided.ok()) << c.engine;
+    EXPECT_EQ(*decided, c.expected) << c.engine << " " << c.query;
+  }
+}
+
+// The three automaton engines share acceptance semantics, so their
+// earliest-decision positions must agree exactly on shared fixtures.
+TEST(ApiSinkTest, AutomatonEnginesAgreeOnEarliestPositions) {
+  const std::vector<std::string> queries = LinearQueries(17, 20260401);
+  const std::vector<EventStream> corpus = Corpus(10, 11);
+
+  std::vector<std::vector<size_t>> reference;  // per doc, per slot
+  for (const char* name : {"nfa", "lazy_dfa", "nfa_index"}) {
+    auto engine = Engine::Create(name);
+    ASSERT_TRUE(engine.ok()) << name;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_TRUE(
+          (*engine)->Subscribe("q" + std::to_string(q), queries[q]).ok())
+          << name << " " << queries[q];
+    }
+    std::vector<std::vector<size_t>> positions;
+    for (const EventStream& events : corpus) {
+      ASSERT_TRUE((*engine)->FilterEvents(events).ok()) << name;
+      positions.push_back((*engine)->last_decided_at());
+      ASSERT_EQ(positions.back().size(), queries.size());
+    }
+    if (reference.empty()) {
+      reference = std::move(positions);
+    } else {
+      EXPECT_EQ(positions, reference) << name;
+    }
+  }
+}
+
+// kEarliest pushes at the deciding event; kAtEnd defers the same
+// notification (same ordinal) to document completion. Verified by
+// stepping events one at a time.
+TEST(ApiSinkTest, DeliveryModesControlNotificationTiming) {
+  auto engine = Engine::Create("nfa");
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(
+      (*engine)->Subscribe("early", "//b", DeliveryMode::kEarliest).ok());
+  ASSERT_TRUE((*engine)->Subscribe("late", "//b").ok());  // kAtEnd default
+  RecordingSink sink;
+  (*engine)->SetSink(&sink);
+
+  const EventStream doc = FixtureDocument();
+  for (size_t i = 0; i < doc.size(); ++i) {
+    ASSERT_TRUE((*engine)->OnEvent(doc[i]).ok());
+    if (i >= 2 && i + 1 < doc.size()) {
+      // After ⟨b⟩ (ordinal 2) the kEarliest subscription has been
+      // delivered; the kAtEnd one waits for the document boundary.
+      ASSERT_EQ(sink.matches.size(), 1u) << "after event " << i;
+      EXPECT_EQ(sink.matches[0], std::make_tuple(size_t{0}, size_t{0},
+                                                 size_t{2}));
+      EXPECT_TRUE(sink.documents.empty());
+    }
+  }
+  ASSERT_EQ(sink.matches.size(), 2u);
+  // The deferred notification still reports the decided position.
+  EXPECT_EQ(sink.matches[1], std::make_tuple(size_t{1}, size_t{0}, size_t{2}));
+  ASSERT_EQ(sink.documents.size(), 1u);
+  EXPECT_EQ(sink.documents[0].second, (std::vector<bool>{true, true}));
+}
+
+// The acceptance contract: sink delivery (slots, ordinals, order) is
+// bit-identical between threads = 1 and sharded engines for all five
+// registry engines, on both the SAX batch path and the byte path.
+TEST(ApiSinkTest, SinkDeliveryBitIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> queries = LinearQueries(23, 20240401);
+  const std::vector<EventStream> corpus = Corpus(8, 7);
+
+  for (const std::string& name : Engine::AvailableEngines()) {
+    RecordingSink reference;
+    std::vector<std::vector<size_t>> reference_positions;
+    for (size_t threads : {1u, 2u, 4u}) {
+      EngineOptions options;
+      options.engine = name;
+      options.threads = threads;
+      auto engine = Engine::Create(options);
+      ASSERT_TRUE(engine.ok()) << name;
+      RecordingSink sink;
+      (*engine)->SetSink(&sink);
+      for (size_t q = 0; q < queries.size(); ++q) {
+        // Mixed delivery modes must not perturb ordering or content.
+        ASSERT_TRUE((*engine)
+                        ->Subscribe("q" + std::to_string(q), queries[q],
+                                    q % 3 == 0 ? DeliveryMode::kAtEnd
+                                               : DeliveryMode::kEarliest)
+                        .ok())
+            << name;
+      }
+      std::vector<std::vector<size_t>> positions;
+      for (const EventStream& events : corpus) {
+        ASSERT_TRUE((*engine)->FilterEvents(events).ok())
+            << name << " threads=" << threads;
+        positions.push_back((*engine)->last_decided_at());
+      }
+      if (threads == 1) {
+        reference = std::move(sink);
+        reference_positions = std::move(positions);
+      } else {
+        EXPECT_EQ(sink.matches, reference.matches)
+            << name << " threads=" << threads;
+        EXPECT_EQ(sink.documents, reference.documents)
+            << name << " threads=" << threads;
+        EXPECT_EQ(positions, reference_positions)
+            << name << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// Short-circuit is a pure work cut: verdicts, history, decided
+// positions and sink callbacks all match the full scan — for the
+// facade skip path (threads = 1) and the shard replay cut alike.
+TEST(ApiSinkTest, ShortCircuitMatchesFullScan) {
+  // All subscriptions decide in the prologue; a filler tail follows.
+  EventStream doc;
+  doc.push_back(Event::StartDocument());
+  doc.push_back(Event::StartElement("feed"));
+  for (int i = 0; i < 4; ++i) {
+    const std::string name = "h" + std::to_string(i);
+    doc.push_back(Event::StartElement(name));
+    doc.push_back(Event::EndElement(name));
+  }
+  for (int i = 0; i < 100; ++i) {
+    doc.push_back(Event::StartElement("x"));
+    doc.push_back(Event::Text("filler"));
+    doc.push_back(Event::EndElement("x"));
+  }
+  doc.push_back(Event::EndElement("feed"));
+  doc.push_back(Event::EndDocument());
+  // A second document where not everything matches: no cut happens.
+  EventStream partial = FixtureDocument();
+
+  for (const char* name : {"nfa", "frontier", "nfa_index"}) {
+    for (size_t threads : {1u, 2u}) {
+      RecordingSink reference;
+      std::vector<std::vector<bool>> reference_history;
+      std::vector<size_t> reference_positions;
+      for (bool short_circuit : {false, true}) {
+        EngineOptions options;
+        options.engine = name;
+        options.threads = threads;
+        options.short_circuit = short_circuit;
+        auto engine = Engine::Create(options);
+        ASSERT_TRUE(engine.ok()) << name;
+        RecordingSink sink;
+        (*engine)->SetSink(&sink);
+        for (int i = 0; i < 4; ++i) {
+          ASSERT_TRUE((*engine)
+                          ->Subscribe("h" + std::to_string(i),
+                                      "//h" + std::to_string(i),
+                                      DeliveryMode::kEarliest)
+                          .ok())
+              << name;
+        }
+        ASSERT_TRUE((*engine)->FilterEvents(doc).ok()) << name;
+        std::vector<size_t> positions = (*engine)->last_decided_at();
+        ASSERT_TRUE((*engine)->FilterEvents(partial).ok()) << name;
+        if (!short_circuit) {
+          reference = std::move(sink);
+          reference_history = (*engine)->history();
+          reference_positions = std::move(positions);
+          EXPECT_EQ((*engine)->documents_short_circuited(), 0u);
+        } else {
+          EXPECT_EQ(sink.matches, reference.matches)
+              << name << " threads=" << threads;
+          EXPECT_EQ(sink.documents, reference.documents)
+              << name << " threads=" << threads;
+          EXPECT_EQ((*engine)->history(), reference_history)
+              << name << " threads=" << threads;
+          EXPECT_EQ((*engine)->last_decided_at().size(), 4u);
+          EXPECT_EQ(positions, reference_positions)
+              << name << " threads=" << threads;
+          if (threads == 1) {
+            // The facade skipped the tail of the all-match document
+            // (sharded engines cut inside the replay instead).
+            EXPECT_EQ((*engine)->documents_short_circuited(), 1u) << name;
+          }
+        }
+      }
+    }
+  }
+}
+
+// A malformed tail after the decision point must still fail: byte
+// input through the parser, SAX input through the depth check.
+TEST(ApiSinkTest, ShortCircuitRejectsMalformedTails) {
+  EngineOptions options;
+  options.engine = "nfa";
+  options.short_circuit = true;
+
+  {  // Byte path: mismatched close tag after //b already decided.
+    auto engine = Engine::Create(options);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Subscribe("q", "//b").ok());
+    auto verdicts = (*engine)->FilterXml("<a><b/><c></a>");
+    EXPECT_FALSE(verdicts.ok());
+    EXPECT_EQ((*engine)->documents_seen(), 0u);
+    auto retry = (*engine)->FilterXml("<a><b/></a>");
+    ASSERT_TRUE(retry.ok());
+    EXPECT_TRUE((*retry)[0]);
+    EXPECT_EQ((*engine)->documents_seen(), 1u);
+  }
+  {  // SAX path: unbalanced endElement in the skipped tail.
+    auto engine = Engine::Create(options);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Subscribe("q", "//b").ok());
+    EventStream events = {Event::StartDocument(), Event::StartElement("a"),
+                          Event::StartElement("b"), Event::EndElement("b"),
+                          Event::EndElement("a"),   Event::EndElement("a"),
+                          Event::EndDocument()};
+    auto verdicts = (*engine)->FilterEvents(events);
+    EXPECT_FALSE(verdicts.ok());
+    EXPECT_EQ((*engine)->documents_seen(), 0u);
+  }
+  {  // SAX path: endDocument while skipped elements are still open.
+    auto engine = Engine::Create(options);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Subscribe("q", "//b").ok());
+    EventStream events = {Event::StartDocument(), Event::StartElement("a"),
+                          Event::StartElement("b"), Event::EndElement("b"),
+                          Event::StartElement("open"), Event::EndDocument()};
+    auto verdicts = (*engine)->FilterEvents(events);
+    EXPECT_FALSE(verdicts.ok());
+    EXPECT_EQ((*engine)->documents_seen(), 0u);
+    // The engine stays usable for the next (well-formed) document.
+    auto retry = (*engine)->FilterEvents(FixtureDocument());
+    ASSERT_TRUE(retry.ok());
+    EXPECT_TRUE((*retry)[0]);
+  }
+}
+
+// Zero subscriptions with short_circuit on: nothing can decide, the
+// guard must not trip, and documents still complete.
+TEST(ApiSinkTest, ShortCircuitZeroSubscriptions) {
+  EngineOptions options;
+  options.engine = "frontier";
+  options.short_circuit = true;
+  auto engine = Engine::Create(options);
+  ASSERT_TRUE(engine.ok());
+  auto verdicts = (*engine)->FilterXml("<a><b/></a>");
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_TRUE(verdicts->empty());
+  EXPECT_EQ((*engine)->documents_seen(), 1u);
+  EXPECT_EQ((*engine)->documents_short_circuited(), 0u);
+}
+
+// Doc indices in callbacks follow documents_seen across a stream, and
+// detaching the sink stops deliveries.
+TEST(ApiSinkTest, DocIndicesAndDetach) {
+  auto engine = Engine::Create("nfa_index");
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(
+      (*engine)->Subscribe("q", "//b", DeliveryMode::kEarliest).ok());
+  RecordingSink sink;
+  (*engine)->SetSink(&sink);
+  const EventStream doc = FixtureDocument();
+  ASSERT_TRUE((*engine)->FilterEvents(doc).ok());
+  ASSERT_TRUE((*engine)->FilterEvents(doc).ok());
+  ASSERT_EQ(sink.matches.size(), 2u);
+  EXPECT_EQ(std::get<1>(sink.matches[0]), 0u);
+  EXPECT_EQ(std::get<1>(sink.matches[1]), 1u);
+  ASSERT_EQ(sink.documents.size(), 2u);
+  EXPECT_EQ(sink.documents[1].first, 1u);
+
+  (*engine)->SetSink(nullptr);
+  ASSERT_TRUE((*engine)->FilterEvents(doc).ok());
+  EXPECT_EQ(sink.matches.size(), 2u);
+  EXPECT_EQ(sink.documents.size(), 2u);
+  EXPECT_EQ((*engine)->documents_seen(), 3u);
+}
+
+// The frontier engine's decided positions survive the predicate
+// fragment (outside the automaton engines' reach) and line up between
+// single-threaded and sharded runs on a realistic corpus.
+TEST(ApiSinkTest, FrontierPredicateSubscriptionPositionsSharded) {
+  const std::vector<std::string> subscriptions = BibliographySubscriptions();
+  std::vector<std::vector<size_t>> reference;
+  for (size_t threads : {1u, 4u}) {
+    EngineOptions options;
+    options.engine = "frontier";
+    options.threads = threads;
+    auto engine = Engine::Create(options);
+    ASSERT_TRUE(engine.ok());
+    for (size_t s = 0; s < subscriptions.size(); ++s) {
+      ASSERT_TRUE(
+          (*engine)->Subscribe("s" + std::to_string(s), subscriptions[s]).ok());
+    }
+    std::vector<std::vector<size_t>> positions;
+    for (auto& document : GenerateBibliographyCorpus(10, 4242)) {
+      ASSERT_TRUE((*engine)->FilterEvents(document->ToEvents()).ok());
+      positions.push_back((*engine)->last_decided_at());
+    }
+    if (threads == 1) {
+      reference = std::move(positions);
+    } else {
+      EXPECT_EQ(positions, reference);
+    }
+  }
+}
+
+// Adversarial corpora: the deep-recursion generator drives decided
+// positions apart (descendant queries decide deep inside the nest)
+// while the wide-fanout generator keeps frontier state flat; both must
+// agree across thread counts.
+TEST(ApiSinkTest, AdversarialCorporaPositionsStable) {
+  const EventStream deep = GenerateDeepRecursionDocument(32);
+  const EventStream wide = GenerateWideFanoutDocument(64);
+  for (const EventStream* doc : {&deep, &wide}) {
+    std::vector<size_t> reference;
+    for (size_t threads : {1u, 2u}) {
+      EngineOptions options;
+      options.engine = "frontier";
+      options.threads = threads;
+      auto engine = Engine::Create(options);
+      ASSERT_TRUE(engine.ok());
+      const auto subscriptions = doc == &deep ? DeepRecursionSubscriptions()
+                                              : WideFanoutSubscriptions();
+      for (size_t s = 0; s < subscriptions.size(); ++s) {
+        ASSERT_TRUE((*engine)
+                        ->Subscribe("s" + std::to_string(s), subscriptions[s])
+                        .ok());
+      }
+      ASSERT_TRUE((*engine)->FilterEvents(*doc).ok());
+      if (threads == 1) {
+        reference = (*engine)->last_decided_at();
+        EXPECT_EQ(reference.size(), subscriptions.size());
+      } else {
+        EXPECT_EQ((*engine)->last_decided_at(), reference);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpstream
