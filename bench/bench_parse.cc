@@ -1,0 +1,160 @@
+// P1: parse+intern throughput of the streaming XML parser — the entry
+// point of the interned-symbol event pipeline. Interning element and
+// attribute names at tokenization time (one hash per start tag; end
+// tags reuse the open-stack symbol) is what lets every downstream
+// engine dispatch on integer symbols, so its cost must be visible and
+// bounded: this bench measures MB/s and events/s for
+//
+//   plain   — no SymbolTable (the pre-symbol pipeline's parse cost),
+//   intern  — a fresh table per pass (cold: every distinct name
+//             inserts, the table grows and rebuckets),
+//   warm    — one table across passes (steady state of a long-lived
+//             Engine: every intern is a hit).
+//
+// Corpora stress the interner differently: a small recurring name pool
+// (dissemination-like), deep recursion (end-tag symbol reuse), an
+// attribute-heavy mix, and a 1000-distinct-name pool (cold-insert
+// heavy).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/doc_generator.h"
+#include "xml/parser.h"
+#include "xml/symbol_table.h"
+#include "xml/writer.h"
+
+namespace xpstream {
+namespace {
+
+constexpr int kPasses = 6;
+
+/// Counts events without storing them: the sink cost is the same in
+/// every mode, so mode deltas are the interning cost alone.
+struct CountingSink : EventSink {
+  size_t events = 0;
+  Status OnEvent(const Event& event) override {
+    (void)event;
+    ++events;
+    return Status::OK();
+  }
+};
+
+struct Corpus {
+  std::string name;
+  std::vector<std::string> documents;
+  size_t bytes = 0;
+  size_t events = 0;  // per full corpus scan, filled on first parse
+};
+
+Corpus MakeRandomCorpus(const std::string& name, uint64_t seed,
+                        const DocGenOptions& options, int docs) {
+  Corpus corpus;
+  corpus.name = name;
+  Random rng(seed);
+  for (int i = 0; i < docs; ++i) {
+    auto doc = GenerateRandomDocument(&rng, options);
+    auto xml = DocumentToXml(*doc);
+    if (!xml.ok()) continue;
+    corpus.bytes += xml->size();
+    corpus.documents.push_back(std::move(xml).value());
+  }
+  return corpus;
+}
+
+/// Parses the whole corpus once; returns seconds, accumulates events.
+double ParseCorpusOnce(const Corpus& corpus, SymbolTable* symbols,
+                       size_t* events) {
+  CountingSink sink;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const std::string& xml : corpus.documents) {
+    XmlParser parser(&sink, symbols);
+    if (!parser.Feed(xml).ok() || !parser.Finish().ok()) return -1;
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  *events = sink.events;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+int RunParseBench() {
+  std::printf("# P1: parse+intern throughput (streaming XML parser)\n");
+  std::printf("%-10s %-10s %-10s %-12s %-12s %-12s %-12s\n", "corpus",
+              "kbytes", "events", "plain_MBs", "intern_MBs", "warm_MBs",
+              "warm_Mev/s");
+
+  std::vector<Corpus> corpora;
+  {
+    DocGenOptions pool4;
+    pool4.max_depth = 7;
+    pool4.name_pool = 4;
+    pool4.names = {"s0", "s1", "s2", "s3"};
+    corpora.push_back(MakeRandomCorpus("pool4", 42, pool4, 2500));
+
+    DocGenOptions deep;
+    deep.max_depth = 40;
+    deep.max_fanout = 2;
+    deep.text_prob = 0.2;
+    corpora.push_back(MakeRandomCorpus("deep", 7, deep, 1500));
+
+    DocGenOptions attrs;
+    attrs.max_depth = 7;
+    attrs.attr_prob = 0.8;
+    corpora.push_back(MakeRandomCorpus("attrs", 11, attrs, 2500));
+
+    DocGenOptions wide_names;
+    wide_names.max_depth = 7;
+    wide_names.names.clear();
+    for (int i = 0; i < 1000; ++i) {
+      wide_names.names.push_back("tag" + std::to_string(i));
+    }
+    wide_names.name_pool = wide_names.names.size();
+    corpora.push_back(MakeRandomCorpus("names1k", 13, wide_names, 2000));
+  }
+
+  for (Corpus& corpus : corpora) {
+    if (corpus.documents.empty()) return 1;
+    // Warmup + event count.
+    size_t events = 0;
+    if (ParseCorpusOnce(corpus, nullptr, &events) < 0) return 1;
+    corpus.events = events;
+
+    double plain_s = 0, intern_s = 0, warm_s = 0;
+    SymbolTable warm_table;
+    for (int p = 0; p < kPasses; ++p) {
+      double s = ParseCorpusOnce(corpus, nullptr, &events);
+      if (s < 0) return 1;
+      plain_s += s;
+      SymbolTable cold_table;
+      s = ParseCorpusOnce(corpus, &cold_table, &events);
+      if (s < 0) return 1;
+      intern_s += s;
+      s = ParseCorpusOnce(corpus, &warm_table, &events);
+      if (s < 0) return 1;
+      warm_s += s;
+    }
+    const double scanned_mb =
+        static_cast<double>(corpus.bytes) * kPasses / 1e6;
+    const double scanned_mev =
+        static_cast<double>(corpus.events) * kPasses / 1e6;
+    std::printf("%-10s %-10zu %-10zu %-12.1f %-12.1f %-12.1f %-12.2f\n",
+                corpus.name.c_str(), corpus.bytes / 1024, corpus.events,
+                plain_s > 0 ? scanned_mb / plain_s : 0.0,
+                intern_s > 0 ? scanned_mb / intern_s : 0.0,
+                warm_s > 0 ? scanned_mb / warm_s : 0.0,
+                warm_s > 0 ? scanned_mev / warm_s : 0.0);
+  }
+  std::printf(
+      "\nexpectation: interning costs one hash per start tag / attribute\n"
+      "(end tags are free via the open-element stack), so intern/warm\n"
+      "throughput stays close to plain — the hash the parser pays once\n"
+      "replaces per-event string hashing in every downstream engine.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace xpstream
+
+int main() { return xpstream::RunParseBench(); }

@@ -43,6 +43,7 @@ BENCHES = [
     "bench_frontier_fooling",
     "bench_frontier_sweep",
     "bench_nfa_index",
+    "bench_parse",
     "bench_recursion_depth",
     "bench_short_circuit",
 ]

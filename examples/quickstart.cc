@@ -53,6 +53,11 @@ int main(int argc, char** argv) {
 
   // 3. Stream the document bytes in chunks: the engine owns the XML
   //    parser, so memory stays bounded regardless of document size.
+  //    (Internally the parser interns element/attribute names into the
+  //    engine's shared SymbolTable and the engines match on integer
+  //    symbol ids — a pure representation change; nothing about this
+  //    user-facing API changed with symbolization, and stats() now also
+  //    reports the table's footprint as symbol_bytes.)
   const size_t kChunk = 16;
   for (size_t i = 0; i < xml.size(); i += kChunk) {
     Status status = (*engine)->Feed(xml.substr(i, kChunk));

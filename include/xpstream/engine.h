@@ -37,9 +37,10 @@
 
 namespace xpstream {
 
-class Matcher;     // internal (stream/matcher.h)
-class ThreadPool;  // internal (common/thread_pool.h)
-class XmlParser;   // internal (xml/parser.h)
+class Matcher;      // internal (stream/matcher.h)
+class SymbolTable;  // internal (xml/symbol_table.h)
+class ThreadPool;   // internal (common/thread_pool.h)
+class XmlParser;    // internal (xml/parser.h)
 
 /// When a subscription's result is pushed to the ResultSink.
 enum class DeliveryMode {
@@ -262,7 +263,13 @@ class Engine : public EventSink {
   // --- memory accounting -------------------------------------------
 
   /// Stats of the current / most recent document (for a filter-bank
-  /// engine, summed over the per-subscription filters).
+  /// engine, summed over the per-subscription filters), plus the
+  /// footprint of the engine's shared name SymbolTable in
+  /// symbol_bytes. The engine owns one table for its whole pipeline:
+  /// the parser interns element/attribute names into it as it
+  /// tokenizes, subscriptions resolve their node tests against it, and
+  /// every event reaches the matching engines as an integer symbol —
+  /// this gauge is the once-per-distinct-name cost of that trade.
   const MemoryStats& stats() const;
 
   /// Peaks across all documents seen so far.
@@ -273,6 +280,7 @@ class Engine : public EventSink {
   struct SinkRelay;  // the engine's MatchSink face, defined in engine.cc
 
   Engine(EngineOptions options, std::shared_ptr<ThreadPool> pool,
+         std::unique_ptr<SymbolTable> symbols,
          std::unique_ptr<Matcher> matcher);
 
   Status CheckSubscribable(const std::string& id) const;
@@ -297,6 +305,11 @@ class Engine : public EventSink {
 
   EngineOptions options_;
   std::shared_ptr<ThreadPool> pool_;  // live when options_.threads != 1
+  /// The pipeline's shared name-interning table. Owned here — the
+  /// facade outlives the parser that interns into it and the matcher
+  /// (and shards) that resolve against it; declared before matcher_ so
+  /// it is destroyed after everything referencing it.
+  std::unique_ptr<SymbolTable> symbols_;
   std::unique_ptr<Matcher> matcher_;
   std::unique_ptr<SinkRelay> relay_;
 
@@ -322,6 +335,7 @@ class Engine : public EventSink {
   std::vector<size_t> last_decided_at_;
   size_t peak_table_entries_ = 0;
   size_t peak_buffered_bytes_ = 0;
+  mutable MemoryStats stats_;  // matcher stats + symbol_bytes, on demand
 };
 
 }  // namespace xpstream

@@ -13,6 +13,7 @@
 #include "stream/matcher.h"
 #include "stream/sharded_matcher.h"
 #include "xml/parser.h"
+#include "xml/symbol_table.h"
 #include "xpath/ast.h"
 
 namespace xpstream {
@@ -28,9 +29,11 @@ struct Engine::SinkRelay : MatchSink {
 };
 
 Engine::Engine(EngineOptions options, std::shared_ptr<ThreadPool> pool,
+               std::unique_ptr<SymbolTable> symbols,
                std::unique_ptr<Matcher> matcher)
     : options_(std::move(options)),
       pool_(std::move(pool)),
+      symbols_(std::move(symbols)),
       matcher_(std::move(matcher)),
       relay_(std::make_unique<SinkRelay>(this)) {
   matcher_->SetSink(relay_.get());
@@ -45,25 +48,34 @@ Result<std::unique_ptr<Engine>> Engine::Create(const EngineOptions& options) {
   }
   if (resolved.batch_size == 0) resolved.batch_size = 1;
 
+  // One SymbolTable per engine pipeline: the facade's parser interns
+  // into it, subscriptions resolve their node tests against it, and the
+  // matcher (every shard of it) dispatches on its ids.
+  auto symbols = std::make_unique<SymbolTable>();
+
   if (resolved.threads == 1) {
-    auto matcher = EngineRegistry::Global().CreateMatcher(resolved.engine);
+    auto matcher =
+        EngineRegistry::Global().CreateMatcher(resolved.engine,
+                                               symbols.get());
     if (!matcher.ok()) return matcher.status();
     return std::unique_ptr<Engine>(
-        new Engine(std::move(resolved), nullptr, std::move(matcher).value()));
+        new Engine(std::move(resolved), nullptr, std::move(symbols),
+                   std::move(matcher).value()));
   }
 
   // threads-1 pool workers: the dispatching thread participates in every
   // shard replay, so N threads in total drive N shards.
   auto pool = std::make_shared<ThreadPool>(resolved.threads - 1);
-  auto matcher =
-      ShardedMatcher::Create(resolved.engine, resolved.threads, pool);
+  auto matcher = ShardedMatcher::Create(resolved.engine, resolved.threads,
+                                        pool, symbols.get());
   if (!matcher.ok()) return matcher.status();
   // Sharded matching starts at the endDocument dispatch, so the facade
   // skip path never triggers; the cut happens inside each shard's
   // replay instead.
   (*matcher)->EnableShortCircuit(resolved.short_circuit);
-  return std::unique_ptr<Engine>(new Engine(
-      std::move(resolved), std::move(pool), std::move(matcher).value()));
+  return std::unique_ptr<Engine>(
+      new Engine(std::move(resolved), std::move(pool), std::move(symbols),
+                 std::move(matcher).value()));
 }
 
 Result<std::unique_ptr<Engine>> Engine::Create(std::string_view engine_name) {
@@ -117,7 +129,10 @@ Result<const CompiledQuery*> Engine::SubscribedQuery(
 
 Status Engine::Feed(std::string_view chunk) {
   if (parser_ == nullptr) {
-    parser_ = std::make_unique<XmlParser>(this);
+    // The parser interns names into the engine's table as it tokenizes,
+    // so on the byte path every event reaches the matcher with its
+    // symbol resolved — no hashing downstream.
+    parser_ = std::make_unique<XmlParser>(this, symbols_.get());
   }
   return parser_->Feed(chunk);
 }
@@ -353,7 +368,10 @@ Result<std::vector<bool>> Engine::FilterEvents(const EventStream& events) {
 
 namespace {
 
-/// Parses one whole XML document into its SAX event batch.
+/// Parses one whole XML document into its SAX event batch. Deliberately
+/// without a SymbolTable: these parses run concurrently on pool workers
+/// and the table is single-threaded by design — names resolve later, on
+/// the match thread (once per event, before any shard fan-out).
 Result<EventStream> ParseToEvents(const std::string& xml) {
   EventStream events;
   CollectingSink sink(&events);
@@ -464,6 +482,13 @@ Result<size_t> Engine::DecidedAt(std::string_view id) const {
   return Status::NotFound("unknown subscription id: " + std::string(id));
 }
 
-const MemoryStats& Engine::stats() const { return matcher_->stats(); }
+const MemoryStats& Engine::stats() const {
+  stats_.Reset();
+  stats_.Accumulate(matcher_->stats());
+  // The shared table's footprint: the once-per-distinct-name cost that
+  // replaces per-event string work across the whole pipeline.
+  stats_.symbol_bytes().Set(symbols_->FootprintBytes());
+  return stats_;
+}
 
 }  // namespace xpstream

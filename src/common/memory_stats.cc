@@ -8,7 +8,7 @@ size_t MemoryStats::PeakBytes(size_t bytes_per_entry) const {
   return table_entries_.peak() * bytes_per_entry + buffered_bytes_.peak() +
          automaton_states_.peak() * bytes_per_entry +
          automaton_transitions_.peak() * bytes_per_entry +
-         auxiliary_bytes_.peak();
+         auxiliary_bytes_.peak() + symbol_bytes_.peak();
 }
 
 size_t MemoryStats::PeakStateBits(size_t bits_per_tuple) const {
@@ -24,6 +24,7 @@ void MemoryStats::Accumulate(const MemoryStats& other) {
   automaton_states_.Accumulate(other.automaton_states_);
   automaton_transitions_.Accumulate(other.automaton_transitions_);
   auxiliary_bytes_.Accumulate(other.auxiliary_bytes_);
+  symbol_bytes_.Accumulate(other.symbol_bytes_);
 }
 
 void MemoryStats::Reset() {
@@ -32,16 +33,18 @@ void MemoryStats::Reset() {
   automaton_states_.Reset();
   automaton_transitions_.Reset();
   auxiliary_bytes_.Reset();
+  symbol_bytes_.Reset();
 }
 
 std::string MemoryStats::ToString() const {
   return StringPrintf(
       "table_entries{cur=%zu peak=%zu} buffered_bytes{cur=%zu peak=%zu} "
-      "automaton{states=%zu transitions=%zu} aux_bytes{peak=%zu}",
+      "automaton{states=%zu transitions=%zu} aux_bytes{peak=%zu} "
+      "symbol_bytes{peak=%zu}",
       table_entries_.current(), table_entries_.peak(),
       buffered_bytes_.current(), buffered_bytes_.peak(),
       automaton_states_.peak(), automaton_transitions_.peak(),
-      auxiliary_bytes_.peak());
+      auxiliary_bytes_.peak(), symbol_bytes_.peak());
 }
 
 size_t BitWidth(size_t n) {

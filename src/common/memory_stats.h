@@ -64,6 +64,13 @@ class MemoryStats {
   Gauge& auxiliary_bytes() { return auxiliary_bytes_; }
   const Gauge& auxiliary_bytes() const { return auxiliary_bytes_; }
 
+  /// Bytes held by the pipeline's shared name SymbolTable (set by the
+  /// Engine facade, which owns the table). Charged once per distinct
+  /// name for the whole pipeline — the interning that removes per-event
+  /// name bytes from buffered_bytes and string work from the engines.
+  Gauge& symbol_bytes() { return symbol_bytes_; }
+  const Gauge& symbol_bytes() const { return symbol_bytes_; }
+
   /// Estimated total peak footprint in bytes, combining all gauges with
   /// `bytes_per_entry` charged per table entry / state / transition.
   size_t PeakBytes(size_t bytes_per_entry = 16) const;
@@ -87,6 +94,7 @@ class MemoryStats {
   Gauge automaton_states_;
   Gauge automaton_transitions_;
   Gauge auxiliary_bytes_;
+  Gauge symbol_bytes_;
 };
 
 /// Number of bits needed to represent values in [0, n]; at least 1.

@@ -31,7 +31,7 @@ Status EngineRegistry::Register(const std::string& name,
 }
 
 Result<std::unique_ptr<Matcher>> EngineRegistry::CreateMatcher(
-    const std::string& name) const {
+    const std::string& name, SymbolTable* symbols) const {
   MatcherFactory factory;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -47,7 +47,7 @@ Result<std::unique_ptr<Matcher>> EngineRegistry::CreateMatcher(
     }
     factory = it->second;
   }
-  return factory();
+  return factory(symbols);
 }
 
 bool EngineRegistry::Has(const std::string& name) const {

@@ -37,8 +37,11 @@ class EngineRegistry {
   Status Register(const std::string& name, MatcherFactory factory);
 
   /// Creates a fresh Matcher of the named engine; kNotFound for names
-  /// never registered.
-  Result<std::unique_ptr<Matcher>> CreateMatcher(const std::string& name) const;
+  /// never registered. `symbols` is the pipeline's shared SymbolTable
+  /// (the facade's, or a sharded matcher's); nullptr lets the matcher
+  /// own a private one.
+  Result<std::unique_ptr<Matcher>> CreateMatcher(
+      const std::string& name, SymbolTable* symbols = nullptr) const;
 
   bool Has(const std::string& name) const;
 
@@ -56,14 +59,16 @@ class EngineRegistry {
 template <typename FilterT>
 void RegisterFilterBankEngine(EngineRegistry& registry, const char* name) {
   Status status = registry.Register(
-      name, [name]() -> Result<std::unique_ptr<Matcher>> {
+      name, [name](SymbolTable* symbols) -> Result<std::unique_ptr<Matcher>> {
         return std::unique_ptr<Matcher>(std::make_unique<FilterBankMatcher>(
             name,
-            [](const Query* query) -> Result<std::unique_ptr<StreamFilter>> {
-              auto filter = FilterT::Create(query);
+            [](const Query* query,
+               SymbolTable* table) -> Result<std::unique_ptr<StreamFilter>> {
+              auto filter = FilterT::Create(query, table);
               if (!filter.ok()) return filter.status();
               return std::unique_ptr<StreamFilter>(std::move(filter).value());
-            }));
+            },
+            symbols));
       });
   (void)status;  // duplicate registration is impossible from Global()
 }

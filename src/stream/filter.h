@@ -16,6 +16,7 @@
 #include "common/memory_stats.h"
 #include "common/status.h"
 #include "xml/event.h"
+#include "xml/symbol_table.h"
 
 namespace xpstream {
 
@@ -26,8 +27,26 @@ class StreamFilter : public EventSink {
   /// Prepares for a new document. Memory statistics are reset.
   virtual Status Reset() = 0;
 
-  /// Feeds the next SAX event (EventSink interface).
-  Status OnEvent(const Event& event) override = 0;
+  /// Feeds the next SAX event (EventSink interface): resolves the
+  /// event's name against symbols() — a cached-symbol read for events
+  /// produced by a table-backed parser, one intern otherwise — and
+  /// forwards to OnSymbolizedEvent. Final so no engine can reintroduce
+  /// string work on the event path.
+  Status OnEvent(const Event& event) final {
+    return OnSymbolizedEvent(event, ResolveEventName(event, symbols()));
+  }
+
+  /// The per-event hot path every engine implements. `name_sym` is the
+  /// event's name resolved against symbols() (kNoSymbol for nameless
+  /// events); engines dispatch on it with integer compares only. When a
+  /// caller (FilterBankMatcher, ShardedMatcher) resolves once for many
+  /// consumers, all of them must share this filter's table.
+  virtual Status OnSymbolizedEvent(const Event& event, Symbol name_sym) = 0;
+
+  /// The SymbolTable this filter's query node tests are resolved
+  /// against: the pipeline table bound at creation, or a private one
+  /// for standalone use.
+  SymbolTable* symbols() { return symbols_.get(); }
 
   /// The verdict; valid only after endDocument was consumed.
   virtual Result<bool> Matched() const = 0;
@@ -51,6 +70,15 @@ class StreamFilter : public EventSink {
   virtual const MemoryStats& stats() const = 0;
 
   virtual std::string name() const = 0;
+
+ protected:
+  /// Binds the pipeline's shared SymbolTable (nullptr keeps a lazily
+  /// created private table). Engines call this in Create, before
+  /// interning their query node tests.
+  void BindSymbols(SymbolTable* table) { symbols_.Bind(table); }
+
+ private:
+  SymbolTableRef symbols_;
 };
 
 /// Resets the filter, runs a full stream through it, returns the verdict.

@@ -10,7 +10,7 @@
 namespace xpstream {
 
 Result<std::unique_ptr<FrontierFilter>> FrontierFilter::Create(
-    const Query* query) {
+    const Query* query, SymbolTable* symbols) {
   std::string reason;
   if (!IsConjunctive(*query, &reason) || !IsUnivariate(*query, &reason)) {
     return Status::Unsupported("FrontierFilter requires a univariate "
@@ -26,6 +26,20 @@ Result<std::unique_ptr<FrontierFilter>> FrontierFilter::Create(
   if (!truths.ok()) return truths.status();
   std::unique_ptr<FrontierFilter> filter(new FrontierFilter(query));
   filter->truths_ = std::move(truths).value();
+  filter->BindSymbols(symbols);
+  // Subscription-time resolution: one symbol per query node, so
+  // candidate selection on the event path never compares strings.
+  filter->node_sym_.assign(query->size(), kNoSymbol);
+  filter->node_wild_.assign(query->size(), 0);
+  for (const QueryNode* node : query->AllNodes()) {
+    if (node->is_root()) continue;
+    if (node->is_wildcard()) {
+      filter->node_wild_[node->id()] = 1;
+    } else {
+      filter->node_sym_[node->id()] =
+          filter->symbols()->Intern(node->ntest());
+    }
+  }
   XPS_RETURN_IF_ERROR(filter->Reset());
   return filter;
 }
@@ -110,7 +124,8 @@ void FrontierFilter::Snapshot(const Event& event) {
   trace_.push_back(std::move(line));
 }
 
-Status FrontierFilter::OnEvent(const Event& event) {
+Status FrontierFilter::OnSymbolizedEvent(const Event& event,
+                                         Symbol name_sym) {
   if (failed_) return Status::Internal("filter already failed");
   Status status;
   switch (event.type) {
@@ -121,7 +136,7 @@ Status FrontierFilter::OnEvent(const Event& event) {
       status = HandleEndDocument();
       break;
     case EventType::kStartElement:
-      status = HandleStartElement(event.name);
+      status = HandleStartElement(name_sym);
       break;
     case EventType::kEndElement:
       status = HandleEndElement();
@@ -130,7 +145,7 @@ Status FrontierFilter::OnEvent(const Event& event) {
       status = HandleText(event.text);
       break;
     case EventType::kAttribute:
-      status = HandleAttribute(event.name, event.text);
+      status = HandleAttribute(name_sym, event.text);
       break;
   }
   if (!status.ok()) {
@@ -186,13 +201,7 @@ Status FrontierFilter::HandleStartDocument() {
   return Status::OK();
 }
 
-namespace {
-bool NamePassesNTest(const QueryNode* node, const std::string& name) {
-  return node->is_wildcard() || node->ntest() == name;
-}
-}  // namespace
-
-Status FrontierFilter::HandleStartElement(const std::string& name) {
+Status FrontierFilter::HandleStartElement(Symbol name_sym) {
   // Select candidate records (Fig. 20 startElement lines 1–4). In
   // output-collection mode, already-matched succession-chain nodes are
   // still re-expanded: every chain element needs its own m verdict, not
@@ -206,7 +215,7 @@ Status FrontierFilter::HandleStartElement(const std::string& name) {
       continue;
     }
     if (r.node->axis() == Axis::kAttribute) continue;
-    if (!NamePassesNTest(r.node, name)) continue;
+    if (!NamePasses(r.node, name_sym)) continue;
     if (r.node->axis() == Axis::kChild && r.level != current_level_) continue;
     candidates.push_back(i);
   }
@@ -256,7 +265,7 @@ Status FrontierFilter::HandleStartElement(const std::string& name) {
   if (collecting_) {
     size_t open = scopes_.size();
     if (open < chain_.size() && current_level_ == open + 1 &&
-        NamePassesNTest(chain_[open], name)) {
+        NamePasses(chain_[open], name_sym)) {
       OutputScope scope;
       scope.chain_index = open + 1;
       scope.elem_level = current_level_;
@@ -270,7 +279,7 @@ Status FrontierFilter::HandleStartElement(const std::string& name) {
   return Status::OK();
 }
 
-Status FrontierFilter::HandleAttribute(const std::string& name,
+Status FrontierFilter::HandleAttribute(Symbol name_sym,
                                        const std::string& value) {
   // Attributes are leaf children of the current element; they arrive at
   // the level element children would occupy. Internal attribute-axis
@@ -279,7 +288,7 @@ Status FrontierFilter::HandleAttribute(const std::string& name,
     if (r.matched || r.node->is_root()) continue;
     if (r.node->axis() != Axis::kAttribute) continue;
     if (r.level != current_level_) continue;
-    if (!NamePassesNTest(r.node, name)) continue;
+    if (!NamePasses(r.node, name_sym)) continue;
     if (!r.node->IsLeaf()) continue;
     if (truths_.Get(r.node).Contains(value)) {
       r.matched = true;

@@ -49,12 +49,15 @@ namespace xpstream {
 
 class FrontierFilter : public StreamFilter {
  public:
-  /// Validates the fragment and builds per-node metadata. The query must
-  /// outlive the filter.
-  static Result<std::unique_ptr<FrontierFilter>> Create(const Query* query);
+  /// Validates the fragment and builds per-node metadata, resolving
+  /// each node's test to a Symbol in `symbols` (the pipeline's shared
+  /// table; nullptr = a private one), so candidate selection is integer
+  /// compares. The query must outlive the filter.
+  static Result<std::unique_ptr<FrontierFilter>> Create(
+      const Query* query, SymbolTable* symbols = nullptr);
 
   Status Reset() override;
-  Status OnEvent(const Event& event) override;
+  Status OnSymbolizedEvent(const Event& event, Symbol name_sym) override;
   Result<bool> Matched() const override;
   size_t DecidedAt() const override { return decided_at_; }
   std::string SerializeState() const override;
@@ -110,9 +113,15 @@ class FrontierFilter : public StreamFilter {
   void UpdateGauges();
   void Snapshot(const Event& event);
 
+  /// NTEST(u) as an integer compare: `name_sym` against the node's
+  /// pre-resolved symbol (wildcards pass everything).
+  bool NamePasses(const QueryNode* node, Symbol name_sym) const {
+    return node_wild_[node->id()] != 0 || node_sym_[node->id()] == name_sym;
+  }
+
   Status HandleStartDocument();
-  Status HandleStartElement(const std::string& name);
-  Status HandleAttribute(const std::string& name, const std::string& value);
+  Status HandleStartElement(Symbol name_sym);
+  Status HandleAttribute(Symbol name_sym, const std::string& value);
   Status HandleText(const std::string& text);
   Status HandleEndElement();
   Status HandleEndDocument();
@@ -140,6 +149,10 @@ class FrontierFilter : public StreamFilter {
 
   const Query* query_;
   TruthSetMap truths_;
+  /// Per query node (indexed by id): the node test's interned symbol
+  /// and its wildcard flag, resolved once at creation.
+  std::vector<Symbol> node_sym_;
+  std::vector<uint8_t> node_wild_;
 
   std::vector<Record> frontier_;
   std::vector<Capture> captures_;

@@ -9,35 +9,45 @@
 
 namespace xpstream {
 
-LazyDfaFilter::LazyDfaFilter(std::vector<Step> steps)
-    : steps_(std::move(steps)) {
-  // Symbol alphabet: distinct non-wildcard node tests + OTHER.
-  std::set<std::string> names;
-  for (const Step& step : steps_) {
-    if (step.ntest != "*") names.insert(step.ntest);
-  }
-  symbols_.assign(names.begin(), names.end());
-}
-
 Result<std::unique_ptr<LazyDfaFilter>> LazyDfaFilter::Create(
-    const Query* query) {
+    const Query* query, SymbolTable* symbols) {
   if (!IsLinearPathQuery(*query)) {
     return Status::Unsupported(
         "LazyDfaFilter supports linear path queries (no predicates) only");
   }
-  std::vector<Step> steps;
+  // Validate the whole chain before touching the shared table: a
+  // rejected query must not leave its names interned engine-wide.
+  std::vector<const QueryNode*> chain;
   for (const QueryNode* n = query->root()->successor(); n != nullptr;
        n = n->successor()) {
     if (n->axis() == Axis::kAttribute) {
       return Status::Unsupported("LazyDfaFilter does not support '@' steps");
     }
-    steps.push_back(Step{n->axis(), n->ntest()});
+    chain.push_back(n);
   }
-  if (steps.size() > 63) {
+  if (chain.size() > 63) {
     return Status::Unsupported("LazyDfaFilter supports at most 63 steps");
   }
-  auto filter =
-      std::unique_ptr<LazyDfaFilter>(new LazyDfaFilter(std::move(steps)));
+  auto filter = std::unique_ptr<LazyDfaFilter>(new LazyDfaFilter());
+  filter->BindSymbols(symbols);
+  // Subscription-time resolution: intern each node test in the shared
+  // table and assign the distinct ones a dense local alphabet 1..k
+  // (repeated node tests share a local id, as they shared an entry in
+  // the old private intern table). 0 stays OTHER for names outside the
+  // query; the DFA's alphabet remains bounded by the query, not the
+  // document.
+  for (const QueryNode* n : chain) {
+    const bool wildcard = n->ntest() == "*";
+    int local = kOtherSymbol;
+    if (!wildcard) {
+      const Symbol sym = filter->symbols()->Intern(n->ntest());
+      auto& map = filter->local_of_symbol_;
+      if (sym >= map.size()) map.resize(sym + 1, kOtherSymbol);
+      if (map[sym] == kOtherSymbol) map[sym] = ++filter->alphabet_size_;
+      local = map[sym];
+    }
+    filter->steps_.push_back(Step{n->axis(), wildcard, local});
+  }
   XPS_RETURN_IF_ERROR(filter->Reset());
   return filter;
 }
@@ -56,13 +66,6 @@ Status LazyDfaFilter::Reset() {
   return Status::OK();
 }
 
-int LazyDfaFilter::InternSymbol(const std::string& name) const {
-  for (size_t i = 0; i < symbols_.size(); ++i) {
-    if (symbols_[i] == name) return static_cast<int>(i) + 1;
-  }
-  return kOtherSymbol;
-}
-
 int LazyDfaFilter::InternState(uint64_t mask) {
   auto it = state_of_mask_.find(mask);
   if (it != state_of_mask_.end()) return it->second;
@@ -79,9 +82,8 @@ uint64_t LazyDfaFilter::Descend(uint64_t mask, int symbol) const {
     if ((mask & (1ULL << i)) == 0) continue;
     const Step& step = steps_[i];
     if (step.axis == Axis::kDescendant) next |= 1ULL << i;
-    bool passes = step.ntest == "*" ||
-                  (symbol != kOtherSymbol &&
-                   symbols_[static_cast<size_t>(symbol) - 1] == step.ntest);
+    const bool passes =
+        step.wildcard || (symbol != kOtherSymbol && symbol == step.local);
     if (passes) next |= 1ULL << (i + 1);
   }
   return next;
@@ -99,7 +101,7 @@ int LazyDfaFilter::Transition(int state, int symbol) {
   return next;
 }
 
-Status LazyDfaFilter::OnEvent(const Event& event) {
+Status LazyDfaFilter::OnSymbolizedEvent(const Event& event, Symbol name_sym) {
   switch (event.type) {
     case EventType::kStartDocument: {
       stack_.clear();
@@ -116,7 +118,7 @@ Status LazyDfaFilter::OnEvent(const Event& event) {
       break;
     case EventType::kStartElement: {
       if (stack_.empty()) return Status::NotWellFormed("no startDocument");
-      int next = Transition(stack_.back(), InternSymbol(event.name));
+      int next = Transition(stack_.back(), LocalSymbol(name_sym));
       if ((mask_of_state_[static_cast<size_t>(next)] &
            (1ULL << steps_.size())) != 0 &&
           !matched_) {
@@ -165,8 +167,7 @@ void LazyDfaFilter::MaterializeFully() {
   while (!queue.empty()) {
     int state = queue.front();
     queue.pop_front();
-    for (int symbol = 0; symbol <= static_cast<int>(symbols_.size());
-         ++symbol) {
+    for (int symbol = 0; symbol <= alphabet_size_; ++symbol) {
       int next = Transition(state, symbol);
       if (seen.insert(next).second) queue.push_back(next);
     }

@@ -7,7 +7,14 @@
 /// paradigm whose worst-case exponential transition tables motivate the
 /// paper (§1.2). DFA states are subsets of the linear-path NFA's states,
 /// interned on first contact; transitions are cached per (state, symbol)
-/// where unknown element names collapse onto a single OTHER symbol.
+/// where element names outside the query's alphabet collapse onto a
+/// single OTHER symbol.
+///
+/// Names arrive as shared-SymbolTable ids (the filter used to keep a
+/// private linear-scan intern table; that is gone). The query's node
+/// tests map onto a dense local alphabet 1..k at creation, a flat
+/// Symbol-indexed array translates document symbols into it, and the
+/// per-event path is two integer lookups — no string touches the DFA.
 ///
 /// The MemoryStats expose materialized state and transition counts, which
 /// experiment E5 sweeps against FrontierFilter's frontier table.
@@ -26,11 +33,14 @@ namespace xpstream {
 
 class LazyDfaFilter : public StreamFilter {
  public:
-  /// Requires IsLinearPathQuery(*query) with at most 63 steps.
-  static Result<std::unique_ptr<LazyDfaFilter>> Create(const Query* query);
+  /// Requires IsLinearPathQuery(*query) with at most 63 steps. Node
+  /// tests resolve to Symbols in `symbols` (the pipeline's shared
+  /// table; nullptr = a private one) at creation.
+  static Result<std::unique_ptr<LazyDfaFilter>> Create(
+      const Query* query, SymbolTable* symbols = nullptr);
 
   Status Reset() override;
-  Status OnEvent(const Event& event) override;
+  Status OnSymbolizedEvent(const Event& event, Symbol name_sym) override;
   Result<bool> Matched() const override;
   size_t DecidedAt() const override { return decided_at_; }
   std::string SerializeState() const override;
@@ -49,23 +59,29 @@ class LazyDfaFilter : public StreamFilter {
  private:
   struct Step {
     Axis axis;
-    std::string ntest;
-    bool Passes(const std::string& name) const {
-      return ntest == "*" || ntest == name;
-    }
+    bool wildcard;  // "*"
+    int local;      // local-alphabet id of the node test; 0 for wildcard
   };
 
-  explicit LazyDfaFilter(std::vector<Step> steps);
+  LazyDfaFilter() = default;
 
   static constexpr int kOtherSymbol = 0;
 
-  int InternSymbol(const std::string& name) const;
+  /// Maps a shared-table Symbol onto the query's local alphabet
+  /// (1..alphabet_size_); names outside it — including every symbol
+  /// interned after this filter was created — are OTHER.
+  int LocalSymbol(Symbol sym) const {
+    return sym < local_of_symbol_.size() ? local_of_symbol_[sym]
+                                         : kOtherSymbol;
+  }
+
   int InternState(uint64_t mask);
   uint64_t Descend(uint64_t mask, int symbol) const;
   int Transition(int state, int symbol);
 
   std::vector<Step> steps_;
-  std::vector<std::string> symbols_;  // 1-based; 0 = OTHER
+  std::vector<int> local_of_symbol_;  // Symbol id -> local id (flat)
+  int alphabet_size_ = 0;             // local ids are 1..alphabet_size_
 
   std::map<uint64_t, int> state_of_mask_;
   std::vector<uint64_t> mask_of_state_;

@@ -13,7 +13,10 @@ Status FilterBankMatcher::Subscribe(size_t slot, const Query* query) {
   if (slot != filters_.size()) {
     return Status::InvalidArgument("subscription slots must be dense");
   }
-  auto filter = factory_(query);
+  // Every member filter shares the bank's table: the node tests intern
+  // here (subscription time), and the one symbol the bank resolves per
+  // event is valid for all of them.
+  auto filter = factory_(query, symbols());
   if (!filter.ok()) return filter.status();
   filters_.push_back(std::move(filter).value());
   decided_.push_back(0);
@@ -48,7 +51,8 @@ void FilterBankMatcher::HarvestDecisions(bool at_end) {
   }
 }
 
-Status FilterBankMatcher::OnEvent(const Event& event) {
+Status FilterBankMatcher::OnSymbolizedEvent(const Event& event,
+                                            Symbol name_sym) {
   if (event.type == EventType::kStartDocument) {
     // Member filters reset themselves on startDocument; the harvest
     // bookkeeping must match (direct callers may skip Reset()).
@@ -56,7 +60,7 @@ Status FilterBankMatcher::OnEvent(const Event& event) {
     decided_count_ = 0;
   }
   for (auto& filter : filters_) {
-    XPS_RETURN_IF_ERROR(filter->OnEvent(event));
+    XPS_RETURN_IF_ERROR(filter->OnSymbolizedEvent(event, name_sym));
   }
   if (decided_count_ != filters_.size()) {
     HarvestDecisions(event.type == EventType::kEndDocument);

@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "stream/filter.h"
 #include "xml/event.h"
+#include "xml/symbol_table.h"
 
 namespace xpstream {
 
@@ -68,8 +69,20 @@ class Matcher : public EventSink {
   /// Prepares for a new document; verdicts and per-document stats reset.
   virtual Status Reset() = 0;
 
-  /// Feeds the next SAX event (EventSink interface).
-  Status OnEvent(const Event& event) override = 0;
+  /// Feeds the next SAX event (EventSink interface): resolves the
+  /// event's name against symbols() once — a cached-symbol read for
+  /// events produced by a table-backed parser, one intern otherwise —
+  /// and forwards to OnSymbolizedEvent. Final so every event reaches
+  /// the engines with its symbol already resolved, exactly once.
+  Status OnEvent(const Event& event) final {
+    return OnSymbolizedEvent(event, ResolveEventName(event, symbols()));
+  }
+
+  /// The per-event hot path: `name_sym` is the event's name resolved
+  /// against symbols() (kNoSymbol for nameless events). All engines a
+  /// matcher fans the event out to share that table, so the one symbol
+  /// serves every subscription.
+  virtual Status OnSymbolizedEvent(const Event& event, Symbol name_sym) = 0;
 
   /// Batch entry point: one whole pre-parsed document (startDocument
   /// first, endDocument last — the facade validates the envelope). The
@@ -77,6 +90,12 @@ class Matcher : public EventSink {
   /// replay the caller-owned span without copying it into a batch. The
   /// span is only borrowed for the duration of the call.
   virtual Status OnDocument(const EventStream& events);
+
+  /// The SymbolTable this matcher's subscriptions resolve against: the
+  /// pipeline table bound at creation (shared with the parser and, for
+  /// sharded engines, with every shard), or a private one when created
+  /// standalone.
+  SymbolTable* symbols() { return symbols_.get(); }
 
   /// Per-slot verdicts; valid only after endDocument was consumed.
   virtual Result<std::vector<bool>> Verdicts() const = 0;
@@ -100,29 +119,45 @@ class Matcher : public EventSink {
   virtual const MemoryStats& stats() const = 0;
 
  protected:
+  /// Binds the pipeline's shared SymbolTable (nullptr keeps a lazily
+  /// created private table). Called at construction, before the first
+  /// Subscribe.
+  void BindSymbols(SymbolTable* table) { symbols_.Bind(table); }
+
   MatchSink* sink_ = nullptr;
+
+ private:
+  SymbolTableRef symbols_;
 };
 
-/// Creates a Matcher of the engine registered under `name`.
-using MatcherFactory = std::function<Result<std::unique_ptr<Matcher>>()>;
+/// Creates a Matcher of the engine registered under `name`, resolving
+/// names against `symbols` (the pipeline's shared table; nullptr = the
+/// matcher owns a private one).
+using MatcherFactory =
+    std::function<Result<std::unique_ptr<Matcher>>(SymbolTable* symbols)>;
 
-/// Creates one engine-specific StreamFilter for a subscription query.
-using FilterFactory =
-    std::function<Result<std::unique_ptr<StreamFilter>>(const Query*)>;
+/// Creates one engine-specific StreamFilter for a subscription query,
+/// with its node tests resolved in `symbols`.
+using FilterFactory = std::function<Result<std::unique_ptr<StreamFilter>>(
+    const Query*, SymbolTable* symbols)>;
 
 /// A bank of per-subscription StreamFilters sharing one SAX scan — the
 /// adapter that turns every single-query engine into a multi-query
-/// dissemination engine.
+/// dissemination engine. All member filters share the bank's
+/// SymbolTable, so one name resolution per event serves every filter.
 class FilterBankMatcher : public Matcher {
  public:
-  FilterBankMatcher(std::string name, FilterFactory factory)
-      : name_(std::move(name)), factory_(std::move(factory)) {}
+  FilterBankMatcher(std::string name, FilterFactory factory,
+                    SymbolTable* symbols = nullptr)
+      : name_(std::move(name)), factory_(std::move(factory)) {
+    BindSymbols(symbols);
+  }
 
   std::string name() const override { return name_; }
   Status Subscribe(size_t slot, const Query* query) override;
   size_t NumSubscriptions() const override { return filters_.size(); }
   Status Reset() override;
-  Status OnEvent(const Event& event) override;
+  Status OnSymbolizedEvent(const Event& event, Symbol name_sym) override;
   Result<std::vector<bool>> Verdicts() const override;
   std::vector<size_t> DecidedPositions() const override;
   bool AllDecided() const override {

@@ -7,8 +7,9 @@
 namespace xpstream {
 
 Result<std::unique_ptr<NaiveTreeFilter>> NaiveTreeFilter::Create(
-    const Query* query) {
+    const Query* query, SymbolTable* symbols) {
   auto filter = std::unique_ptr<NaiveTreeFilter>(new NaiveTreeFilter(query));
+  filter->BindSymbols(symbols);
   XPS_RETURN_IF_ERROR(filter->Reset());
   return filter;
 }
@@ -23,7 +24,9 @@ Status NaiveTreeFilter::Reset() {
   return Status::OK();
 }
 
-Status NaiveTreeFilter::OnEvent(const Event& event) {
+Status NaiveTreeFilter::OnSymbolizedEvent(const Event& event,
+                                          Symbol name_sym) {
+  (void)name_sym;  // names are evaluated from the buffered tree
   if (event.type == EventType::kStartDocument) {
     XPS_RETURN_IF_ERROR(Reset());
   }

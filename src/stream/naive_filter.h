@@ -18,11 +18,16 @@ namespace xpstream {
 
 class NaiveTreeFilter : public StreamFilter {
  public:
-  /// The query must outlive the filter.
-  static Result<std::unique_ptr<NaiveTreeFilter>> Create(const Query* query);
+  /// The query must outlive the filter. The naive engine buffers whole
+  /// events and evaluates names only at endDocument, so it ignores the
+  /// per-event symbol (its per-event work never hashed names anyway);
+  /// `symbols` is accepted for interface uniformity with the other
+  /// engines.
+  static Result<std::unique_ptr<NaiveTreeFilter>> Create(
+      const Query* query, SymbolTable* symbols = nullptr);
 
   Status Reset() override;
-  Status OnEvent(const Event& event) override;
+  Status OnSymbolizedEvent(const Event& event, Symbol name_sym) override;
   Result<bool> Matched() const override;
   /// The naive engine's commitment point is always the endDocument
   /// event: it buffers the whole tree and evaluates only at the end —

@@ -17,20 +17,33 @@ bool IsLinearPathQuery(const Query& query) {
   return true;
 }
 
-Result<std::unique_ptr<NfaFilter>> NfaFilter::Create(const Query* query) {
+Result<std::unique_ptr<NfaFilter>> NfaFilter::Create(const Query* query,
+                                                     SymbolTable* symbols) {
   if (!IsLinearPathQuery(*query)) {
     return Status::Unsupported(
         "NfaFilter supports linear path queries (no predicates) only");
   }
-  std::vector<Step> steps;
+  // Validate the whole chain before touching the shared table: a
+  // rejected query must not leave its names interned engine-wide.
+  std::vector<const QueryNode*> chain;
   for (const QueryNode* n = query->root()->successor(); n != nullptr;
        n = n->successor()) {
-    steps.push_back(Step{n->axis(), n->ntest()});
+    chain.push_back(n);
   }
-  if (steps.size() > 63) {
+  if (chain.size() > 63) {
     return Status::Unsupported("NfaFilter supports at most 63 steps");
   }
-  auto filter = std::unique_ptr<NfaFilter>(new NfaFilter(std::move(steps)));
+  auto filter = std::unique_ptr<NfaFilter>(new NfaFilter({}));
+  filter->BindSymbols(symbols);
+  // Subscription-time resolution: each step's node test interns once,
+  // so Passes() is an integer compare on the event path.
+  filter->steps_.reserve(chain.size());
+  for (const QueryNode* n : chain) {
+    const bool wildcard = n->ntest() == "*";
+    const Symbol sym =
+        wildcard ? kNoSymbol : filter->symbols()->Intern(n->ntest());
+    filter->steps_.push_back(Step{n->axis(), sym, wildcard});
+  }
   XPS_RETURN_IF_ERROR(filter->Reset());
   return filter;
 }
@@ -45,7 +58,7 @@ Status NfaFilter::Reset() {
   return Status::OK();
 }
 
-uint64_t NfaFilter::Descend(uint64_t active, const std::string& name) const {
+uint64_t NfaFilter::Descend(uint64_t active, Symbol name_sym) const {
   uint64_t next = 0;
   // Iterate set bits only: the active set is typically much sparser than
   // the 63-slot step window, and this runs once per start element.
@@ -56,14 +69,14 @@ uint64_t NfaFilter::Descend(uint64_t active, const std::string& name) const {
     if (step.axis == Axis::kDescendant) {
       next |= 1ULL << i;  // '//' self-loop: skip this element
     }
-    if (step.axis != Axis::kAttribute && step.Passes(name)) {
+    if (step.axis != Axis::kAttribute && step.Passes(name_sym)) {
       next |= 1ULL << (i + 1);
     }
   }
   return next;
 }
 
-Status NfaFilter::OnEvent(const Event& event) {
+Status NfaFilter::OnSymbolizedEvent(const Event& event, Symbol name_sym) {
   switch (event.type) {
     case EventType::kStartDocument:
       XPS_RETURN_IF_ERROR(Reset());
@@ -75,7 +88,7 @@ Status NfaFilter::OnEvent(const Event& event) {
       break;
     case EventType::kStartElement: {
       if (stack_.empty()) return Status::NotWellFormed("no startDocument");
-      uint64_t next = Descend(stack_.back(), event.name);
+      uint64_t next = Descend(stack_.back(), name_sym);
       if ((next & (1ULL << steps_.size())) != 0 && !matched_) {
         matched_ = true;
         decided_at_ = ordinal_;  // accepting-state entry decides the verdict
@@ -100,7 +113,7 @@ Status NfaFilter::OnEvent(const Event& event) {
         const size_t last = steps_.size() - 1;
         const Step& step = steps_[last];
         if ((stack_.back() & (1ULL << last)) != 0 &&
-            step.axis == Axis::kAttribute && step.Passes(event.name) &&
+            step.axis == Axis::kAttribute && step.Passes(name_sym) &&
             !matched_) {
           matched_ = true;
           decided_at_ = ordinal_;

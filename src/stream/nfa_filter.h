@@ -29,11 +29,15 @@ bool IsLinearPathQuery(const Query& query);
 
 class NfaFilter : public StreamFilter {
  public:
-  /// Requires IsLinearPathQuery(*query) and at most 63 steps.
-  static Result<std::unique_ptr<NfaFilter>> Create(const Query* query);
+  /// Requires IsLinearPathQuery(*query) and at most 63 steps. Node
+  /// tests are resolved to Symbols in `symbols` (the pipeline's shared
+  /// table; nullptr = a private one) at creation, so the per-event path
+  /// is integer compares only.
+  static Result<std::unique_ptr<NfaFilter>> Create(
+      const Query* query, SymbolTable* symbols = nullptr);
 
   Status Reset() override;
-  Status OnEvent(const Event& event) override;
+  Status OnSymbolizedEvent(const Event& event, Symbol name_sym) override;
   Result<bool> Matched() const override;
   size_t DecidedAt() const override { return decided_at_; }
   std::string SerializeState() const override;
@@ -43,18 +47,19 @@ class NfaFilter : public StreamFilter {
  private:
   struct Step {
     Axis axis;
-    std::string ntest;  // "*" = wildcard
-    bool Passes(const std::string& name) const {
-      return ntest == "*" || ntest == name;
+    Symbol ntest;   // interned node test; kNoSymbol for the wildcard
+    bool wildcard;  // "*"
+    bool Passes(Symbol name_sym) const {
+      return wildcard || ntest == name_sym;
     }
   };
 
   explicit NfaFilter(std::vector<Step> steps) : steps_(std::move(steps)) {}
 
-  /// NFA transition on descending into an element named `name`:
-  /// state i survives when step i+1 has a descendant axis; state i
-  /// advances to i+1 when step i+1's node test passes.
-  uint64_t Descend(uint64_t active, const std::string& name) const;
+  /// NFA transition on descending into an element whose name interned
+  /// to `name_sym`: state i survives when step i+1 has a descendant
+  /// axis; state i advances to i+1 when step i+1's node test passes.
+  uint64_t Descend(uint64_t active, Symbol name_sym) const;
 
   std::vector<Step> steps_;
   std::vector<uint64_t> stack_;

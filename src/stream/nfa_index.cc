@@ -8,7 +8,24 @@
 
 namespace xpstream {
 
-NfaIndex::NfaIndex() { NewState(); /* state 0 = root */ }
+namespace {
+
+/// Binary search of a symbol-sorted flat map; nullptr when absent.
+template <typename EdgeT>
+const EdgeT* FindEdge(const std::vector<EdgeT>& edges, Symbol sym) {
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), sym,
+      [](const EdgeT& edge, Symbol s) { return edge.sym < s; });
+  if (it == edges.end() || it->sym != sym) return nullptr;
+  return &*it;
+}
+
+}  // namespace
+
+NfaIndex::NfaIndex(SymbolTable* symbols) {
+  symbols_.Bind(symbols);
+  NewState();  // state 0 = root
+}
 
 int NfaIndex::NewState() {
   states_.push_back(State());
@@ -25,14 +42,23 @@ int NfaIndex::ChildTarget(int from, const std::string& ntest) {
     }
     return states_[static_cast<size_t>(from)].wildcard_edges.front();
   }
-  auto& edges = states_[static_cast<size_t>(from)].child_edges[ntest];
-  if (edges.empty()) {
-    int target = NewState();
-    // NewState may reallocate states_; re-take the reference.
-    states_[static_cast<size_t>(from)].child_edges[ntest].push_back(target);
-    return target;
-  }
-  return edges.front();
+  // Subscription-time interning: the node test's symbol keys the edge;
+  // document names compare against it as integers.
+  const Symbol sym = symbols_.get()->Intern(ntest);
+  std::vector<ChildEdge>& edges =
+      states_[static_cast<size_t>(from)].child_edges;
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), sym,
+      [](const ChildEdge& edge, Symbol s) { return edge.sym < s; });
+  if (it != edges.end() && it->sym == sym) return it->target;
+  const size_t pos = static_cast<size_t>(it - edges.begin());
+  int target = NewState();
+  // NewState may reallocate states_; re-take the edge vector.
+  std::vector<ChildEdge>& fresh =
+      states_[static_cast<size_t>(from)].child_edges;
+  fresh.insert(fresh.begin() + static_cast<ptrdiff_t>(pos),
+               ChildEdge{sym, target});
+  return target;
 }
 
 int NfaIndex::DdState(int from) {
@@ -71,9 +97,16 @@ Status NfaIndex::AddQuery(size_t id, const Query& query) {
           max_id_ = std::max(max_id_, id);
           return Status::OK();
         }
-        states_[static_cast<size_t>(current)]
-            .attribute_accepts[step->ntest()]
-            .push_back(id);
+        const Symbol sym = symbols_.get()->Intern(step->ntest());
+        std::vector<AttrAccept>& accepts =
+            states_[static_cast<size_t>(current)].attribute_accepts;
+        auto it = std::lower_bound(
+            accepts.begin(), accepts.end(), sym,
+            [](const AttrAccept& a, Symbol s) { return a.sym < s; });
+        if (it == accepts.end() || it->sym != sym) {
+          it = accepts.insert(it, AttrAccept{sym, {}});
+        }
+        it->ids.push_back(id);
         num_queries_++;
         max_id_ = std::max(max_id_, id);
         return Status::OK();
@@ -99,8 +132,7 @@ void NfaIndex::AddClosed(int state, std::vector<int>* set) const {
   }
 }
 
-Result<std::vector<bool>> NfaIndex::FilterDocument(
-    const EventStream& events) const {
+Result<std::vector<bool>> NfaIndex::FilterDocument(const EventStream& events) {
   if (batch_run_ == nullptr) {
     batch_run_ = std::make_unique<NfaIndexRun>(this);
   }
@@ -125,7 +157,7 @@ Status NfaIndexRun::Reset() {
   return Status::OK();
 }
 
-Status NfaIndexRun::OnEvent(const Event& event) {
+Status NfaIndexRun::OnSymbolizedEvent(const Event& event, Symbol name_sym) {
   const std::vector<NfaIndex::State>& states = index_->states_;
   // Accepting-state entry decides (and reports) the query's verdict.
   auto mark = [&](size_t id) {
@@ -173,12 +205,11 @@ Status NfaIndexRun::OnEvent(const Event& event) {
       const std::vector<int>& current = stack_[depth_ - 2];
       for (int s : current) {
         const NfaIndex::State& state = states[static_cast<size_t>(s)];
-        auto it = state.child_edges.find(event.name);
-        if (it != state.child_edges.end()) {
-          for (int t : it->second) {
-            accept(t);
-            index_->AddClosed(t, &next);
-          }
+        const NfaIndex::ChildEdge* edge =
+            FindEdge(state.child_edges, name_sym);
+        if (edge != nullptr) {
+          accept(edge->target);
+          index_->AddClosed(edge->target, &next);
         }
         for (int t : state.wildcard_edges) {
           accept(t);
@@ -207,9 +238,10 @@ Status NfaIndexRun::OnEvent(const Event& event) {
       }
       for (int s : stack_[depth_ - 1]) {
         const NfaIndex::State& state = states[static_cast<size_t>(s)];
-        auto it = state.attribute_accepts.find(event.name);
-        if (it != state.attribute_accepts.end()) {
-          for (size_t id : it->second) mark(id);
+        const NfaIndex::AttrAccept* accepts =
+            FindEdge(state.attribute_accepts, name_sym);
+        if (accepts != nullptr) {
+          for (size_t id : accepts->ids) mark(id);
         }
       }
       break;
@@ -237,7 +269,13 @@ namespace {
 /// one NfaIndex, slots map 1:1 onto index query ids.
 class NfaIndexMatcher : public Matcher {
  public:
-  NfaIndexMatcher() : run_(&index_) {}
+  /// The index resolves against `symbols` (owning a private table when
+  /// nullptr); the matcher binds the same table, so the symbol it
+  /// resolves per event is the one the index's edges are keyed by.
+  explicit NfaIndexMatcher(SymbolTable* symbols)
+      : index_(symbols), run_(&index_) {
+    BindSymbols(index_.symbols());
+  }
 
   std::string name() const override { return "nfa_index"; }
 
@@ -252,7 +290,9 @@ class NfaIndexMatcher : public Matcher {
 
   size_t NumSubscriptions() const override { return subscriptions_; }
   Status Reset() override { return run_.Reset(); }
-  Status OnEvent(const Event& event) override { return run_.OnEvent(event); }
+  Status OnSymbolizedEvent(const Event& event, Symbol name_sym) override {
+    return run_.OnSymbolizedEvent(event, name_sym);
+  }
 
   void SetSink(MatchSink* sink) override {
     sink_ = sink;
@@ -290,8 +330,10 @@ class NfaIndexMatcher : public Matcher {
 
 void RegisterNfaIndexEngine(EngineRegistry& registry) {
   Status status = registry.Register(
-      "nfa_index", []() -> Result<std::unique_ptr<Matcher>> {
-        return std::unique_ptr<Matcher>(std::make_unique<NfaIndexMatcher>());
+      "nfa_index",
+      [](SymbolTable* symbols) -> Result<std::unique_ptr<Matcher>> {
+        return std::unique_ptr<Matcher>(
+            std::make_unique<NfaIndexMatcher>(symbols));
       });
   (void)status;  // duplicate registration is impossible from Global()
 }

@@ -12,13 +12,19 @@
 /// self-loop (an ε-move into it keeps the active set ε-closed).
 /// Acceptance is sticky per query id.
 ///
+/// Edges are keyed by interned Symbol ids in flat sorted arrays (one
+/// binary search of integer keys per active state per element — the old
+/// per-event `std::map<std::string, ...>` lookups hashed/compared raw
+/// names for every active state). Query node tests intern at AddQuery
+/// time into the index's SymbolTable — the pipeline's shared table when
+/// bound, a private one otherwise.
+///
 /// The index demonstrates the automaton paradigm's strength (prefix
 /// sharing across thousands of subscriptions) alongside its weakness
 /// measured elsewhere (E5's exponential determinization; the per-element
 /// active-set cost on deep recursive documents).
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +32,7 @@
 #include "common/memory_stats.h"
 #include "common/status.h"
 #include "xml/event.h"
+#include "xml/symbol_table.h"
 #include "xpath/ast.h"
 
 namespace xpstream {
@@ -35,7 +42,12 @@ class NfaIndexRun;
 
 class NfaIndex {
  public:
-  NfaIndex();
+  /// `symbols` is the pipeline's shared SymbolTable (nullptr = the
+  /// index owns a private one). It must outlive the index.
+  explicit NfaIndex(SymbolTable* symbols = nullptr);
+
+  /// The table query node tests and document names resolve against.
+  SymbolTable* symbols() { return symbols_.get(); }
 
   /// Registers a linear path query (no predicates) under a caller-chosen
   /// id. ids must be dense-ish small integers (they size the verdict
@@ -50,8 +62,9 @@ class NfaIndex {
   /// Runs one document through the index; returns the per-query verdict
   /// vector (indexed by the ids passed to AddQuery). Implemented as a
   /// batch drive of an internal NfaIndexRun, whose active-set storage is
-  /// recycled across calls.
-  Result<std::vector<bool>> FilterDocument(const EventStream& events) const;
+  /// recycled across calls. (Non-const: unsymbolized event names intern
+  /// lazily into the index's table.)
+  Result<std::vector<bool>> FilterDocument(const EventStream& events);
 
   /// Peak memory of the most recent FilterDocument run: active-set
   /// entries across the stack.
@@ -59,14 +72,30 @@ class NfaIndex {
 
  private:
   friend class NfaIndexRun;
+
+  /// One child-axis edge: interned element name -> target state.
+  /// (Construction shares one target per (state, name), so a single
+  /// int suffices.)
+  struct ChildEdge {
+    Symbol sym;
+    int target;
+  };
+
+  /// Attribute-axis acceptance: interned attribute name -> accepting
+  /// query ids (attribute steps are terminal: attributes have no
+  /// children).
+  struct AttrAccept {
+    Symbol sym;
+    std::vector<size_t> ids;
+  };
+
   struct State {
-    /// child-axis edges: element name -> target states.
-    std::map<std::string, std::vector<int>> child_edges;
+    /// child-axis edges, sorted by symbol (flat map, binary-searched).
+    std::vector<ChildEdge> child_edges;
     /// child-axis wildcard edges.
     std::vector<int> wildcard_edges;
-    /// attribute-axis edges: attribute name -> accepting query ids
-    /// (attribute steps are terminal: attributes have no children).
-    std::map<std::string, std::vector<size_t>> attribute_accepts;
+    /// attribute-axis accepts, sorted by symbol (flat map).
+    std::vector<AttrAccept> attribute_accepts;
     /// descendant companion state (self-loop); -1 when absent.
     int dd_state = -1;
     bool self_loop = false;
@@ -82,6 +111,7 @@ class NfaIndex {
   /// Adds `state` and its ε-closure (dd companion) to `set` (dedup'd).
   void AddClosed(int state, std::vector<int>* set) const;
 
+  SymbolTableRef symbols_;
   std::vector<State> states_;
   size_t num_queries_ = 0;
   size_t max_id_ = 0;
@@ -102,13 +132,23 @@ class NfaIndex {
 /// between documents; the verdict width is re-read at startDocument.
 class NfaIndexRun : public EventSink {
  public:
-  explicit NfaIndexRun(const NfaIndex* index) : index_(index) {}
+  explicit NfaIndexRun(NfaIndex* index) : index_(index) {}
 
   /// Prepares for a new document (recycled capacity is kept). A
   /// startDocument event implies Reset, so calling this is optional.
   Status Reset();
 
-  Status OnEvent(const Event& event) override;
+  /// Resolves the event's name against the index's SymbolTable and
+  /// forwards to OnSymbolizedEvent.
+  Status OnEvent(const Event& event) override {
+    return OnSymbolizedEvent(event,
+                             ResolveEventName(event, index_->symbols()));
+  }
+
+  /// The hot path: one binary search of integer keys per active state,
+  /// no string work. `name_sym` must be resolved against the index's
+  /// table (names the table has never seen cannot match any edge).
+  Status OnSymbolizedEvent(const Event& event, Symbol name_sym);
 
   /// Attaches a push sink notified on accepting-state entry: each query
   /// id is reported once, at the ordinal of the event that first
@@ -134,7 +174,7 @@ class NfaIndexRun : public EventSink {
   const MemoryStats& stats() const { return stats_; }
 
  private:
-  const NfaIndex* index_;
+  NfaIndex* index_;  ///< non-const for lazy name interning in OnEvent
   std::vector<bool> verdicts_;
   std::vector<size_t> decided_at_;  ///< per-query-id decided ordinal
   std::vector<size_t> newly_;       ///< scratch: ids accepted this event

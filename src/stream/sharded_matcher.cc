@@ -8,30 +8,33 @@
 namespace xpstream {
 
 ShardedMatcher::ShardedMatcher(std::string base_engine,
-                               std::vector<std::unique_ptr<Matcher>> shards,
                                std::shared_ptr<ThreadPool> pool)
-    : base_engine_(std::move(base_engine)),
-      shards_(std::move(shards)),
-      pool_(std::move(pool)) {}
+    : base_engine_(std::move(base_engine)), pool_(std::move(pool)) {}
 
 Result<std::unique_ptr<ShardedMatcher>> ShardedMatcher::Create(
     const std::string& base_engine, size_t num_shards,
-    std::shared_ptr<ThreadPool> pool) {
+    std::shared_ptr<ThreadPool> pool, SymbolTable* symbols) {
   if (num_shards == 0) {
     return Status::InvalidArgument("ShardedMatcher needs at least one shard");
   }
   if (pool == nullptr) {
     return Status::InvalidArgument("ShardedMatcher needs a thread pool");
   }
-  std::vector<std::unique_ptr<Matcher>> shards;
-  shards.reserve(num_shards);
+  auto matcher = std::unique_ptr<ShardedMatcher>(
+      new ShardedMatcher(base_engine, std::move(pool)));
+  matcher->BindSymbols(symbols);
+  matcher->shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
-    auto shard = EngineRegistry::Global().CreateMatcher(base_engine);
+    // Every shard shares the sharded matcher's table: a query interns
+    // to the same ids wherever it lands, so verdict/sink bit-parity
+    // with threads = 1 holds by construction.
+    auto shard =
+        EngineRegistry::Global().CreateMatcher(base_engine,
+                                               matcher->symbols());
     if (!shard.ok()) return shard.status();
-    shards.push_back(std::move(shard).value());
+    matcher->shards_.push_back(std::move(shard).value());
   }
-  return std::unique_ptr<ShardedMatcher>(new ShardedMatcher(
-      base_engine, std::move(shards), std::move(pool)));
+  return matcher;
 }
 
 Status ShardedMatcher::Subscribe(size_t slot, const Query* query) {
@@ -59,14 +62,23 @@ Status ShardedMatcher::Reset() {
   return Status::OK();
 }
 
-Status ShardedMatcher::OnEvent(const Event& event) {
+Status ShardedMatcher::OnSymbolizedEvent(const Event& event,
+                                         Symbol name_sym) {
   if (event.type == EventType::kStartDocument) {
     // The facade resets before forwarding startDocument; direct callers
     // (and documents after an AbortDocument) get the same guarantee here.
     XPS_RETURN_IF_ERROR(Reset());
   }
   batch_.push_back(event);
-  batch_bytes_ += event.name.size() + event.text.size();
+  // The buffered event carries its resolved symbol, so the parallel
+  // replay reads integers and never touches the SymbolTable.
+  batch_.back().name_sym = name_sym;
+  // Charge the symbolized representation: text payload plus one Symbol
+  // per named event. The name characters are interned once in the
+  // shared table (reported as symbol_bytes by the facade), so charging
+  // them again per buffered event would double-count them.
+  batch_bytes_ += event.text.size() +
+                  (name_sym != kNoSymbol ? sizeof(Symbol) : 0);
   own_stats_.buffered_bytes().Set(batch_bytes_);
   if (event.type == EventType::kEndDocument) {
     Status status = Dispatch(batch_);
@@ -90,6 +102,15 @@ Status ShardedMatcher::OnDocument(const EventStream& events) {
 
 Status ShardedMatcher::Dispatch(const EventStream& events) {
   const size_t n = shards_.size();
+  // Resolve every event's symbol on this thread, before the fan-out:
+  // events from the buffered batch (or a symbolizing parser) carry
+  // their symbol already and cost a copy; unsymbolized borrowed spans
+  // intern here, once, instead of once per shard — and the parallel
+  // phase below only ever reads the table.
+  syms_.resize(events.size());
+  for (size_t k = 0; k < events.size(); ++k) {
+    syms_[k] = ResolveEventName(events[k], symbols());
+  }
   std::vector<Status> statuses(n);
   std::vector<uint8_t> early_exit(n, 0);
   recorders_.resize(n);
@@ -99,9 +120,10 @@ Status ShardedMatcher::Dispatch(const EventStream& events) {
     shard->SetSink(&recorders_[i]);
     const bool may_cut = short_circuit_ && LocalCount(i) > 0;
     Status status = shard->Reset();
-    for (const Event& event : events) {
+    for (size_t k = 0; k < events.size(); ++k) {
       if (!status.ok()) break;
-      status = shard->OnEvent(event);
+      const Event& event = events[k];
+      status = shard->OnSymbolizedEvent(event, syms_[k]);
       // Monotone verdicts: once every local slot is decided *mid-
       // document* (decided means matched there), the rest cannot
       // change this shard's answers. The endDocument event is

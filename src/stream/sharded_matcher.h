@@ -20,11 +20,26 @@
 /// structures replace one (nfa_index loses cross-shard prefix sharing),
 /// and the buffered batch is charged below.
 ///
+/// Symbols: all shards share one SymbolTable (the facade's, threaded
+/// through Create), so a subscription's node-test ids are identical in
+/// whichever shard it lands in and verdict/sink bit-parity with
+/// threads = 1 is preserved. Every event's name is resolved on the
+/// dispatching thread *before* the parallel replay — shards only read
+/// symbols, never intern, keeping the table lock-free and the replay
+/// race-free (TSan-checked).
+///
 /// Memory accounting: buffering the event batch is a real cost the
 /// paper's streaming model charges, so the batch's bytes are reported
-/// in buffered_bytes on top of the shards' own gauges. The borrowed
-/// OnDocument path replays a caller-owned span instead — no copy is
-/// held, so no batch bytes are charged there.
+/// in buffered_bytes on top of the shards' own gauges. The charge is
+/// the *symbolized* representation — text payload bytes plus one
+/// Symbol per named event, with name characters charged once in the
+/// shared table (MemoryStats::symbol_bytes) rather than once per
+/// buffered event. Note this is the model cost, like every other
+/// gauge: the in-memory Event still carries its name string (kept for
+/// debugging and the naive engine's tree building), so the gauge is
+/// what a name-free event record would buffer, not the process RSS.
+/// The borrowed OnDocument path replays a caller-owned span instead —
+/// no copy is held, so no batch bytes are charged there.
 ///
 /// Short-circuit: with EnableShortCircuit(true), each shard's replay
 /// stops at the first event after which all of its local verdicts are
@@ -48,18 +63,20 @@ namespace xpstream {
 class ShardedMatcher : public Matcher {
  public:
   /// Creates `num_shards` matchers of `base_engine` via the global
-  /// EngineRegistry; kNotFound when the name is unregistered. The pool
-  /// is shared with the caller (the facade also uses it to pipeline
-  /// document parsing) and must outlive the matcher's last call.
+  /// EngineRegistry, all sharing `symbols` (the pipeline's table;
+  /// nullptr = the sharded matcher owns one and the shards share it);
+  /// kNotFound when the name is unregistered. The pool is shared with
+  /// the caller (the facade also uses it to pipeline document parsing)
+  /// and must outlive the matcher's last call.
   static Result<std::unique_ptr<ShardedMatcher>> Create(
       const std::string& base_engine, size_t num_shards,
-      std::shared_ptr<ThreadPool> pool);
+      std::shared_ptr<ThreadPool> pool, SymbolTable* symbols = nullptr);
 
   std::string name() const override { return base_engine_; }
   Status Subscribe(size_t slot, const Query* query) override;
   size_t NumSubscriptions() const override { return num_subscriptions_; }
   Status Reset() override;
-  Status OnEvent(const Event& event) override;
+  Status OnSymbolizedEvent(const Event& event, Symbol name_sym) override;
   Status OnDocument(const EventStream& events) override;
   Result<std::vector<bool>> Verdicts() const override;
   std::vector<size_t> DecidedPositions() const override;
@@ -82,15 +99,15 @@ class ShardedMatcher : public Matcher {
     }
   };
 
-  ShardedMatcher(std::string base_engine,
-                 std::vector<std::unique_ptr<Matcher>> shards,
-                 std::shared_ptr<ThreadPool> pool);
+  ShardedMatcher(std::string base_engine, std::shared_ptr<ThreadPool> pool);
 
   /// Number of subscriptions living in shard `i`.
   size_t LocalCount(size_t i) const;
 
   /// Replays `events` to every shard in parallel and merges verdicts,
-  /// positions and sink reports; called once per document.
+  /// positions and sink reports; called once per document. Resolves
+  /// every event's symbol into syms_ on the calling thread first, so
+  /// the parallel phase never touches the SymbolTable.
   Status Dispatch(const EventStream& events);
 
   std::string base_engine_;
@@ -100,7 +117,8 @@ class ShardedMatcher : public Matcher {
   size_t num_subscriptions_ = 0;
   bool short_circuit_ = false;
   EventStream batch_;        // the current document's buffered events
-  size_t batch_bytes_ = 0;   // name+text bytes of batch_
+  size_t batch_bytes_ = 0;   // symbolized size: text bytes + symbols
+  std::vector<Symbol> syms_; // per-event symbols for the current replay
   bool done_ = false;        // endDocument consumed and verdicts merged
   std::vector<bool> merged_verdicts_;
   std::vector<size_t> merged_positions_;

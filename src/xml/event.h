@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "xml/symbol_table.h"
 
 namespace xpstream {
 
@@ -30,24 +31,41 @@ enum class EventType : uint8_t {
 /// One SAX event. `name` is used by kStartElement / kEndElement /
 /// kAttribute; `text` carries text content (kText) or the attribute value
 /// (kAttribute).
+///
+/// `name_sym` is the name interned in the producing pipeline's
+/// SymbolTable — the per-event representation the engines dispatch on
+/// (integer compares instead of string hashing). It is a cache, not part
+/// of the event's value: it is meaningful only relative to the table of
+/// the pipeline that produced the event, operator== and ToString ignore
+/// it, and hand-built events leave it kNoSymbol (consumers resolve
+/// lazily via ResolveEventName). The name string is retained for
+/// debug/ToString, tree building, and text payloads.
 struct Event {
   EventType type;
   std::string name;
   std::string text;
+  Symbol name_sym = kNoSymbol;
 
   static Event StartDocument() { return {EventType::kStartDocument, "", ""}; }
   static Event EndDocument() { return {EventType::kEndDocument, "", ""}; }
-  static Event StartElement(std::string n) {
-    return {EventType::kStartElement, std::move(n), ""};
+  static Event StartElement(std::string n, Symbol sym = kNoSymbol) {
+    return {EventType::kStartElement, std::move(n), "", sym};
   }
-  static Event EndElement(std::string n) {
-    return {EventType::kEndElement, std::move(n), ""};
+  static Event EndElement(std::string n, Symbol sym = kNoSymbol) {
+    return {EventType::kEndElement, std::move(n), "", sym};
   }
   static Event Text(std::string t) {
     return {EventType::kText, "", std::move(t)};
   }
-  static Event Attribute(std::string n, std::string v) {
-    return {EventType::kAttribute, std::move(n), std::move(v)};
+  static Event Attribute(std::string n, std::string v,
+                         Symbol sym = kNoSymbol) {
+    return {EventType::kAttribute, std::move(n), std::move(v), sym};
+  }
+
+  /// True for the event kinds that carry a name (and hence a symbol).
+  bool HasName() const {
+    return type == EventType::kStartElement ||
+           type == EventType::kEndElement || type == EventType::kAttribute;
   }
 
   bool operator==(const Event& other) const {
@@ -58,6 +76,27 @@ struct Event {
   /// Paper-style rendering: ⟨n⟩, ⟨/n⟩, text, @n="v", ⟨$⟩, ⟨/$⟩.
   std::string ToString() const;
 };
+
+/// The event's name resolved against `symbols`: the producer's cached
+/// name_sym when it checks out against this table, otherwise an intern
+/// of event.name (one hash — the single point where an unsymbolized
+/// event pays for its name). kNoSymbol for nameless events.
+///
+/// The cache is *verified*, not trusted: a cached id is used only when
+/// it is in range and names the same spelling in `symbols` (one
+/// string_view equality, no hashing). Events symbolized against some
+/// other pipeline's table — reachable through the public batch/SAX
+/// entry points — therefore fall back to interning instead of silently
+/// matching the wrong name. For events produced by this pipeline's own
+/// parser the check always passes.
+inline Symbol ResolveEventName(const Event& event, SymbolTable* symbols) {
+  if (!event.HasName()) return kNoSymbol;
+  if (event.name_sym != kNoSymbol && event.name_sym < symbols->size() &&
+      symbols->NameOf(event.name_sym) == event.name) {
+    return event.name_sym;
+  }
+  return symbols->Intern(event.name);
+}
 
 /// A full event stream. Streams produced by this library always begin with
 /// kStartDocument and end with kEndDocument.

@@ -6,7 +6,8 @@
 
 namespace xpstream {
 
-XmlParser::XmlParser(EventSink* sink) : sink_(sink) {}
+XmlParser::XmlParser(EventSink* sink, SymbolTable* symbols)
+    : sink_(sink), symbols_(symbols) {}
 
 Status XmlParser::Fail(const std::string& msg) {
   state_ = State::kFailed;
@@ -41,7 +42,7 @@ Status XmlParser::Finish() {
     return Fail("trailing incomplete markup at end of input");
   }
   if (!open_.empty()) {
-    return Fail("unclosed element: " + open_.back());
+    return Fail("unclosed element: " + open_.back().name);
   }
   if (state_ != State::kEpilog) {
     return Fail("document has no root element");
@@ -151,7 +152,10 @@ Status XmlParser::HandleStartTag(std::string_view body) {
   if (!IsValidXmlName(name)) {
     return Fail("invalid element name: '" + name + "'");
   }
-  XPS_RETURN_IF_ERROR(Emit(Event::StartElement(name)));
+  // Intern once per start tag; the matching end tag reuses the symbol
+  // from the open-element stack.
+  const Symbol sym = symbols_ != nullptr ? symbols_->Intern(name) : kNoSymbol;
+  XPS_RETURN_IF_ERROR(Emit(Event::StartElement(name, sym)));
   state_ = State::kContent;
 
   // Attributes: name = "value" | name = 'value'.
@@ -182,15 +186,17 @@ Status XmlParser::HandleStartTag(std::string_view body) {
     auto decoded = DecodeText(body.substr(val_start, i - val_start));
     if (!decoded.ok()) return Fail(decoded.status().message());
     ++i;  // closing quote
-    XPS_RETURN_IF_ERROR(
-        Emit(Event::Attribute(attr_name, std::move(decoded.value()))));
+    const Symbol attr_sym =
+        symbols_ != nullptr ? symbols_->Intern(attr_name) : kNoSymbol;
+    XPS_RETURN_IF_ERROR(Emit(Event::Attribute(
+        std::move(attr_name), std::move(decoded.value()), attr_sym)));
   }
 
   if (self_closing) {
-    XPS_RETURN_IF_ERROR(Emit(Event::EndElement(name)));
+    XPS_RETURN_IF_ERROR(Emit(Event::EndElement(std::move(name), sym)));
     if (open_.empty()) state_ = State::kEpilog;
   } else {
-    open_.push_back(std::move(name));
+    open_.push_back(OpenElement{std::move(name), sym});
   }
   return Status::OK();
 }
@@ -200,12 +206,13 @@ Status XmlParser::HandleEndTag(std::string_view body) {
   if (open_.empty()) {
     return Fail("closing tag </" + name + "> with no open element");
   }
-  if (open_.back() != name) {
-    return Fail("mismatched closing tag: expected </" + open_.back() +
+  if (open_.back().name != name) {
+    return Fail("mismatched closing tag: expected </" + open_.back().name +
                 "> got </" + name + ">");
   }
+  const Symbol sym = open_.back().sym;
   open_.pop_back();
-  XPS_RETURN_IF_ERROR(Emit(Event::EndElement(name)));
+  XPS_RETURN_IF_ERROR(Emit(Event::EndElement(std::move(name), sym)));
   if (open_.empty()) state_ = State::kEpilog;
   return Status::OK();
 }
@@ -282,10 +289,11 @@ Result<std::string> XmlParser::DecodeText(std::string_view raw) {
   return out;
 }
 
-Result<EventStream> ParseXmlToEvents(std::string_view xml) {
+Result<EventStream> ParseXmlToEvents(std::string_view xml,
+                                     SymbolTable* symbols) {
   EventStream events;
   CollectingSink sink(&events);
-  XmlParser parser(&sink);
+  XmlParser parser(&sink, symbols);
   XPS_RETURN_IF_ERROR(parser.Feed(xml));
   XPS_RETURN_IF_ERROR(parser.Finish());
   return events;

@@ -21,6 +21,7 @@
 
 #include "common/status.h"
 #include "xml/event.h"
+#include "xml/symbol_table.h"
 
 namespace xpstream {
 
@@ -28,7 +29,15 @@ class XmlParser {
  public:
   /// `sink` must outlive the parser. Events (including the enclosing
   /// startDocument/endDocument pair) are pushed to it.
-  explicit XmlParser(EventSink* sink);
+  ///
+  /// With a `symbols` table, element and attribute names are interned
+  /// as they are tokenized and emitted events carry their `name_sym` —
+  /// one hash per start tag / attribute (end tags reuse the symbol
+  /// remembered on the open-element stack, zero hashes). This is where
+  /// string hashing leaves the per-event hot path: every downstream
+  /// engine dispatches on the symbol. The table must outlive the parser
+  /// and interning must stay single-threaded (see symbol_table.h).
+  explicit XmlParser(EventSink* sink, SymbolTable* symbols = nullptr);
 
   /// Feeds the next chunk of document text. Returns the first error
   /// encountered; after an error the parser is unusable.
@@ -63,17 +72,27 @@ class XmlParser {
   /// Decodes entity and character references. Fails on unknown entities.
   Result<std::string> DecodeText(std::string_view raw);
 
+  /// One open element: its name and its interned symbol (kNoSymbol when
+  /// the parser has no table), so the end tag emits without re-hashing.
+  struct OpenElement {
+    std::string name;
+    Symbol sym;
+  };
+
   EventSink* sink_;
+  SymbolTable* symbols_;   // nullable: no interning
   State state_ = State::kProlog;
   std::string buf_;        // unconsumed input
   size_t pos_ = 0;         // consumed prefix of buf_
   size_t line_ = 1;        // for error messages
-  std::vector<std::string> open_;  // open element stack
+  std::vector<OpenElement> open_;  // open element stack
   bool started_ = false;   // startDocument emitted
 };
 
-/// Convenience: parses a full in-memory document into an event stream.
-Result<EventStream> ParseXmlToEvents(std::string_view xml);
+/// Convenience: parses a full in-memory document into an event stream,
+/// interning names into `symbols` when given.
+Result<EventStream> ParseXmlToEvents(std::string_view xml,
+                                     SymbolTable* symbols = nullptr);
 
 }  // namespace xpstream
 

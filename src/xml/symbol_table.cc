@@ -1,0 +1,79 @@
+#include "xml/symbol_table.h"
+
+namespace xpstream {
+
+namespace {
+
+/// FNV-1a, 64-bit. Names are short (tag/attribute identifiers); a
+/// byte-at-a-time hash beats fancier schemes at these lengths and has no
+/// alignment or length preconditions.
+uint64_t HashName(std::string_view name) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr size_t kInitialSlots = 64;  // power of two
+
+}  // namespace
+
+SymbolTable::SymbolTable() : slots_(kInitialSlots, kNoSymbol) {}
+
+size_t SymbolTable::SlotOf(uint64_t hash, std::string_view name) const {
+  // Linear probing over a power-of-two table: returns the slot holding
+  // `name`, or the first empty slot on its probe path.
+  const size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  while (slots_[i] != kNoSymbol) {
+    const Symbol id = slots_[i];
+    if (hashes_[id] == hash && names_[id] == name) return i;
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+void SymbolTable::Grow() {
+  std::vector<Symbol> bigger(slots_.size() * 2, kNoSymbol);
+  const size_t mask = bigger.size() - 1;
+  for (Symbol id = 0; id < names_.size(); ++id) {
+    // Re-bucket from the stored hash — no string is re-hashed.
+    size_t i = static_cast<size_t>(hashes_[id]) & mask;
+    while (bigger[i] != kNoSymbol) i = (i + 1) & mask;
+    bigger[i] = id;
+  }
+  slots_ = std::move(bigger);
+}
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  const uint64_t hash = HashName(name);
+  size_t slot = SlotOf(hash, name);
+  if (slots_[slot] != kNoSymbol) return slots_[slot];
+  if ((names_.size() + 1) * 10 >= slots_.size() * 7) {
+    Grow();
+    slot = SlotOf(hash, name);
+  }
+  const Symbol id = static_cast<Symbol>(names_.size());
+  store_.emplace_back(name);
+  names_.push_back(store_.back());
+  hashes_.push_back(hash);
+  slots_[slot] = id;
+  string_bytes_ += name.size();
+  return id;
+}
+
+Symbol SymbolTable::Find(std::string_view name) const {
+  const size_t slot = SlotOf(HashName(name), name);
+  return slots_[slot];  // kNoSymbol when the probe ended on empty
+}
+
+size_t SymbolTable::FootprintBytes() const {
+  return string_bytes_ + names_.capacity() * sizeof(std::string_view) +
+         hashes_.capacity() * sizeof(uint64_t) +
+         slots_.capacity() * sizeof(Symbol) +
+         store_.size() * sizeof(std::string);
+}
+
+}  // namespace xpstream

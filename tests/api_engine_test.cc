@@ -52,7 +52,7 @@ TEST(EngineRegistryTest, UnknownEngineNameIsNotFound) {
 
 TEST(EngineRegistryTest, DuplicateRegistrationFails) {
   Status status = EngineRegistry::Global().Register(
-      "frontier", []() -> Result<std::unique_ptr<Matcher>> {
+      "frontier", [](SymbolTable*) -> Result<std::unique_ptr<Matcher>> {
         return Status::Internal("never called");
       });
   ASSERT_FALSE(status.ok());
