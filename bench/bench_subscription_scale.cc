@@ -1,0 +1,132 @@
+// Experiment E11: million-subscription dissemination scale. Logical
+// subscriptions grow 1k -> 1M at two duplication ratios; the engine's
+// canonicalization dedup collapses duplicates onto shared evaluation
+// slots, so per-document cost tracks the number of *distinct* queries
+// while registration stays linear in the logical count.
+//
+// The headline row pair: 64x duplication of the 1k query pool (65536
+// logical subscriptions) must stay within 1.3x of the 1k-distinct
+// baseline's us/doc — dissemination pays for evaluation slots, not
+// subscribers.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/doc_generator.h"
+#include "workload/query_generator.h"
+#include "xpstream/xpstream.h"
+
+namespace xpstream {
+namespace {
+
+std::vector<std::string> QueryPool(size_t n) {
+  Random rng(7);
+  std::vector<std::string> pool;
+  pool.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto q = GenerateLinearQuery(&rng, 1 + rng.Uniform(5), 0.35, 0.1, 4);
+    if (!q.ok()) return {};
+    pool.push_back((*q)->ToString());
+  }
+  return pool;
+}
+
+int RunE11() {
+  std::printf("# E11: subscription scale (dedup via canonicalization)\n");
+  std::printf("%-10s %-8s %-10s %-12s %-12s %-10s\n", "logical", "dup",
+              "slots", "sub_us/reg", "us/doc", "matches");
+
+  Random doc_rng(42);
+  DocGenOptions dopts;
+  dopts.max_depth = 7;
+  dopts.name_pool = 4;
+  dopts.names = {"s0", "s1", "s2", "s3"};
+  std::vector<EventStream> docs;
+  for (int i = 0; i < 20; ++i) {
+    docs.push_back(GenerateRandomDocument(&doc_rng, dopts)->ToEvents());
+  }
+
+  struct Row {
+    size_t pool;
+    size_t duplication;
+  };
+  // 1k distinct; the same 1k pool at 64x (the <= 1.3x acceptance pair);
+  // then 16k distinct and 16k x 64 = ~1M logical subscriptions.
+  const Row rows[] = {{1024, 1}, {1024, 64}, {16384, 1}, {16384, 64}};
+
+  double base_us_per_doc = 0;
+  for (const Row& row : rows) {
+    const std::vector<std::string> pool = QueryPool(row.pool);
+    if (pool.size() != row.pool) return 1;
+
+    EngineOptions options;
+    options.engine = "nfa_index";
+    options.keep_history = false;
+    auto engine = Engine::Create(options);
+    if (!engine.ok()) return 1;
+
+    const size_t logical = row.pool * row.duplication;
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t dup = 0; dup < row.duplication; ++dup) {
+      for (size_t q = 0; q < row.pool; ++q) {
+        const std::string id =
+            "S" + std::to_string(dup) + "_" + std::to_string(q);
+        if (!(*engine)->Subscribe(id, pool[q]).ok()) return 1;
+      }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+
+    // Dissemination is driven per event and timed alone; verdicts are
+    // then sampled between documents with the O(1) per-id lookup — one
+    // probe per *distinct* query, scaled by the duplication factor
+    // (duplicates share a slot, hence a verdict). Consuming the full
+    // logical-width verdict vector would charge the O(subscribers)
+    // expansion to dissemination and mask the dedup.
+    size_t matches = 0;
+    std::chrono::nanoseconds doc_ns{0};
+    for (const EventStream& events : docs) {
+      auto d0 = std::chrono::steady_clock::now();
+      for (const Event& event : events) {
+        if (!(*engine)->OnEvent(event).ok()) return 1;
+      }
+      doc_ns += std::chrono::steady_clock::now() - d0;
+      for (size_t q = 0; q < row.pool; ++q) {
+        auto hit = (*engine)->Matched("S0_" + std::to_string(q));
+        if (!hit.ok()) return 1;
+        if (*hit) matches += row.duplication;
+      }
+    }
+
+    const double sub_us =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count() /
+        1000.0 / static_cast<double>(logical);
+    const double us_per_doc =
+        std::chrono::duration_cast<std::chrono::microseconds>(doc_ns)
+            .count() /
+        static_cast<double>(docs.size());
+    if (row.pool == 1024 && row.duplication == 1) {
+      base_us_per_doc = us_per_doc;
+    }
+    std::printf("%-10zu %-8zu %-10zu %-12.3f %-12.1f %-10zu\n", logical,
+                row.duplication, (*engine)->num_eval_slots(), sub_us,
+                us_per_doc, matches);
+  }
+
+  std::printf(
+      "\nexpectation: us/doc follows the distinct-slot count, not the\n"
+      "logical count — 64x-duplicated rows match their dup=1 pool row\n"
+      "(acceptance: 65536-logical within 1.3x of the 1024-distinct\n"
+      "baseline, %.1f us/doc here), and registration cost per\n"
+      "subscription stays flat into the millions.\n",
+      base_us_per_doc);
+  return 0;
+}
+
+}  // namespace
+}  // namespace xpstream
+
+int main() { return xpstream::RunE11(); }

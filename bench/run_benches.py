@@ -39,6 +39,7 @@ from pathlib import Path
 BENCHES = [
     "bench_ablation",
     "bench_automata_blowup",
+    "bench_churn",
     "bench_document_depth",
     "bench_frontier_fooling",
     "bench_frontier_sweep",
@@ -46,6 +47,7 @@ BENCHES = [
     "bench_parse",
     "bench_recursion_depth",
     "bench_short_circuit",
+    "bench_subscription_scale",
 ]
 
 

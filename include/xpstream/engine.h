@@ -25,9 +25,11 @@
 ///               boundaries taken from start/endDocument events;
 ///  * batch    — FilterEvents() for a pre-parsed document.
 
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/memory_stats.h"
@@ -37,10 +39,11 @@
 
 namespace xpstream {
 
-class Matcher;      // internal (stream/matcher.h)
-class SymbolTable;  // internal (xml/symbol_table.h)
-class ThreadPool;   // internal (common/thread_pool.h)
-class XmlParser;    // internal (xml/parser.h)
+class DfaTableCache;  // internal (stream/dfa_table_cache.h)
+class Matcher;        // internal (stream/matcher.h)
+class SymbolTable;    // internal (xml/symbol_table.h)
+class ThreadPool;     // internal (common/thread_pool.h)
+class XmlParser;      // internal (xml/parser.h)
 
 /// When a subscription's result is pushed to the ResultSink.
 enum class DeliveryMode {
@@ -147,15 +150,28 @@ class Engine : public EventSink {
   const std::string& engine_name() const { return options_.engine; }
 
   // --- subscriptions -----------------------------------------------
-  // Register before a document starts; between documents is fine,
-  // mid-document is an error. Subscription ids are caller-chosen,
+  // Register/remove before a document starts; between documents is
+  // fine, mid-document is an error. Subscription ids are caller-chosen,
   // distinct, and keep their registration order in verdict vectors.
+  //
+  // Dedup: every incoming query is canonicalized (structural
+  // equivalence up to query automorphism and and/or commutativity —
+  // analysis/canonical); equivalent subscriptions collapse onto one
+  // *evaluation slot* of the underlying matcher, behind a slot →
+  // subscriber fan-out map. A million logical subscriptions over a
+  // thousand distinct queries cost a thousand slots of evaluation
+  // work; verdicts, DecidedAt and ResultSink delivery are expanded
+  // per subscription and are indistinguishable from unshared
+  // evaluation. Queries whose canonicalization fails (exotic shapes
+  // exceeding the automorphism budget) safely fall back to a private
+  // slot — never a false merge.
 
   /// Subscribes a compiled query (the engine takes ownership). Fails
   /// with kUnsupported when the query lies outside the algorithm's
-  /// fragment and with kInvalidArgument on a duplicate id. `mode`
-  /// selects when an attached ResultSink hears about this
-  /// subscription's matches.
+  /// fragment and with kInvalidArgument on a duplicate id. A failed or
+  /// rejected Subscribe leaves the engine — slot map, symbol table,
+  /// matcher — untouched. `mode` selects when an attached ResultSink
+  /// hears about this subscription's matches.
   Status Subscribe(std::string id, CompiledQuery query,
                    DeliveryMode mode = DeliveryMode::kAtEnd);
 
@@ -163,7 +179,38 @@ class Engine : public EventSink {
   Status Subscribe(std::string id, std::string_view xpath,
                    DeliveryMode mode = DeliveryMode::kAtEnd);
 
+  /// Removes the subscription `id`. O(1) on the evaluation side: when
+  /// the last subscriber of an evaluation slot leaves, the slot is
+  /// *tombstoned* — the matcher stops evaluating it, but no automaton
+  /// is rebuilt and no in-flight structure is invalidated, so removal
+  /// is safe under live traffic. Later subscription indices shift down
+  /// by one (ids keep registration order); verdicts of the last
+  /// completed document remain queryable for the survivors. Tombstoned
+  /// capacity is reclaimed only by CompactSubscriptions().
+  Status Unsubscribe(std::string_view id);
+
+  /// Rebuilds the matcher without tombstoned slots — the deferred half
+  /// of Unsubscribe's tombstone-then-compact contract, to be called in
+  /// a maintenance window between documents. No-op when nothing is
+  /// tombstoned. On failure the engine is unchanged (the old matcher
+  /// keeps serving). This is the only operation that rebuilds the
+  /// automaton; automaton_rebuilds() counts exactly these.
+  Status CompactSubscriptions();
+
+  /// Live logical subscriptions (fan-out entries, not eval slots).
   size_t NumSubscriptions() const { return ids_.size(); }
+
+  /// Distinct evaluation slots currently doing work — the dedup
+  /// measure: NumSubscriptions() logical subscriptions over
+  /// num_eval_slots() distinct canonical queries.
+  size_t num_eval_slots() const { return slots_.size() - tombstoned_slots_; }
+
+  /// Slots whose last subscriber left, awaiting CompactSubscriptions().
+  size_t tombstoned_slots() const { return tombstoned_slots_; }
+
+  /// Full matcher rebuilds so far — incremented by
+  /// CompactSubscriptions() only, never by Subscribe/Unsubscribe.
+  size_t automaton_rebuilds() const { return automaton_rebuilds_; }
 
   /// Subscription ids in registration order — the verdict-vector order.
   const std::vector<std::string>& subscription_ids() const { return ids_; }
@@ -220,15 +267,17 @@ class Engine : public EventSink {
   /// missed. The sink must outlive the engine or be detached first.
   void SetSink(ResultSink* sink) { result_sink_ = sink; }
 
-  /// Per-slot event ordinals (subscription_ids() order) at which the
-  /// engine's verdicts became provably decided in the most recent
-  /// completed document: the deciding event for matches, the
+  /// Per-subscription event ordinals (subscription_ids() order) at
+  /// which the engine's verdicts became provably decided in the most
+  /// recent completed document: the deciding event for matches, the
   /// endDocument ordinal for non-matches. The per-engine measurable
   /// behind the paper's buffering/commitment story — an engine's
   /// earliest-decision position bounds how long it must hold state.
-  const std::vector<size_t>& last_decided_at() const {
-    return last_decided_at_;
-  }
+  /// Results are recorded per evaluation slot and expanded to this
+  /// per-subscription view on first access (then cached), so engines
+  /// with heavy dedup never pay O(subscriptions) per document unless a
+  /// caller asks for the full vector.
+  const std::vector<size_t>& last_decided_at() const;
 
   /// Decided position of subscription `id` in the most recent
   /// document; same errors as Matched(id).
@@ -250,10 +299,12 @@ class Engine : public EventSink {
   /// Per-document verdict history (empty when keep_history is off).
   const std::vector<std::vector<bool>>& history() const { return history_; }
 
-  /// Verdicts of the most recent completed document.
-  const std::vector<bool>& last_verdicts() const { return last_verdicts_; }
+  /// Verdicts of the most recent completed document (lazily expanded
+  /// from per-slot results, like last_decided_at()).
+  const std::vector<bool>& last_verdicts() const;
 
-  /// Verdict of subscription `id` in the most recent document.
+  /// Verdict of subscription `id` in the most recent document. O(1):
+  /// answered through the slot map without expanding the full vector.
   Result<bool> Matched(std::string_view id) const;
 
   /// Single-subscription convenience; kInvalidArgument unless exactly
@@ -279,15 +330,39 @@ class Engine : public EventSink {
  private:
   struct SinkRelay;  // the engine's MatchSink face, defined in engine.cc
 
+  /// One evaluation slot of the matcher: the representative compiled
+  /// query, its canonical dedup key (empty = not dedupable, private
+  /// slot), and how many logical subscriptions fan out of it.
+  struct EvalSlot {
+    std::string key;
+    CompiledQuery query;
+    size_t refs;
+    bool tombstoned;
+  };
+
   Engine(EngineOptions options, std::shared_ptr<ThreadPool> pool,
          std::unique_ptr<SymbolTable> symbols,
+         std::unique_ptr<DfaTableCache> dfa_tables,
          std::unique_ptr<Matcher> matcher);
 
   Status CheckSubscribable(const std::string& id) const;
 
-  /// Relay target: the matcher decided slot's verdict (a match) at
-  /// `event_ordinal`.
+  /// Rebuilds slot_subs_ from sub_slot_ when stale (Subscribe /
+  /// Unsubscribe mark it dirty; both are barred mid-document, so the
+  /// map cannot go stale while a document streams).
+  void EnsureFanout();
+
+  /// Delivers the kEarliest matches buffered for pending_ordinal_ in
+  /// ascending subscription order, then clears the buffer.
+  void FlushPendingMatches();
+
+  /// Relay target: the matcher decided eval slot `slot`'s verdict (a
+  /// match) at `event_ordinal`; fans out to the slot's subscribers.
   void HandleSlotMatched(size_t slot, size_t event_ordinal);
+
+  /// Fills the last_verdicts_/last_decided_at_ caches from the
+  /// per-slot results of the most recent document, if stale.
+  void MaterializeExpansion() const;
 
   /// Consumes one event of the skipped tail of a short-circuited
   /// document: well-formedness-only depth checking, no matching.
@@ -310,12 +385,32 @@ class Engine : public EventSink {
   /// (and shards) that resolve against it; declared before matcher_ so
   /// it is destroyed after everything referencing it.
   std::unique_ptr<SymbolTable> symbols_;
+  /// Shared lazy-DFA transition tables (see stream/dfa_table_cache.h);
+  /// declared before matcher_ for the same destruction-order reason.
+  std::unique_ptr<DfaTableCache> dfa_tables_;
   std::unique_ptr<Matcher> matcher_;
   std::unique_ptr<SinkRelay> relay_;
 
+  // --- evaluation slots (dedup side) ---
+  std::vector<EvalSlot> slots_;  // matcher slot s evaluates slots_[s]
+  /// Canonical key -> eval slot, live (non-tombstoned) slots only.
+  std::map<std::string, size_t> slot_of_key_;
+  size_t tombstoned_slots_ = 0;
+  size_t automaton_rebuilds_ = 0;
+
+  // --- logical subscriptions (public side), aligned by index ---
   std::vector<std::string> ids_;
-  std::vector<CompiledQuery> queries_;  // owns the subscribed ASTs
+  std::vector<size_t> sub_slot_;  // subscription -> its eval slot
+  /// The subscriber's own compiled query, or nullopt for the slot
+  /// representative (whose query lives in the slot so it outlives any
+  /// one subscriber).
+  std::vector<std::unique_ptr<CompiledQuery>> sub_queries_;
   std::vector<DeliveryMode> modes_;
+  std::unordered_map<std::string, size_t> id_index_;  // id -> sub index
+
+  /// Eval slot -> subscriber indices, for sink fan-out; rebuilt lazily.
+  std::vector<std::vector<size_t>> slot_subs_;
+  bool fanout_dirty_ = false;
 
   std::unique_ptr<XmlParser> parser_;  // live while a byte doc is open
   bool in_document_ = false;
@@ -325,14 +420,33 @@ class Engine : public EventSink {
   bool short_circuited_ = false;  // skipping the rest of this document
   size_t element_depth_ = 0;      // open elements (skip-path validation)
   size_t event_ordinal_ = 0;      // ordinal of the next event
-  size_t matched_count_ = 0;      // slots decided (matched) so far
-  std::vector<size_t> decided_at_;  // per-slot, current document
+  size_t matched_count_ = 0;      // eval slots decided (matched) so far
+  std::vector<size_t> decided_at_;  // per eval slot, current document
+  /// kEarliest deliveries buffered for pending_ordinal_ so fan-out
+  /// across slots still reaches the sink in ascending subscription
+  /// order within one ordinal.
+  std::vector<size_t> pending_matches_;
+  size_t pending_ordinal_ = 0;
 
   size_t documents_seen_ = 0;
   size_t documents_short_circuited_ = 0;
   std::vector<std::vector<bool>> history_;
-  std::vector<bool> last_verdicts_;
-  std::vector<size_t> last_decided_at_;
+
+  // --- last-document results, recorded per eval slot ---
+  std::vector<bool> slot_verdicts_;
+  std::vector<size_t> slot_decided_at_;
+  /// Subscriptions registered when the last document completed; a sub
+  /// index >= this was added afterwards and has no verdict yet.
+  /// Unsubscribing below the boundary shifts it down in tandem, so the
+  /// invariant "sub < boundary had its slot evaluated last document"
+  /// survives churn.
+  size_t subs_at_last_doc_ = 0;
+  /// Per-subscription expansions of the slot results, built on demand
+  /// (MaterializeExpansion) so dedup-heavy engines pay O(slots), not
+  /// O(subscriptions), per document.
+  mutable std::vector<bool> last_verdicts_;
+  mutable std::vector<size_t> last_decided_at_;
+  mutable bool expansion_valid_ = false;
   size_t peak_table_entries_ = 0;
   size_t peak_buffered_bytes_ = 0;
   mutable MemoryStats stats_;  // matcher stats + symbol_bytes, on demand

@@ -1,6 +1,9 @@
 #include "analysis/canonical.h"
 
+#include <algorithm>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/string_util.h"
 
@@ -16,6 +19,135 @@ std::string GetAuxiliaryName(const Query& query) {
     std::string candidate = StringPrintf("Z%d", i);
     if (used.find(candidate) == used.end()) return candidate;
   }
+}
+
+namespace {
+
+/// Single-character axis tags for the canonical encoding. '\x1f' ends a
+/// node test: XML names cannot contain control characters, so "ab"+"c"
+/// can never collide with "a"+"bc".
+char AxisTag(const QueryNode* node) {
+  if (node->is_root()) return '$';
+  switch (node->axis()) {
+    case Axis::kChild:
+      return 'c';
+    case Axis::kDescendant:
+      return 'd';
+    case Axis::kAttribute:
+      return '@';
+  }
+  return '?';
+}
+
+struct KeyEncoder {
+  const Query* query;
+  Status status = Status::OK();  // first verification failure, if any
+
+  std::string EncodeNode(const QueryNode* node) {
+    std::string out;
+    out += AxisTag(node);
+    out += node->ntest();
+    out += '\x1f';
+    if (node->predicate() != nullptr) {
+      out += '[';
+      out += EncodeExpr(node->predicate());
+      out += ']';
+    }
+    if (node->successor() != nullptr) {
+      out += '/';
+      out += EncodeNode(node->successor());
+    }
+    return out;
+  }
+
+  std::string EncodeExpr(const ExprNode* expr) {
+    switch (expr->kind()) {
+      case ExprKind::kConstNumber:
+        return "N" + StringPrintf("%.17g", expr->number_value) + ";";
+      case ExprKind::kConstString:
+        return "S" + expr->string_value + "\x1f";
+      case ExprKind::kPathRef:
+        // Predicate children reach the key only through their referencing
+        // leaf (the AST contract: each is referenced by exactly one), so
+        // the storage order of siblings never enters the encoding.
+        return "P(" + EncodeNode(expr->path_child) + ")";
+      case ExprKind::kAnd:
+      case ExprKind::kOr: {
+        // 'and'/'or' are commutative, and permuting sibling predicate
+        // subtrees is exactly the image of a structural automorphism:
+        // sort the argument encodings so every member of the equivalence
+        // class serializes identically.
+        std::vector<std::pair<std::string, const ExprNode*>> encoded;
+        encoded.reserve(expr->args().size());
+        for (const auto& arg : expr->args()) {
+          encoded.emplace_back(EncodeExpr(arg.get()), arg.get());
+        }
+        std::sort(encoded.begin(), encoded.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (size_t i = 0; i + 1 < encoded.size(); ++i) {
+          if (encoded[i].first == encoded[i + 1].first) {
+            VerifyEqualSiblings(encoded[i].second, encoded[i + 1].second);
+          }
+        }
+        std::string out = expr->kind() == ExprKind::kAnd ? "A(" : "O(";
+        for (const auto& entry : encoded) out += entry.first;
+        return out + ")";
+      }
+      case ExprKind::kNot:
+        return "!(" + EncodeExpr(expr->args()[0].get()) + ")";
+      case ExprKind::kCompare:
+        return std::string("C") + CompOpToString(expr->comp_op) + "(" +
+               EncodeExpr(expr->args()[0].get()) +
+               EncodeExpr(expr->args()[1].get()) + ")";
+      case ExprKind::kArith:
+        return std::string("R") + ArithOpToString(expr->arith_op) + "(" +
+               EncodeExpr(expr->args()[0].get()) +
+               EncodeExpr(expr->args()[1].get()) + ")";
+      case ExprKind::kNeg:
+        return "-(" + EncodeExpr(expr->args()[0].get()) + ")";
+      case ExprKind::kFunc: {
+        std::string out = "F" + expr->func_name + "(";
+        for (const auto& arg : expr->args()) out += EncodeExpr(arg.get());
+        return out + ")";
+      }
+    }
+    return "?";
+  }
+
+  /// Two sibling arguments encoded identically — the key is about to
+  /// treat them as interchangeable. When both are plain path references,
+  /// cross-check the claim with the exact automorphism search (Lemma
+  /// 6.9: interchangeable siblings are automorphic images); composite
+  /// expressions with equal encodings are structurally identical by the
+  /// injectivity of the encoding on expression shapes.
+  void VerifyEqualSiblings(const ExprNode* a, const ExprNode* b) {
+    if (!status.ok()) return;
+    if (a->kind() != ExprKind::kPathRef || b->kind() != ExprKind::kPathRef) {
+      return;
+    }
+    const Decision forward =
+        ExistsAutomorphismMapping(*query, a->path_child, b->path_child);
+    const Decision backward =
+        ExistsAutomorphismMapping(*query, b->path_child, a->path_child);
+    if (forward == Decision::kUnknown || backward == Decision::kUnknown) {
+      status = Status::Unsupported(
+          "automorphism search exceeded budget while verifying a "
+          "canonical-key sibling merge");
+    } else if (forward != Decision::kYes || backward != Decision::kYes) {
+      status = Status::Internal(
+          "canonical-key encoding claimed two siblings equivalent but "
+          "no automorphism exchanges them");
+    }
+  }
+};
+
+}  // namespace
+
+Result<std::string> CanonicalQueryKey(const Query& query) {
+  KeyEncoder encoder{&query};
+  std::string key = encoder.EncodeNode(query.root());
+  if (!encoder.status.ok()) return encoder.status;
+  return key;
 }
 
 size_t LongestWildcardChain(const Query& query) {

@@ -71,6 +71,23 @@ Result<CanonicalDocument> BuildStructuralCanonicalDocument(const Query& query);
 /// "Z0", "Z1", ...).
 std::string GetAuxiliaryName(const Query& query);
 
+/// Canonical subscription-dedup key: a serialization of the query tree
+/// that is invariant under structural query automorphisms (Def. 6.8) and
+/// the commutativity of 'and'/'or' — the equivalences under which two
+/// subscriptions provably produce the same verdict on every document.
+/// Sibling predicate subtrees enter the key through the predicate
+/// expression with each 'and'/'or' argument list sorted by its encoded
+/// form, so permuted-sibling queries like a[b][c] / a[c][b] collapse to
+/// one key; everything else (axes, node tests, comparison operands,
+/// constants) is kept verbatim, so inequivalent queries keep distinct
+/// keys. When two sibling arguments encode equally, the claim that they
+/// are automorphic images of each other is double-checked with the exact
+/// backtracking decision procedure (ExistsAutomorphismMapping, Lemma
+/// 6.9); a contradiction or an exhausted budget fails with kInternal /
+/// kUnsupported rather than risking a false merge. The engines' dedup
+/// layer treats any failure as "do not dedup this query".
+Result<std::string> CanonicalQueryKey(const Query& query);
+
 /// Length of the longest path segment of wildcard-node-test nodes.
 size_t LongestWildcardChain(const Query& query);
 

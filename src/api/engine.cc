@@ -8,7 +8,9 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/canonical.h"
 #include "common/thread_pool.h"
+#include "stream/dfa_table_cache.h"
 #include "stream/engine_registry.h"
 #include "stream/matcher.h"
 #include "stream/sharded_matcher.h"
@@ -30,16 +32,42 @@ struct Engine::SinkRelay : MatchSink {
 
 Engine::Engine(EngineOptions options, std::shared_ptr<ThreadPool> pool,
                std::unique_ptr<SymbolTable> symbols,
+               std::unique_ptr<DfaTableCache> dfa_tables,
                std::unique_ptr<Matcher> matcher)
     : options_(std::move(options)),
       pool_(std::move(pool)),
       symbols_(std::move(symbols)),
+      dfa_tables_(std::move(dfa_tables)),
       matcher_(std::move(matcher)),
       relay_(std::make_unique<SinkRelay>(this)) {
   matcher_->SetSink(relay_.get());
 }
 
 Engine::~Engine() = default;
+
+namespace {
+
+/// Builds the matcher stack for `options`: the bare registry engine at
+/// threads = 1, a ShardedMatcher wrapping it otherwise. Shared by
+/// Engine::Create and CompactSubscriptions (which rebuilds into the
+/// same pipeline context).
+Result<std::unique_ptr<Matcher>> BuildMatcher(
+    const EngineOptions& options, const std::shared_ptr<ThreadPool>& pool,
+    const PipelineContext& context) {
+  if (options.threads == 1) {
+    return EngineRegistry::Global().CreateMatcher(options.engine, context);
+  }
+  auto matcher =
+      ShardedMatcher::Create(options.engine, options.threads, pool, context);
+  if (!matcher.ok()) return matcher.status();
+  // Sharded matching starts at the endDocument dispatch, so the facade
+  // skip path never triggers; the cut happens inside each shard's
+  // replay instead.
+  (*matcher)->EnableShortCircuit(options.short_circuit);
+  return std::unique_ptr<Matcher>(std::move(matcher).value());
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Engine>> Engine::Create(const EngineOptions& options) {
   EngineOptions resolved = options;
@@ -50,32 +78,26 @@ Result<std::unique_ptr<Engine>> Engine::Create(const EngineOptions& options) {
 
   // One SymbolTable per engine pipeline: the facade's parser interns
   // into it, subscriptions resolve their node tests against it, and the
-  // matcher (every shard of it) dispatches on its ids.
+  // matcher (every shard of it) dispatches on its ids. The DfaTableCache
+  // likewise spans the pipeline: shards and compaction rebuilds share
+  // memoized transition tables through it.
   auto symbols = std::make_unique<SymbolTable>();
+  auto dfa_tables = std::make_unique<DfaTableCache>();
 
-  if (resolved.threads == 1) {
-    auto matcher =
-        EngineRegistry::Global().CreateMatcher(resolved.engine,
-                                               symbols.get());
-    if (!matcher.ok()) return matcher.status();
-    return std::unique_ptr<Engine>(
-        new Engine(std::move(resolved), nullptr, std::move(symbols),
-                   std::move(matcher).value()));
+  std::shared_ptr<ThreadPool> pool;
+  if (resolved.threads > 1) {
+    // threads-1 pool workers: the dispatching thread participates in
+    // every shard replay, so N threads in total drive N shards.
+    pool = std::make_shared<ThreadPool>(resolved.threads - 1);
   }
-
-  // threads-1 pool workers: the dispatching thread participates in every
-  // shard replay, so N threads in total drive N shards.
-  auto pool = std::make_shared<ThreadPool>(resolved.threads - 1);
-  auto matcher = ShardedMatcher::Create(resolved.engine, resolved.threads,
-                                        pool, symbols.get());
+  PipelineContext context;
+  context.symbols = symbols.get();
+  context.dfa_tables = dfa_tables.get();
+  auto matcher = BuildMatcher(resolved, pool, context);
   if (!matcher.ok()) return matcher.status();
-  // Sharded matching starts at the endDocument dispatch, so the facade
-  // skip path never triggers; the cut happens inside each shard's
-  // replay instead.
-  (*matcher)->EnableShortCircuit(resolved.short_circuit);
   return std::unique_ptr<Engine>(
       new Engine(std::move(resolved), std::move(pool), std::move(symbols),
-                 std::move(matcher).value()));
+                 std::move(dfa_tables), std::move(matcher).value()));
 }
 
 Result<std::unique_ptr<Engine>> Engine::Create(std::string_view engine_name) {
@@ -93,7 +115,9 @@ Status Engine::CheckSubscribable(const std::string& id) const {
     return Status::InvalidArgument(
         "cannot subscribe while a document is being consumed");
   }
-  if (std::find(ids_.begin(), ids_.end(), id) != ids_.end()) {
+  // A hash lookup, not a scan: at a million standing subscriptions the
+  // old std::find made every Subscribe O(n) — quadratic registration.
+  if (id_index_.find(id) != id_index_.end()) {
     return Status::InvalidArgument("duplicate subscription id: " + id);
   }
   return Status::OK();
@@ -102,10 +126,49 @@ Status Engine::CheckSubscribable(const std::string& id) const {
 Status Engine::Subscribe(std::string id, CompiledQuery query,
                          DeliveryMode mode) {
   XPS_RETURN_IF_ERROR(CheckSubscribable(id));
-  XPS_RETURN_IF_ERROR(matcher_->Subscribe(ids_.size(), query.query()));
+  if (query.query() == nullptr) {
+    return Status::InvalidArgument(
+        "cannot subscribe a moved-from CompiledQuery");
+  }
+
+  // Canonicalize for dedup. A key failure (automorphism budget, exotic
+  // shape) downgrades to a private slot — correct, just unshared; it
+  // must never fail a subscription that the engine itself accepts.
+  std::string key;
+  auto canonical = CanonicalQueryKey(*query.query());
+  if (canonical.ok()) key = std::move(canonical).value();
+
+  auto hit = key.empty() ? slot_of_key_.end() : slot_of_key_.find(key);
+  if (hit != slot_of_key_.end()) {
+    // Equivalent query already evaluating: pure appends from here, so
+    // a duplicate subscription can never fail and never touches the
+    // matcher or symbol table.
+    const size_t slot = hit->second;
+    slots_[slot].refs++;
+    id_index_.emplace(id, ids_.size());
+    ids_.push_back(std::move(id));
+    sub_slot_.push_back(slot);
+    sub_queries_.push_back(
+        std::make_unique<CompiledQuery>(std::move(query)));
+    modes_.push_back(mode);
+    fanout_dirty_ = true;
+    return Status::OK();
+  }
+
+  // New evaluation slot. The matcher subscribes *first*: a rejected
+  // query (outside the engine's fragment) returns before any facade
+  // state mutates, extending the engines' rejected-Subscribe
+  // non-pollution guarantee to the dedup layer.
+  const size_t slot = slots_.size();
+  XPS_RETURN_IF_ERROR(matcher_->Subscribe(slot, query.query()));
+  if (!key.empty()) slot_of_key_.emplace(key, slot);
+  slots_.push_back(EvalSlot{std::move(key), std::move(query), 1, false});
+  id_index_.emplace(id, ids_.size());
   ids_.push_back(std::move(id));
-  queries_.push_back(std::move(query));
+  sub_slot_.push_back(slot);
+  sub_queries_.push_back(nullptr);  // representative: query lives in the slot
   modes_.push_back(mode);
+  fanout_dirty_ = true;
   return Status::OK();
 }
 
@@ -116,15 +179,121 @@ Status Engine::Subscribe(std::string id, std::string_view xpath,
   return Subscribe(std::move(id), std::move(query).value(), mode);
 }
 
-Result<const CompiledQuery*> Engine::SubscribedQuery(
-    std::string_view id) const {
-  for (size_t i = 0; i < ids_.size(); ++i) {
-    if (ids_[i] == id) {
-      const CompiledQuery* query = &queries_[i];
-      return query;
+Status Engine::Unsubscribe(std::string_view id) {
+  if (in_document_ || parser_ != nullptr) {
+    return Status::InvalidArgument(
+        "cannot unsubscribe while a document is being consumed");
+  }
+  auto it = id_index_.find(std::string(id));
+  if (it == id_index_.end()) {
+    return Status::NotFound("unknown subscription id: " + std::string(id));
+  }
+  const size_t sub = it->second;
+  const size_t slot = sub_slot_[sub];
+  if (slots_[slot].refs == 1) {
+    // Last subscriber of the slot: tombstone it in the matcher before
+    // mutating anything, so an engine that cannot unsubscribe leaves
+    // the facade untouched. Tombstoning never rebuilds the automaton —
+    // reclaiming the capacity is CompactSubscriptions()' job.
+    XPS_RETURN_IF_ERROR(matcher_->Unsubscribe(slot));
+    slots_[slot].tombstoned = true;
+    ++tombstoned_slots_;
+    if (!slots_[slot].key.empty()) slot_of_key_.erase(slots_[slot].key);
+  }
+  slots_[slot].refs--;
+  // Later subscriptions shift down one index (the documented public
+  // semantics); survivors keep their last-document results because
+  // those live per slot and the survivors' slot mapping is intact.
+  ids_.erase(ids_.begin() + static_cast<ptrdiff_t>(sub));
+  sub_slot_.erase(sub_slot_.begin() + static_cast<ptrdiff_t>(sub));
+  sub_queries_.erase(sub_queries_.begin() + static_cast<ptrdiff_t>(sub));
+  modes_.erase(modes_.begin() + static_cast<ptrdiff_t>(sub));
+  id_index_.erase(it);
+  for (auto& entry : id_index_) {
+    if (entry.second > sub) --entry.second;
+  }
+  if (sub < subs_at_last_doc_) --subs_at_last_doc_;
+  expansion_valid_ = false;
+  fanout_dirty_ = true;
+  return Status::OK();
+}
+
+Status Engine::CompactSubscriptions() {
+  if (in_document_ || parser_ != nullptr) {
+    return Status::InvalidArgument(
+        "cannot compact while a document is being consumed");
+  }
+  if (tombstoned_slots_ == 0) return Status::OK();
+
+  // Let the old matcher fold its shareable structure (lazy-DFA tables)
+  // into the pipeline caches, so the rebuilt matcher starts warm.
+  matcher_->PublishShared();
+
+  PipelineContext context;
+  context.symbols = symbols_.get();
+  context.dfa_tables = dfa_tables_.get();
+  auto fresh = BuildMatcher(options_, pool_, context);
+  if (!fresh.ok()) return fresh.status();
+
+  // Re-subscribe the live slots densely, in old slot order. Everything
+  // up to here is fallible but touches only the fresh matcher — on any
+  // failure the old matcher keeps serving, unchanged.
+  std::vector<size_t> new_of_old(slots_.size(), kNoEventOrdinal);
+  size_t next = 0;
+  for (size_t old = 0; old < slots_.size(); ++old) {
+    if (slots_[old].tombstoned) continue;
+    XPS_RETURN_IF_ERROR((*fresh)->Subscribe(next, slots_[old].query.query()));
+    new_of_old[old] = next++;
+  }
+
+  // Commit point: renumber facade state and swap the matcher in. The
+  // per-slot results of the last document follow their slots through
+  // the renumbering, so survivors stay queryable across a compaction.
+  std::vector<bool> compact_verdicts(next, false);
+  std::vector<size_t> compact_decided(next, kNoEventOrdinal);
+  for (size_t old = 0; old < slots_.size(); ++old) {
+    if (new_of_old[old] == kNoEventOrdinal) continue;
+    if (old < slot_verdicts_.size()) {
+      compact_verdicts[new_of_old[old]] = slot_verdicts_[old];
+    }
+    if (old < slot_decided_at_.size()) {
+      compact_decided[new_of_old[old]] = slot_decided_at_[old];
     }
   }
-  return Status::NotFound("unknown subscription id: " + std::string(id));
+  slot_verdicts_ = std::move(compact_verdicts);
+  slot_decided_at_ = std::move(compact_decided);
+  std::vector<EvalSlot> live;
+  live.reserve(next);
+  slot_of_key_.clear();
+  for (auto& slot : slots_) {
+    if (slot.tombstoned) continue;
+    if (!slot.key.empty()) slot_of_key_[slot.key] = live.size();
+    live.push_back(std::move(slot));
+  }
+  slots_ = std::move(live);
+  for (size_t& s : sub_slot_) s = new_of_old[s];
+  tombstoned_slots_ = 0;
+  matcher_ = std::move(fresh).value();
+  matcher_->SetSink(relay_.get());
+  ++automaton_rebuilds_;
+  expansion_valid_ = false;
+  fanout_dirty_ = true;
+  return Status::OK();
+}
+
+Result<const CompiledQuery*> Engine::SubscribedQuery(
+    std::string_view id) const {
+  auto it = id_index_.find(std::string(id));
+  if (it == id_index_.end()) {
+    return Status::NotFound("unknown subscription id: " + std::string(id));
+  }
+  const size_t sub = it->second;
+  // Duplicate subscribers keep their own compiled query; the slot
+  // representative's lives in the slot itself.
+  const CompiledQuery* query = sub_queries_[sub] != nullptr
+                                   ? sub_queries_[sub].get()
+                                   : &slots_[sub_slot_[sub]].query;
+  return query;
 }
 
 Status Engine::Feed(std::string_view chunk) {
@@ -158,13 +327,34 @@ Result<std::vector<bool>> Engine::FilterXml(std::string_view xml) {
     AbortDocument();
     return status;
   }
-  return last_verdicts_;
+  return last_verdicts();
 }
 
 void Engine::AbortDocument() {
   parser_.reset();
   in_document_ = false;  // the next startDocument resets the matcher
   short_circuited_ = false;
+  pending_matches_.clear();
+}
+
+void Engine::EnsureFanout() {
+  if (!fanout_dirty_ && slot_subs_.size() == slots_.size()) return;
+  slot_subs_.assign(slots_.size(), {});
+  for (size_t sub = 0; sub < sub_slot_.size(); ++sub) {
+    slot_subs_[sub_slot_[sub]].push_back(sub);
+  }
+  fanout_dirty_ = false;
+}
+
+void Engine::FlushPendingMatches() {
+  if (pending_matches_.empty()) return;
+  // Fan-out appends slot by slot in matcher-report order; subscriber
+  // order within the ordinal is restored here.
+  std::sort(pending_matches_.begin(), pending_matches_.end());
+  for (size_t sub : pending_matches_) {
+    result_sink_->OnMatch(sub, documents_seen_, pending_ordinal_);
+  }
+  pending_matches_.clear();
 }
 
 void Engine::HandleSlotMatched(size_t slot, size_t event_ordinal) {
@@ -174,9 +364,39 @@ void Engine::HandleSlotMatched(size_t slot, size_t event_ordinal) {
   }
   decided_at_[slot] = event_ordinal;
   ++matched_count_;
-  if (result_sink_ != nullptr && modes_[slot] == DeliveryMode::kEarliest) {
-    result_sink_->OnMatch(slot, documents_seen_, event_ordinal);
+  if (result_sink_ == nullptr) return;
+  // Buffer instead of delivering: two slots deciding at the same event
+  // must reach the sink in subscriber order, which fan-out would
+  // otherwise scramble (slot order need not be subscriber order).
+  if (event_ordinal != pending_ordinal_) FlushPendingMatches();
+  pending_ordinal_ = event_ordinal;
+  EnsureFanout();
+  for (size_t sub : slot_subs_[slot]) {
+    if (modes_[sub] == DeliveryMode::kEarliest) {
+      pending_matches_.push_back(sub);
+    }
   }
+}
+
+void Engine::MaterializeExpansion() const {
+  if (expansion_valid_) return;
+  last_verdicts_.resize(subs_at_last_doc_);
+  last_decided_at_.resize(subs_at_last_doc_);
+  for (size_t sub = 0; sub < subs_at_last_doc_; ++sub) {
+    last_verdicts_[sub] = slot_verdicts_[sub_slot_[sub]];
+    last_decided_at_[sub] = slot_decided_at_[sub_slot_[sub]];
+  }
+  expansion_valid_ = true;
+}
+
+const std::vector<bool>& Engine::last_verdicts() const {
+  MaterializeExpansion();
+  return last_verdicts_;
+}
+
+const std::vector<size_t>& Engine::last_decided_at() const {
+  MaterializeExpansion();
+  return last_decided_at_;
 }
 
 Status Engine::SkipEvent(const Event& event) {
@@ -200,12 +420,20 @@ Status Engine::SkipEvent(const Event& event) {
 
 void Engine::FinalizeDocument() {
   in_document_ = false;
+  if (result_sink_ != nullptr) FlushPendingMatches();
   // Slots still undecided carry non-matches, decided at endDocument.
   for (size_t& position : decided_at_) {
     if (position == kNoEventOrdinal) position = event_ordinal_;
   }
-  last_decided_at_ = decided_at_;
-  if (options_.keep_history) history_.push_back(last_verdicts_);
+  // Everything O(subscriptions) below is deferred or sink-gated; a
+  // sink-less caller that samples results per id pays O(slots) here.
+  slot_decided_at_ = decided_at_;
+  subs_at_last_doc_ = ids_.size();
+  expansion_valid_ = false;
+  if (options_.keep_history) {
+    MaterializeExpansion();
+    history_.push_back(last_verdicts_);
+  }
   const size_t doc_index = documents_seen_;
   ++documents_seen_;
   const MemoryStats& document_stats = matcher_->stats();
@@ -214,9 +442,10 @@ void Engine::FinalizeDocument() {
   peak_buffered_bytes_ = std::max(peak_buffered_bytes_,
                                   document_stats.buffered_bytes().peak());
   if (result_sink_ != nullptr) {
-    for (size_t slot = 0; slot < ids_.size(); ++slot) {
-      if (modes_[slot] == DeliveryMode::kAtEnd && last_verdicts_[slot]) {
-        result_sink_->OnMatch(slot, doc_index, last_decided_at_[slot]);
+    MaterializeExpansion();
+    for (size_t sub = 0; sub < subs_at_last_doc_; ++sub) {
+      if (modes_[sub] == DeliveryMode::kAtEnd && last_verdicts_[sub]) {
+        result_sink_->OnMatch(sub, doc_index, last_decided_at_[sub]);
       }
     }
     result_sink_->OnDocumentDone(doc_index, last_verdicts_);
@@ -238,9 +467,12 @@ Status Engine::OnEvent(const Event& event) {
       element_depth_ = 0;
       event_ordinal_ = 0;
       matched_count_ = 0;
-      decided_at_.assign(ids_.size(), kNoEventOrdinal);
+      decided_at_.assign(slots_.size(), kNoEventOrdinal);
+      pending_matches_.clear();
+      pending_ordinal_ = 0;
       XPS_RETURN_IF_ERROR(matcher_->Reset());
       XPS_RETURN_IF_ERROR(matcher_->OnEvent(event));
+      if (result_sink_ != nullptr) FlushPendingMatches();
       ++event_ordinal_;
       return Status::OK();
     case EventType::kEndDocument: {
@@ -253,13 +485,13 @@ Status Engine::OnEvent(const Event& event) {
         }
         // All subscriptions decided mid-document — decided means
         // matched, so the verdicts are known without the matcher.
-        last_verdicts_.assign(ids_.size(), true);
+        slot_verdicts_.assign(slots_.size(), true);
         ++documents_short_circuited_;
       } else {
         XPS_RETURN_IF_ERROR(matcher_->OnEvent(event));
         auto verdicts = matcher_->Verdicts();
         if (!verdicts.ok()) return verdicts.status();
-        last_verdicts_ = std::move(verdicts).value();
+        slot_verdicts_ = std::move(verdicts).value();
       }
       FinalizeDocument();
       return Status::OK();
@@ -274,6 +506,10 @@ Status Engine::OnEvent(const Event& event) {
         return Status::OK();
       }
       XPS_RETURN_IF_ERROR(matcher_->OnEvent(event));
+      // Per-event streaming keeps push delivery synchronous: everything
+      // the matcher decided at this event flushes before the next one.
+      // (The batch path flushes on ordinal advance instead.)
+      if (result_sink_ != nullptr) FlushPendingMatches();
       if (event.type == EventType::kStartElement) {
         ++element_depth_;
       } else if (event.type == EventType::kEndElement &&
@@ -284,8 +520,12 @@ Status Engine::OnEvent(const Event& event) {
         --element_depth_;
       }
       ++event_ordinal_;
-      if (options_.short_circuit && !ids_.empty() &&
-          matched_count_ == ids_.size()) {
+      // Decided means matched, per eval slot: tombstoned slots never
+      // decide (the matcher dropped them), so the cut fires when every
+      // *live* slot has matched — every logical subscription is decided.
+      const size_t live_slots = slots_.size() - tombstoned_slots_;
+      if (options_.short_circuit && live_slots > 0 &&
+          matched_count_ == live_slots) {
         short_circuited_ = true;
       }
       return Status::OK();
@@ -326,7 +566,9 @@ Result<std::vector<bool>> Engine::FilterEventsBatch(
   element_depth_ = 0;
   event_ordinal_ = events.size() - 1;  // the endDocument ordinal
   matched_count_ = 0;
-  decided_at_.assign(ids_.size(), kNoEventOrdinal);
+  decided_at_.assign(slots_.size(), kNoEventOrdinal);
+  pending_matches_.clear();
+  pending_ordinal_ = 0;
   Status status = matcher_->OnDocument(events);
   if (!status.ok()) {
     AbortDocument();
@@ -337,9 +579,9 @@ Result<std::vector<bool>> Engine::FilterEventsBatch(
     AbortDocument();
     return verdicts.status();
   }
-  last_verdicts_ = std::move(verdicts).value();
+  slot_verdicts_ = std::move(verdicts).value();
   FinalizeDocument();
-  return last_verdicts_;
+  return last_verdicts();
 }
 
 Result<std::vector<bool>> Engine::FilterEvents(const EventStream& events) {
@@ -363,7 +605,7 @@ Result<std::vector<bool>> Engine::FilterEvents(const EventStream& events) {
     AbortDocument();
     return Status::NotWellFormed("event stream ended mid-document");
   }
-  return last_verdicts_;
+  return last_verdicts();
 }
 
 namespace {
@@ -447,16 +689,16 @@ Result<bool> Engine::Matched(std::string_view id) const {
   if (documents_seen_ == 0) {
     return Status::InvalidArgument("no document has completed yet");
   }
-  for (size_t i = 0; i < ids_.size(); ++i) {
-    if (ids_[i] != id) continue;
-    if (i >= last_verdicts_.size()) {
-      // Subscribed between documents: no verdict until the next one.
-      return Status::InvalidArgument("subscription \"" + std::string(id) +
-                                     "\" was added after the last document");
-    }
-    return static_cast<bool>(last_verdicts_[i]);
+  auto it = id_index_.find(std::string(id));
+  if (it == id_index_.end()) {
+    return Status::NotFound("unknown subscription id: " + std::string(id));
   }
-  return Status::NotFound("unknown subscription id: " + std::string(id));
+  if (it->second >= subs_at_last_doc_) {
+    // Subscribed between documents: no verdict until the next one.
+    return Status::InvalidArgument("subscription \"" + std::string(id) +
+                                   "\" was added after the last document");
+  }
+  return static_cast<bool>(slot_verdicts_[sub_slot_[it->second]]);
 }
 
 Result<bool> Engine::Matched() const {
@@ -471,15 +713,15 @@ Result<size_t> Engine::DecidedAt(std::string_view id) const {
   if (documents_seen_ == 0) {
     return Status::InvalidArgument("no document has completed yet");
   }
-  for (size_t i = 0; i < ids_.size(); ++i) {
-    if (ids_[i] != id) continue;
-    if (i >= last_decided_at_.size()) {
-      return Status::InvalidArgument("subscription \"" + std::string(id) +
-                                     "\" was added after the last document");
-    }
-    return last_decided_at_[i];
+  auto it = id_index_.find(std::string(id));
+  if (it == id_index_.end()) {
+    return Status::NotFound("unknown subscription id: " + std::string(id));
   }
-  return Status::NotFound("unknown subscription id: " + std::string(id));
+  if (it->second >= subs_at_last_doc_) {
+    return Status::InvalidArgument("subscription \"" + std::string(id) +
+                                   "\" was added after the last document");
+  }
+  return slot_decided_at_[sub_slot_[it->second]];
 }
 
 const MemoryStats& Engine::stats() const {

@@ -1,0 +1,35 @@
+#include "stream/dfa_table_cache.h"
+
+namespace xpstream {
+
+namespace {
+
+size_t TableSize(const LazyDfaTable& table) {
+  return table.mask_of_state.size() + table.transitions.size();
+}
+
+}  // namespace
+
+std::shared_ptr<const LazyDfaTable> DfaTableCache::Lookup(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(key);
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+void DfaTableCache::Publish(const std::string& key,
+                            std::shared_ptr<const LazyDfaTable> table) {
+  if (table == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = tables_.emplace(key, table);
+  if (!inserted && TableSize(*table) > TableSize(*it->second)) {
+    it->second = std::move(table);
+  }
+}
+
+size_t DfaTableCache::NumTables() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tables_.size();
+}
+
+}  // namespace xpstream

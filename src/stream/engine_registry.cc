@@ -31,7 +31,7 @@ Status EngineRegistry::Register(const std::string& name,
 }
 
 Result<std::unique_ptr<Matcher>> EngineRegistry::CreateMatcher(
-    const std::string& name, SymbolTable* symbols) const {
+    const std::string& name, const PipelineContext& context) const {
   MatcherFactory factory;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -47,7 +47,14 @@ Result<std::unique_ptr<Matcher>> EngineRegistry::CreateMatcher(
     }
     factory = it->second;
   }
-  return factory(symbols);
+  return factory(context);
+}
+
+Result<std::unique_ptr<Matcher>> EngineRegistry::CreateMatcher(
+    const std::string& name, SymbolTable* symbols) const {
+  PipelineContext context;
+  context.symbols = symbols;
+  return CreateMatcher(name, context);
 }
 
 bool EngineRegistry::Has(const std::string& name) const {

@@ -37,9 +37,14 @@ class EngineRegistry {
   Status Register(const std::string& name, MatcherFactory factory);
 
   /// Creates a fresh Matcher of the named engine; kNotFound for names
-  /// never registered. `symbols` is the pipeline's shared SymbolTable
-  /// (the facade's, or a sharded matcher's); nullptr lets the matcher
-  /// own a private one.
+  /// never registered. `context` carries the pipeline's shared
+  /// structures (SymbolTable, DfaTableCache); null members let the
+  /// matcher own private equivalents.
+  Result<std::unique_ptr<Matcher>> CreateMatcher(
+      const std::string& name, const PipelineContext& context) const;
+
+  /// Convenience overload: shared SymbolTable only (or fully private
+  /// with the default nullptr), no other shared structure.
   Result<std::unique_ptr<Matcher>> CreateMatcher(
       const std::string& name, SymbolTable* symbols = nullptr) const;
 
@@ -59,7 +64,9 @@ class EngineRegistry {
 template <typename FilterT>
 void RegisterFilterBankEngine(EngineRegistry& registry, const char* name) {
   Status status = registry.Register(
-      name, [name](SymbolTable* symbols) -> Result<std::unique_ptr<Matcher>> {
+      name,
+      [name](const PipelineContext& context)
+          -> Result<std::unique_ptr<Matcher>> {
         return std::unique_ptr<Matcher>(std::make_unique<FilterBankMatcher>(
             name,
             [](const Query* query,
@@ -68,7 +75,7 @@ void RegisterFilterBankEngine(EngineRegistry& registry, const char* name) {
               if (!filter.ok()) return filter.status();
               return std::unique_ptr<StreamFilter>(std::move(filter).value());
             },
-            symbols));
+            context.symbols));
       });
   (void)status;  // duplicate registration is impossible from Global()
 }

@@ -23,12 +23,31 @@ Status FilterBankMatcher::Subscribe(size_t slot, const Query* query) {
   return Status::OK();
 }
 
-Status FilterBankMatcher::Reset() {
-  for (auto& filter : filters_) {
-    XPS_RETURN_IF_ERROR(filter->Reset());
+Status FilterBankMatcher::Unsubscribe(size_t slot) {
+  if (slot >= filters_.size() || filters_[slot] == nullptr) {
+    return Status::InvalidArgument("unknown or already tombstoned slot");
   }
+  filters_[slot].reset();  // tombstone: slot keeps its number, stops evaluating
+  return Status::OK();
+}
+
+void FilterBankMatcher::ResetHarvest() {
   decided_.assign(filters_.size(), 0);
   decided_count_ = 0;
+  for (size_t slot = 0; slot < filters_.size(); ++slot) {
+    if (filters_[slot] == nullptr) {
+      decided_[slot] = 1;
+      ++decided_count_;
+    }
+  }
+}
+
+Status FilterBankMatcher::Reset() {
+  for (auto& filter : filters_) {
+    if (filter == nullptr) continue;
+    XPS_RETURN_IF_ERROR(filter->Reset());
+  }
+  ResetHarvest();
   return Status::OK();
 }
 
@@ -56,10 +75,10 @@ Status FilterBankMatcher::OnSymbolizedEvent(const Event& event,
   if (event.type == EventType::kStartDocument) {
     // Member filters reset themselves on startDocument; the harvest
     // bookkeeping must match (direct callers may skip Reset()).
-    decided_.assign(filters_.size(), 0);
-    decided_count_ = 0;
+    ResetHarvest();
   }
   for (auto& filter : filters_) {
+    if (filter == nullptr) continue;
     XPS_RETURN_IF_ERROR(filter->OnSymbolizedEvent(event, name_sym));
   }
   if (decided_count_ != filters_.size()) {
@@ -72,7 +91,8 @@ std::vector<size_t> FilterBankMatcher::DecidedPositions() const {
   std::vector<size_t> positions;
   positions.reserve(filters_.size());
   for (const auto& filter : filters_) {
-    positions.push_back(filter->DecidedAt());
+    positions.push_back(filter == nullptr ? kNoEventOrdinal
+                                          : filter->DecidedAt());
   }
   return positions;
 }
@@ -81,6 +101,10 @@ Result<std::vector<bool>> FilterBankMatcher::Verdicts() const {
   std::vector<bool> verdicts;
   verdicts.reserve(filters_.size());
   for (const auto& filter : filters_) {
+    if (filter == nullptr) {
+      verdicts.push_back(false);  // tombstoned slots never match
+      continue;
+    }
     auto verdict = filter->Matched();
     if (!verdict.ok()) return verdict.status();
     verdicts.push_back(*verdict);
@@ -88,10 +112,16 @@ Result<std::vector<bool>> FilterBankMatcher::Verdicts() const {
   return verdicts;
 }
 
+void FilterBankMatcher::PublishShared() {
+  for (auto& filter : filters_) {
+    if (filter != nullptr) filter->PublishShared();
+  }
+}
+
 const MemoryStats& FilterBankMatcher::stats() const {
   stats_.Reset();
   for (const auto& filter : filters_) {
-    stats_.Accumulate(filter->stats());
+    if (filter != nullptr) stats_.Accumulate(filter->stats());
   }
   return stats_;
 }

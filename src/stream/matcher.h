@@ -28,7 +28,19 @@
 
 namespace xpstream {
 
-class Query;  // xpath/ast.h
+class DfaTableCache;  // stream/dfa_table_cache.h
+class Query;          // xpath/ast.h
+
+/// Shared per-pipeline structure handed to matcher factories: every
+/// shard and member filter of one Engine resolves names against the
+/// same SymbolTable, and engines that memoize query-shaped tables
+/// (lazy_dfa's transition tables) share them through the cache so a
+/// compaction rebuild or a re-sharding never starts cold. Either
+/// pointer may be null — the component then owns a private equivalent.
+struct PipelineContext {
+  SymbolTable* symbols = nullptr;
+  DfaTableCache* dfa_tables = nullptr;
+};
 
 /// Push-notification interface of the matcher layer: as the scan
 /// proceeds, the matcher reports each subscription slot whose verdict
@@ -64,7 +76,33 @@ class Matcher : public EventSink {
   /// endDocument (the facade enforces this).
   virtual Status Subscribe(size_t slot, const Query* query) = 0;
 
+  /// Tombstones the subscription in `slot`: the slot stops evaluating
+  /// (its verdict reads false, its decided position kNoEventOrdinal)
+  /// but stays allocated, so live slots keep their numbers, verdict
+  /// vectors keep their width, and — crucially — no automaton is
+  /// rebuilt and no in-flight document state is invalidated. Must not
+  /// be called between startDocument and endDocument (the facade
+  /// enforces this). Reclaiming tombstoned capacity is the caller's
+  /// deferred-compaction decision (the facade rebuilds into a fresh
+  /// matcher in a maintenance window, never on the Unsubscribe path).
+  /// kUnsupported by default for external engines that predate churn.
+  virtual Status Unsubscribe(size_t slot) {
+    (void)slot;
+    return Status::Unsupported("engine \"" + name() +
+                               "\" does not support Unsubscribe");
+  }
+
+  /// Total slots ever subscribed, including tombstoned ones (the width
+  /// of Verdicts()/DecidedPositions() and the next dense Subscribe
+  /// slot).
   virtual size_t NumSubscriptions() const = 0;
+
+  /// Folds privately accumulated shareable structure (a lazy DFA's
+  /// transition-table overlay) back into the pipeline's shared caches.
+  /// Called by the owner on the dispatch thread only — never
+  /// concurrently with matching — so implementations need no
+  /// synchronization beyond the caches' own. Default: nothing shared.
+  virtual void PublishShared() {}
 
   /// Prepares for a new document; verdicts and per-document stats reset.
   virtual Status Reset() = 0;
@@ -130,11 +168,11 @@ class Matcher : public EventSink {
   SymbolTableRef symbols_;
 };
 
-/// Creates a Matcher of the engine registered under `name`, resolving
-/// names against `symbols` (the pipeline's shared table; nullptr = the
-/// matcher owns a private one).
+/// Creates a Matcher of the engine registered under `name`, wired into
+/// the pipeline's shared structures (context members may be null — the
+/// matcher then owns private equivalents).
 using MatcherFactory =
-    std::function<Result<std::unique_ptr<Matcher>>(SymbolTable* symbols)>;
+    std::function<Result<std::unique_ptr<Matcher>>(const PipelineContext&)>;
 
 /// Creates one engine-specific StreamFilter for a subscription query,
 /// with its node tests resolved in `symbols`.
@@ -155,6 +193,7 @@ class FilterBankMatcher : public Matcher {
 
   std::string name() const override { return name_; }
   Status Subscribe(size_t slot, const Query* query) override;
+  Status Unsubscribe(size_t slot) override;
   size_t NumSubscriptions() const override { return filters_.size(); }
   Status Reset() override;
   Status OnSymbolizedEvent(const Event& event, Symbol name_sym) override;
@@ -163,6 +202,7 @@ class FilterBankMatcher : public Matcher {
   bool AllDecided() const override {
     return decided_count_ == filters_.size();
   }
+  void PublishShared() override;
   const MemoryStats& stats() const override;
 
  private:
@@ -171,8 +211,15 @@ class FilterBankMatcher : public Matcher {
   /// the endDocument event, where non-matches decide too.
   void HarvestDecisions(bool at_end);
 
+  /// Clears per-document harvest bookkeeping. Tombstoned slots start
+  /// pre-decided (they can never report), so AllDecided keeps meaning
+  /// "nothing left that could change".
+  void ResetHarvest();
+
   std::string name_;
   FilterFactory factory_;
+  /// Member filters by slot; a null entry is a tombstoned slot
+  /// (unsubscribed — it evaluates nothing and reads as a non-match).
   std::vector<std::unique_ptr<StreamFilter>> filters_;
   std::vector<uint8_t> decided_;  ///< per-slot: decision already harvested
   size_t decided_count_ = 0;

@@ -119,17 +119,17 @@ Status NfaIndex::AddQuery(size_t id, const Query& query) {
   return Status::OK();
 }
 
-void NfaIndex::AddClosed(int state, std::vector<int>* set) const {
-  if (std::find(set->begin(), set->end(), state) == set->end()) {
-    set->push_back(state);
+void NfaIndex::RemoveQuery(size_t id) {
+  auto erase_id = [id](std::vector<size_t>* ids) {
+    ids->erase(std::remove(ids->begin(), ids->end(), id), ids->end());
+  };
+  for (State& state : states_) {
+    erase_id(&state.accepts);
+    for (AttrAccept& accept : state.attribute_accepts) {
+      erase_id(&accept.ids);
+    }
   }
-  int dd = states_[static_cast<size_t>(state)].dd_state;
-  if (dd >= 0 &&
-      std::find(set->begin(), set->end(), dd) == set->end()) {
-    set->push_back(dd);
-    // dd companions can themselves carry dd states only via their
-    // outgoing edges, which are handled on transition; no deeper ε here.
-  }
+  if (num_queries_ > 0) --num_queries_;
 }
 
 Result<std::vector<bool>> NfaIndex::FilterDocument(const EventStream& events) {
@@ -153,8 +153,32 @@ Status NfaIndexRun::Reset() {
   verdicts_.assign(index_->max_id_ + 1, false);
   decided_at_.assign(index_->max_id_ + 1, kNoEventOrdinal);
   newly_.clear();
+  // Queries may be added between documents; re-size the membership
+  // stamps to the current automaton (fresh stamps are 0 = never seen).
+  member_epoch_.resize(index_->states_.size(), 0);
   stats_.Reset();
   return Status::OK();
+}
+
+void NfaIndexRun::BeginSet() {
+  if (++epoch_ == 0) {  // wrap: every stale stamp must read as absent
+    std::fill(member_epoch_.begin(), member_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+}
+
+void NfaIndexRun::AddClosed(int state, std::vector<int>* set) {
+  auto add = [&](int s) {
+    uint32_t& stamp = member_epoch_[static_cast<size_t>(s)];
+    if (stamp == epoch_) return;  // already in the set being filled
+    stamp = epoch_;
+    set->push_back(s);
+  };
+  add(state);
+  int dd = index_->states_[static_cast<size_t>(state)].dd_state;
+  // dd companions can themselves carry dd states only via their
+  // outgoing edges, which are handled on transition; no deeper ε here.
+  if (dd >= 0) add(dd);
 }
 
 Status NfaIndexRun::OnSymbolizedEvent(const Event& event, Symbol name_sym) {
@@ -185,7 +209,8 @@ Status NfaIndexRun::OnSymbolizedEvent(const Event& event, Symbol name_sym) {
     case EventType::kStartDocument: {
       XPS_RETURN_IF_ERROR(Reset());
       std::vector<int>& initial = open_level();
-      index_->AddClosed(0, &initial);
+      BeginSet();
+      AddClosed(0, &initial);
       active_entries_ = initial.size();
       break;
     }
@@ -202,6 +227,7 @@ Status NfaIndexRun::OnSymbolizedEvent(const Event& event, Symbol name_sym) {
         return Status::NotWellFormed("element before startDocument");
       }
       std::vector<int>& next = open_level();
+      BeginSet();
       const std::vector<int>& current = stack_[depth_ - 2];
       for (int s : current) {
         const NfaIndex::State& state = states[static_cast<size_t>(s)];
@@ -209,14 +235,14 @@ Status NfaIndexRun::OnSymbolizedEvent(const Event& event, Symbol name_sym) {
             FindEdge(state.child_edges, name_sym);
         if (edge != nullptr) {
           accept(edge->target);
-          index_->AddClosed(edge->target, &next);
+          AddClosed(edge->target, &next);
         }
         for (int t : state.wildcard_edges) {
           accept(t);
-          index_->AddClosed(t, &next);
+          AddClosed(t, &next);
         }
         if (state.self_loop) {
-          index_->AddClosed(s, &next);
+          AddClosed(s, &next);
         }
       }
       active_entries_ += next.size();
@@ -285,6 +311,19 @@ class NfaIndexMatcher : public Matcher {
     }
     XPS_RETURN_IF_ERROR(index_.AddQuery(slot, *query));
     ++subscriptions_;
+    tombstoned_.push_back(0);
+    return Status::OK();
+  }
+
+  Status Unsubscribe(size_t slot) override {
+    if (slot >= subscriptions_ || tombstoned_[slot] != 0) {
+      return Status::InvalidArgument("unknown or already tombstoned slot");
+    }
+    // One accept-list sweep; the shared automaton is never rebuilt and
+    // the run's recycled storage stays valid.
+    index_.RemoveQuery(slot);
+    tombstoned_[slot] = 1;
+    ++tombstone_count_;
     return Status::OK();
   }
 
@@ -315,7 +354,9 @@ class NfaIndexMatcher : public Matcher {
   }
 
   bool AllDecided() const override {
-    return run_.NumMatched() >= subscriptions_;
+    // Tombstoned slots cannot accept (their ids were removed from every
+    // accept list), so "everything live matched" is the decided point.
+    return run_.NumMatched() + tombstone_count_ >= subscriptions_;
   }
 
   const MemoryStats& stats() const override { return run_.stats(); }
@@ -324,6 +365,8 @@ class NfaIndexMatcher : public Matcher {
   NfaIndex index_;
   NfaIndexRun run_;
   size_t subscriptions_ = 0;
+  std::vector<uint8_t> tombstoned_;  ///< per-slot tombstone flags
+  size_t tombstone_count_ = 0;
 };
 
 }  // namespace
@@ -331,9 +374,10 @@ class NfaIndexMatcher : public Matcher {
 void RegisterNfaIndexEngine(EngineRegistry& registry) {
   Status status = registry.Register(
       "nfa_index",
-      [](SymbolTable* symbols) -> Result<std::unique_ptr<Matcher>> {
+      [](const PipelineContext& context)
+          -> Result<std::unique_ptr<Matcher>> {
         return std::unique_ptr<Matcher>(
-            std::make_unique<NfaIndexMatcher>(symbols));
+            std::make_unique<NfaIndexMatcher>(context.symbols));
       });
   (void)status;  // duplicate registration is impossible from Global()
 }

@@ -56,6 +56,15 @@ class NfaIndex {
 
   size_t NumQueries() const { return num_queries_; }
 
+  /// Removes every acceptance of query `id` (one O(states) sweep over
+  /// accept lists). States and edges stay — shared prefixes may serve
+  /// other queries and the verdict width (max id) is unchanged — so
+  /// removal never rebuilds the automaton and never invalidates a run's
+  /// recycled storage: the id simply stops accepting and its verdict
+  /// reads false from the next document on. Reclaiming dead states is
+  /// the facade's deferred-compaction decision (a fresh matcher).
+  void RemoveQuery(size_t id);
+
   /// Total NFA states, shared across all registered queries.
   size_t NumStates() const { return states_.size(); }
 
@@ -107,9 +116,6 @@ class NfaIndex {
   int ChildTarget(int from, const std::string& ntest);
   /// Gets or creates the descendant companion of `from`.
   int DdState(int from);
-
-  /// Adds `state` and its ε-closure (dd companion) to `set` (dedup'd).
-  void AddClosed(int state, std::vector<int>* set) const;
 
   SymbolTableRef symbols_;
   std::vector<State> states_;
@@ -174,6 +180,17 @@ class NfaIndexRun : public EventSink {
   const MemoryStats& stats() const { return stats_; }
 
  private:
+  /// Opens a fresh active set: bumps the membership epoch so stale
+  /// stamps from earlier sets read as "absent". On epoch wrap the stamp
+  /// array is refilled with zero (once per 2^32 sets).
+  void BeginSet();
+
+  /// Adds `state` and its ε-closure (dd companion) to `set`, dedup'd
+  /// against the current epoch's membership stamps — O(1) per insertion
+  /// where the old linear scan of the active set was O(set size),
+  /// quadratic per element on small alphabets (E10's regime).
+  void AddClosed(int state, std::vector<int>* set);
+
   NfaIndex* index_;  ///< non-const for lazy name interning in OnEvent
   std::vector<bool> verdicts_;
   std::vector<size_t> decided_at_;  ///< per-query-id decided ordinal
@@ -184,6 +201,10 @@ class NfaIndexRun : public EventSink {
   /// Active sets for the open elements; only the first depth_ entries
   /// are live, deeper ones are recycled storage.
   std::vector<std::vector<int>> stack_;
+  /// member_epoch_[s] == epoch_ iff state s is already in the set
+  /// currently being filled (see BeginSet/AddClosed).
+  std::vector<uint32_t> member_epoch_;
+  uint32_t epoch_ = 0;
   size_t depth_ = 0;
   size_t active_entries_ = 0;
   bool done_ = false;

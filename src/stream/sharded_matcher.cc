@@ -13,7 +13,7 @@ ShardedMatcher::ShardedMatcher(std::string base_engine,
 
 Result<std::unique_ptr<ShardedMatcher>> ShardedMatcher::Create(
     const std::string& base_engine, size_t num_shards,
-    std::shared_ptr<ThreadPool> pool, SymbolTable* symbols) {
+    std::shared_ptr<ThreadPool> pool, const PipelineContext& context) {
   if (num_shards == 0) {
     return Status::InvalidArgument("ShardedMatcher needs at least one shard");
   }
@@ -22,19 +22,30 @@ Result<std::unique_ptr<ShardedMatcher>> ShardedMatcher::Create(
   }
   auto matcher = std::unique_ptr<ShardedMatcher>(
       new ShardedMatcher(base_engine, std::move(pool)));
-  matcher->BindSymbols(symbols);
+  matcher->BindSymbols(context.symbols);
   matcher->shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     // Every shard shares the sharded matcher's table: a query interns
     // to the same ids wherever it lands, so verdict/sink bit-parity
-    // with threads = 1 holds by construction.
+    // with threads = 1 holds by construction. Shards also share the
+    // context's DfaTableCache — memoized transition tables are built
+    // once and read by all shards instead of rebuilt per shard.
+    PipelineContext shard_context = context;
+    shard_context.symbols = matcher->symbols();
     auto shard =
-        EngineRegistry::Global().CreateMatcher(base_engine,
-                                               matcher->symbols());
+        EngineRegistry::Global().CreateMatcher(base_engine, shard_context);
     if (!shard.ok()) return shard.status();
     matcher->shards_.push_back(std::move(shard).value());
   }
   return matcher;
+}
+
+Result<std::unique_ptr<ShardedMatcher>> ShardedMatcher::Create(
+    const std::string& base_engine, size_t num_shards,
+    std::shared_ptr<ThreadPool> pool, SymbolTable* symbols) {
+  PipelineContext context;
+  context.symbols = symbols;
+  return Create(base_engine, num_shards, std::move(pool), context);
 }
 
 Status ShardedMatcher::Subscribe(size_t slot, const Query* query) {
@@ -47,6 +58,21 @@ Status ShardedMatcher::Subscribe(size_t slot, const Query* query) {
   XPS_RETURN_IF_ERROR(shards_[shard]->Subscribe(slot / shards_.size(), query));
   ++num_subscriptions_;
   return Status::OK();
+}
+
+Status ShardedMatcher::Unsubscribe(size_t slot) {
+  if (slot >= num_subscriptions_) {
+    return Status::InvalidArgument("unknown subscription slot");
+  }
+  // The owning shard tombstones its local slot; the global slot keeps
+  // its number and the round-robin map is untouched.
+  return shards_[slot % shards_.size()]->Unsubscribe(slot / shards_.size());
+}
+
+void ShardedMatcher::PublishShared() {
+  // Sequential, on the dispatch thread: shards fold their private
+  // overlays into the shared caches with no replay in flight.
+  for (auto& shard : shards_) shard->PublishShared();
 }
 
 size_t ShardedMatcher::LocalCount(size_t i) const {
@@ -143,6 +169,10 @@ Status ShardedMatcher::Dispatch(const EventStream& events) {
   for (Status& status : statuses) {
     XPS_RETURN_IF_ERROR(std::move(status));
   }
+  // Back on the dispatch thread with no replay in flight: fold the
+  // shards' privately grown structure (lazy-DFA transition overlays)
+  // into the shared caches so the next document starts warm everywhere.
+  PublishShared();
 
   merged_verdicts_.assign(num_subscriptions_, false);
   merged_positions_.assign(num_subscriptions_, kNoEventOrdinal);

@@ -63,18 +63,27 @@ namespace xpstream {
 class ShardedMatcher : public Matcher {
  public:
   /// Creates `num_shards` matchers of `base_engine` via the global
-  /// EngineRegistry, all sharing `symbols` (the pipeline's table;
-  /// nullptr = the sharded matcher owns one and the shards share it);
-  /// kNotFound when the name is unregistered. The pool is shared with
-  /// the caller (the facade also uses it to pipeline document parsing)
-  /// and must outlive the matcher's last call.
+  /// EngineRegistry, all sharing `context`'s structures — the pipeline
+  /// SymbolTable (nullptr = the sharded matcher owns one and the shards
+  /// share it) and, for table-memoizing engines, the DfaTableCache (so
+  /// every shard reads one transition table instead of rebuilding it
+  /// per shard); kNotFound when the name is unregistered. The pool is
+  /// shared with the caller (the facade also uses it to pipeline
+  /// document parsing) and must outlive the matcher's last call.
+  static Result<std::unique_ptr<ShardedMatcher>> Create(
+      const std::string& base_engine, size_t num_shards,
+      std::shared_ptr<ThreadPool> pool, const PipelineContext& context);
+
+  /// Convenience overload: shared SymbolTable only.
   static Result<std::unique_ptr<ShardedMatcher>> Create(
       const std::string& base_engine, size_t num_shards,
       std::shared_ptr<ThreadPool> pool, SymbolTable* symbols = nullptr);
 
   std::string name() const override { return base_engine_; }
   Status Subscribe(size_t slot, const Query* query) override;
+  Status Unsubscribe(size_t slot) override;
   size_t NumSubscriptions() const override { return num_subscriptions_; }
+  void PublishShared() override;
   Status Reset() override;
   Status OnSymbolizedEvent(const Event& event, Symbol name_sym) override;
   Status OnDocument(const EventStream& events) override;

@@ -1,5 +1,6 @@
 #include "workload/scenarios.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -186,6 +187,86 @@ DisseminationSweepWorkload MakeDisseminationSweep(size_t num_queries,
   for (size_t i = 0; i < num_docs; ++i) {
     workload.documents.push_back(
         GenerateRandomDocument(&doc_rng, options)->ToEvents());
+  }
+  return workload;
+}
+
+ChurnWorkload MakeChurnWorkload(size_t num_queries, size_t duplication,
+                                size_t num_docs, uint64_t seed) {
+  ChurnWorkload workload;
+  Random query_rng(seed * 0x9e3779b97f4a7c15ull + 7);
+  workload.queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    auto query = GenerateLinearQuery(&query_rng, 1 + query_rng.Uniform(5),
+                                     0.35, 0.1, 4);
+    if (!query.ok()) {
+      // Same contract as MakeDisseminationSweep: the generator cannot
+      // fail for these parameters, so fail loudly instead of silently
+      // shrinking the dedup universe.
+      std::fprintf(stderr, "MakeChurnWorkload: query generation failed: %s\n",
+                   query.status().ToString().c_str());
+      std::abort();
+    }
+    workload.queries.push_back((*query)->ToString());
+  }
+  Random doc_rng(seed + 42);
+  DocGenOptions options;
+  options.max_depth = 7;
+  options.name_pool = 4;
+  options.names = {"s0", "s1", "s2", "s3"};
+  workload.documents.reserve(num_docs);
+  for (size_t i = 0; i < num_docs; ++i) {
+    workload.documents.push_back(
+        GenerateRandomDocument(&doc_rng, options)->ToEvents());
+  }
+
+  Random op_rng(seed + 1001);
+  std::vector<std::pair<std::string, size_t>> live;  // (id, query index)
+  size_t next_id = 0;
+  auto subscribe = [&](size_t query_index) {
+    ChurnWorkload::Op op;
+    op.kind = ChurnWorkload::OpKind::kSubscribe;
+    op.index = query_index;
+    op.id = "c" + std::to_string(next_id++);
+    live.emplace_back(op.id, query_index);
+    workload.ops.push_back(std::move(op));
+  };
+  for (size_t dup = 0; dup < duplication; ++dup) {
+    for (size_t q = 0; q < num_queries; ++q) subscribe(q);
+  }
+  const size_t churn_per_doc = std::max<size_t>(
+      1, num_queries * duplication / (4 * std::max<size_t>(1, num_docs)));
+  for (size_t doc = 0; doc < num_docs; ++doc) {
+    // Drain one query's whole subscriber group — every last-subscriber
+    // removal tombstones an evaluation slot, so each round exercises
+    // the tombstone path, not just refcount decrements...
+    const size_t target = op_rng.Uniform(num_queries);
+    for (size_t i = 0; i < live.size();) {
+      if (live[i].second != target) {
+        ++i;
+        continue;
+      }
+      ChurnWorkload::Op op;
+      op.kind = ChurnWorkload::OpKind::kUnsubscribe;
+      op.id = std::move(live[i].first);
+      live[i] = std::move(live.back());
+      live.pop_back();
+      workload.ops.push_back(std::move(op));
+    }
+    // ...then top the population back up with random queries (possibly
+    // the drained one, which then lands in a fresh slot).
+    for (size_t i = 0; i < churn_per_doc; ++i) {
+      subscribe(op_rng.Uniform(num_queries));
+    }
+    if (num_docs >= 2 && doc == num_docs / 2) {
+      ChurnWorkload::Op op;
+      op.kind = ChurnWorkload::OpKind::kCompact;
+      workload.ops.push_back(std::move(op));
+    }
+    ChurnWorkload::Op op;
+    op.kind = ChurnWorkload::OpKind::kDocument;
+    op.index = doc;
+    workload.ops.push_back(std::move(op));
   }
   return workload;
 }

@@ -51,6 +51,32 @@ struct DisseminationSweepWorkload {
 DisseminationSweepWorkload MakeDisseminationSweep(size_t num_queries,
                                                   size_t num_docs);
 
+// --- subscription churn (live Subscribe/Unsubscribe traffic) --------
+
+/// A deterministic interleaving of subscription lifecycle operations and
+/// document arrivals, for the churn test (api_churn_test) and bench
+/// (E11). The schedule opens by registering `duplication` subscribers
+/// for each of `num_queries` distinct queries (the dedup ratio), then
+/// alternates bursts of Subscribe/Unsubscribe with document deliveries,
+/// with one Compact planted mid-stream. Consumers replay ops in order;
+/// the subscriber ids embedded in the ops are unique across the whole
+/// schedule, so replays never collide.
+struct ChurnWorkload {
+  enum class OpKind { kSubscribe, kUnsubscribe, kDocument, kCompact };
+  struct Op {
+    OpKind kind;
+    /// Query index (kSubscribe) or document index (kDocument).
+    size_t index = 0;
+    /// Subscription id (kSubscribe / kUnsubscribe).
+    std::string id;
+  };
+  std::vector<std::string> queries;
+  std::vector<EventStream> documents;
+  std::vector<Op> ops;
+};
+ChurnWorkload MakeChurnWorkload(size_t num_queries, size_t duplication,
+                                size_t num_docs, uint64_t seed);
+
 // --- adversarial corpora (§4 memory-bound stress) -------------------
 //
 // The paper's lower bounds are driven by two document parameters:

@@ -176,5 +176,63 @@ TEST(CanonicalTest, AttributeShadows) {
   EXPECT_TRUE(BoolEval(*q, *canonical->document));
 }
 
+std::string Key(const std::string& text) {
+  auto q = Q(text);
+  auto key = CanonicalQueryKey(*q);
+  EXPECT_TRUE(key.ok()) << text << ": " << key.status().ToString();
+  return key.ok() ? *key : std::string();
+}
+
+TEST(CanonicalKeyTest, EquivalentQueriesShareAKey) {
+  // Textual identity, whitespace, and redundant predicate brackets.
+  EXPECT_EQ(Key("/a/b"), Key("/a/b"));
+  EXPECT_EQ(Key("/a[b and c]"), Key("/a[ b and c ]"));
+  // 'and' commutativity.
+  EXPECT_EQ(Key("/a[b and c]"), Key("/a[c and b]"));
+  EXPECT_EQ(Key("/a[b and c and d]"), Key("/a[d and c and b]"));
+  // 'or' commutativity.
+  EXPECT_EQ(Key("/a[b or c]"), Key("/a[c or b]"));
+  // Deeper sibling permutation with identical subtree shapes.
+  EXPECT_EQ(Key("/a[b/d > 2 and b/c]"), Key("/a[b/c and b/d > 2]"));
+}
+
+TEST(CanonicalKeyTest, InequivalentQueriesKeepDistinctKeys) {
+  const char* queries[] = {
+      "/a/b",          "/a//b",         "//a/b",        "/a/b/c",
+      "/a/*",          "/a[b]",         "/a[b]/c",      "/a[b > 5]",
+      "/a[b >= 5]",    "/a[b > 6]",     "/a[b < 5]",    "/a[c > 5]",
+      "/a[b = \"5\"]", "/a[b and c]",   "/a[b or c]",   "/a[not(b)]",
+      "/a[@b]",        "/a[.//b]",      "/a[b/c]",      "/a[b and b/c]",
+  };
+  for (const char* left : queries) {
+    for (const char* right : queries) {
+      if (left == right) {
+        EXPECT_EQ(Key(left), Key(right)) << left;
+      } else {
+        EXPECT_NE(Key(left), Key(right)) << left << " vs " << right;
+      }
+    }
+  }
+}
+
+TEST(CanonicalKeyTest, EqualSiblingsPassTheAutomorphismCheck) {
+  // Two identically-encoded sibling subtrees: sorting ties, and the
+  // automorphism double-check (Lemma 6.9) must confirm the swap is a
+  // genuine structural automorphism instead of failing the key.
+  EXPECT_EQ(Key("/a[b/c and b/c]"), Key("/a[b/c and b/c]"));
+  EXPECT_FALSE(Key("/a[.//b and .//b]").empty());
+}
+
+TEST(CanonicalKeyTest, KeyIsInvariantUnderReparse) {
+  // The key depends on the parsed structure only, so a query and its
+  // from-scratch reparse always agree — the property Engine dedup needs.
+  for (const char* text :
+       {"/a[*/b > 5 and c/b//d > 12 and .//d < 30]",
+        "/book[price < 30]/title", "//a[b = \"xy\" and c > 2]//d",
+        "/a[fn:matches(b, \"^A.*B$\") and c]"}) {
+    EXPECT_EQ(Key(text), Key(text)) << text;
+  }
+}
+
 }  // namespace
 }  // namespace xpstream

@@ -52,7 +52,8 @@ TEST(EngineRegistryTest, UnknownEngineNameIsNotFound) {
 
 TEST(EngineRegistryTest, DuplicateRegistrationFails) {
   Status status = EngineRegistry::Global().Register(
-      "frontier", [](SymbolTable*) -> Result<std::unique_ptr<Matcher>> {
+      "frontier",
+      [](const PipelineContext&) -> Result<std::unique_ptr<Matcher>> {
         return Status::Internal("never called");
       });
   ASSERT_FALSE(status.ok());
