@@ -46,6 +46,7 @@ BENCHES = [
     "bench_nfa_index",
     "bench_parse",
     "bench_recursion_depth",
+    "bench_server",
     "bench_short_circuit",
     "bench_subscription_scale",
 ]

@@ -132,6 +132,16 @@ struct EngineOptions {
   /// shard's batch replay instead (events are already buffered by the
   /// time matching starts).
   bool short_circuit = false;
+
+  /// Maximum open-element depth a document may reach on the streaming
+  /// entry points (bytes and per-event SAX); 0 = unlimited. Exceeding
+  /// it fails the document with kNotWellFormed before the offending
+  /// event reaches any engine — hostile-input hardening for service
+  /// deployments, where deep recursion is exactly the adversary the
+  /// paper's §4 lower bounds build. The whole-document batch fast path
+  /// (FilterEvents of a single envelope with threads > 1) trusts its
+  /// pre-parsed input and does not enforce the cap.
+  size_t max_element_depth = 0;
 };
 
 class Engine : public EventSink {

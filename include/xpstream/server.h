@@ -1,0 +1,168 @@
+#ifndef XPSTREAM_PUBLIC_SERVER_H_
+#define XPSTREAM_PUBLIC_SERVER_H_
+
+/// \file
+/// xpstreamd — the dissemination service front-end. A Server owns one
+/// Engine and speaks a small length-prefixed binary protocol over TCP
+/// (docs/protocol.md): clients SUBSCRIBE XPath queries, stream XML
+/// documents in chunks, and receive server-pushed MATCH frames at the
+/// engine's commitment points (DeliveryMode::kEarliest reaches remote
+/// subscribers mid-document) plus a DOC_DONE verdict frame per
+/// completed document.
+///
+///   auto server = Server::Start({.engine = {.engine = "frontier"}});
+///   auto client = Client::Connect("127.0.0.1", (*server)->port());
+///   auto id     = (*client)->Subscribe("//book/title",
+///                                      DeliveryMode::kEarliest);
+///   (*client)->Feed("<book><title>streams</title></book>");
+///   (*client)->FinishDocument();
+///   for (const ClientEvent& ev : (*client)->TakeEvents()) { ... }
+///
+/// Concurrency model: one event-loop thread owns the engine and every
+/// connection; all protocol work is serialized on it (the engine may
+/// still shard matching internally via EngineOptions::threads). Each
+/// connection has a bounded outbound frame queue: when it fills, the
+/// server stops reading that connection's requests, and pushed
+/// MATCH/DOC_DONE frames to a slow subscriber are dropped and counted
+/// (`dropped_frames` in STATS) rather than stalling the document
+/// stream. Document ingestion is serialized service-wide: one document
+/// may be in flight at a time, owned by the connection that fed its
+/// first chunk.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "xpstream/engine.h"
+
+namespace xpstream {
+
+struct ServerOptions {
+  /// Address to bind; tests and single-host deployments use loopback.
+  std::string bind_address = "127.0.0.1";
+
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+
+  /// Configuration of the engine the server owns. EngineOptions::
+  /// max_element_depth is overridden by the server-level default below
+  /// when left at 0, so a hostile document cannot grow unbounded
+  /// open-element state unless explicitly allowed.
+  EngineOptions engine;
+
+  /// Hard cap on one wire frame (length prefix + body). A frame
+  /// declaring more is a framing violation: ERROR, then the connection
+  /// closes. Bounds per-connection ingest buffering.
+  size_t max_frame_bytes = 1u << 20;
+
+  /// Cap on one document's cumulative DOC_CHUNK bytes. Exceeding it
+  /// aborts the document with an ERROR frame; the connection survives.
+  size_t max_document_bytes = 64u << 20;
+
+  /// Open-element depth cap applied to the engine (0 = unlimited);
+  /// used only when options.engine.max_element_depth is 0.
+  size_t max_element_depth = 1024;
+
+  /// Per-connection outbound queue capacity, in frames. At capacity
+  /// the server stops reading the connection's own requests; pushed
+  /// frames to it are dropped and counted in dropped_frames.
+  size_t outbox_frames = 1024;
+
+  /// SO_SNDBUF for accepted connections; 0 keeps the system default.
+  /// Shrinking it makes backpressure observable at small scale.
+  int so_sndbuf = 0;
+};
+
+/// The long-running service. Start() binds, listens and spawns the
+/// event-loop thread; Stop() (or destruction) shuts it down, closing
+/// live connections after the loop drains its current iteration.
+class Server {
+ public:
+  static Result<std::unique_ptr<Server>> Start(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (the actual one when options.port was 0).
+  uint16_t port() const;
+
+  /// Graceful shutdown: wakes the loop, joins its thread, closes every
+  /// connection. Idempotent; called by the destructor.
+  void Stop();
+
+ private:
+  class Impl;
+  explicit Server(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One server-initiated delivery observed by a Client, in arrival
+/// order: a MATCH (subscription `sub_id` matched document `doc` at
+/// event `ordinal`) or a DOC_DONE (per-subscription verdicts of one
+/// completed document, in subscription registration order).
+struct ClientEvent {
+  enum class Kind { kMatch, kDocDone };
+  Kind kind;
+  uint64_t doc = 0;
+  uint32_t sub_id = 0;   // kMatch only
+  uint64_t ordinal = 0;  // kMatch only
+  std::vector<std::pair<uint32_t, bool>> verdicts;  // kDocDone only
+};
+
+/// A blocking protocol client, used by tests, examples and the bench.
+/// One outstanding request at a time; push frames that arrive while
+/// waiting for an ack are collected and returned by TakeEvents().
+/// Not thread-safe: drive one Client from one thread.
+class Client {
+ public:
+  /// Connects; `recv_timeout_ms` bounds every blocking read so a dead
+  /// server fails the call instead of hanging the caller.
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port,
+      int recv_timeout_ms = 30'000);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Subscribes an XPath query; returns the server-assigned wire id
+  /// used in MATCH/DOC_DONE frames. Errors mirror Engine::Subscribe.
+  Result<uint32_t> Subscribe(std::string_view xpath,
+                             DeliveryMode mode = DeliveryMode::kAtEnd);
+
+  /// Removes a subscription previously created on this connection.
+  Status Unsubscribe(uint32_t sub_id);
+
+  /// Streams the next chunk of the current document (first call opens
+  /// the document and claims the service-wide ingestion slot).
+  Status Feed(std::string_view chunk);
+
+  /// Completes the current document; returns its index in the server's
+  /// document stream. Pushed frames for this document (including this
+  /// client's own DOC_DONE) are available via TakeEvents() afterwards.
+  Result<uint64_t> FinishDocument();
+
+  /// Triggers Engine::CompactSubscriptions() on the server.
+  Status Compact();
+
+  /// Server/engine counters as "key=value\n" lines (docs/protocol.md).
+  Result<std::string> Stats();
+
+  /// Drains and returns the pushes received so far, in arrival order.
+  /// Also performs a non-blocking socket read first, so pushes sent
+  /// since the last request are not missed.
+  std::vector<ClientEvent> TakeEvents();
+
+ private:
+  class Impl;
+  explicit Client(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_PUBLIC_SERVER_H_

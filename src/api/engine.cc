@@ -500,6 +500,16 @@ Status Engine::OnEvent(const Event& event) {
       if (!in_document_) {
         return Status::NotWellFormed("content outside a document");
       }
+      // Depth cap before the event reaches matcher or skip path: a
+      // hostile deep document fails cleanly instead of growing
+      // per-level engine state without bound.
+      if (event.type == EventType::kStartElement &&
+          options_.max_element_depth != 0 &&
+          element_depth_ >= options_.max_element_depth) {
+        return Status::NotWellFormed(
+            "element depth exceeds max_element_depth = " +
+            std::to_string(options_.max_element_depth));
+      }
       if (short_circuited_) {
         XPS_RETURN_IF_ERROR(SkipEvent(event));
         ++event_ordinal_;

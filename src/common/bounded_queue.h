@@ -1,0 +1,127 @@
+#ifndef XPSTREAM_COMMON_BOUNDED_QUEUE_H_
+#define XPSTREAM_COMMON_BOUNDED_QUEUE_H_
+
+/// \file
+/// A fixed-capacity multi-producer queue with close semantics, the
+/// building block for explicit backpressure: a full queue refuses work
+/// instead of growing, so the producer must decide — wait (Push), shed
+/// (TryPush + a drop counter), or stop accepting upstream input.
+///
+/// The server uses one as each connection's outbound frame queue
+/// (try_push from the result-sink bridge, drained by the event loop),
+/// but nothing here is server-specific: it is a general MPSC/MPMC
+/// hand-off primitive.
+///
+/// Close semantics: Close() wakes every blocked producer and consumer.
+/// Items already queued remain poppable after close — consumers drain
+/// the queue, then Pop() returns nullopt; producers fail immediately.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace xpstream {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A queue holding at most `capacity` items (at least 1).
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Items currently queued. Racy by nature under concurrent use; exact
+  /// when producers and the consumer run on one thread (the server's
+  /// event loop), which is where the soft-cap backpressure check lives.
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Enqueues without blocking; false when full or closed.
+  bool TryPush(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueues, waiting for space; false when the queue is (or becomes)
+  /// closed, in which case `value` is dropped.
+  bool Push(T value) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues without blocking; nullopt when empty.
+  std::optional<T> TryPop() {
+    std::optional<T> value;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return value;
+      value.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Dequeues, waiting for an item; nullopt only when the queue is
+  /// closed *and* drained (close never discards queued items).
+  std::optional<T> Pop() {
+    std::optional<T> value;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return value;  // closed and drained
+      value.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Marks the queue closed and wakes all waiters. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_COMMON_BOUNDED_QUEUE_H_

@@ -1,0 +1,252 @@
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "server/wire.h"
+#include "xpstream/server.h"
+
+namespace xpstream {
+
+namespace {
+
+/// The client accepts larger frames than it sends: a DOC_DONE frame
+/// fans out one entry per subscription and can legitimately exceed the
+/// server's ingest cap.
+constexpr size_t kClientMaxFrameBytes = 64u << 20;
+
+bool IsPushFrame(wire::FrameType type) {
+  return type == wire::FrameType::kMatch ||
+         type == wire::FrameType::kDocDone;
+}
+
+}  // namespace
+
+/// Blocking-socket protocol driver. One outstanding request at a time;
+/// pushes interleaved with an ack are parsed and queued on the way.
+class Client::Impl {
+ public:
+  explicit Impl(int fd) : fd_(fd), decoder_(kClientMaxFrameBytes) {}
+  ~Impl() { ::close(fd_); }
+
+  Status SendAll(std::string_view bytes) {
+    size_t offset = 0;
+    while (offset < bytes.size()) {
+      const ssize_t n =
+          ::write(fd_, bytes.data() + offset, bytes.size() - offset);
+      if (n > 0) {
+        offset += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Internal("send failed: errno " + std::to_string(errno));
+    }
+    return Status::OK();
+  }
+
+  /// Next frame off the wire; honors SO_RCVTIMEO so a dead server
+  /// fails the call instead of hanging it.
+  Result<wire::Frame> ReadFrame() {
+    while (true) {
+      auto next = decoder_.Next();
+      if (!next.ok()) return next.status();
+      if (next->has_value()) return std::move(**next);
+      char buffer[64 * 1024];
+      const ssize_t n = ::read(fd_, buffer, sizeof buffer);
+      if (n > 0) {
+        decoder_.Append(std::string_view(buffer, static_cast<size_t>(n)));
+        continue;
+      }
+      if (n == 0) {
+        return Status::Internal("connection closed by server");
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Internal("timed out waiting for the server");
+      }
+      return Status::Internal("recv failed: errno " + std::to_string(errno));
+    }
+  }
+
+  /// Sends `request` and reads until its ack (collecting pushes), per
+  /// the one-outstanding-request protocol contract. An ERROR frame in
+  /// ack position is the request's failure.
+  Result<wire::Frame> RoundTrip(const std::string& request,
+                                wire::FrameType ack_type) {
+    XPS_RETURN_IF_ERROR(SendAll(request));
+    while (true) {
+      auto frame = ReadFrame();
+      if (!frame.ok()) return frame.status();
+      if (IsPushFrame(frame->type)) {
+        RecordPush(*frame);
+        continue;
+      }
+      if (frame->type == ack_type) return frame;
+      if (frame->type == wire::FrameType::kError) {
+        return wire::DecodeError(frame->payload);
+      }
+      return Status::Internal(
+          "unexpected frame type " +
+          std::to_string(static_cast<unsigned>(frame->type)) +
+          " in ack position");
+    }
+  }
+
+  void RecordPush(const wire::Frame& frame) {
+    wire::PayloadReader reader(frame.payload);
+    ClientEvent event;
+    if (frame.type == wire::FrameType::kMatch) {
+      event.kind = ClientEvent::Kind::kMatch;
+      event.sub_id = reader.ReadU32();
+      event.doc = reader.ReadU64();
+      event.ordinal = reader.ReadU64();
+      if (!reader.Done()) return;  // malformed push: drop, keep stream
+    } else {
+      event.kind = ClientEvent::Kind::kDocDone;
+      event.doc = reader.ReadU64();
+      const uint32_t n = reader.ReadU32();
+      event.verdicts.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t sub_id = reader.ReadU32();
+        const uint8_t hit = reader.ReadU8();
+        event.verdicts.emplace_back(sub_id, hit != 0);
+      }
+      if (!reader.Done()) return;
+    }
+    events_.push_back(std::move(event));
+  }
+
+  /// Non-blocking drain: pull whatever the server already pushed into
+  /// the event queue without waiting.
+  void DrainAvailable() {
+    while (true) {
+      char buffer[64 * 1024];
+      const ssize_t n = ::recv(fd_, buffer, sizeof buffer, MSG_DONTWAIT);
+      if (n <= 0) break;
+      decoder_.Append(std::string_view(buffer, static_cast<size_t>(n)));
+    }
+    while (true) {
+      auto next = decoder_.Next();
+      if (!next.ok() || !next->has_value()) break;
+      if (IsPushFrame((*next)->type)) RecordPush(**next);
+      // A non-push frame here would be a stray ack; dropping it beats
+      // desynchronizing (it cannot happen between well-formed requests).
+    }
+  }
+
+  const int fd_;
+  wire::FrameDecoder decoder_;
+  std::deque<ClientEvent> events_;
+};
+
+Client::Client(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+Client::~Client() = default;
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                int recv_timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (recv_timeout_ms > 0) {
+    timeval timeout{};
+    timeout.tv_sec = recv_timeout_ms / 1000;
+    timeout.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof address) != 0) {
+    const int error = errno;
+    ::close(fd);
+    return Status::Internal("connect(" + host + ":" + std::to_string(port) +
+                            ") failed: errno " + std::to_string(error));
+  }
+  return std::unique_ptr<Client>(
+      new Client(std::make_unique<Impl>(fd)));
+}
+
+Result<uint32_t> Client::Subscribe(std::string_view xpath,
+                                   DeliveryMode mode) {
+  auto ack = impl_->RoundTrip(
+      wire::EncodeSubscribe(mode == DeliveryMode::kAtEnd ? 0 : 1, xpath),
+      wire::FrameType::kSubscribeOk);
+  if (!ack.ok()) return ack.status();
+  wire::PayloadReader reader(ack->payload);
+  const uint32_t sub_id = reader.ReadU32();
+  if (!reader.Done()) {
+    return Status::Internal("malformed SUBSCRIBE_OK payload");
+  }
+  return sub_id;
+}
+
+Status Client::Unsubscribe(uint32_t sub_id) {
+  return impl_
+      ->RoundTrip(wire::EncodeUnsubscribe(sub_id),
+                  wire::FrameType::kUnsubscribeOk)
+      .status();
+}
+
+Status Client::Feed(std::string_view chunk) {
+  // Consume pending pushes first: a long feed of a document whose
+  // kEarliest matches fan back to this connection must not leave the
+  // server's outbox (and then both kernel buffers) to fill up.
+  impl_->DrainAvailable();
+  return impl_->SendAll(
+      wire::EncodeFrame(wire::FrameType::kDocChunk, chunk));
+}
+
+Result<uint64_t> Client::FinishDocument() {
+  auto ack = impl_->RoundTrip(
+      wire::EncodeFrame(wire::FrameType::kDocEnd, ""),
+      wire::FrameType::kDocOk);
+  if (!ack.ok()) return ack.status();
+  wire::PayloadReader reader(ack->payload);
+  const uint64_t doc_index = reader.ReadU64();
+  if (!reader.Done()) return Status::Internal("malformed DOC_OK payload");
+  return doc_index;
+}
+
+Status Client::Compact() {
+  return impl_
+      ->RoundTrip(wire::EncodeFrame(wire::FrameType::kCompact, ""),
+                  wire::FrameType::kCompactOk)
+      .status();
+}
+
+Result<std::string> Client::Stats() {
+  auto ack =
+      impl_->RoundTrip(wire::EncodeFrame(wire::FrameType::kStats, ""),
+                       wire::FrameType::kStatsOk);
+  if (!ack.ok()) return ack.status();
+  return ack->payload;
+}
+
+std::vector<ClientEvent> Client::TakeEvents() {
+  impl_->DrainAvailable();
+  std::vector<ClientEvent> events(
+      std::make_move_iterator(impl_->events_.begin()),
+      std::make_move_iterator(impl_->events_.end()));
+  impl_->events_.clear();
+  return events;
+}
+
+}  // namespace xpstream

@@ -1,0 +1,81 @@
+#ifndef XPSTREAM_SERVER_EVENT_LOOP_H_
+#define XPSTREAM_SERVER_EVENT_LOOP_H_
+
+/// \file
+/// A minimal poll(2) reactor for the dissemination server: one thread,
+/// non-blocking fds, a self-wake pipe for cross-thread stop requests.
+///
+/// Interest is *pulled*, not registered: each entry supplies an
+/// InterestFn returning the POLLIN/POLLOUT mask it currently wants, and
+/// the loop re-queries every iteration. That makes backpressure a pure
+/// predicate on connection state (outbox full => no POLLIN) instead of
+/// bookkeeping that can go stale.
+///
+/// Reentrancy: handlers run on the loop thread and may Add() new
+/// entries or Remove() any entry — including their own — during
+/// dispatch; removal is deferred to the end of the dispatch round, so
+/// the handler object currently executing is never destroyed under
+/// itself. Run()/Add()/Remove() are loop-thread-only; RequestStop() is
+/// safe from any thread.
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include <poll.h>
+
+#include "common/status.h"
+
+namespace xpstream {
+
+/// Marks `fd` non-blocking (O_NONBLOCK).
+Status SetNonBlocking(int fd);
+
+class EventLoop {
+ public:
+  /// Receives the revents mask poll() reported for the fd.
+  using Handler = std::function<void(short)>;
+  /// Returns the events the fd currently cares about (POLLIN | POLLOUT
+  /// subset); 0 parks the fd for this iteration.
+  using InterestFn = std::function<short()>;
+
+  /// Creates the loop and its wake pipe.
+  static Result<std::unique_ptr<EventLoop>> Create();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd`. The loop does not own the fd; the caller closes it
+  /// after Remove(). Re-adding a registered fd replaces its entry.
+  void Add(int fd, InterestFn interest, Handler handler);
+
+  /// Unregisters `fd`; deferred until the current dispatch round ends,
+  /// so it is safe from inside any handler.
+  void Remove(int fd);
+
+  /// Dispatches until RequestStop(). Call from the loop thread.
+  void Run();
+
+  /// Asks Run() to return after the current iteration. Thread-safe and
+  /// idempotent.
+  void RequestStop();
+
+ private:
+  EventLoop(int wake_read_fd, int wake_write_fd);
+
+  struct Entry {
+    InterestFn interest;
+    Handler handler;
+    bool dead = false;
+  };
+
+  const int wake_read_fd_;
+  const int wake_write_fd_;
+  std::map<int, Entry> entries_;
+  bool stop_ = false;  // loop thread only; cross-thread stop via the pipe
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_SERVER_EVENT_LOOP_H_

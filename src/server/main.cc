@@ -1,0 +1,102 @@
+// xpstreamd — the long-running XPath dissemination service. Owns one
+// Engine behind the TCP protocol of docs/protocol.md; runs until
+// SIGINT/SIGTERM, then shuts down gracefully (exit 0).
+//
+//   $ xpstreamd --port 7845 --engine frontier --threads 1
+//   xpstreamd listening on 127.0.0.1:7845 (engine=frontier, threads=1)
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "xpstream/server.h"
+
+namespace {
+
+// Self-pipe: the handler may only do async-signal-safe work, so it
+// writes one byte and main() — blocked on the read — does the rest.
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int) {
+  const char byte = 's';
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--address A] [--port N] [--engine NAME] [--threads N]\n"
+      "          [--max-document-bytes N] [--max-frame-bytes N]\n"
+      "          [--max-element-depth N] [--outbox-frames N]\n"
+      "defaults: 127.0.0.1, ephemeral port, frontier, 1 thread\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xpstream;
+
+  ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--help" || arg == "-h") return Usage(argv[0]);
+    if (value == nullptr) return Usage(argv[0]);
+    if (arg == "--address") {
+      options.bind_address = value;
+    } else if (arg == "--port") {
+      options.port = static_cast<uint16_t>(std::atoi(value));
+    } else if (arg == "--engine") {
+      options.engine.engine = value;
+    } else if (arg == "--threads") {
+      options.engine.threads = static_cast<size_t>(std::atol(value));
+    } else if (arg == "--max-document-bytes") {
+      options.max_document_bytes = static_cast<size_t>(std::atoll(value));
+    } else if (arg == "--max-frame-bytes") {
+      options.max_frame_bytes = static_cast<size_t>(std::atoll(value));
+    } else if (arg == "--max-element-depth") {
+      options.max_element_depth = static_cast<size_t>(std::atoll(value));
+    } else if (arg == "--outbox-frames") {
+      options.outbox_frames = static_cast<size_t>(std::atoll(value));
+    } else {
+      return Usage(argv[0]);
+    }
+    ++i;
+  }
+  // An unbounded document stream has no use for per-document history.
+  options.engine.keep_history = false;
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  struct sigaction action {};
+  action.sa_handler = HandleSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // peer resets must not kill the daemon
+
+  auto server = Server::Start(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "xpstreamd: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("xpstreamd listening on %s:%u (engine=%s, threads=%zu)\n",
+              options.bind_address.c_str(), (*server)->port(),
+              options.engine.engine.c_str(), options.engine.threads);
+  std::fflush(stdout);
+
+  char byte;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("xpstreamd: shutting down\n");
+  (*server)->Stop();
+  return 0;
+}

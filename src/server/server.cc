@@ -1,0 +1,371 @@
+#include "xpstream/server.h"
+
+#include <cerrno>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "server/event_loop.h"
+#include "server/session.h"
+#include "server/wire.h"
+
+namespace xpstream {
+
+/// The server core: owns the Engine, the listener, the event loop and
+/// every Session; implements the protocol semantics (SessionHost) and
+/// bridges the engine's ResultSink into per-connection push frames.
+/// Everything below runs on the loop thread except Start/Stop/port.
+class Server::Impl : public SessionHost {
+ public:
+  explicit Impl(ServerOptions options) : options_(std::move(options)) {}
+
+  ~Impl() override { Stop(); }
+
+  Status Start() {
+    EngineOptions engine_options = options_.engine;
+    if (engine_options.max_element_depth == 0) {
+      engine_options.max_element_depth = options_.max_element_depth;
+    }
+    auto engine = Engine::Create(engine_options);
+    if (!engine.ok()) return engine.status();
+    engine_ = std::move(engine).value();
+    engine_->SetSink(&sink_);
+
+    auto loop = EventLoop::Create();
+    if (!loop.ok()) return loop.status();
+    loop_ = std::move(loop).value();
+
+    XPS_RETURN_IF_ERROR(Listen());
+    loop_->Add(
+        listen_fd_, [] { return static_cast<short>(POLLIN); },
+        [this](short) { AcceptConnections(); });
+
+    // Bind + listen happened on this thread, so port() is valid and a
+    // Client::Connect issued right after Start() cannot be refused.
+    thread_ = std::thread([this] { loop_->Run(); });
+    return Status::OK();
+  }
+
+  void Stop() {
+    if (thread_.joinable()) {
+      loop_->RequestStop();
+      thread_.join();
+      // Loop-thread state is ours again (join = happens-before): close
+      // live connections so blocked clients see EOF, stop listening.
+      sessions_.clear();
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+
+  uint16_t port() const { return port_; }
+
+  // --- SessionHost (loop thread) -----------------------------------
+
+  Result<uint32_t> OnSubscribe(Session* session, uint8_t mode,
+                               std::string_view query) override {
+    const uint32_t wire_id = next_wire_id_++;
+    XPS_RETURN_IF_ERROR(engine_->Subscribe(
+        std::to_string(wire_id), query,
+        mode == 0 ? DeliveryMode::kAtEnd : DeliveryMode::kEarliest));
+    sub_index_[wire_id] = subs_.size();
+    subs_.push_back(SubRecord{wire_id, session});
+    return wire_id;
+  }
+
+  Status OnUnsubscribe(Session* session, uint32_t sub_id) override {
+    auto it = sub_index_.find(sub_id);
+    // A subscription is private to the connection that made it; another
+    // connection's id is indistinguishable from an unknown one.
+    if (it == sub_index_.end() || subs_[it->second].owner != session) {
+      return Status::NotFound("unknown subscription id: " +
+                              std::to_string(sub_id));
+    }
+    XPS_RETURN_IF_ERROR(engine_->Unsubscribe(std::to_string(sub_id)));
+    EraseSub(it->second);
+    return Status::OK();
+  }
+
+  Status OnDocChunk(Session* session, std::string_view bytes) override {
+    if (publisher_ != nullptr && publisher_ != session) {
+      return Status::InvalidArgument(
+          "another connection's document is in flight");
+    }
+    if (publisher_ == nullptr) {
+      publisher_ = session;
+      doc_bytes_ = 0;
+    }
+    doc_bytes_ += bytes.size();
+    if (doc_bytes_ > options_.max_document_bytes) {
+      AbortDocument();
+      return Status::InvalidArgument(
+          "document exceeds max_document_bytes = " +
+          std::to_string(options_.max_document_bytes));
+    }
+    Status status = engine_->Feed(bytes);
+    if (!status.ok()) AbortDocument();
+    return status;
+  }
+
+  Result<uint64_t> OnDocEnd(Session* session) override {
+    if (publisher_ != session) {
+      return Status::InvalidArgument(
+          "DOC_END without an open document on this connection");
+    }
+    publisher_ = nullptr;
+    doc_bytes_ = 0;
+    // FinishDocument drives the sink bridge synchronously: MATCH and
+    // DOC_DONE frames are queued to subscriber outboxes before the
+    // publisher's DOC_OK is (FIFO per connection keeps that order on
+    // the wire). It aborts internally on failure.
+    Status status = engine_->FinishDocument();
+    FlushDeferredUnsubs();
+    if (!status.ok()) return status;
+    return static_cast<uint64_t>(engine_->documents_seen() - 1);
+  }
+
+  Status OnCompact(Session*) override {
+    return engine_->CompactSubscriptions();
+  }
+
+  std::string OnStats(Session* session) override {
+    std::string text;
+    auto line = [&text](std::string_view key, uint64_t value) {
+      text.append(key);
+      text.push_back('=');
+      text.append(std::to_string(value));
+      text.push_back('\n');
+    };
+    text.append("engine=").append(engine_->engine_name()).push_back('\n');
+    line("documents_seen", engine_->documents_seen());
+    line("subscriptions", engine_->NumSubscriptions());
+    line("eval_slots", engine_->num_eval_slots());
+    line("tombstoned_slots", engine_->tombstoned_slots());
+    line("automaton_rebuilds", engine_->automaton_rebuilds());
+    line("connections", sessions_.size());
+    line("dropped_frames", session->dropped_frames());
+    line("outbox_capacity", options_.outbox_frames);
+    line("peak_table_entries", engine_->peak_table_entries());
+    line("peak_buffered_bytes", engine_->peak_buffered_bytes());
+    return text;
+  }
+
+ private:
+  struct SubRecord {
+    uint32_t wire_id;
+    /// The owning connection, or nullptr when it disconnected while a
+    /// document was in flight (detached: no delivery, engine removal
+    /// deferred to the document boundary).
+    Session* owner;
+  };
+
+  /// ResultSink face of the server: engine decisions become outbound
+  /// frames. Callbacks arrive on the loop thread (the engine is driven
+  /// there), inside Feed/FinishDocument.
+  struct Bridge : ResultSink {
+    explicit Bridge(Impl* impl) : impl(impl) {}
+    void OnMatch(size_t slot, size_t doc, size_t ordinal) override {
+      impl->PushMatch(slot, doc, ordinal);
+    }
+    void OnDocumentDone(size_t doc,
+                        const std::vector<bool>& verdicts) override {
+      impl->PushDocDone(doc, verdicts);
+    }
+    Impl* impl;
+  };
+
+  Status Listen() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::Internal("socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.bind_address.c_str(),
+                    &address.sin_addr) != 1) {
+      return Status::InvalidArgument("unparseable bind_address: " +
+                                     options_.bind_address);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+               sizeof address) != 0) {
+      return Status::Internal("bind(" + options_.bind_address + ":" +
+                              std::to_string(options_.port) +
+                              ") failed: errno " + std::to_string(errno));
+    }
+    if (::listen(listen_fd_, 128) != 0) {
+      return Status::Internal("listen() failed: errno " +
+                              std::to_string(errno));
+    }
+    socklen_t length = sizeof address;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                      &length) != 0) {
+      return Status::Internal("getsockname() failed");
+    }
+    port_ = ntohs(address.sin_port);
+    return SetNonBlocking(listen_fd_);
+  }
+
+  void AcceptConnections() {
+    while (true) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;  // EAGAIN (drained) or transient error
+      if (!SetNonBlocking(fd).ok()) {
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      if (options_.so_sndbuf > 0) {
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                     sizeof options_.so_sndbuf);
+      }
+      SessionLimits limits;
+      limits.max_frame_bytes = options_.max_frame_bytes;
+      limits.outbox_frames = options_.outbox_frames;
+      auto session =
+          std::make_unique<Session>(fd, next_session_id_++, limits, this);
+      Session* raw = session.get();
+      sessions_[fd] = std::move(session);
+      loop_->Add(
+          fd, [raw] { return raw->Interest(); },
+          [this, fd, raw](short revents) {
+            raw->HandleEvents(revents);
+            if (raw->done()) RemoveSession(fd);
+          });
+    }
+  }
+
+  void RemoveSession(int fd) {
+    auto it = sessions_.find(fd);
+    if (it == sessions_.end()) return;
+    Session* session = it->second.get();
+    // A publisher dying mid-document must not wedge the service: drop
+    // the partial document so the next publisher can start clean.
+    if (publisher_ == session) AbortDocument();
+    // Engine removal is barred while some other connection's document
+    // streams; detach now (stop delivering) and unsubscribe at the
+    // document boundary.
+    for (size_t i = 0; i < subs_.size();) {
+      if (subs_[i].owner != session) {
+        ++i;
+        continue;
+      }
+      if (publisher_ != nullptr) {
+        subs_[i].owner = nullptr;
+        deferred_unsubs_.push_back(subs_[i].wire_id);
+        ++i;
+      } else {
+        engine_->Unsubscribe(std::to_string(subs_[i].wire_id));
+        EraseSub(i);
+      }
+    }
+    loop_->Remove(fd);  // deferred reap; the handler object stays valid
+    sessions_.erase(it);
+  }
+
+  void AbortDocument() {
+    engine_->AbortDocument();
+    publisher_ = nullptr;
+    doc_bytes_ = 0;
+    FlushDeferredUnsubs();
+  }
+
+  void FlushDeferredUnsubs() {
+    for (uint32_t wire_id : deferred_unsubs_) {
+      auto it = sub_index_.find(wire_id);
+      if (it == sub_index_.end()) continue;
+      engine_->Unsubscribe(std::to_string(wire_id));
+      EraseSub(it->second);
+    }
+    deferred_unsubs_.clear();
+  }
+
+  void EraseSub(size_t index) {
+    sub_index_.erase(subs_[index].wire_id);
+    subs_.erase(subs_.begin() + static_cast<ptrdiff_t>(index));
+    // Mirror the engine's shift-down semantics so slot indices in sink
+    // callbacks keep pointing at the right records.
+    for (auto& entry : sub_index_) {
+      if (entry.second > index) --entry.second;
+    }
+  }
+
+  void PushMatch(size_t slot, size_t doc, size_t ordinal) {
+    if (slot >= subs_.size()) return;  // defensive: bridge/engine skew
+    const SubRecord& record = subs_[slot];
+    if (record.owner == nullptr) return;  // detached mid-document
+    record.owner->EnqueuePush(wire::EncodeMatch(record.wire_id, doc, ordinal));
+  }
+
+  void PushDocDone(size_t doc, const std::vector<bool>& verdicts) {
+    // Group this document's verdicts by owning connection, preserving
+    // engine subscription order within each group.
+    struct Group {
+      std::string entries;
+      uint32_t count = 0;
+    };
+    std::unordered_map<Session*, Group> groups;
+    const size_t n = std::min(verdicts.size(), subs_.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (subs_[i].owner == nullptr) continue;
+      Group& group = groups[subs_[i].owner];
+      wire::AppendU32(&group.entries, subs_[i].wire_id);
+      wire::AppendU8(&group.entries, verdicts[i] ? 1 : 0);
+      ++group.count;
+    }
+    for (auto& [session, group] : groups) {
+      std::string payload;
+      payload.reserve(12 + group.entries.size());
+      wire::AppendU64(&payload, doc);
+      wire::AppendU32(&payload, group.count);
+      payload.append(group.entries);
+      session->EnqueuePush(
+          wire::EncodeFrame(wire::FrameType::kDocDone, payload));
+    }
+  }
+
+  const ServerOptions options_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<EventLoop> loop_;
+  Bridge sink_{this};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+
+  // --- loop-thread state -------------------------------------------
+  std::unordered_map<int, std::unique_ptr<Session>> sessions_;
+  std::vector<SubRecord> subs_;  // engine subscription order
+  std::unordered_map<uint32_t, size_t> sub_index_;  // wire id -> index
+  uint32_t next_wire_id_ = 1;
+  uint64_t next_session_id_ = 1;
+  Session* publisher_ = nullptr;  // connection feeding the open document
+  size_t doc_bytes_ = 0;          // its cumulative chunk bytes
+  std::vector<uint32_t> deferred_unsubs_;
+};
+
+Server::Server(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+Server::~Server() = default;
+
+Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
+  auto impl = std::make_unique<Impl>(options);
+  XPS_RETURN_IF_ERROR(impl->Start());
+  return std::unique_ptr<Server>(new Server(std::move(impl)));
+}
+
+uint16_t Server::port() const { return impl_->port(); }
+
+void Server::Stop() { impl_->Stop(); }
+
+}  // namespace xpstream

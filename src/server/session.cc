@@ -1,0 +1,203 @@
+#include "server/session.h"
+
+#include <cerrno>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace xpstream {
+
+namespace {
+/// Headroom above the soft cap reserved for control acks: the
+/// processing gate admits at most one request past the cap check, and
+/// each request generates at most one ack, so a few slots suffice.
+constexpr size_t kControlHeadroom = 8;
+}  // namespace
+
+Session::Session(int fd, uint64_t id, const SessionLimits& limits,
+                 SessionHost* host)
+    : fd_(fd),
+      id_(id),
+      limits_(limits),
+      host_(host),
+      decoder_(limits.max_frame_bytes),
+      outbox_(limits.outbox_frames + kControlHeadroom) {}
+
+Session::~Session() { ::close(fd_); }
+
+short Session::Interest() const {
+  if (done_) return 0;
+  short events = 0;
+  if (!draining_ && outbox_.size() < limits_.outbox_frames) events |= POLLIN;
+  if (!write_frame_.empty() || outbox_.size() > 0) events |= POLLOUT;
+  return events;
+}
+
+void Session::HandleEvents(short revents) {
+  if ((revents & POLLOUT) != 0) FlushWrites();
+  if ((revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+      !draining_ && !done_) {
+    ReadInput();
+  }
+  // Frames parked behind a full outbox resume here once a flush made
+  // room; also drains whatever a read buffered.
+  if (!done_ && !draining_) ProcessFrames();
+}
+
+void Session::FlushWrites() {
+  while (!done_) {
+    if (write_frame_.empty()) {
+      std::optional<std::string> next = outbox_.TryPop();
+      if (!next.has_value()) break;
+      write_frame_ = std::move(*next);
+      write_offset_ = 0;
+    }
+    const ssize_t n = ::write(fd_, write_frame_.data() + write_offset_,
+                              write_frame_.size() - write_offset_);
+    if (n > 0) {
+      write_offset_ += static_cast<size_t>(n);
+      if (write_offset_ == write_frame_.size()) {
+        write_frame_.clear();
+        write_offset_ = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    done_ = true;  // peer gone or unrecoverable write error
+    return;
+  }
+  if (draining_ && write_frame_.empty() && outbox_.size() == 0) {
+    done_ = true;  // the ERROR frame is out; close for real
+  }
+}
+
+void Session::ReadInput() {
+  char buffer[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd_, buffer, sizeof buffer);
+    if (n > 0) {
+      decoder_.Append(std::string_view(buffer, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    done_ = true;  // EOF or read error; the server reaps and cleans up
+    return;
+  }
+}
+
+void Session::ProcessFrames() {
+  // The gate: no request is admitted while the outbox is at the cap,
+  // which both bounds control-ack headroom use and backpressures the
+  // client (reading pauses via Interest() until the queue drains).
+  while (!done_ && !draining_ &&
+         outbox_.size() < limits_.outbox_frames) {
+    auto next = decoder_.Next();
+    if (!next.ok()) {
+      FailConnection(next.status());
+      return;
+    }
+    if (!next->has_value()) return;  // partial frame buffered
+    HandleFrame(**next);
+  }
+}
+
+void Session::HandleFrame(const wire::Frame& frame) {
+  using wire::FrameType;
+  switch (frame.type) {
+    case FrameType::kSubscribe: {
+      wire::PayloadReader reader(frame.payload);
+      const uint8_t mode = reader.ReadU8();
+      const std::string_view query = reader.Rest();
+      if (!reader.ok() || mode > 1) {
+        FailConnection(
+            Status::InvalidArgument("malformed SUBSCRIBE payload"));
+        return;
+      }
+      auto sub_id = host_->OnSubscribe(this, mode, query);
+      EnqueueControl(sub_id.ok() ? wire::EncodeSubscribeOk(*sub_id)
+                                 : wire::EncodeError(sub_id.status()));
+      return;
+    }
+    case FrameType::kUnsubscribe: {
+      wire::PayloadReader reader(frame.payload);
+      const uint32_t sub_id = reader.ReadU32();
+      if (!reader.Done()) {
+        FailConnection(
+            Status::InvalidArgument("malformed UNSUBSCRIBE payload"));
+        return;
+      }
+      Status status = host_->OnUnsubscribe(this, sub_id);
+      EnqueueControl(status.ok()
+                         ? wire::EncodeFrame(FrameType::kUnsubscribeOk, "")
+                         : wire::EncodeError(status));
+      return;
+    }
+    case FrameType::kDocChunk: {
+      // Chunks are unacked (no per-chunk round trip). The first error
+      // aborts the document server-side; the rest of its chunks are
+      // discarded and DOC_END returns the remembered error.
+      if (doc_error_.has_value()) return;
+      Status status = host_->OnDocChunk(this, frame.payload);
+      if (!status.ok()) doc_error_ = std::move(status);
+      return;
+    }
+    case FrameType::kDocEnd: {
+      if (!frame.payload.empty()) {
+        FailConnection(Status::InvalidArgument("DOC_END carries no payload"));
+        return;
+      }
+      if (doc_error_.has_value()) {
+        EnqueueControl(wire::EncodeError(*doc_error_));
+        doc_error_.reset();
+        return;
+      }
+      auto doc_index = host_->OnDocEnd(this);
+      EnqueueControl(doc_index.ok() ? wire::EncodeDocOk(*doc_index)
+                                    : wire::EncodeError(doc_index.status()));
+      return;
+    }
+    case FrameType::kCompact: {
+      Status status = host_->OnCompact(this);
+      EnqueueControl(status.ok()
+                         ? wire::EncodeFrame(FrameType::kCompactOk, "")
+                         : wire::EncodeError(status));
+      return;
+    }
+    case FrameType::kStats: {
+      EnqueueControl(
+          wire::EncodeFrame(FrameType::kStatsOk, host_->OnStats(this)));
+      return;
+    }
+    default:
+      // Unknown or server-to-client type from a client: the peer is
+      // broken; do not try to resynchronize its stream.
+      FailConnection(Status::InvalidArgument(
+          "unexpected frame type " +
+          std::to_string(static_cast<unsigned>(frame.type))));
+      return;
+  }
+}
+
+void Session::FailConnection(const Status& status) {
+  draining_ = true;
+  if (!outbox_.TryPush(wire::EncodeError(status))) done_ = true;
+}
+
+void Session::EnqueuePush(std::string frame) {
+  if (done_ || draining_ || outbox_.size() >= limits_.outbox_frames ||
+      !outbox_.TryPush(std::move(frame))) {
+    ++dropped_frames_;
+  }
+}
+
+void Session::EnqueueControl(std::string frame) {
+  if (!outbox_.TryPush(std::move(frame))) {
+    // Headroom exhausted: the admission gate was bypassed somehow.
+    // Closing beats leaving the client waiting for an ack forever.
+    done_ = true;
+  }
+}
+
+}  // namespace xpstream

@@ -1,0 +1,129 @@
+#ifndef XPSTREAM_SERVER_SESSION_H_
+#define XPSTREAM_SERVER_SESSION_H_
+
+/// \file
+/// One accepted connection: socket I/O, frame decoding, request
+/// dispatch into the SessionHost (the server core that owns the
+/// Engine), and the bounded outbound frame queue that implements the
+/// backpressure policy:
+///
+///  * the session stops reading (and processing) requests while its
+///    outbox holds >= outbox_frames frames — its own TCP sender
+///    backpressures in turn;
+///  * pushed frames (MATCH / DOC_DONE fan-out from other connections'
+///    documents) are never allowed to stall the document stream: at the
+///    cap they are dropped and counted in dropped_frames();
+///  * control acks (answers to this connection's own requests) use a
+///    small reserved headroom above the cap, so a request that was
+///    admitted always gets its answer — the processing gate above
+///    bounds how many can be outstanding.
+///
+/// All methods run on the server's event-loop thread.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bounded_queue.h"
+#include "common/status.h"
+#include "server/wire.h"
+
+namespace xpstream {
+
+class Session;
+
+/// Protocol semantics, implemented by the server core. A Status return
+/// becomes an ERROR frame on the wire; the connection stays up for
+/// semantic errors (it is torn down only for framing violations).
+class SessionHost {
+ public:
+  virtual ~SessionHost() = default;
+  virtual Result<uint32_t> OnSubscribe(Session* session, uint8_t mode,
+                                       std::string_view query) = 0;
+  virtual Status OnUnsubscribe(Session* session, uint32_t sub_id) = 0;
+  virtual Status OnDocChunk(Session* session, std::string_view bytes) = 0;
+  virtual Result<uint64_t> OnDocEnd(Session* session) = 0;
+  virtual Status OnCompact(Session* session) = 0;
+  virtual std::string OnStats(Session* session) = 0;
+};
+
+struct SessionLimits {
+  size_t max_frame_bytes = 1u << 20;
+  size_t outbox_frames = 1024;  // soft cap; see class comment
+};
+
+class Session {
+ public:
+  /// Takes ownership of `fd` (already non-blocking); closes it on
+  /// destruction.
+  Session(int fd, uint64_t id, const SessionLimits& limits,
+          SessionHost* host);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return id_; }
+  int fd() const { return fd_; }
+
+  /// POLLIN/POLLOUT mask for the next poll iteration: POLLIN while
+  /// request processing is admitted (not draining, outbox below the
+  /// cap), POLLOUT while frames wait to leave. 0 once done().
+  short Interest() const;
+
+  /// Reacts to poll() readiness: flushes writes, reads input, processes
+  /// buffered frames (also after a flush, so frames parked behind a
+  /// full outbox resume without new socket bytes).
+  void HandleEvents(short revents);
+
+  /// True when the connection is finished (peer closed, I/O error, or
+  /// a framing-violation ERROR was fully flushed) and the server should
+  /// reap it.
+  bool done() const { return done_; }
+
+  /// Queues a server-initiated push frame; drops it (counted) when the
+  /// outbox is at capacity or the session is going away.
+  void EnqueuePush(std::string frame);
+
+  /// Queues an ack/error for this session's own request. Uses the
+  /// reserved headroom; a failure here is an invariant breach and
+  /// closes the connection rather than hanging its client.
+  void EnqueueControl(std::string frame);
+
+  /// Pushed frames dropped on the outbox cap so far (STATS surface).
+  uint64_t dropped_frames() const { return dropped_frames_; }
+
+ private:
+  void FlushWrites();
+  void ReadInput();
+  void ProcessFrames();
+  void HandleFrame(const wire::Frame& frame);
+  /// Sends an ERROR and puts the session into draining: no more reads,
+  /// flush what is queued, then close. For unrecoverable (framing /
+  /// protocol) violations only.
+  void FailConnection(const Status& status);
+
+  const int fd_;
+  const uint64_t id_;
+  const SessionLimits limits_;
+  SessionHost* const host_;
+
+  wire::FrameDecoder decoder_;
+  BoundedQueue<std::string> outbox_;
+  std::string write_frame_;   // frame currently being written
+  size_t write_offset_ = 0;
+
+  /// First error of the in-flight document (parse failure, byte cap);
+  /// later chunks are discarded and DOC_END is answered with it, so
+  /// the client sees exactly one error, at the request it waits on.
+  std::optional<Status> doc_error_;
+
+  bool draining_ = false;
+  bool done_ = false;
+  uint64_t dropped_frames_ = 0;
+};
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_SERVER_SESSION_H_

@@ -1,0 +1,186 @@
+// BoundedQueue: the fixed-capacity hand-off primitive behind the
+// server's per-connection outboxes. The contracts under test:
+//
+//  * FIFO order, capacity enforcement (TryPush refuses, Push waits);
+//  * Close() wakes every blocked producer and consumer, producers fail
+//    immediately, consumers drain what is queued and only then see
+//    nullopt (close never discards items);
+//  * the whole surface is race-free under concurrent producers and
+//    consumers (this test is part of the TSan suite).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+
+namespace xpstream {
+namespace {
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> queue(4);
+  EXPECT_EQ(queue.capacity(), 4u);
+  EXPECT_EQ(queue.size(), 0u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.TryPush(i));
+  EXPECT_EQ(queue.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    auto value = queue.TryPop();
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, i);
+  }
+  EXPECT_FALSE(queue.TryPop().has_value());
+}
+
+TEST(BoundedQueueTest, TryPushRefusesWhenFull) {
+  BoundedQueue<std::string> queue(2);
+  EXPECT_TRUE(queue.TryPush("a"));
+  EXPECT_TRUE(queue.TryPush("b"));
+  EXPECT_FALSE(queue.TryPush("c"));
+  EXPECT_EQ(queue.size(), 2u);
+  ASSERT_TRUE(queue.TryPop().has_value());
+  EXPECT_TRUE(queue.TryPush("c"));
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(7));
+  EXPECT_FALSE(queue.TryPush(8));
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilSpace) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.TryPush(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks: queue is full
+    pushed.store(true);
+  });
+  // The producer cannot complete until the consumer makes room.
+  EXPECT_FALSE(pushed.load());
+  auto first = queue.Pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 1);
+  auto second = queue.Pop();  // waits for the producer if necessary
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 2);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilItem) {
+  BoundedQueue<int> queue(4);
+  std::thread consumer([&] {
+    auto value = queue.Pop();  // blocks: queue is empty
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, 42);
+  });
+  queue.Push(42);
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(4);
+  std::thread consumer([&] {
+    auto value = queue.Pop();
+    EXPECT_FALSE(value.has_value());  // closed while empty
+  });
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.TryPush(1));
+  std::thread producer([&] {
+    EXPECT_FALSE(queue.Push(2));  // blocked on full, then closed
+  });
+  queue.Close();
+  producer.join();
+  EXPECT_FALSE(queue.TryPush(3));  // closed refuses immediately
+}
+
+TEST(BoundedQueueTest, CloseDrainsQueuedItems) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(1));
+  ASSERT_TRUE(queue.TryPush(2));
+  queue.Close();
+  queue.Close();  // idempotent
+  auto a = queue.Pop();
+  auto b = queue.TryPop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  EXPECT_FALSE(queue.Pop().has_value());  // closed and drained
+}
+
+// Multi-producer hand-off: every pushed item is popped exactly once,
+// in per-producer order, with the capacity bound honored throughout.
+TEST(BoundedQueueTest, MultiProducerStress) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<std::pair<int, int>> queue(8);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push({p, i}));
+      }
+    });
+  }
+
+  std::vector<int> next(kProducers, 0);
+  int total = 0;
+  std::thread consumer([&] {
+    while (auto item = queue.Pop()) {
+      auto [p, i] = *item;
+      EXPECT_EQ(i, next[p]) << "producer " << p;  // per-producer FIFO
+      ++next[p];
+      ++total;
+    }
+  });
+
+  for (auto& thread : producers) thread.join();
+  queue.Close();
+  consumer.join();
+  EXPECT_EQ(total, kProducers * kPerProducer);
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next[p], kPerProducer);
+}
+
+// Producers shedding on a full queue (the sink bridge's policy): the
+// consumer still sees a coherent FIFO of the accepted items.
+TEST(BoundedQueueTest, TryPushSheddingUnderConcurrency) {
+  BoundedQueue<int> queue(4);
+  std::atomic<int> accepted{0};
+  std::atomic<int> shed{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (queue.TryPush(i)) {
+          accepted.fetch_add(1);
+        } else {
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::atomic<int> popped{0};
+  std::thread consumer([&] {
+    while (queue.Pop().has_value()) popped.fetch_add(1);
+  });
+  for (auto& thread : producers) thread.join();
+  queue.Close();
+  consumer.join();
+  EXPECT_EQ(accepted.load() + shed.load(), 3000);
+  EXPECT_EQ(popped.load(), accepted.load());
+}
+
+}  // namespace
+}  // namespace xpstream

@@ -1,0 +1,364 @@
+// Hostile-input hardening of xpstreamd: framing violations (oversize,
+// zero-length, unknown-type, truncated and garbage frames) get a clean
+// per-connection ERROR frame and a close — never a crash, never any
+// effect on other connections — and the resource caps
+// (max_document_bytes, max_element_depth) fail the offending document
+// while the connection and the engine stay healthy.
+//
+// These tests speak the wire protocol by hand through raw sockets
+// (bypassing the Client, which only emits well-formed frames) and
+// decode responses with the same wire:: helpers the server uses.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/wire.h"
+#include "xpstream/server.h"
+#include "xpstream/xpstream.h"
+
+namespace xpstream {
+namespace {
+
+using wire::FrameType;
+
+/// A raw TCP connection with a receive timeout; reads one frame at a
+/// time with the library decoder.
+class RawConn {
+ public:
+  static RawConn Connect(uint16_t port) {
+    RawConn conn;
+    conn.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(conn.fd_, 0);
+    timeval timeout{5, 0};
+    ::setsockopt(conn.fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    EXPECT_EQ(::connect(conn.fd_, reinterpret_cast<sockaddr*>(&address),
+                        sizeof address),
+              0);
+    return conn;
+  }
+
+  ~RawConn() { Close(); }
+  RawConn(RawConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  RawConn(const RawConn&) = delete;
+  RawConn& operator=(const RawConn&) = delete;
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  void Send(std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// Next complete frame, or nullopt on EOF/timeout/undecodable bytes.
+  std::optional<wire::Frame> ReadFrame() {
+    while (true) {
+      auto frame = decoder_.Next();
+      if (!frame.ok()) return std::nullopt;
+      if (frame->has_value()) return **frame;
+      char buffer[4096];
+      const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+      if (n <= 0) return std::nullopt;
+      decoder_.Append(std::string_view(buffer, static_cast<size_t>(n)));
+    }
+  }
+
+  /// True when the server closed its end (EOF within the timeout).
+  bool ReadEof() {
+    while (true) {
+      char buffer[4096];
+      const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+      if (n == 0) return true;
+      if (n < 0) return false;  // timeout: still open
+    }
+  }
+
+ private:
+  RawConn() = default;
+  int fd_ = -1;
+  // Generous local limit: we must be able to *decode* whatever the
+  // server sends even when testing the server's much smaller cap.
+  wire::FrameDecoder decoder_{1u << 24};
+};
+
+/// Expects exactly: one ERROR frame carrying `code`, then EOF.
+void ExpectErrorThenClose(RawConn* conn, StatusCode code) {
+  auto frame = conn->ReadFrame();
+  ASSERT_TRUE(frame.has_value()) << "no ERROR frame before close";
+  ASSERT_EQ(frame->type, FrameType::kError);
+  const Status status = wire::DecodeError(frame->payload);
+  EXPECT_EQ(status.code(), code) << status.ToString();
+  EXPECT_TRUE(conn->ReadEof());
+}
+
+/// The "other connections unaffected" probe: a healthy client doing a
+/// full subscribe/feed/verdict round trip.
+void ExpectServiceHealthy(uint16_t port) {
+  auto client = Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  auto sub = (*client)->Subscribe("//b", DeliveryMode::kEarliest);
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE((*client)->Feed("<a><b/></a>").ok());
+  ASSERT_TRUE((*client)->FinishDocument().ok());
+  const std::vector<ClientEvent> events = (*client)->TakeEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, ClientEvent::Kind::kMatch);
+  EXPECT_EQ(events[1].kind, ClientEvent::Kind::kDocDone);
+  ASSERT_TRUE((*client)->Unsubscribe(*sub).ok());
+}
+
+ServerOptions SmallLimits() {
+  ServerOptions options;
+  options.engine.engine = "nfa";
+  options.max_frame_bytes = 1024;
+  options.max_document_bytes = 4096;
+  return options;
+}
+
+TEST(ServerHardeningTest, OversizeFrameDeclarationClosesThatConnectionOnly) {
+  auto server = Server::Start(SmallLimits());
+  ASSERT_TRUE(server.ok());
+
+  // An established victim connection with live state on the server.
+  auto victim = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE((*victim)->Subscribe("//b").ok());
+
+  RawConn hostile = RawConn::Connect((*server)->port());
+  std::string header;
+  wire::AppendU32(&header, 100'000);  // declares 100 KB > 1 KB cap
+  hostile.Send(header);
+  ExpectErrorThenClose(&hostile, StatusCode::kInvalidArgument);
+
+  // The victim's subscription and the service are untouched.
+  ASSERT_TRUE((*victim)->Feed("<a><b/></a>").ok());
+  ASSERT_TRUE((*victim)->FinishDocument().ok());
+  // kAtEnd match delivered at the boundary + the DOC_DONE verdicts.
+  EXPECT_EQ((*victim)->TakeEvents().size(), 2u);
+  ExpectServiceHealthy((*server)->port());
+}
+
+TEST(ServerHardeningTest, ZeroLengthFrameIsAFramingError) {
+  auto server = Server::Start(SmallLimits());
+  ASSERT_TRUE(server.ok());
+  RawConn hostile = RawConn::Connect((*server)->port());
+  std::string header;
+  wire::AppendU32(&header, 0);  // no room for even the type byte
+  hostile.Send(header);
+  ExpectErrorThenClose(&hostile, StatusCode::kInvalidArgument);
+  ExpectServiceHealthy((*server)->port());
+}
+
+TEST(ServerHardeningTest, UnknownFrameTypeClosesConnection) {
+  auto server = Server::Start(SmallLimits());
+  ASSERT_TRUE(server.ok());
+  RawConn hostile = RawConn::Connect((*server)->port());
+  hostile.Send(wire::EncodeFrame(static_cast<FrameType>(0x7F), "junk"));
+  ExpectErrorThenClose(&hostile, StatusCode::kInvalidArgument);
+  ExpectServiceHealthy((*server)->port());
+}
+
+TEST(ServerHardeningTest, ClientMayNotSendServerFrameTypes) {
+  auto server = Server::Start(SmallLimits());
+  ASSERT_TRUE(server.ok());
+  RawConn hostile = RawConn::Connect((*server)->port());
+  hostile.Send(wire::EncodeMatch(1, 2, 3));  // a push, from the wrong side
+  ExpectErrorThenClose(&hostile, StatusCode::kInvalidArgument);
+  ExpectServiceHealthy((*server)->port());
+}
+
+TEST(ServerHardeningTest, MalformedPayloadsCloseConnection) {
+  auto server = Server::Start(SmallLimits());
+  ASSERT_TRUE(server.ok());
+  {
+    // SUBSCRIBE with no mode byte.
+    RawConn hostile = RawConn::Connect((*server)->port());
+    hostile.Send(wire::EncodeFrame(FrameType::kSubscribe, ""));
+    ExpectErrorThenClose(&hostile, StatusCode::kInvalidArgument);
+  }
+  {
+    // SUBSCRIBE with an out-of-range delivery mode.
+    RawConn hostile = RawConn::Connect((*server)->port());
+    std::string payload;
+    wire::AppendU8(&payload, 9);
+    payload.append("//a");
+    hostile.Send(wire::EncodeFrame(FrameType::kSubscribe, payload));
+    ExpectErrorThenClose(&hostile, StatusCode::kInvalidArgument);
+  }
+  {
+    // UNSUBSCRIBE with a short id field.
+    RawConn hostile = RawConn::Connect((*server)->port());
+    hostile.Send(wire::EncodeFrame(FrameType::kUnsubscribe, "\x01"));
+    ExpectErrorThenClose(&hostile, StatusCode::kInvalidArgument);
+  }
+  {
+    // DOC_END carrying unexpected payload bytes.
+    RawConn hostile = RawConn::Connect((*server)->port());
+    hostile.Send(wire::EncodeFrame(FrameType::kDocEnd, "x"));
+    ExpectErrorThenClose(&hostile, StatusCode::kInvalidArgument);
+  }
+  ExpectServiceHealthy((*server)->port());
+}
+
+TEST(ServerHardeningTest, GarbageBytesAreRejected) {
+  auto server = Server::Start(SmallLimits());
+  ASSERT_TRUE(server.ok());
+  RawConn hostile = RawConn::Connect((*server)->port());
+  // "GET " as a big-endian length is ~1.2 GB — instant framing error;
+  // an accidental HTTP client cannot make the server buffer anything.
+  hostile.Send("GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+  ExpectErrorThenClose(&hostile, StatusCode::kInvalidArgument);
+  ExpectServiceHealthy((*server)->port());
+}
+
+TEST(ServerHardeningTest, TruncatedFrameThenDisconnectLeavesNoResidue) {
+  auto server = Server::Start(SmallLimits());
+  ASSERT_TRUE(server.ok());
+  {
+    RawConn hostile = RawConn::Connect((*server)->port());
+    // A valid header promising 512 bytes, then silence and a close.
+    std::string header;
+    wire::AppendU32(&header, 512);
+    wire::AppendU8(&header, 0x01);
+    hostile.Send(header);
+  }  // disconnect with the frame incomplete
+  {
+    // Half a SUBSCRIBE that never completes, then a hard close.
+    RawConn hostile = RawConn::Connect((*server)->port());
+    hostile.Send(std::string("\x00\x00", 2));
+  }
+  ExpectServiceHealthy((*server)->port());
+}
+
+TEST(ServerHardeningTest, DocumentByteCapAbortsDocumentNotConnection) {
+  auto server = Server::Start(SmallLimits());  // max_document_bytes = 4096
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Subscribe("//b").ok());
+
+  // 8 KB of well-formed XML, streamed in frame-sized chunks so the
+  // document cap — not the frame cap, not the parser — is what trips.
+  std::string big = "<a>";
+  while (big.size() < 8192) big += "<b>filler</b>";
+  big += "</a>";
+  for (size_t offset = 0; offset < big.size(); offset += 512) {
+    ASSERT_TRUE(
+        (*client)->Feed(std::string_view(big).substr(offset, 512)).ok());
+  }
+  auto oversized = (*client)->FinishDocument();
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_EQ(oversized.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(oversized.status().message().find("max_document_bytes"),
+            std::string::npos)
+      << oversized.status().ToString();
+
+  // Same connection, next document: accepted, and the aborted one was
+  // never counted.
+  ASSERT_TRUE((*client)->Feed("<a><b/></a>").ok());
+  auto good = (*client)->FinishDocument();
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 0u);
+}
+
+TEST(ServerHardeningTest, ElementDepthCapMatchesDirectEngine) {
+  ServerOptions options;
+  options.engine.engine = "frontier";
+  options.max_element_depth = 4;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Subscribe("//d").ok());
+
+  EngineOptions direct_options = options.engine;
+  direct_options.max_element_depth = 4;
+  auto direct = Engine::Create(direct_options);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE((*direct)->Subscribe("q", "//d").ok());
+
+  const std::string at_cap = "<a><b><c><d/></c></b></a>";          // depth 4
+  const std::string over_cap = "<a><b><c><d><e/></d></c></b></a>";  // depth 5
+
+  ASSERT_TRUE((*client)->Feed(at_cap).ok());
+  EXPECT_TRUE((*client)->FinishDocument().ok());
+  EXPECT_TRUE((*direct)->FilterXml(at_cap).ok());
+
+  ASSERT_TRUE((*client)->Feed(over_cap).ok());
+  auto over_tcp = (*client)->FinishDocument();
+  auto over_direct = (*direct)->FilterXml(over_cap);
+  ASSERT_FALSE(over_tcp.ok());
+  ASSERT_FALSE(over_direct.ok());
+  EXPECT_EQ(over_tcp.status().code(), StatusCode::kNotWellFormed);
+  EXPECT_EQ(over_direct.status().code(), over_tcp.status().code());
+
+  // Both sides recover for the next well-formed document.
+  ASSERT_TRUE((*client)->Feed(at_cap).ok());
+  EXPECT_TRUE((*client)->FinishDocument().ok());
+  EXPECT_TRUE((*direct)->FilterXml(at_cap).ok());
+}
+
+TEST(ServerHardeningTest, MalformedXmlFailsDocumentNotConnection) {
+  auto server = Server::Start(SmallLimits());
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Subscribe("//b").ok());
+
+  // Mismatched close tag: the parse error is latched chunk-side and
+  // surfaces at DOC_END; later chunks of the doomed document are
+  // discarded without confusing the engine.
+  ASSERT_TRUE((*client)->Feed("<a><b></a>").ok());
+  ASSERT_TRUE((*client)->Feed("more bytes after the error").ok());
+  auto bad = (*client)->FinishDocument();
+  ASSERT_FALSE(bad.ok());
+
+  ASSERT_TRUE((*client)->Feed("<a><b/></a>").ok());
+  auto good = (*client)->FinishDocument();
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 0u);
+  ExpectServiceHealthy((*server)->port());
+}
+
+// Semantic errors must not tear the connection down: bad XPath, bad
+// unsubscribe, DOC_END without a document.
+TEST(ServerHardeningTest, SemanticErrorsKeepConnectionAlive) {
+  auto server = Server::Start(SmallLimits());
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  EXPECT_FALSE((*client)->Subscribe("//[[[not xpath").ok());
+  EXPECT_FALSE((*client)->Unsubscribe(12345).ok());
+  EXPECT_FALSE((*client)->FinishDocument().ok());  // no document open
+
+  // All three rejections later, the connection still works end-to-end.
+  auto sub = (*client)->Subscribe("//b", DeliveryMode::kEarliest);
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE((*client)->Feed("<a><b/></a>").ok());
+  EXPECT_TRUE((*client)->FinishDocument().ok());
+  EXPECT_EQ((*client)->TakeEvents().size(), 2u);
+}
+
+}  // namespace
+}  // namespace xpstream
