@@ -74,6 +74,16 @@ struct ServerOptions {
   /// SO_SNDBUF for accepted connections; 0 keeps the system default.
   /// Shrinking it makes backpressure observable at small scale.
   int so_sndbuf = 0;
+
+  /// Cap on simultaneously open connections. Accepts past the cap are
+  /// closed immediately, so a connection flood cannot exhaust fds or
+  /// per-session memory.
+  size_t max_connections = 1024;
+
+  /// A connection making no socket progress (no bytes read or written)
+  /// for this long is closed — covering both idle clients and stalled
+  /// drains (a peer never reading its final ERROR frame). 0 disables.
+  int idle_timeout_ms = 300'000;
 };
 
 /// The long-running service. Start() binds, listens and spawns the

@@ -42,8 +42,10 @@ class Client::Impl {
   Status SendAll(std::string_view bytes) {
     size_t offset = 0;
     while (offset < bytes.size()) {
-      const ssize_t n =
-          ::write(fd_, bytes.data() + offset, bytes.size() - offset);
+      // MSG_NOSIGNAL: a server that died mid-request must fail the
+      // call with EPIPE, not raise SIGPIPE in the embedding process.
+      const ssize_t n = ::send(fd_, bytes.data() + offset,
+                               bytes.size() - offset, MSG_NOSIGNAL);
       if (n > 0) {
         offset += static_cast<size_t>(n);
         continue;

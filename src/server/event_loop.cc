@@ -52,6 +52,11 @@ void EventLoop::Remove(int fd) {
   if (it != entries_.end()) it->second.dead = true;
 }
 
+void EventLoop::SetTick(std::function<void()> tick, int interval_ms) {
+  tick_ = std::move(tick);
+  tick_interval_ms_ = interval_ms > 0 ? interval_ms : -1;
+}
+
 void EventLoop::RequestStop() {
   // The pipe is the only cross-thread channel: the loop thread owns
   // stop_ and flips it when it drains the wake byte, so no flag is
@@ -64,6 +69,7 @@ void EventLoop::RequestStop() {
 void EventLoop::Run() {
   std::vector<pollfd> pollfds;
   std::vector<int> ready;
+  auto last_tick = std::chrono::steady_clock::now();
   while (!stop_) {
     // Reap entries removed during the previous dispatch round.
     for (auto it = entries_.begin(); it != entries_.end();) {
@@ -77,8 +83,8 @@ void EventLoop::Run() {
       if (events != 0) pollfds.push_back(pollfd{fd, events, 0});
     }
 
-    const int n = ::poll(pollfds.data(),
-                         static_cast<nfds_t>(pollfds.size()), -1);
+    const int n = ::poll(pollfds.data(), static_cast<nfds_t>(pollfds.size()),
+                         tick_ ? tick_interval_ms_ : -1);
     if (n < 0) {
       if (errno == EINTR) continue;
       return;  // unrecoverable poll failure; the owner tears down
@@ -104,6 +110,17 @@ void EventLoop::Run() {
       auto it = entries_.find(pollfds[static_cast<size_t>(i)].fd);
       if (it == entries_.end() || it->second.dead) continue;
       it->second.handler(pollfds[static_cast<size_t>(i)].revents);
+    }
+
+    // The tick runs after dispatch so I/O progress handlers just made
+    // (activity timestamps, reaps) is visible to it.
+    if (tick_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_tick >=
+          std::chrono::milliseconds(tick_interval_ms_)) {
+        last_tick = now;
+        tick_();
+      }
     }
   }
   stop_ = false;  // allow a future Run() after a stop

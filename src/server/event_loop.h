@@ -18,6 +18,7 @@
 /// itself. Run()/Add()/Remove() are loop-thread-only; RequestStop() is
 /// safe from any thread.
 
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -54,6 +55,12 @@ class EventLoop {
   /// so it is safe from inside any handler.
   void Remove(int fd);
 
+  /// Installs a periodic callback run on the loop thread roughly every
+  /// `interval_ms` (after the dispatch round in which it came due) —
+  /// the loop polls with a finite timeout so the tick fires even while
+  /// every fd is silent. One tick per loop; set before Run().
+  void SetTick(std::function<void()> tick, int interval_ms);
+
   /// Dispatches until RequestStop(). Call from the loop thread.
   void Run();
 
@@ -73,6 +80,8 @@ class EventLoop {
   const int wake_read_fd_;
   const int wake_write_fd_;
   std::map<int, Entry> entries_;
+  std::function<void()> tick_;
+  int tick_interval_ms_ = -1;  // -1: no tick; poll blocks indefinitely
   bool stop_ = false;  // loop thread only; cross-thread stop via the pipe
 };
 

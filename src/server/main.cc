@@ -5,7 +5,10 @@
 //   $ xpstreamd --port 7845 --engine frontier --threads 1
 //   xpstreamd listening on 127.0.0.1:7845 (engine=frontier, threads=1)
 
+#include <cerrno>
+#include <climits>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,12 +29,29 @@ void HandleSignal(int) {
   [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
+// Strict decimal parse: every character a digit, value within
+// [0, max_value]. atoi-style silent-zero on garbage is how "--port
+// 78x45" ends up binding an ephemeral port.
+bool ParseUnsigned(const char* text, uint64_t max_value, uint64_t* out) {
+  if (*text == '\0') return false;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || value > max_value) return false;
+  *out = value;
+  return true;
+}
+
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--address A] [--port N] [--engine NAME] [--threads N]\n"
       "          [--max-document-bytes N] [--max-frame-bytes N]\n"
       "          [--max-element-depth N] [--outbox-frames N]\n"
+      "          [--max-connections N] [--idle-timeout-ms N]\n"
       "defaults: 127.0.0.1, ephemeral port, frontier, 1 thread\n",
       argv0);
   return 2;
@@ -48,22 +68,35 @@ int main(int argc, char** argv) {
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
     if (arg == "--help" || arg == "-h") return Usage(argv[0]);
     if (value == nullptr) return Usage(argv[0]);
+    uint64_t number = 0;
     if (arg == "--address") {
       options.bind_address = value;
-    } else if (arg == "--port") {
-      options.port = static_cast<uint16_t>(std::atoi(value));
     } else if (arg == "--engine") {
       options.engine.engine = value;
+    } else if (arg == "--port") {
+      if (!ParseUnsigned(value, 65535, &number)) return Usage(argv[0]);
+      options.port = static_cast<uint16_t>(number);
     } else if (arg == "--threads") {
-      options.engine.threads = static_cast<size_t>(std::atol(value));
+      if (!ParseUnsigned(value, SIZE_MAX, &number)) return Usage(argv[0]);
+      options.engine.threads = static_cast<size_t>(number);
     } else if (arg == "--max-document-bytes") {
-      options.max_document_bytes = static_cast<size_t>(std::atoll(value));
+      if (!ParseUnsigned(value, SIZE_MAX, &number)) return Usage(argv[0]);
+      options.max_document_bytes = static_cast<size_t>(number);
     } else if (arg == "--max-frame-bytes") {
-      options.max_frame_bytes = static_cast<size_t>(std::atoll(value));
+      if (!ParseUnsigned(value, SIZE_MAX, &number)) return Usage(argv[0]);
+      options.max_frame_bytes = static_cast<size_t>(number);
     } else if (arg == "--max-element-depth") {
-      options.max_element_depth = static_cast<size_t>(std::atoll(value));
+      if (!ParseUnsigned(value, SIZE_MAX, &number)) return Usage(argv[0]);
+      options.max_element_depth = static_cast<size_t>(number);
     } else if (arg == "--outbox-frames") {
-      options.outbox_frames = static_cast<size_t>(std::atoll(value));
+      if (!ParseUnsigned(value, SIZE_MAX, &number)) return Usage(argv[0]);
+      options.outbox_frames = static_cast<size_t>(number);
+    } else if (arg == "--max-connections") {
+      if (!ParseUnsigned(value, SIZE_MAX, &number)) return Usage(argv[0]);
+      options.max_connections = static_cast<size_t>(number);
+    } else if (arg == "--idle-timeout-ms") {
+      if (!ParseUnsigned(value, INT_MAX, &number)) return Usage(argv[0]);
+      options.idle_timeout_ms = static_cast<int>(number);
     } else {
       return Usage(argv[0]);
     }

@@ -1,6 +1,8 @@
 #include "xpstream/server.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -8,6 +10,7 @@
 #include <vector>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -47,6 +50,12 @@ class Server::Impl : public SessionHost {
     loop_->Add(
         listen_fd_, [] { return static_cast<short>(POLLIN); },
         [this](short) { AcceptConnections(); });
+    if (options_.idle_timeout_ms > 0) {
+      // A few ticks per timeout keeps reap latency a fraction of the
+      // timeout itself without waking an idle loop too often.
+      loop_->SetTick([this] { ReapIdleSessions(); },
+                     std::max(10, options_.idle_timeout_ms / 4));
+    }
 
     // Bind + listen happened on this thread, so port() is valid and a
     // Client::Connect issued right after Start() cannot be refused.
@@ -65,6 +74,10 @@ class Server::Impl : public SessionHost {
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
       listen_fd_ = -1;
+    }
+    if (spare_fd_ >= 0) {
+      ::close(spare_fd_);
+      spare_fd_ = -1;
     }
   }
 
@@ -213,13 +226,34 @@ class Server::Impl : public SessionHost {
       return Status::Internal("getsockname() failed");
     }
     port_ = ntohs(address.sin_port);
+    // Reserved fd for the EMFILE path in AcceptConnections: without
+    // one, fd exhaustion leaves the pending connection in the backlog
+    // and level-triggered POLLIN busy-spins the loop.
+    spare_fd_ = ::open("/dev/null", O_RDONLY);
     return SetNonBlocking(listen_fd_);
   }
 
   void AcceptConnections() {
     while (true) {
       const int fd = ::accept(listen_fd_, nullptr, nullptr);
-      if (fd < 0) return;  // EAGAIN (drained) or transient error
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        if ((errno == EMFILE || errno == ENFILE) && spare_fd_ >= 0) {
+          // Out of fds with a connection still queued: poll() would
+          // re-fire POLLIN forever. Burn the reserve to accept it,
+          // close it (an overloaded-server refusal), re-reserve.
+          ::close(spare_fd_);
+          const int victim = ::accept(listen_fd_, nullptr, nullptr);
+          if (victim >= 0) ::close(victim);
+          spare_fd_ = ::open("/dev/null", O_RDONLY);
+          continue;
+        }
+        return;  // EAGAIN (backlog drained) or unrecoverable
+      }
+      if (sessions_.size() >= options_.max_connections) {
+        ::close(fd);  // over the cap: refuse by immediate close
+        continue;
+      }
       if (!SetNonBlocking(fd).ok()) {
         ::close(fd);
         continue;
@@ -261,12 +295,16 @@ class Server::Impl : public SessionHost {
         ++i;
         continue;
       }
-      if (publisher_ != nullptr) {
+      if (publisher_ != nullptr ||
+          !engine_->Unsubscribe(std::to_string(subs_[i].wire_id)).ok()) {
+        // Mid-document, or the engine refused removal: the engine
+        // still holds the slot, so the record must stay too (erasing
+        // it would shift indices and desynchronize subs_ from the
+        // engine). Detach delivery now, retry at a document boundary.
         subs_[i].owner = nullptr;
         deferred_unsubs_.push_back(subs_[i].wire_id);
         ++i;
       } else {
-        engine_->Unsubscribe(std::to_string(subs_[i].wire_id));
         EraseSub(i);
       }
     }
@@ -282,13 +320,30 @@ class Server::Impl : public SessionHost {
   }
 
   void FlushDeferredUnsubs() {
+    std::vector<uint32_t> retry;
     for (uint32_t wire_id : deferred_unsubs_) {
       auto it = sub_index_.find(wire_id);
       if (it == sub_index_.end()) continue;
-      engine_->Unsubscribe(std::to_string(wire_id));
-      EraseSub(it->second);
+      if (engine_->Unsubscribe(std::to_string(wire_id)).ok()) {
+        EraseSub(it->second);
+      } else {
+        // Engine kept the slot: keep the (detached) record so indices
+        // stay aligned, and try again at the next boundary.
+        retry.push_back(wire_id);
+      }
     }
-    deferred_unsubs_.clear();
+    deferred_unsubs_ = std::move(retry);
+  }
+
+  void ReapIdleSessions() {
+    const auto cutoff =
+        std::chrono::steady_clock::now() -
+        std::chrono::milliseconds(options_.idle_timeout_ms);
+    std::vector<int> idle;
+    for (const auto& [fd, session] : sessions_) {
+      if (session->last_activity() < cutoff) idle.push_back(fd);
+    }
+    for (int fd : idle) RemoveSession(fd);
   }
 
   void EraseSub(size_t index) {
@@ -340,6 +395,7 @@ class Server::Impl : public SessionHost {
   std::unique_ptr<EventLoop> loop_;
   Bridge sink_{this};
   int listen_fd_ = -1;
+  int spare_fd_ = -1;  // EMFILE reserve; see AcceptConnections
   uint16_t port_ = 0;
   std::thread thread_;
 

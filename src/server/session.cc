@@ -3,6 +3,7 @@
 #include <cerrno>
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 namespace xpstream {
@@ -21,7 +22,8 @@ Session::Session(int fd, uint64_t id, const SessionLimits& limits,
       limits_(limits),
       host_(host),
       decoder_(limits.max_frame_bytes),
-      outbox_(limits.outbox_frames + kControlHeadroom) {}
+      outbox_(limits.outbox_frames + kControlHeadroom),
+      last_activity_(std::chrono::steady_clock::now()) {}
 
 Session::~Session() { ::close(fd_); }
 
@@ -52,9 +54,14 @@ void Session::FlushWrites() {
       write_frame_ = std::move(*next);
       write_offset_ = 0;
     }
-    const ssize_t n = ::write(fd_, write_frame_.data() + write_offset_,
-                              write_frame_.size() - write_offset_);
+    // MSG_NOSIGNAL: a peer that vanished with frames queued must
+    // surface as EPIPE here, not as a SIGPIPE that kills a host
+    // process embedding the server as a library.
+    const ssize_t n = ::send(fd_, write_frame_.data() + write_offset_,
+                             write_frame_.size() - write_offset_,
+                             MSG_NOSIGNAL);
     if (n > 0) {
+      last_activity_ = std::chrono::steady_clock::now();
       write_offset_ += static_cast<size_t>(n);
       if (write_offset_ == write_frame_.size()) {
         write_frame_.clear();
@@ -77,6 +84,7 @@ void Session::ReadInput() {
   while (true) {
     const ssize_t n = ::read(fd_, buffer, sizeof buffer);
     if (n > 0) {
+      last_activity_ = std::chrono::steady_clock::now();
       decoder_.Append(std::string_view(buffer, static_cast<size_t>(n)));
       continue;
     }

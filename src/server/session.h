@@ -20,6 +20,7 @@
 ///
 /// All methods run on the server's event-loop thread.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -94,6 +95,15 @@ class Session {
   /// Pushed frames dropped on the outbox cap so far (STATS surface).
   uint64_t dropped_frames() const { return dropped_frames_; }
 
+  /// Last moment this connection made socket progress (bytes read or
+  /// written; connection time initially). A session stuck before this
+  /// point for longer than the server's idle timeout — including one
+  /// draining an unflushed ERROR frame to a peer that never reads —
+  /// gets reaped.
+  std::chrono::steady_clock::time_point last_activity() const {
+    return last_activity_;
+  }
+
  private:
   void FlushWrites();
   void ReadInput();
@@ -122,6 +132,7 @@ class Session {
   bool draining_ = false;
   bool done_ = false;
   uint64_t dropped_frames_ = 0;
+  std::chrono::steady_clock::time_point last_activity_;
 };
 
 }  // namespace xpstream

@@ -17,8 +17,10 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "server/wire.h"
@@ -34,12 +36,17 @@ using wire::FrameType;
 /// time with the library decoder.
 class RawConn {
  public:
-  static RawConn Connect(uint16_t port) {
+  /// `rcvbuf > 0` shrinks SO_RCVBUF before connecting (it must be set
+  /// pre-handshake to affect the advertised window).
+  static RawConn Connect(uint16_t port, int rcvbuf = 0) {
     RawConn conn;
     conn.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     EXPECT_GE(conn.fd_, 0);
     timeval timeout{5, 0};
     ::setsockopt(conn.fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    if (rcvbuf > 0) {
+      ::setsockopt(conn.fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+    }
     sockaddr_in address{};
     address.sin_family = AF_INET;
     address.sin_port = htons(port);
@@ -337,6 +344,119 @@ TEST(ServerHardeningTest, MalformedXmlFailsDocumentNotConnection) {
   auto good = (*client)->FinishDocument();
   ASSERT_TRUE(good.ok());
   EXPECT_EQ(*good, 0u);
+  ExpectServiceHealthy((*server)->port());
+}
+
+// The server runs embedded here (no daemon, so no SIG_IGN on SIGPIPE):
+// pushing frames to a subscriber that vanished must surface as EPIPE
+// inside the server, never as a process-killing SIGPIPE.
+TEST(ServerHardeningTest, DisconnectWithQueuedPushesDoesNotRaiseSigpipe) {
+  // Tiny kernel buffers on both ends, so MATCH frames pile up in the
+  // session outbox instead of vanishing into TCP.
+  ServerOptions options;
+  options.engine.engine = "nfa";
+  options.so_sndbuf = 4096;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok());
+
+  // A raw-socket subscriber with kEarliest delivery that never reads
+  // its pushes.
+  RawConn subscriber = RawConn::Connect((*server)->port(), /*rcvbuf=*/4096);
+  std::string payload;
+  wire::AppendU8(&payload, 1);  // kEarliest
+  payload.append("//b");
+  subscriber.Send(wire::EncodeFrame(FrameType::kSubscribe, payload));
+  auto ack = subscriber.ReadFrame();
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, FrameType::kSubscribeOk);
+
+  // Thousands of matches: the flush fills both kernel buffers, hits
+  // EAGAIN and leaves the rest queued in the outbox.
+  auto publisher = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(publisher.ok());
+  std::string doc = "<a>";
+  for (int i = 0; i < 2000; ++i) doc += "<b/>";
+  doc += "</a>";
+  ASSERT_TRUE((*publisher)->Feed(doc).ok());
+  ASSERT_TRUE((*publisher)->FinishDocument().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Abrupt close with unread data in the receive buffer sends an RST
+  // immediately. The next flush writes to the reset socket — the
+  // textbook raise-SIGPIPE condition; MSG_NOSIGNAL keeps it an EPIPE
+  // on that session only.
+  subscriber.Close();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE((*publisher)->Feed("<a><b/></a>").ok());
+  ASSERT_TRUE((*publisher)->FinishDocument().ok());
+  ExpectServiceHealthy((*server)->port());
+}
+
+// The mirror-image hazard in the blocking Client: after the server is
+// gone, the first failed request consumes the socket's pending error
+// (ECONNRESET) and every later request writes to a dead socket — the
+// write-after-RST that raises SIGPIPE without MSG_NOSIGNAL, killing
+// the embedding process (test runner, bench, example).
+TEST(ServerHardeningTest, ClientRequestsAfterServerGoneFailWithoutSigpipe) {
+  auto server = Server::Start(SmallLimits());
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect("127.0.0.1", (*server)->port(),
+                                /*recv_timeout_ms=*/2000);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Subscribe("//a").ok());
+
+  (*server)->Stop();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE((*client)->Subscribe("//a").ok());
+  }
+}
+
+TEST(ServerHardeningTest, ConnectionCapClosesExcessConnections) {
+  ServerOptions options = SmallLimits();
+  options.max_connections = 2;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok());
+
+  // Round-trip on both admitted connections first, so the server has
+  // demonstrably accepted them before the third one arrives.
+  auto first = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE((*first)->Subscribe("//a").ok());
+  auto second = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE((*second)->Subscribe("//a").ok());
+
+  // The connection over the cap is refused by an immediate close.
+  RawConn excess = RawConn::Connect((*server)->port());
+  EXPECT_TRUE(excess.ReadEof());
+
+  // Admitted connections are untouched, and a freed slot is reusable
+  // (the reap of the closed connection is asynchronous: retry).
+  ASSERT_TRUE((*first)->Feed("<a/>").ok());
+  ASSERT_TRUE((*first)->FinishDocument().ok());
+  second.value().reset();
+  bool readmitted = false;
+  for (int attempt = 0; attempt < 100 && !readmitted; ++attempt) {
+    auto next = Client::Connect("127.0.0.1", (*server)->port());
+    readmitted = next.ok() && (*next)->Subscribe("//a").ok();
+    if (!readmitted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(readmitted);
+}
+
+TEST(ServerHardeningTest, IdleConnectionIsReaped) {
+  ServerOptions options = SmallLimits();
+  options.idle_timeout_ms = 500;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok());
+
+  // Connect, send nothing, read: the server closes the connection
+  // once it has been idle past the timeout (EOF well before the 5 s
+  // receive timeout), freeing its fd and session state.
+  RawConn idle = RawConn::Connect((*server)->port());
+  EXPECT_TRUE(idle.ReadEof());
   ExpectServiceHealthy((*server)->port());
 }
 
