@@ -15,34 +15,21 @@
 #include "stream/frontier_filter.h"
 #include "stream/lazy_dfa_filter.h"
 #include "stream/nfa_filter.h"
-#include "xml/node.h"
+#include "workload/scenarios.h"
 #include "xpath/parser.h"
 
 namespace xpstream {
 namespace {
 
-std::string BlowupQuery(size_t k) {
-  std::string text = "//a";
-  for (size_t i = 0; i < k; ++i) text += "/*";
-  return text;
-}
-
 int RunE5() {
   std::printf("# E5: DFA table blowup vs. frontier algorithm (//a/*^k)\n");
   std::printf("%-4s %-8s %-12s %-14s %-12s %-14s\n", "k", "|Q|",
               "dfa_states", "dfa_trans", "lazy_states", "frontier_peak");
-  // A complete binary tree of depth 12 whose left children are named 'a'
-  // and right children 'x': every ancestor-name pattern of length <= 12
-  // occurs, so the lazy DFA is driven toward its worst case.
-  auto doc = std::make_unique<XmlDocument>();
-  auto build = [&](auto&& self, XmlNode* node, size_t depth) -> void {
-    if (depth == 0) return;
-    self(self, node->AddElement("a"), depth - 1);
-    self(self, node->AddElement("x"), depth - 1);
-  };
-  XmlNode* top = doc->root()->AddElement("a");
-  build(build, top, 11);
-  EventStream events = doc->ToEvents();
+  // The shared E5 corpus (workload/scenarios): a complete binary tree
+  // of depth 12 whose left children are named 'a' and right children
+  // 'x' — every ancestor-name pattern of length <= 12 occurs, so the
+  // lazy DFA is driven toward its worst case.
+  EventStream events = GenerateBlowupDocument(12);
 
   for (size_t k = 2; k <= 14; k += 2) {
     auto query = ParseQuery(BlowupQuery(k));

@@ -35,6 +35,7 @@
 #include "common/memory_stats.h"
 #include "common/status.h"
 #include "xml/event.h"
+#include "xml/stats.h"
 #include "xpstream/query.h"
 
 namespace xpstream {
@@ -44,6 +45,19 @@ class Matcher;        // internal (stream/matcher.h)
 class SymbolTable;    // internal (xml/symbol_table.h)
 class ThreadPool;     // internal (common/thread_pool.h)
 class XmlParser;      // internal (xml/parser.h)
+
+/// What happens to a Subscribe whose predicted peak memory would push
+/// the engine past EngineOptions::memory_budget_bytes.
+enum class AdmissionPolicy {
+  /// Fail the Subscribe with kResourceExhausted; the engine is
+  /// untouched. The default.
+  kReject,
+  /// Admit the subscription degraded: its delivery mode is forced to
+  /// kAtEnd (no early push work) and the admission is counted in
+  /// admission_degrades(). The predicted cost is still charged, so one
+  /// over-budget admission does not open the gate for the next.
+  kDegrade,
+};
 
 /// When a subscription's result is pushed to the ResultSink.
 enum class DeliveryMode {
@@ -96,8 +110,33 @@ class ResultSink {
 
 /// Engine construction options.
 struct EngineOptions {
-  /// Registry name of the filtering algorithm.
+  /// Registry name of the filtering algorithm — or "auto", which routes
+  /// each subscription to the engine the query planner
+  /// (xpstream/planner.h) predicts cheapest for it, falling back down
+  /// the ranking when an engine rejects the query at Subscribe time.
+  /// "auto" is a routing policy, not a registry engine, so it does not
+  /// appear in AvailableEngines().
   std::string engine = "frontier";
+
+  /// Per-engine (per-tenant) admission budget in predicted peak bytes;
+  /// 0 = no admission control. Every new evaluation slot is priced by
+  /// the planner against the profile of the documents observed so far
+  /// (assumed_profile before the first document); when the running
+  /// predicted total would exceed this budget, the Subscribe is
+  /// rejected or degraded per `admission`. Deduplicated subscriptions
+  /// (an equivalent query already evaluating) are free and always
+  /// admitted.
+  size_t memory_budget_bytes = 0;
+
+  /// What to do with a Subscribe that would overrun the budget.
+  AdmissionPolicy admission = AdmissionPolicy::kReject;
+
+  /// The document profile admission control and "auto" routing price
+  /// against until the first real document is observed (then running
+  /// maxima of observed documents take over). Deployments expecting
+  /// hostile input should assert here the worst document their caps
+  /// admit.
+  DocumentProfile assumed_profile;
 
   /// Record the verdicts of every completed document in history().
   /// Disable for unbounded document streams where only Matched() /
@@ -149,6 +188,8 @@ class Engine : public EventSink {
   /// Creates an engine; kNotFound when options.engine names no
   /// registered algorithm.
   static Result<std::unique_ptr<Engine>> Create(const EngineOptions& options);
+
+  /// Convenience overload: default options with the named algorithm.
   static Result<std::unique_ptr<Engine>> Create(std::string_view engine_name);
 
   /// Registry names available for EngineOptions::engine, sorted.
@@ -227,6 +268,40 @@ class Engine : public EventSink {
 
   /// The compiled query subscribed under `id`; kNotFound when unknown.
   Result<const CompiledQuery*> SubscribedQuery(std::string_view id) const;
+
+  // --- planning and admission --------------------------------------
+
+  /// The planner's record for one admitted subscription.
+  struct SubscriptionPlan {
+    /// The engine actually evaluating it ("auto" resolves to the
+    /// routed member engine; fixed-engine setups report that engine).
+    std::string engine;
+    /// The predicted peak bytes charged against the budget when its
+    /// evaluation slot was admitted.
+    size_t predicted_peak_bytes = 0;
+    /// Whether admission degraded it (AdmissionPolicy::kDegrade path).
+    bool degraded = false;
+  };
+
+  /// The plan under which subscription `id` was admitted; kNotFound
+  /// when unknown.
+  Result<SubscriptionPlan> PlanOf(std::string_view id) const;
+
+  /// Predicted peak bytes of all live evaluation slots — the quantity
+  /// admission control holds below memory_budget_bytes. Also exported
+  /// as the predicted_peak_bytes gauge of stats().
+  size_t predicted_peak_bytes() const { return predicted_total_; }
+
+  /// Subscribes rejected (kResourceExhausted) by admission control.
+  size_t admission_rejects() const { return admission_rejects_; }
+
+  /// Subscribes admitted degraded by AdmissionPolicy::kDegrade.
+  size_t admission_degrades() const { return admission_degrades_; }
+
+  /// The document profile predictions currently price against: running
+  /// maxima of observed documents, or EngineOptions::assumed_profile
+  /// before the first document completes.
+  const DocumentProfile& observed_profile() const { return *profile_; }
 
   // --- byte-level entry points -------------------------------------
 
@@ -333,8 +408,10 @@ class Engine : public EventSink {
   /// this gauge is the once-per-distinct-name cost of that trade.
   const MemoryStats& stats() const;
 
-  /// Peaks across all documents seen so far.
+  /// Peak live table/frontier entries across all documents seen so far.
   size_t peak_table_entries() const { return peak_table_entries_; }
+
+  /// Peak buffered document text across all documents seen so far.
   size_t peak_buffered_bytes() const { return peak_buffered_bytes_; }
 
  private:
@@ -348,14 +425,27 @@ class Engine : public EventSink {
     CompiledQuery query;
     size_t refs;
     bool tombstoned;
+    /// Planner record, fixed at admission: which engine evaluates the
+    /// slot, what peak the planner predicted (the bytes charged against
+    /// the budget), and whether admission degraded it.
+    std::string planned_engine;
+    size_t predicted_bytes = 0;
+    bool degraded = false;
   };
 
   Engine(EngineOptions options, std::shared_ptr<ThreadPool> pool,
          std::unique_ptr<SymbolTable> symbols,
          std::unique_ptr<DfaTableCache> dfa_tables,
+         std::unique_ptr<DocumentProfile> profile,
          std::unique_ptr<Matcher> matcher);
 
   Status CheckSubscribable(const std::string& id) const;
+
+  /// Prices one new evaluation slot for `query` against the current
+  /// profile: the predicted peak bytes of the engine that will run it
+  /// (the planner's choice under "auto", the configured engine
+  /// otherwise; 0 for engines the planner does not know).
+  size_t PredictSlotCost(const CompiledQuery& query) const;
 
   /// Rebuilds slot_subs_ from sub_slot_ when stale (Subscribe /
   /// Unsubscribe mark it dirty; both are barred mid-document, so the
@@ -398,6 +488,11 @@ class Engine : public EventSink {
   /// Shared lazy-DFA transition tables (see stream/dfa_table_cache.h);
   /// declared before matcher_ for the same destruction-order reason.
   std::unique_ptr<DfaTableCache> dfa_tables_;
+  /// The pipeline's document profile (PipelineContext::profile points
+  /// here): assumed_profile until the first document completes, running
+  /// maxima afterwards. Owned ahead of matcher_ like the other shared
+  /// pipeline structure.
+  std::unique_ptr<DocumentProfile> profile_;
   std::unique_ptr<Matcher> matcher_;
   std::unique_ptr<SinkRelay> relay_;
 
@@ -441,6 +536,14 @@ class Engine : public EventSink {
   size_t documents_seen_ = 0;
   size_t documents_short_circuited_ = 0;
   std::vector<std::vector<bool>> history_;
+
+  // --- planning and admission ---
+  /// Streaming measurement of the current document, folded into
+  /// profile_ at each document boundary.
+  DocumentStatsCollector collector_;
+  size_t predicted_total_ = 0;   ///< sum over live slots' predicted_bytes
+  size_t admission_rejects_ = 0;
+  size_t admission_degrades_ = 0;
 
   // --- last-document results, recorded per eval slot ---
   std::vector<bool> slot_verdicts_;

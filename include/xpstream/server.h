@@ -66,6 +66,18 @@ struct ServerOptions {
   /// used only when options.engine.max_element_depth is 0.
   size_t max_element_depth = 1024;
 
+  /// Admission budget applied to the engine, in predicted peak bytes
+  /// (0 = no admission control); used only when
+  /// options.engine.memory_budget_bytes is 0. A SUBSCRIBE whose
+  /// predicted peak would overrun it is answered with an ERROR frame
+  /// carrying StatusCode::kResourceExhausted (or admitted degraded,
+  /// per `admission`).
+  size_t memory_budget_bytes = 0;
+
+  /// Policy for over-budget SUBSCRIBEs, applied together with the
+  /// server-level memory_budget_bytes above.
+  AdmissionPolicy admission = AdmissionPolicy::kReject;
+
   /// Per-connection outbound queue capacity, in frames. At capacity
   /// the server stops reading the connection's own requests; pushed
   /// frames to it are dropped and counted in dropped_frames.
@@ -91,6 +103,8 @@ struct ServerOptions {
 /// live connections after the loop drains its current iteration.
 class Server {
  public:
+  /// Binds, listens, and spawns the event-loop thread; the returned
+  /// Server is live until Stop() or destruction.
   static Result<std::unique_ptr<Server>> Start(const ServerOptions& options);
   ~Server();
 
@@ -115,12 +129,14 @@ class Server {
 /// event `ordinal`) or a DOC_DONE (per-subscription verdicts of one
 /// completed document, in subscription registration order).
 struct ClientEvent {
+  /// Which push frame this event records.
   enum class Kind { kMatch, kDocDone };
-  Kind kind;
-  uint64_t doc = 0;
-  uint32_t sub_id = 0;   // kMatch only
-  uint64_t ordinal = 0;  // kMatch only
-  std::vector<std::pair<uint32_t, bool>> verdicts;  // kDocDone only
+  Kind kind;             ///< Frame type of this delivery.
+  uint64_t doc = 0;      ///< Document index in the server's stream.
+  uint32_t sub_id = 0;   ///< Matching subscription (kMatch only).
+  uint64_t ordinal = 0;  ///< Deciding event ordinal (kMatch only).
+  /// Per-subscription verdicts, registration order (kDocDone only).
+  std::vector<std::pair<uint32_t, bool>> verdicts;
 };
 
 /// A blocking protocol client, used by tests, examples and the bench.

@@ -10,6 +10,8 @@
 
 #include "analysis/canonical.h"
 #include "common/thread_pool.h"
+#include "planner/auto_matcher.h"
+#include "planner/cost_model.h"
 #include "stream/dfa_table_cache.h"
 #include "stream/engine_registry.h"
 #include "stream/matcher.h"
@@ -33,11 +35,13 @@ struct Engine::SinkRelay : MatchSink {
 Engine::Engine(EngineOptions options, std::shared_ptr<ThreadPool> pool,
                std::unique_ptr<SymbolTable> symbols,
                std::unique_ptr<DfaTableCache> dfa_tables,
+               std::unique_ptr<DocumentProfile> profile,
                std::unique_ptr<Matcher> matcher)
     : options_(std::move(options)),
       pool_(std::move(pool)),
       symbols_(std::move(symbols)),
       dfa_tables_(std::move(dfa_tables)),
+      profile_(std::move(profile)),
       matcher_(std::move(matcher)),
       relay_(std::make_unique<SinkRelay>(this)) {
   matcher_->SetSink(relay_.get());
@@ -54,11 +58,24 @@ namespace {
 Result<std::unique_ptr<Matcher>> BuildMatcher(
     const EngineOptions& options, const std::shared_ptr<ThreadPool>& pool,
     const PipelineContext& context) {
+  // "auto" is a routing policy over registry engines, not a registry
+  // engine itself (it must not show up in AvailableEngines()), so the
+  // facade resolves it here: the planner-backed AutoMatcher at
+  // threads = 1, one AutoMatcher per shard otherwise.
   if (options.threads == 1) {
+    if (options.engine == "auto") return CreateAutoMatcher(context);
     return EngineRegistry::Global().CreateMatcher(options.engine, context);
   }
   auto matcher =
-      ShardedMatcher::Create(options.engine, options.threads, pool, context);
+      options.engine == "auto"
+          ? ShardedMatcher::Create(
+                "auto",
+                [](const PipelineContext& shard_context) {
+                  return CreateAutoMatcher(shard_context);
+                },
+                options.threads, pool, context)
+          : ShardedMatcher::Create(options.engine, options.threads, pool,
+                                   context);
   if (!matcher.ok()) return matcher.status();
   // Sharded matching starts at the endDocument dispatch, so the facade
   // skip path never triggers; the cut happens inside each shard's
@@ -83,6 +100,9 @@ Result<std::unique_ptr<Engine>> Engine::Create(const EngineOptions& options) {
   // memoized transition tables through it.
   auto symbols = std::make_unique<SymbolTable>();
   auto dfa_tables = std::make_unique<DfaTableCache>();
+  // The pipeline's document profile starts as the caller's asserted
+  // workload shape; observed documents take over at the first boundary.
+  auto profile = std::make_unique<DocumentProfile>(resolved.assumed_profile);
 
   std::shared_ptr<ThreadPool> pool;
   if (resolved.threads > 1) {
@@ -93,11 +113,13 @@ Result<std::unique_ptr<Engine>> Engine::Create(const EngineOptions& options) {
   PipelineContext context;
   context.symbols = symbols.get();
   context.dfa_tables = dfa_tables.get();
+  context.profile = profile.get();
   auto matcher = BuildMatcher(resolved, pool, context);
   if (!matcher.ok()) return matcher.status();
   return std::unique_ptr<Engine>(
       new Engine(std::move(resolved), std::move(pool), std::move(symbols),
-                 std::move(dfa_tables), std::move(matcher).value()));
+                 std::move(dfa_tables), std::move(profile),
+                 std::move(matcher).value()));
 }
 
 Result<std::unique_ptr<Engine>> Engine::Create(std::string_view engine_name) {
@@ -121,6 +143,22 @@ Status Engine::CheckSubscribable(const std::string& id) const {
     return Status::InvalidArgument("duplicate subscription id: " + id);
   }
   return Status::OK();
+}
+
+size_t Engine::PredictSlotCost(const CompiledQuery& query) const {
+  const QueryPlan plan = BuildQueryPlan(*query.query(), *profile_);
+  if (options_.engine == "auto") {
+    const EnginePrediction* choice = plan.Choice();
+    return choice != nullptr ? choice->cost.PredictedPeakBytes() : 0;
+  }
+  for (const EnginePrediction& prediction : plan.ranking) {
+    if (prediction.engine == options_.engine) {
+      return prediction.cost.PredictedPeakBytes();
+    }
+  }
+  // An externally registered engine the planner cannot price: admission
+  // has no basis to refuse it.
+  return 0;
 }
 
 Status Engine::Subscribe(std::string id, CompiledQuery query,
@@ -155,14 +193,41 @@ Status Engine::Subscribe(std::string id, CompiledQuery query,
     return Status::OK();
   }
 
-  // New evaluation slot. The matcher subscribes *first*: a rejected
-  // query (outside the engine's fragment) returns before any facade
-  // state mutates, extending the engines' rejected-Subscribe
-  // non-pollution guarantee to the dedup layer.
+  // New evaluation slot: admission control first. The planner prices
+  // the slot on the engine that would run it (the ranking's choice
+  // under "auto") against the current document profile; a prediction
+  // that would overrun the budget rejects or degrades *before* any
+  // facade or matcher state mutates.
+  const size_t predicted = PredictSlotCost(query);
+  bool degraded = false;
+  if (options_.memory_budget_bytes != 0 &&
+      predicted_total_ + predicted > options_.memory_budget_bytes) {
+    if (options_.admission == AdmissionPolicy::kReject) {
+      ++admission_rejects_;
+      return Status::ResourceExhausted(
+          "subscription predicted to peak at " + std::to_string(predicted) +
+          " bytes; " +
+          std::to_string(options_.memory_budget_bytes - std::min(
+              options_.memory_budget_bytes, predicted_total_)) +
+          " of memory_budget_bytes = " +
+          std::to_string(options_.memory_budget_bytes) + " remain");
+    }
+    degraded = true;
+    ++admission_degrades_;
+    mode = DeliveryMode::kAtEnd;  // no early push work for the degraded
+  }
+
+  // The matcher subscribes *next*: a rejected query (outside the
+  // engine's fragment) still returns before any facade state mutates,
+  // extending the engines' rejected-Subscribe non-pollution guarantee
+  // to the dedup layer.
   const size_t slot = slots_.size();
   XPS_RETURN_IF_ERROR(matcher_->Subscribe(slot, query.query()));
   if (!key.empty()) slot_of_key_.emplace(key, slot);
-  slots_.push_back(EvalSlot{std::move(key), std::move(query), 1, false});
+  slots_.push_back(EvalSlot{std::move(key), std::move(query), 1, false,
+                            matcher_->EngineForSlot(slot), predicted,
+                            degraded});
+  predicted_total_ += predicted;
   id_index_.emplace(id, ids_.size());
   ids_.push_back(std::move(id));
   sub_slot_.push_back(slot);
@@ -198,6 +263,9 @@ Status Engine::Unsubscribe(std::string_view id) {
     XPS_RETURN_IF_ERROR(matcher_->Unsubscribe(slot));
     slots_[slot].tombstoned = true;
     ++tombstoned_slots_;
+    // Release the slot's budget charge: the matcher stopped evaluating
+    // it, so its predicted peak no longer counts against admission.
+    predicted_total_ -= std::min(predicted_total_, slots_[slot].predicted_bytes);
     if (!slots_[slot].key.empty()) slot_of_key_.erase(slots_[slot].key);
   }
   slots_[slot].refs--;
@@ -276,9 +344,28 @@ Status Engine::CompactSubscriptions() {
   matcher_ = std::move(fresh).value();
   matcher_->SetSink(relay_.get());
   ++automaton_rebuilds_;
+  // Re-price the survivors against the *current* profile (it has
+  // usually grown since they were admitted) and refresh their routed
+  // engine — under "auto" the rebuilt matcher re-planned every slot.
+  predicted_total_ = 0;
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    slots_[s].predicted_bytes = PredictSlotCost(slots_[s].query);
+    slots_[s].planned_engine = matcher_->EngineForSlot(s);
+    predicted_total_ += slots_[s].predicted_bytes;
+  }
   expansion_valid_ = false;
   fanout_dirty_ = true;
   return Status::OK();
+}
+
+Result<Engine::SubscriptionPlan> Engine::PlanOf(std::string_view id) const {
+  auto it = id_index_.find(std::string(id));
+  if (it == id_index_.end()) {
+    return Status::NotFound("unknown subscription id: " + std::string(id));
+  }
+  const EvalSlot& slot = slots_[sub_slot_[it->second]];
+  return SubscriptionPlan{slot.planned_engine, slot.predicted_bytes,
+                          slot.degraded};
 }
 
 Result<const CompiledQuery*> Engine::SubscribedQuery(
@@ -420,6 +507,12 @@ Status Engine::SkipEvent(const Event& event) {
 
 void Engine::FinalizeDocument() {
   in_document_ = false;
+  // Fold the document's measurements into the pipeline profile: from
+  // here on, the planner prices subscriptions against observed reality
+  // instead of the assumed profile. The symbol table holds every
+  // distinct name the pipeline has interned — the alphabet size of the
+  // DFA blowup bound.
+  profile_->Observe(collector_.stats(), symbols_->size());
   if (result_sink_ != nullptr) FlushPendingMatches();
   // Slots still undecided carry non-matches, decided at endDocument.
   for (size_t& position : decided_at_) {
@@ -470,6 +563,8 @@ Status Engine::OnEvent(const Event& event) {
       decided_at_.assign(slots_.size(), kNoEventOrdinal);
       pending_matches_.clear();
       pending_ordinal_ = 0;
+      collector_.Reset();
+      collector_.OnEvent(event);
       XPS_RETURN_IF_ERROR(matcher_->Reset());
       XPS_RETURN_IF_ERROR(matcher_->OnEvent(event));
       if (result_sink_ != nullptr) FlushPendingMatches();
@@ -479,6 +574,7 @@ Status Engine::OnEvent(const Event& event) {
       if (!in_document_) {
         return Status::NotWellFormed("endDocument outside a document");
       }
+      collector_.OnEvent(event);
       if (short_circuited_) {
         if (element_depth_ != 0) {
           return Status::NotWellFormed("endDocument with open elements");
@@ -510,6 +606,8 @@ Status Engine::OnEvent(const Event& event) {
             "element depth exceeds max_element_depth = " +
             std::to_string(options_.max_element_depth));
       }
+      // The profile measures the whole document, skipped tail included.
+      collector_.OnEvent(event);
       if (short_circuited_) {
         XPS_RETURN_IF_ERROR(SkipEvent(event));
         ++event_ordinal_;
@@ -579,6 +677,8 @@ Result<std::vector<bool>> Engine::FilterEventsBatch(
   decided_at_.assign(slots_.size(), kNoEventOrdinal);
   pending_matches_.clear();
   pending_ordinal_ = 0;
+  collector_.Reset();
+  for (const Event& event : events) collector_.OnEvent(event);
   Status status = matcher_->OnDocument(events);
   if (!status.ok()) {
     AbortDocument();
@@ -740,6 +840,10 @@ const MemoryStats& Engine::stats() const {
   // The shared table's footprint: the once-per-distinct-name cost that
   // replaces per-event string work across the whole pipeline.
   stats_.symbol_bytes().Set(symbols_->FootprintBytes());
+  // The planner-side gauges: the forecast admission holds under budget
+  // and the rejections it issued doing so.
+  stats_.predicted_peak_bytes().Set(predicted_total_);
+  stats_.admission_rejects().Set(admission_rejects_);
   return stats_;
 }
 

@@ -22,6 +22,7 @@ enum class StatusCode : uint8_t {
   kUnsupported,       ///< Query is outside the fragment an engine handles.
   kNotFound,          ///< Lookup failed (e.g. unique value search).
   kInternal,          ///< Invariant violation; indicates a library bug.
+  kResourceExhausted, ///< Admission control rejected the request (quota).
 };
 
 /// Lightweight success-or-error value. Cheap to copy in the OK case.
@@ -48,6 +49,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

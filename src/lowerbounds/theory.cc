@@ -1,0 +1,35 @@
+#include "lowerbounds/theory.h"
+
+#include <algorithm>
+
+#include "common/memory_stats.h"
+
+namespace xpstream {
+
+size_t RecursionDepthBitsBound(size_t recursion_depth) {
+  return recursion_depth;
+}
+
+size_t FrontierTupleBound(size_t query_size, size_t recursion_depth) {
+  // r + 1 so the non-recursive document (r = 0) still pays its one
+  // live level; |Q| tuples per level is the Thm 8.8 frontier width.
+  return query_size * (recursion_depth + 1);
+}
+
+size_t FrontierTupleBits(size_t query_size, size_t depth, size_t fanout) {
+  return BitWidth(query_size) + BitWidth(depth) + BitWidth(fanout);
+}
+
+size_t DfaStateBlowupBound(size_t wildcard_window, size_t document_depth) {
+  const size_t window = std::min(wildcard_window, document_depth);
+  // Saturate: past 2^48 states the distinction "huge" vs "huger" no
+  // longer informs any planning decision, and shifting by >= 64 is UB.
+  if (window >= 48) return size_t{1} << 48;
+  return (size_t{1} << window) + wildcard_window + 2;
+}
+
+size_t CandidateBufferBytesBound(size_t max_text_bytes) {
+  return max_text_bytes;
+}
+
+}  // namespace xpstream

@@ -1,0 +1,45 @@
+#ifndef XPSTREAM_LOWERBOUNDS_THEORY_H_
+#define XPSTREAM_LOWERBOUNDS_THEORY_H_
+
+/// \file
+/// Closed-form renderings of the paper's §4/§8 memory bounds, as
+/// functions of query shape and document parameters. The fooling_*
+/// modules *certify* these bounds empirically (explicit fooling sets,
+/// state counting at a cut); this header states them as arithmetic so
+/// the planner can price a subscription before any document streams.
+/// docs/cost_model.md maps each function to its theorem and to the
+/// estimator formula built on top of it.
+
+#include <cstddef>
+
+namespace xpstream {
+
+/// Thm 4.5: any streaming BOOLEVAL algorithm over documents of
+/// recursion depth r needs Ω(r) bits — one bit per live recursion
+/// level is unavoidable. Returned in bits.
+size_t RecursionDepthBitsBound(size_t recursion_depth);
+
+/// Thm 8.8 (upper bound side): the frontier algorithm keeps O(|Q| · r)
+/// frontier tuples on documents of recursion depth r. Returned in
+/// tuples; multiply by the per-tuple bit width below for bits.
+size_t FrontierTupleBound(size_t query_size, size_t recursion_depth);
+
+/// Thm 8.8's per-tuple width: log|Q| + log d + log w bits for a query
+/// of size |Q| over documents of depth d and fanout w.
+size_t FrontierTupleBits(size_t query_size, size_t depth, size_t fanout);
+
+/// §1.2/§2 (experiment E5): a deterministic automaton for //a/*^k must
+/// distinguish every pattern of 'a'-occurrences among the last k open
+/// ancestors — 2^k states — but a document of element depth d can only
+/// ever drive it through 2^min(k,d) of them (plus the k+2 linear-spine
+/// states). Saturates instead of overflowing.
+size_t DfaStateBlowupBound(size_t wildcard_window, size_t document_depth);
+
+/// Thm 4.2 flavor: predicate evaluation may force buffering of
+/// candidate text until the predicate decides — bounded by the longest
+/// text node a document presents. Returned in bytes.
+size_t CandidateBufferBytesBound(size_t max_text_bytes);
+
+}  // namespace xpstream
+
+#endif  // XPSTREAM_LOWERBOUNDS_THEORY_H_

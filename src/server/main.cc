@@ -52,7 +52,15 @@ int Usage(const char* argv0) {
       "          [--max-document-bytes N] [--max-frame-bytes N]\n"
       "          [--max-element-depth N] [--outbox-frames N]\n"
       "          [--max-connections N] [--idle-timeout-ms N]\n"
-      "defaults: 127.0.0.1, ephemeral port, frontier, 1 thread\n",
+      "          [--memory-budget-bytes N] [--admission reject|degrade]\n"
+      "defaults: 127.0.0.1, ephemeral port, frontier, 1 thread\n"
+      "--engine NAME picks a registry engine, or `auto` to let the query\n"
+      "planner route each subscription to the predicted-cheapest engine.\n"
+      "--memory-budget-bytes N admission-controls subscriptions: one whose\n"
+      "planner-predicted peak would overrun the budget is rejected with a\n"
+      "ResourceExhausted ERROR frame (--admission reject, the default) or\n"
+      "admitted with delivery degraded to at-end (--admission degrade).\n"
+      "0 disables admission control.\n",
       argv0);
   return 2;
 }
@@ -97,6 +105,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--idle-timeout-ms") {
       if (!ParseUnsigned(value, INT_MAX, &number)) return Usage(argv[0]);
       options.idle_timeout_ms = static_cast<int>(number);
+    } else if (arg == "--memory-budget-bytes") {
+      if (!ParseUnsigned(value, SIZE_MAX, &number)) return Usage(argv[0]);
+      options.memory_budget_bytes = static_cast<size_t>(number);
+    } else if (arg == "--admission") {
+      const std::string policy = value;
+      if (policy == "reject") {
+        options.admission = AdmissionPolicy::kReject;
+      } else if (policy == "degrade") {
+        options.admission = AdmissionPolicy::kDegrade;
+      } else {
+        return Usage(argv[0]);
+      }
     } else {
       return Usage(argv[0]);
     }

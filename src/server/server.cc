@@ -37,6 +37,12 @@ class Server::Impl : public SessionHost {
     if (engine_options.max_element_depth == 0) {
       engine_options.max_element_depth = options_.max_element_depth;
     }
+    if (engine_options.memory_budget_bytes == 0 &&
+        options_.memory_budget_bytes != 0) {
+      engine_options.memory_budget_bytes = options_.memory_budget_bytes;
+      engine_options.admission = options_.admission;
+    }
+    effective_budget_ = engine_options.memory_budget_bytes;
     auto engine = Engine::Create(engine_options);
     if (!engine.ok()) return engine.status();
     engine_ = std::move(engine).value();
@@ -170,6 +176,10 @@ class Server::Impl : public SessionHost {
     line("outbox_capacity", options_.outbox_frames);
     line("peak_table_entries", engine_->peak_table_entries());
     line("peak_buffered_bytes", engine_->peak_buffered_bytes());
+    line("predicted_peak_bytes", engine_->predicted_peak_bytes());
+    line("memory_budget_bytes", effective_budget_);
+    line("admission_rejects", engine_->admission_rejects());
+    line("admission_degrades", engine_->admission_degrades());
     return text;
   }
 
@@ -391,6 +401,9 @@ class Server::Impl : public SessionHost {
   }
 
   const ServerOptions options_;
+  /// The admission budget the engine actually runs with (engine-level
+  /// option, or the server-level overlay), reported by STATS.
+  size_t effective_budget_ = 0;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<EventLoop> loop_;
   Bridge sink_{this};

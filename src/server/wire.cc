@@ -137,6 +137,8 @@ Status DecodeError(std::string_view payload) {
       return Status::NotFound(std::move(message));
     case StatusCode::kInternal:
       return Status::Internal(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
   }
   return Status::Internal("unknown error code from server");
 }

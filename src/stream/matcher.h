@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "stream/filter.h"
 #include "xml/event.h"
+#include "xml/stats.h"
 #include "xml/symbol_table.h"
 
 namespace xpstream {
@@ -40,6 +41,11 @@ class Query;          // xpath/ast.h
 struct PipelineContext {
   SymbolTable* symbols = nullptr;
   DfaTableCache* dfa_tables = nullptr;
+  /// Document statistics of the pipeline's stream so far (owned by the
+  /// facade, updated at every document boundary). Read by planning
+  /// matchers — the "auto" meta-engine prices each subscription against
+  /// it at Subscribe time. Null when no planner is in play.
+  const DocumentProfile* profile = nullptr;
 };
 
 /// Push-notification interface of the matcher layer: as the scan
@@ -68,6 +74,16 @@ class Matcher : public EventSink {
 
   /// Engine-registry key this matcher was created under.
   virtual std::string name() const = 0;
+
+  /// The concrete algorithm evaluating `slot`. For ordinary matchers
+  /// this is name(); routing matchers (the planner's "auto"
+  /// meta-engine) answer per slot, and ShardedMatcher forwards to the
+  /// owning shard, so the facade can report the decision regardless of
+  /// the matcher stack's shape. `slot` must be a subscribed slot.
+  virtual std::string EngineForSlot(size_t slot) const {
+    (void)slot;
+    return name();
+  }
 
   /// Registers a subscription under the next dense slot; `slot` must
   /// equal NumSubscriptions(). The query must outlive the matcher.

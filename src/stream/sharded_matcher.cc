@@ -14,6 +14,18 @@ ShardedMatcher::ShardedMatcher(std::string base_engine,
 Result<std::unique_ptr<ShardedMatcher>> ShardedMatcher::Create(
     const std::string& base_engine, size_t num_shards,
     std::shared_ptr<ThreadPool> pool, const PipelineContext& context) {
+  return Create(base_engine,
+                [&base_engine](const PipelineContext& shard_context) {
+                  return EngineRegistry::Global().CreateMatcher(
+                      base_engine, shard_context);
+                },
+                num_shards, std::move(pool), context);
+}
+
+Result<std::unique_ptr<ShardedMatcher>> ShardedMatcher::Create(
+    std::string display_name, const MatcherFactory& factory,
+    size_t num_shards, std::shared_ptr<ThreadPool> pool,
+    const PipelineContext& context) {
   if (num_shards == 0) {
     return Status::InvalidArgument("ShardedMatcher needs at least one shard");
   }
@@ -21,7 +33,7 @@ Result<std::unique_ptr<ShardedMatcher>> ShardedMatcher::Create(
     return Status::InvalidArgument("ShardedMatcher needs a thread pool");
   }
   auto matcher = std::unique_ptr<ShardedMatcher>(
-      new ShardedMatcher(base_engine, std::move(pool)));
+      new ShardedMatcher(std::move(display_name), std::move(pool)));
   matcher->BindSymbols(context.symbols);
   matcher->shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
@@ -32,8 +44,7 @@ Result<std::unique_ptr<ShardedMatcher>> ShardedMatcher::Create(
     // once and read by all shards instead of rebuilt per shard.
     PipelineContext shard_context = context;
     shard_context.symbols = matcher->symbols();
-    auto shard =
-        EngineRegistry::Global().CreateMatcher(base_engine, shard_context);
+    auto shard = factory(shard_context);
     if (!shard.ok()) return shard.status();
     matcher->shards_.push_back(std::move(shard).value());
   }

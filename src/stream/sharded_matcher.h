@@ -79,7 +79,20 @@ class ShardedMatcher : public Matcher {
       const std::string& base_engine, size_t num_shards,
       std::shared_ptr<ThreadPool> pool, SymbolTable* symbols = nullptr);
 
+  /// Factory overload for engines that are not (and must not be) in the
+  /// global registry — the planner's "auto" meta-engine. `display_name`
+  /// is what name() reports; each shard is one `factory` product
+  /// sharing the sharded matcher's SymbolTable through the context.
+  static Result<std::unique_ptr<ShardedMatcher>> Create(
+      std::string display_name, const MatcherFactory& factory,
+      size_t num_shards, std::shared_ptr<ThreadPool> pool,
+      const PipelineContext& context);
+
   std::string name() const override { return base_engine_; }
+  std::string EngineForSlot(size_t slot) const override {
+    return shards_[slot % shards_.size()]->EngineForSlot(
+        slot / shards_.size());
+  }
   Status Subscribe(size_t slot, const Query* query) override;
   Status Unsubscribe(size_t slot) override;
   size_t NumSubscriptions() const override { return num_subscriptions_; }

@@ -271,4 +271,29 @@ ChurnWorkload MakeChurnWorkload(size_t num_queries, size_t duplication,
   return workload;
 }
 
+std::string BlowupQuery(size_t k) {
+  std::string text = "//a";
+  for (size_t i = 0; i < k; ++i) text += "/*";
+  return text;
+}
+
+EventStream GenerateBlowupDocument(size_t depth) {
+  EventStream events;
+  events.push_back(Event::StartDocument());
+  // Preorder over the complete binary tree, iteratively: at `level`
+  // with path code `path`, bit i of path picks the name of level i.
+  auto emit = [&](auto&& self, size_t level, uint64_t path) -> void {
+    events.push_back(
+        Event::StartElement((path & 1) == 0 ? "a" : "x"));
+    if (level + 1 < depth) {
+      self(self, level + 1, 0);  // left child: 'a'
+      self(self, level + 1, 1);  // right child: 'x'
+    }
+    events.push_back(Event::EndElement((path & 1) == 0 ? "a" : "x"));
+  };
+  if (depth > 0) emit(emit, 0, 0);  // the root is an 'a'
+  events.push_back(Event::EndDocument());
+  return events;
+}
+
 }  // namespace xpstream

@@ -105,6 +105,19 @@ EventStream GenerateWideFanoutDocument(size_t fanout);
 /// including value predicates so leaf captures stay on the hot path.
 std::vector<std::string> WideFanoutSubscriptions();
 
+/// The E5 query family //a/*^k — the classic DFA worst case: the
+/// automaton must remember which of the last k ancestors were named
+/// 'a', forcing ~2^k states. Shared by bench_automata_blowup (E5) and
+/// the planner test/bench (the cost model must price exactly this
+/// family out of lazy_dfa).
+std::string BlowupQuery(size_t k);
+
+/// The E5 adversarial document: a complete binary tree of element
+/// depth `depth` rooted at an ⟨a⟩, left children ⟨a⟩, right children
+/// ⟨x⟩ — every ancestor-name pattern of length ≤ depth occurs, driving
+/// a lazy DFA toward its eager state count.
+EventStream GenerateBlowupDocument(size_t depth);
+
 }  // namespace xpstream
 
 #endif  // XPSTREAM_WORKLOAD_SCENARIOS_H_

@@ -1,6 +1,7 @@
 #include "xml/stats.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/string_util.h"
 
@@ -17,6 +18,9 @@ void Walk(const XmlNode* node, size_t element_depth, DocumentStats* stats) {
     case NodeKind::kElement: {
       stats->element_count++;
       stats->depth = std::max(stats->depth, element_depth);
+      // Start + end element; the name is paid on both.
+      stats->event_count += 2;
+      stats->approx_bytes += 2 * node->name().size();
       size_t element_children = 0;
       for (const auto& c : node->children()) {
         if (c->kind() == NodeKind::kElement) ++element_children;
@@ -26,12 +30,16 @@ void Walk(const XmlNode* node, size_t element_depth, DocumentStats* stats) {
     }
     case NodeKind::kAttribute:
       stats->attribute_count++;
+      stats->event_count += 1;
+      stats->approx_bytes += node->name().size() + node->text().size();
       stats->max_text_length =
           std::max(stats->max_text_length, node->text().size());
       stats->total_text_bytes += node->text().size();
       break;
     case NodeKind::kText:
       stats->text_count++;
+      stats->event_count += 1;
+      stats->approx_bytes += node->text().size();
       stats->max_text_length =
           std::max(stats->max_text_length, node->text().size());
       stats->total_text_bytes += node->text().size();
@@ -47,6 +55,7 @@ void Walk(const XmlNode* node, size_t element_depth, DocumentStats* stats) {
 
 DocumentStats ComputeDocumentStats(const XmlDocument& doc) {
   DocumentStats stats;
+  stats.event_count = 2;  // the startDocument / endDocument envelope
   Walk(doc.root(), 0, &stats);
   return stats;
 }
@@ -54,9 +63,98 @@ DocumentStats ComputeDocumentStats(const XmlDocument& doc) {
 std::string DocumentStats::ToString() const {
   return StringPrintf(
       "nodes=%zu elements=%zu attributes=%zu texts=%zu depth=%zu "
-      "max_fanout=%zu max_text=%zu text_bytes=%zu",
+      "max_fanout=%zu max_text=%zu text_bytes=%zu events=%zu bytes=%zu",
       total_nodes, element_count, attribute_count, text_count, depth,
-      max_fanout, max_text_length, total_text_bytes);
+      max_fanout, max_text_length, total_text_bytes, event_count,
+      approx_bytes);
+}
+
+void DocumentStatsCollector::OnEvent(const Event& event) {
+  ++stats_.event_count;
+  switch (event.type) {
+    case EventType::kStartDocument:
+    case EventType::kEndDocument:
+      break;
+    case EventType::kStartElement:
+      ++stats_.total_nodes;
+      ++stats_.element_count;
+      ++depth_;
+      stats_.depth = std::max(stats_.depth, depth_);
+      stats_.approx_bytes += event.name.size();
+      if (!fanout_stack_.empty()) {
+        stats_.max_fanout = std::max(stats_.max_fanout, ++fanout_stack_.back());
+      }
+      fanout_stack_.push_back(0);
+      break;
+    case EventType::kEndElement:
+      if (depth_ > 0) --depth_;  // tolerate malformed tails
+      if (!fanout_stack_.empty()) fanout_stack_.pop_back();
+      stats_.approx_bytes += event.name.size();
+      break;
+    case EventType::kText:
+      ++stats_.total_nodes;
+      ++stats_.text_count;
+      stats_.max_text_length =
+          std::max(stats_.max_text_length, event.text.size());
+      stats_.total_text_bytes += event.text.size();
+      stats_.approx_bytes += event.text.size();
+      break;
+    case EventType::kAttribute:
+      ++stats_.total_nodes;
+      ++stats_.attribute_count;
+      stats_.max_text_length =
+          std::max(stats_.max_text_length, event.text.size());
+      stats_.total_text_bytes += event.text.size();
+      stats_.approx_bytes += event.name.size() + event.text.size();
+      break;
+  }
+}
+
+void DocumentStatsCollector::Reset() {
+  stats_ = DocumentStats();
+  fanout_stack_.clear();
+  depth_ = 0;
+}
+
+void DocumentProfile::Observe(const DocumentStats& stats,
+                              size_t alphabet_size) {
+  if (documents == 0) {
+    // The first real document replaces the assumed profile outright: a
+    // benign observed workload must not stay priced at the pessimistic
+    // defaults forever.
+    max_depth = stats.depth;
+    max_fanout = stats.max_fanout;
+    max_text_bytes = stats.max_text_length;
+    max_document_bytes = stats.approx_bytes;
+    max_events = stats.event_count;
+    distinct_names = std::max<size_t>(1, alphabet_size);
+  } else {
+    max_depth = std::max(max_depth, stats.depth);
+    max_fanout = std::max(max_fanout, stats.max_fanout);
+    max_text_bytes = std::max(max_text_bytes, stats.max_text_length);
+    max_document_bytes = std::max(max_document_bytes, stats.approx_bytes);
+    max_events = std::max(max_events, stats.event_count);
+    distinct_names = std::max(distinct_names, alphabet_size);
+  }
+  ++documents;
+}
+
+void DocumentProfile::ObserveEvents(const EventStream& events) {
+  DocumentStatsCollector collector;
+  std::set<std::string> names;
+  for (const Event& event : events) {
+    collector.OnEvent(event);
+    if (event.HasName()) names.insert(event.name);
+  }
+  Observe(collector.stats(), names.size());
+}
+
+std::string DocumentProfile::ToString() const {
+  return StringPrintf(
+      "documents=%zu max_depth=%zu max_fanout=%zu max_text=%zu "
+      "max_doc_bytes=%zu max_events=%zu distinct_names=%zu",
+      documents, max_depth, max_fanout, max_text_bytes, max_document_bytes,
+      max_events, distinct_names);
 }
 
 }  // namespace xpstream

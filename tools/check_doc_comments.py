@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Doc-comment lint for the public headers.
+
+Every public declaration in include/xpstream/*.h must carry a Doxygen
+comment: a `///` block on the lines above it, or a trailing `///<` on
+the declaration line. "Public declaration" means anything a library
+user can name — free functions, classes/structs/enums and their public
+members, enumerators — plus the header itself (a `/// \\file` block).
+
+Exempt (documenting them restates the language):
+  * constructors, destructors, operators, `= delete` / `= default`;
+  * friend declarations and forward declarations (`class X;`);
+  * everything in `private:` / `protected:` sections.
+
+The scanner is a line-based heuristic, deliberately dependency-free
+(no libclang in CI); it tracks brace depth and access sections, which
+is enough for the house style these headers follow. Exit 0 clean,
+1 findings, 2 usage error.
+
+    $ tools/check_doc_comments.py include/xpstream/*.h
+"""
+
+import re
+import sys
+
+SCOPE_RE = re.compile(r"^(?:class|struct|enum(?:\s+class)?)\s+(\w+)")
+FORWARD_RE = re.compile(r"^(?:class|struct)\s+\w+;")
+ACCESS_RE = re.compile(r"^(public|protected|private)\s*(slots)?:")
+
+
+def strip_comment(line):
+    """Code portion of a line (trailing // comment removed)."""
+    pos = line.find("//")
+    return line if pos < 0 else line[:pos]
+
+
+def is_exempt(code, scope_name):
+    if code.startswith(("friend ", "~")) or "operator" in code:
+        return True
+    if "= delete" in code or "= default" in code:
+        return True
+    if FORWARD_RE.match(code):
+        return True
+    # Constructor: the current scope's own name opening a paren.
+    if scope_name and re.match(rf"^(?:explicit\s+)?{scope_name}\s*\(", code):
+        return True
+    return False
+
+
+def check(path):
+    findings = []
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+
+    if not any(line.lstrip().startswith("/// \\file") for line in lines[:12]):
+        findings.append((path, 1, "missing '/// \\file' header comment"))
+
+    depth = 0
+    # Scope stack: (interior brace depth, kind, name, access-is-public).
+    scopes = [(0, "namespace", "", True)]
+    doc_pending = False
+    continuation = False
+    paren_balance = 0
+
+    for lineno, raw in enumerate(lines, 1):
+        stripped = raw.strip()
+        if not stripped:
+            doc_pending = False
+            continue
+        if stripped.startswith("///"):
+            doc_pending = True
+            continue
+        if stripped.startswith(("//", "#")):
+            doc_pending = False
+            continue
+
+        code = strip_comment(stripped).strip()
+        if not code:
+            doc_pending = False
+            continue
+
+        scope_depth, kind, scope_name, is_public = scopes[-1]
+        access = ACCESS_RE.match(code)
+        if access:
+            scopes[-1] = (scope_depth, kind, scope_name,
+                          access.group(1) == "public")
+            doc_pending = False
+            continue
+
+        starts_decl = (depth == scope_depth and not continuation
+                       and not code.startswith("}")
+                       and not code.startswith("namespace"))
+        if starts_decl and is_public and not is_exempt(code, scope_name):
+            documented = doc_pending or "///<" in stripped
+            if not documented:
+                name = code.split("{")[0].split("(")[0].strip()
+                findings.append(
+                    (path, lineno, f"undocumented public declaration: "
+                                   f"'{name[:60]}'"))
+
+        # Entering a class/struct/enum scope?
+        opened = SCOPE_RE.match(code)
+        opens_scope = (opened and not code.rstrip().endswith(";")
+                       and code.count("{") > code.count("}"))
+
+        depth += code.count("{") - code.count("}")
+        paren_balance += code.count("(") - code.count(")")
+        while len(scopes) > 1 and depth < scopes[-1][0]:
+            scopes.pop()
+        if opens_scope:
+            scope_kind = code.split()[0]
+            default_public = scope_kind in ("struct", "enum")
+            # A type nested in a private section is itself invisible to
+            # users; its members inherit that, whatever their access.
+            scopes.append((depth, scope_kind, opened.group(1),
+                           default_public and is_public))
+
+        # A declaration continues until its parens balance and it ends
+        # with a terminator; bodies (deeper brace depth) are skipped by
+        # the depth check above.
+        if depth == scope_depth:
+            continuation = (paren_balance > 0
+                            or not code.endswith((";", "{", "}", ":")))
+        else:
+            continuation = False
+            paren_balance = 0
+        doc_pending = False
+
+    return findings
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    findings = []
+    for path in argv[1:]:
+        findings.extend(check(path))
+    for path, lineno, message in findings:
+        print(f"{path}:{lineno}: {message}")
+    if findings:
+        print(f"\n{len(findings)} finding(s). Every public declaration in "
+              "include/xpstream/ needs a /// doc comment.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
