@@ -1,0 +1,266 @@
+// E14: EnginePool concurrent ingestion. The same dissemination workload
+// as E13 — a fixed subscription set filtering a stream of documents —
+// pushed through the pipeline layer at every corner of the
+// publishers x workers grid. Columns: per-document latency, speedup
+// over the serial corner (workers=1, pubs=1), and the queue's
+// high-water occupancy (queued + in flight), which must exceed one
+// document whenever there is real concurrency to exploit.
+//
+// Match totals are asserted identical across all corners of the grid:
+// the bench doubles as a determinism smoke for the pool (per-document
+// results must not depend on worker count or submission interleaving).
+//
+// E14b measures the control plane under load: how long Subscribe and
+// Unsubscribe take while four publishers keep the queue warm — the
+// price of the pool's quiesce-based mutation protocol.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "xpstream/pipeline.h"
+#include "xpstream/xpstream.h"
+
+namespace xpstream {
+namespace {
+
+constexpr size_t kDocuments = 256;
+constexpr int kPasses = 2;
+
+const std::vector<std::string> kSubscriptions = {
+    "/book/title",        "/book/author/last", "//price",
+    "/book//last",        "/journal/title",    "//editor",
+    "/book/*/author",     "//chapter//title",  "/book/chapter/section",
+    "//isbn",             "/book/publisher",   "//section/para",
+    "/feed/msg/body",     "//author",          "/book/title/sub",
+    "//para",
+};
+
+/// One publishing-feed document, ~120 elements (same shape as E13).
+std::string MakeDocument() {
+  std::string xml = "<book><publisher>acm</publisher><title>streams</title>";
+  xml += "<author><first>z</first><last>bar-yossef</last></author>";
+  for (int c = 0; c < 12; ++c) {
+    xml += "<chapter><title>ch" + std::to_string(c) + "</title>";
+    for (int s = 0; s < 3; ++s) {
+      xml += "<section><para>membership is costly</para>"
+             "<para>frontiers are not</para></section>";
+    }
+    xml += "</chapter>";
+  }
+  xml += "<price>25</price></book>";
+  return xml;
+}
+
+/// Counts verdict hits; the only cross-document state the bench keeps.
+class CountingSink : public PoolSink {
+ public:
+  void OnDocumentDone(uint64_t, const SubscriptionIds&,
+                      std::vector<bool> verdicts,
+                      std::vector<size_t>) override {
+    size_t hits = 0;
+    for (bool v : verdicts) hits += v;
+    matches_.fetch_add(hits, std::memory_order_relaxed);
+  }
+
+  void Reset() { matches_.store(0, std::memory_order_relaxed); }
+  size_t matches() const { return matches_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<size_t> matches_{0};
+};
+
+struct Row {
+  double us_per_doc = 0;
+  size_t queue_peak = 0;
+  size_t matches = 0;  // per pass, across all documents
+  bool ok = false;
+};
+
+/// Streams `docs` through a fresh pool from `publishers` threads,
+/// `kPasses` times after a warmup pass.
+Row MeasurePool(const std::string& engine_name, size_t workers,
+                size_t publishers, const std::vector<std::string>& docs) {
+  Row row;
+  PipelineOptions options;
+  options.engine.engine = engine_name;
+  options.engine.keep_history = false;
+  options.workers = workers;
+  auto pool = EnginePool::Create(options);
+  if (!pool.ok()) return row;
+  for (size_t i = 0; i < kSubscriptions.size(); ++i) {
+    if (!(*pool)->Subscribe("S" + std::to_string(i), kSubscriptions[i]).ok())
+      return row;
+  }
+  CountingSink sink;
+  (*pool)->SetSink(&sink);
+
+  auto pass = [&]() {
+    // Each publisher owns a contiguous share of the stream; SubmitXml
+    // blocks when the queue fills, so backpressure is exercised free.
+    std::vector<std::thread> threads;
+    for (size_t p = 0; p < publishers; ++p) {
+      threads.emplace_back([&, p] {
+        for (size_t i = p; i < docs.size(); i += publishers) {
+          (void)(*pool)->SubmitXml(std::string(docs[i]));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    (*pool)->Drain();
+  };
+
+  pass();  // warmup
+  sink.Reset();
+  auto t0 = std::chrono::steady_clock::now();
+  for (int p = 0; p < kPasses; ++p) pass();
+  auto t1 = std::chrono::steady_clock::now();
+  row.us_per_doc =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+              .count()) /
+      (kPasses * static_cast<double>(docs.size()));
+  row.queue_peak = (*pool)->queue_peak();
+  row.matches = sink.matches() / kPasses;
+  row.ok = true;
+  (*pool)->SetSink(nullptr);
+  return row;
+}
+
+struct MutationRow {
+  double subscribe_us = 0;
+  double unsubscribe_us = 0;
+  bool ok = false;
+};
+
+/// Times Subscribe/Unsubscribe while four publishers keep the pool's
+/// queue warm: the quiesce latency a control plane actually pays.
+MutationRow MeasureMutationUnderLoad(const std::string& engine_name,
+                                     const std::vector<std::string>& docs) {
+  MutationRow row;
+  PipelineOptions options;
+  options.engine.engine = engine_name;
+  options.engine.keep_history = false;
+  options.workers = 4;
+  auto pool = EnginePool::Create(options);
+  if (!pool.ok()) return row;
+  for (size_t i = 0; i < kSubscriptions.size(); ++i) {
+    if (!(*pool)->Subscribe("S" + std::to_string(i), kSubscriptions[i]).ok())
+      return row;
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> publishers;
+  for (size_t p = 0; p < 4; ++p) {
+    publishers.emplace_back([&, p] {
+      size_t i = p;
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)(*pool)->SubmitXml(std::string(docs[i % docs.size()]));
+        i += 4;
+      }
+    });
+  }
+
+  constexpr int kIterations = 8;
+  double subscribe_total = 0, unsubscribe_total = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    Status sub = (*pool)->Subscribe("mid-stream", "//chapter/title");
+    auto t1 = std::chrono::steady_clock::now();
+    Status unsub = (*pool)->Unsubscribe("mid-stream");
+    auto t2 = std::chrono::steady_clock::now();
+    if (!sub.ok() || !unsub.ok()) {
+      stop.store(true);
+      for (auto& t : publishers) t.join();
+      return row;
+    }
+    subscribe_total += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+    unsubscribe_total += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t2 - t1)
+            .count());
+  }
+  stop.store(true);
+  for (auto& t : publishers) t.join();
+  (*pool)->Drain();
+  row.subscribe_us = subscribe_total / kIterations;
+  row.unsubscribe_us = unsubscribe_total / kIterations;
+  row.ok = true;
+  return row;
+}
+
+int RunE14() {
+  const std::vector<std::string> docs(kDocuments, MakeDocument());
+  std::printf(
+      "# E14: EnginePool concurrent ingestion (%zu subscriptions, %zu-byte "
+      "docs, %zu docs/pass)\n",
+      kSubscriptions.size(), docs[0].size(), docs.size());
+  std::printf("%-12s %-8s %-8s %-10s %-9s %-7s %-9s\n", "engine", "workers",
+              "pubs", "us/doc", "speedup", "qpeak", "matches");
+
+  const size_t grid[][2] = {{1, 1}, {1, 4}, {4, 1}, {4, 4}};
+  for (const char* engine : {"nfa", "frontier"}) {
+    double serial_us = 0;
+    size_t serial_matches = 0;
+    for (const auto& cell : grid) {
+      const size_t workers = cell[0], publishers = cell[1];
+      Row row = MeasurePool(engine, workers, publishers, docs);
+      if (!row.ok) {
+        std::fprintf(stderr, "E14: %s workers=%zu pubs=%zu failed\n", engine,
+                     workers, publishers);
+        return 1;
+      }
+      if (workers == 1 && publishers == 1) {
+        serial_us = row.us_per_doc;
+        serial_matches = row.matches;
+      } else if (row.matches != serial_matches) {
+        std::fprintf(stderr,
+                     "E14: %s workers=%zu pubs=%zu diverged: %zu matches vs "
+                     "serial %zu\n",
+                     engine, workers, publishers, row.matches, serial_matches);
+        return 1;
+      }
+      if (workers == 4 && publishers == 4 && row.queue_peak <= 1) {
+        std::fprintf(stderr,
+                     "E14: %s never held more than one document in flight "
+                     "(queue_peak=%zu)\n",
+                     engine, row.queue_peak);
+        return 1;
+      }
+      std::printf("%-12s %-8zu %-8zu %-10.1f %-9.2f %-7zu %-9zu\n", engine,
+                  workers, publishers, row.us_per_doc,
+                  row.us_per_doc > 0 ? serial_us / row.us_per_doc : 0.0,
+                  row.queue_peak, row.matches / docs.size());
+    }
+  }
+
+  std::printf("\n# E14b: mutation latency under live traffic (workers=4, "
+              "4 publishers)\n");
+  std::printf("%-12s %-14s %-14s\n", "engine", "subscribe_us", "unsub_us");
+  for (const char* engine : {"nfa", "frontier"}) {
+    MutationRow row = MeasureMutationUnderLoad(engine, docs);
+    if (!row.ok) {
+      std::fprintf(stderr, "E14b: %s mutation bench failed\n", engine);
+      return 1;
+    }
+    std::printf("%-12s %-14.1f %-14.1f\n", engine, row.subscribe_us,
+                row.unsubscribe_us);
+  }
+
+  std::printf(
+      "\nexpectation: with one worker, extra publishers only add queueing;\n"
+      "with four workers throughput scales until parse+match saturates the\n"
+      "cores, and the queue's high-water mark shows documents genuinely\n"
+      "overlapping. Mutations pay one quiesce (drain of in-flight docs) —\n"
+      "microseconds to low milliseconds, bounded by the largest document.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace xpstream
+
+int main() { return xpstream::RunE14(); }

@@ -45,6 +45,7 @@ BENCHES = [
     "bench_frontier_sweep",
     "bench_nfa_index",
     "bench_parse",
+    "bench_pipeline",
     "bench_planner",
     "bench_recursion_depth",
     "bench_server",

@@ -27,6 +27,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -181,6 +182,41 @@ struct EngineOptions {
   /// (FilterEvents of a single envelope with threads > 1) trusts its
   /// pre-parsed input and does not enforce the cap.
   size_t max_element_depth = 0;
+
+  /// Cap on the cumulative bytes one document's entity and character
+  /// references may decode to on the byte entry points (0 = unlimited).
+  /// A billion-laughs-style reference flood fails the document with a
+  /// clean kParseError instead of demanding unbounded decode work;
+  /// DTD-defined entities are rejected outright by the parser, so this
+  /// bounds the predefined-entity/charref amplification that remains.
+  size_t max_entity_expansion_bytes = 0;
+};
+
+/// Shared pipeline structure for creating *replica* engines — worker
+/// copies of one logical engine that evaluate independent documents
+/// concurrently (xpstream/pipeline.h's EnginePool). Replicas keep a
+/// private SymbolTable and matcher state (document evaluation never
+/// synchronizes), but share the structures whose meaning is
+/// population-wide: the memoized lazy-DFA tables (thread-safe
+/// internally) and the DocumentProfile the planner prices against, so
+/// admission and "auto" routing decide identically on every replica
+/// and a subscription's budget is charged once per logical slot, not
+/// once per replica. All pointers may be null — the engine then owns a
+/// private equivalent (Create(options) is exactly this overload with an
+/// empty context).
+struct EngineSharedContext {
+  /// Shared memoized lazy-DFA transition tables; safe to share across
+  /// threads (mutex-guarded publish/lookup, immutable snapshots).
+  DfaTableCache* dfa_tables = nullptr;
+  /// Shared document profile: running maxima over every document any
+  /// replica observed. Reads (Subscribe-time pricing) must be quiesced
+  /// against writes (document boundaries) by the owner — EnginePool
+  /// applies mutations only while no document is in flight.
+  DocumentProfile* profile = nullptr;
+  /// Guards concurrent profile updates when replicas finish documents
+  /// at the same time; the engine locks it around its boundary fold.
+  /// Required whenever `profile` is shared across threads.
+  std::mutex* profile_mutex = nullptr;
 };
 
 class Engine : public EventSink {
@@ -191,6 +227,14 @@ class Engine : public EventSink {
 
   /// Convenience overload: default options with the named algorithm.
   static Result<std::unique_ptr<Engine>> Create(std::string_view engine_name);
+
+  /// Replica construction: like Create(options), but binding the given
+  /// shared pipeline structures instead of owning private ones (null
+  /// members still get private equivalents). The building block of
+  /// xpstream/pipeline.h's EnginePool; see EngineSharedContext for the
+  /// sharing and synchronization contract.
+  static Result<std::unique_ptr<Engine>> Create(
+      const EngineOptions& options, const EngineSharedContext& shared);
 
   /// Registry names available for EngineOptions::engine, sorted.
   static std::vector<std::string> AvailableEngines();
@@ -242,10 +286,15 @@ class Engine : public EventSink {
 
   /// Rebuilds the matcher without tombstoned slots — the deferred half
   /// of Unsubscribe's tombstone-then-compact contract, to be called in
-  /// a maintenance window between documents. No-op when nothing is
-  /// tombstoned. On failure the engine is unchanged (the old matcher
-  /// keeps serving). This is the only operation that rebuilds the
-  /// automaton; automaton_rebuilds() counts exactly these.
+  /// a maintenance window between documents. Under "auto" this is also
+  /// the re-routing point: every surviving slot is re-priced against
+  /// the *observed* document profile (not the assumed one it may have
+  /// been admitted under) and re-routed to the now-cheapest engine, so
+  /// a compact also fires with zero tombstones when the ranking of some
+  /// slot has changed. No-op when nothing is tombstoned and no slot
+  /// would re-route. On failure the engine is unchanged (the old
+  /// matcher keeps serving). This is the only operation that rebuilds
+  /// the automaton; automaton_rebuilds() counts exactly these.
   Status CompactSubscriptions();
 
   /// Live logical subscriptions (fan-out entries, not eval slots).
@@ -435,9 +484,20 @@ class Engine : public EventSink {
 
   Engine(EngineOptions options, std::shared_ptr<ThreadPool> pool,
          std::unique_ptr<SymbolTable> symbols,
-         std::unique_ptr<DfaTableCache> dfa_tables,
-         std::unique_ptr<DocumentProfile> profile,
+         std::unique_ptr<DfaTableCache> owned_dfa_tables,
+         std::unique_ptr<DocumentProfile> owned_profile,
+         const EngineSharedContext& effective,
          std::unique_ptr<Matcher> matcher);
+
+  /// True when some live slot's predicted-cheapest engine under the
+  /// current profile differs from the one evaluating it ("auto" only) —
+  /// the condition that makes a tombstone-free compact worthwhile.
+  bool NeedsReroute() const;
+
+  /// Copy of the current profile, taken under profile_mutex_ when the
+  /// profile is shared — planner pricing then works off a coherent
+  /// snapshot even while replica threads fold document boundaries.
+  DocumentProfile ProfileSnapshot() const;
 
   Status CheckSubscribable(const std::string& id) const;
 
@@ -485,14 +545,23 @@ class Engine : public EventSink {
   /// (and shards) that resolve against it; declared before matcher_ so
   /// it is destroyed after everything referencing it.
   std::unique_ptr<SymbolTable> symbols_;
-  /// Shared lazy-DFA transition tables (see stream/dfa_table_cache.h);
-  /// declared before matcher_ for the same destruction-order reason.
-  std::unique_ptr<DfaTableCache> dfa_tables_;
+  /// Privately owned lazy-DFA table cache / document profile — null for
+  /// a replica engine bound to an EngineSharedContext (the shared
+  /// structures then outlive the engine by the caller's contract).
+  /// Declared before matcher_ so they are destroyed after everything
+  /// referencing them.
+  std::unique_ptr<DfaTableCache> owned_dfa_tables_;
+  std::unique_ptr<DocumentProfile> owned_profile_;
+  /// Effective shared structures: the owned ones above, or the caller's
+  /// via EngineSharedContext. Always non-null after construction.
+  DfaTableCache* dfa_tables_ = nullptr;
   /// The pipeline's document profile (PipelineContext::profile points
   /// here): assumed_profile until the first document completes, running
-  /// maxima afterwards. Owned ahead of matcher_ like the other shared
-  /// pipeline structure.
-  std::unique_ptr<DocumentProfile> profile_;
+  /// maxima afterwards.
+  DocumentProfile* profile_ = nullptr;
+  /// Locked around the document-boundary profile fold when the profile
+  /// is shared across replica threads; null when the engine owns it.
+  std::mutex* profile_mutex_ = nullptr;
   std::unique_ptr<Matcher> matcher_;
   std::unique_ptr<SinkRelay> relay_;
 

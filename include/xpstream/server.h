@@ -18,16 +18,32 @@
 ///   (*client)->FinishDocument();
 ///   for (const ClientEvent& ev : (*client)->TakeEvents()) { ... }
 ///
-/// Concurrency model: one event-loop thread owns the engine and every
-/// connection; all protocol work is serialized on it (the engine may
-/// still shard matching internally via EngineOptions::threads). Each
-/// connection has a bounded outbound frame queue: when it fills, the
-/// server stops reading that connection's requests, and pushed
-/// MATCH/DOC_DONE frames to a slow subscriber are dropped and counted
-/// (`dropped_frames` in STATS) rather than stalling the document
-/// stream. Document ingestion is serialized service-wide: one document
-/// may be in flight at a time, owned by the connection that fed its
-/// first chunk.
+/// Concurrency model: one event-loop thread owns every connection and
+/// all protocol work. Each connection has a bounded outbound frame
+/// queue: when it fills, the server stops reading that connection's
+/// requests, and pushed MATCH/DOC_DONE frames to a slow subscriber are
+/// dropped and counted (`dropped_frames` in STATS) rather than
+/// stalling the document stream.
+///
+/// Document ingestion depends on ServerOptions::pipeline_workers:
+///
+///  * workers = 1 (default): the loop thread owns one Engine and
+///    ingestion is serialized service-wide — one document in flight at
+///    a time, owned by the connection that fed its first chunk, its
+///    MATCH/DOC_DONE pushes delivered before the publisher's DOC_OK.
+///  * workers >= 2: the server owns an EnginePool
+///    (xpstream/pipeline.h). Documents are *per-connection* in flight:
+///    each connection may stream one document at a time, concurrently
+///    with every other connection. The loop thread parses chunks into
+///    event batches; DOC_END submits the batch to the pool's bounded
+///    queue and acks DOC_OK with the pool-assigned document index
+///    immediately (kResourceExhausted when the queue is full — the
+///    publisher's backpressure signal, retry after a drain). The
+///    document's MATCH/DOC_DONE frames follow asynchronously when a
+///    worker evaluates it — after the publisher's DOC_OK, unlike the
+///    serial mode. Per document they keep the engine's deterministic
+///    order (MATCH ordinals nondecreasing, then DOC_DONE); frames of
+///    different documents interleave in evaluation-completion order.
 
 #include <cstdint>
 #include <memory>
@@ -65,6 +81,25 @@ struct ServerOptions {
   /// Open-element depth cap applied to the engine (0 = unlimited);
   /// used only when options.engine.max_element_depth is 0.
   size_t max_element_depth = 1024;
+
+  /// Entity/charref expansion cap per document, in decoded bytes,
+  /// applied to the engine (0 = unlimited); used only when
+  /// options.engine.max_entity_expansion_bytes is 0. A billion-laughs
+  /// style document is answered with a clean ERROR at DOC_END instead
+  /// of unbounded decode work; the connection survives.
+  size_t max_entity_expansion_bytes = 1u << 20;
+
+  /// Engine replicas evaluating documents concurrently. 1 (the
+  /// default) keeps the serial single-Engine service; >= 2 puts an
+  /// EnginePool behind the protocol (see the file comment for how the
+  /// ingestion semantics change). xpstreamd flag: --pipeline-workers.
+  size_t pipeline_workers = 1;
+
+  /// Documents that may wait in the pool's queue beyond the ones being
+  /// evaluated (pipeline_workers >= 2 only). A DOC_END arriving with
+  /// the queue full is answered kResourceExhausted and the document is
+  /// dropped — publisher backpressure. xpstreamd: --doc-queue-depth.
+  size_t doc_queue_depth = 16;
 
   /// Admission budget applied to the engine, in predicted peak bytes
   /// (0 = no admission control); used only when
@@ -164,13 +199,23 @@ class Client {
   Status Unsubscribe(uint32_t sub_id);
 
   /// Streams the next chunk of the current document (first call opens
-  /// the document and claims the service-wide ingestion slot).
+  /// the document; on a serial server this claims the service-wide
+  /// ingestion slot, on a pipelined one the connection's own).
   Status Feed(std::string_view chunk);
 
   /// Completes the current document; returns its index in the server's
   /// document stream. Pushed frames for this document (including this
-  /// client's own DOC_DONE) are available via TakeEvents() afterwards.
+  /// client's own DOC_DONE) are available via TakeEvents() afterwards —
+  /// on a pipelined server they arrive asynchronously, so wait with
+  /// WaitDocDone() before asserting on them.
   Result<uint64_t> FinishDocument();
+
+  /// Blocks until document `doc`'s DOC_DONE push has arrived on this
+  /// connection (it may already be in the recorded events), collecting
+  /// pushes along the way for TakeEvents(). Fails when the receive
+  /// timeout expires first. Subscribers on a pipelined server use this
+  /// to rendezvous with a document's asynchronous evaluation.
+  Status WaitDocDone(uint64_t doc);
 
   /// Triggers Engine::CompactSubscriptions() on the server.
   Status Compact();

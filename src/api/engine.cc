@@ -34,14 +34,18 @@ struct Engine::SinkRelay : MatchSink {
 
 Engine::Engine(EngineOptions options, std::shared_ptr<ThreadPool> pool,
                std::unique_ptr<SymbolTable> symbols,
-               std::unique_ptr<DfaTableCache> dfa_tables,
-               std::unique_ptr<DocumentProfile> profile,
+               std::unique_ptr<DfaTableCache> owned_dfa_tables,
+               std::unique_ptr<DocumentProfile> owned_profile,
+               const EngineSharedContext& effective,
                std::unique_ptr<Matcher> matcher)
     : options_(std::move(options)),
       pool_(std::move(pool)),
       symbols_(std::move(symbols)),
-      dfa_tables_(std::move(dfa_tables)),
-      profile_(std::move(profile)),
+      owned_dfa_tables_(std::move(owned_dfa_tables)),
+      owned_profile_(std::move(owned_profile)),
+      dfa_tables_(effective.dfa_tables),
+      profile_(effective.profile),
+      profile_mutex_(effective.profile_mutex),
       matcher_(std::move(matcher)),
       relay_(std::make_unique<SinkRelay>(this)) {
   matcher_->SetSink(relay_.get());
@@ -87,6 +91,11 @@ Result<std::unique_ptr<Matcher>> BuildMatcher(
 }  // namespace
 
 Result<std::unique_ptr<Engine>> Engine::Create(const EngineOptions& options) {
+  return Create(options, EngineSharedContext{});
+}
+
+Result<std::unique_ptr<Engine>> Engine::Create(
+    const EngineOptions& options, const EngineSharedContext& shared) {
   EngineOptions resolved = options;
   if (resolved.threads == 0) {
     resolved.threads = std::max(1u, std::thread::hardware_concurrency());
@@ -95,14 +104,26 @@ Result<std::unique_ptr<Engine>> Engine::Create(const EngineOptions& options) {
 
   // One SymbolTable per engine pipeline: the facade's parser interns
   // into it, subscriptions resolve their node tests against it, and the
-  // matcher (every shard of it) dispatches on its ids. The DfaTableCache
-  // likewise spans the pipeline: shards and compaction rebuilds share
-  // memoized transition tables through it.
+  // matcher (every shard of it) dispatches on its ids. It is never
+  // shared across pool replicas — interning is single-threaded by
+  // design. The DfaTableCache and DocumentProfile *are* shareable: when
+  // the caller supplies them (an EnginePool wiring up replicas) this
+  // engine borrows; otherwise it owns private equivalents.
   auto symbols = std::make_unique<SymbolTable>();
-  auto dfa_tables = std::make_unique<DfaTableCache>();
-  // The pipeline's document profile starts as the caller's asserted
-  // workload shape; observed documents take over at the first boundary.
-  auto profile = std::make_unique<DocumentProfile>(resolved.assumed_profile);
+  std::unique_ptr<DfaTableCache> owned_dfa;
+  std::unique_ptr<DocumentProfile> owned_profile;
+  EngineSharedContext effective = shared;
+  if (effective.dfa_tables == nullptr) {
+    owned_dfa = std::make_unique<DfaTableCache>();
+    effective.dfa_tables = owned_dfa.get();
+  }
+  if (effective.profile == nullptr) {
+    // The pipeline's document profile starts as the caller's asserted
+    // workload shape; observed documents take over at the first boundary.
+    owned_profile = std::make_unique<DocumentProfile>(resolved.assumed_profile);
+    effective.profile = owned_profile.get();
+    effective.profile_mutex = nullptr;  // private profile needs no lock
+  }
 
   std::shared_ptr<ThreadPool> pool;
   if (resolved.threads > 1) {
@@ -112,13 +133,13 @@ Result<std::unique_ptr<Engine>> Engine::Create(const EngineOptions& options) {
   }
   PipelineContext context;
   context.symbols = symbols.get();
-  context.dfa_tables = dfa_tables.get();
-  context.profile = profile.get();
+  context.dfa_tables = effective.dfa_tables;
+  context.profile = effective.profile;
   auto matcher = BuildMatcher(resolved, pool, context);
   if (!matcher.ok()) return matcher.status();
   return std::unique_ptr<Engine>(
       new Engine(std::move(resolved), std::move(pool), std::move(symbols),
-                 std::move(dfa_tables), std::move(profile),
+                 std::move(owned_dfa), std::move(owned_profile), effective,
                  std::move(matcher).value()));
 }
 
@@ -145,8 +166,17 @@ Status Engine::CheckSubscribable(const std::string& id) const {
   return Status::OK();
 }
 
+DocumentProfile Engine::ProfileSnapshot() const {
+  std::unique_lock<std::mutex> lock;
+  if (profile_mutex_ != nullptr) {
+    lock = std::unique_lock<std::mutex>(*profile_mutex_);
+  }
+  return *profile_;
+}
+
 size_t Engine::PredictSlotCost(const CompiledQuery& query) const {
-  const QueryPlan plan = BuildQueryPlan(*query.query(), *profile_);
+  const DocumentProfile profile = ProfileSnapshot();
+  const QueryPlan plan = BuildQueryPlan(*query.query(), profile);
   if (options_.engine == "auto") {
     const EnginePrediction* choice = plan.Choice();
     return choice != nullptr ? choice->cost.PredictedPeakBytes() : 0;
@@ -291,15 +321,23 @@ Status Engine::CompactSubscriptions() {
     return Status::InvalidArgument(
         "cannot compact while a document is being consumed");
   }
-  if (tombstoned_slots_ == 0) return Status::OK();
+  // A compaction is worth a rebuild when there is capacity to reclaim
+  // *or* the observed profile has shifted the planner's ranking — the
+  // rebuilt AutoMatcher re-routes every slot to its now-cheapest engine.
+  if (tombstoned_slots_ == 0 && !NeedsReroute()) return Status::OK();
 
   // Let the old matcher fold its shareable structure (lazy-DFA tables)
   // into the pipeline caches, so the rebuilt matcher starts warm.
   matcher_->PublishShared();
 
+  // The fresh matcher plans against the *observed* profile, not the
+  // assumed one the original matcher may have been built with: this is
+  // what re-routes slots whose cheapest engine changed as documents
+  // taught the planner the real workload shape.
   PipelineContext context;
   context.symbols = symbols_.get();
-  context.dfa_tables = dfa_tables_.get();
+  context.dfa_tables = dfa_tables_;
+  context.profile = profile_;
   auto fresh = BuildMatcher(options_, pool_, context);
   if (!fresh.ok()) return fresh.status();
 
@@ -358,6 +396,23 @@ Status Engine::CompactSubscriptions() {
   return Status::OK();
 }
 
+bool Engine::NeedsReroute() const {
+  // Only the "auto" meta-engine routes per slot; a fixed engine has
+  // nothing to re-route. Pricing every live slot is the same work a
+  // Subscribe does once — acceptable for an explicit maintenance call.
+  if (options_.engine != "auto") return false;
+  const DocumentProfile profile = ProfileSnapshot();
+  for (const EvalSlot& slot : slots_) {
+    if (slot.tombstoned) continue;
+    const QueryPlan plan = BuildQueryPlan(*slot.query.query(), profile);
+    const EnginePrediction* choice = plan.Choice();
+    if (choice != nullptr && choice->engine != slot.planned_engine) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Result<Engine::SubscriptionPlan> Engine::PlanOf(std::string_view id) const {
   auto it = id_index_.find(std::string(id));
   if (it == id_index_.end()) {
@@ -389,6 +444,7 @@ Status Engine::Feed(std::string_view chunk) {
     // so on the byte path every event reaches the matcher with its
     // symbol resolved — no hashing downstream.
     parser_ = std::make_unique<XmlParser>(this, symbols_.get());
+    parser_->SetMaxEntityExpansionBytes(options_.max_entity_expansion_bytes);
   }
   return parser_->Feed(chunk);
 }
@@ -511,8 +567,15 @@ void Engine::FinalizeDocument() {
   // here on, the planner prices subscriptions against observed reality
   // instead of the assumed profile. The symbol table holds every
   // distinct name the pipeline has interned — the alphabet size of the
-  // DFA blowup bound.
-  profile_->Observe(collector_.stats(), symbols_->size());
+  // DFA blowup bound. A pool-shared profile is fed from every replica's
+  // worker thread, hence the (optional) lock.
+  {
+    std::unique_lock<std::mutex> lock;
+    if (profile_mutex_ != nullptr) {
+      lock = std::unique_lock<std::mutex>(*profile_mutex_);
+    }
+    profile_->Observe(collector_.stats(), symbols_->size());
+  }
   if (result_sink_ != nullptr) FlushPendingMatches();
   // Slots still undecided carry non-matches, decided at endDocument.
   for (size_t& position : decided_at_) {

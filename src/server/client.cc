@@ -227,6 +227,35 @@ Result<uint64_t> Client::FinishDocument() {
   return doc_index;
 }
 
+Status Client::WaitDocDone(uint64_t doc) {
+  // Already recorded? (It may have ridden along with an earlier ack or
+  // drain.)
+  auto arrived = [&] {
+    for (const ClientEvent& event : impl_->events_) {
+      if (event.kind == ClientEvent::Kind::kDocDone && event.doc == doc) {
+        return true;
+      }
+    }
+    return false;
+  };
+  impl_->DrainAvailable();
+  while (!arrived()) {
+    // Blocking read, SO_RCVTIMEO-bounded; pushes for other documents
+    // are recorded en route, never lost.
+    auto frame = impl_->ReadFrame();
+    if (!frame.ok()) return frame.status();
+    if (IsPushFrame(frame->type)) {
+      impl_->RecordPush(*frame);
+    } else {
+      return Status::Internal(
+          "unexpected frame type " +
+          std::to_string(static_cast<unsigned>(frame->type)) +
+          " while waiting for DOC_DONE");
+    }
+  }
+  return Status::OK();
+}
+
 Status Client::Compact() {
   return impl_
       ->RoundTrip(wire::EncodeFrame(wire::FrameType::kCompact, ""),

@@ -66,6 +66,17 @@ void EventLoop::RequestStop() {
   // A full pipe still wakes the loop; a closed loop no longer cares.
 }
 
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  // Any non-'q' byte wakes the loop without stopping it. A full pipe is
+  // fine: the loop drains posted_ wholesale every iteration anyway.
+  const char byte = 'p';
+  [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
 void EventLoop::Run() {
   std::vector<pollfd> pollfds;
   std::vector<int> ready;
@@ -111,6 +122,16 @@ void EventLoop::Run() {
       if (it == entries_.end() || it->second.dead) continue;
       it->second.handler(pollfds[static_cast<size_t>(i)].revents);
     }
+
+    // Posted callbacks run after fd dispatch, in post order. Swap the
+    // vector out under the lock so callbacks (which may Post again)
+    // never run holding it.
+    std::vector<std::function<void()>> posted;
+    {
+      std::lock_guard<std::mutex> lock(post_mutex_);
+      posted.swap(posted_);
+    }
+    for (auto& fn : posted) fn();
 
     // The tick runs after dispatch so I/O progress handlers just made
     // (activity timestamps, reaps) is visible to it.

@@ -22,6 +22,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include <poll.h>
 
@@ -68,6 +70,14 @@ class EventLoop {
   /// idempotent.
   void RequestStop();
 
+  /// Queues `fn` to run on the loop thread (after the fd dispatch of
+  /// the iteration that picks it up) and wakes the loop. Thread-safe;
+  /// callbacks run in post order. This is how pool worker threads hand
+  /// results to the loop thread without touching session state
+  /// themselves. Callbacks posted before Run() returns are executed or
+  /// discarded with the loop — they must not assume they run.
+  void Post(std::function<void()> fn);
+
  private:
   EventLoop(int wake_read_fd, int wake_write_fd);
 
@@ -83,6 +93,9 @@ class EventLoop {
   std::function<void()> tick_;
   int tick_interval_ms_ = -1;  // -1: no tick; poll blocks indefinitely
   bool stop_ = false;  // loop thread only; cross-thread stop via the pipe
+
+  std::mutex post_mutex_;  // guards posted_ (the only cross-thread state)
+  std::vector<std::function<void()>> posted_;
 };
 
 }  // namespace xpstream

@@ -49,11 +49,18 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--address A] [--port N] [--engine NAME] [--threads N]\n"
+      "          [--pipeline-workers N] [--doc-queue-depth N]\n"
       "          [--max-document-bytes N] [--max-frame-bytes N]\n"
-      "          [--max-element-depth N] [--outbox-frames N]\n"
-      "          [--max-connections N] [--idle-timeout-ms N]\n"
-      "          [--memory-budget-bytes N] [--admission reject|degrade]\n"
+      "          [--max-element-depth N] [--max-entity-expansion-bytes N]\n"
+      "          [--outbox-frames N] [--max-connections N]\n"
+      "          [--idle-timeout-ms N] [--memory-budget-bytes N]\n"
+      "          [--admission reject|degrade]\n"
       "defaults: 127.0.0.1, ephemeral port, frontier, 1 thread\n"
+      "--pipeline-workers N >= 2 runs an EnginePool of N replicas so many\n"
+      "publishers stream documents concurrently (DOC_OK acks then precede\n"
+      "the document's MATCH/DOC_DONE pushes); --doc-queue-depth bounds the\n"
+      "documents waiting for a worker — a DOC_END past it is answered with\n"
+      "a ResourceExhausted ERROR (publisher backpressure).\n"
       "--engine NAME picks a registry engine, or `auto` to let the query\n"
       "planner route each subscription to the predicted-cheapest engine.\n"
       "--memory-budget-bytes N admission-controls subscriptions: one whose\n"
@@ -96,6 +103,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-element-depth") {
       if (!ParseUnsigned(value, SIZE_MAX, &number)) return Usage(argv[0]);
       options.max_element_depth = static_cast<size_t>(number);
+    } else if (arg == "--max-entity-expansion-bytes") {
+      if (!ParseUnsigned(value, SIZE_MAX, &number)) return Usage(argv[0]);
+      options.max_entity_expansion_bytes = static_cast<size_t>(number);
+    } else if (arg == "--pipeline-workers") {
+      if (!ParseUnsigned(value, SIZE_MAX, &number)) return Usage(argv[0]);
+      options.pipeline_workers = static_cast<size_t>(number);
+    } else if (arg == "--doc-queue-depth") {
+      if (!ParseUnsigned(value, SIZE_MAX, &number)) return Usage(argv[0]);
+      options.doc_queue_depth = static_cast<size_t>(number);
     } else if (arg == "--outbox-frames") {
       if (!ParseUnsigned(value, SIZE_MAX, &number)) return Usage(argv[0]);
       options.outbox_frames = static_cast<size_t>(number);
@@ -141,9 +157,11 @@ int main(int argc, char** argv) {
                  server.status().ToString().c_str());
     return 1;
   }
-  std::printf("xpstreamd listening on %s:%u (engine=%s, threads=%zu)\n",
-              options.bind_address.c_str(), (*server)->port(),
-              options.engine.engine.c_str(), options.engine.threads);
+  std::printf(
+      "xpstreamd listening on %s:%u (engine=%s, threads=%zu, workers=%zu)\n",
+      options.bind_address.c_str(), (*server)->port(),
+      options.engine.engine.c_str(), options.engine.threads,
+      options.pipeline_workers);
   std::fflush(stdout);
 
   char byte;

@@ -19,13 +19,69 @@
 #include "server/event_loop.h"
 #include "server/session.h"
 #include "server/wire.h"
+#include "xml/parser.h"
+#include "xpstream/pipeline.h"
 
 namespace xpstream {
 
-/// The server core: owns the Engine, the listener, the event loop and
-/// every Session; implements the protocol semantics (SessionHost) and
-/// bridges the engine's ResultSink into per-connection push frames.
-/// Everything below runs on the loop thread except Start/Stop/port.
+namespace {
+
+/// Event collector for the pipelined ingest path: buffers one
+/// document's SAX events while enforcing the open-element depth cap at
+/// parse time, so a hostile document fails at its publisher before it
+/// can occupy a pool queue slot.
+struct DepthCapSink : EventSink {
+  EventStream* out = nullptr;
+  size_t depth = 0;
+  size_t max_depth = 0;  // 0 = unlimited
+
+  Status OnEvent(const Event& event) override {
+    if (event.type == EventType::kStartElement) {
+      if (max_depth != 0 && depth >= max_depth) {
+        return Status::NotWellFormed(
+            "element depth exceeds max_element_depth = " +
+            std::to_string(max_depth));
+      }
+      ++depth;
+    } else if (event.type == EventType::kEndElement && depth > 0) {
+      --depth;
+    }
+    out->push_back(event);
+    return Status::OK();
+  }
+};
+
+/// One connection's in-flight document on a pipelined server: the
+/// loop-thread parser and the event batch it accumulates. Unlike the
+/// serial mode's service-wide publisher latch, each connection owns at
+/// most one of these — publishers stream concurrently.
+struct PendingDoc {
+  EventStream events;
+  DepthCapSink sink;
+  XmlParser parser;
+  size_t bytes = 0;
+
+  PendingDoc(size_t max_depth, size_t entity_cap) : parser(&sink) {
+    sink.out = &events;
+    sink.max_depth = max_depth;
+    parser.SetMaxEntityExpansionBytes(entity_cap);
+  }
+};
+
+/// Wire ids travel through the pool as the decimal subscription id
+/// strings the server registered ("42" <-> wire id 42).
+uint32_t WireIdOf(const std::string& id) {
+  return static_cast<uint32_t>(std::stoul(id));
+}
+
+}  // namespace
+
+/// The server core: owns the Engine (or EnginePool), the listener, the
+/// event loop and every Session; implements the protocol semantics
+/// (SessionHost) and bridges engine/pool results into per-connection
+/// push frames. Everything below runs on the loop thread except
+/// Start/Stop/port — and, in pipelined mode, the PoolBridge callbacks,
+/// which run on pool worker threads and only Post() to the loop.
 class Server::Impl : public SessionHost {
  public:
   explicit Impl(ServerOptions options) : options_(std::move(options)) {}
@@ -37,20 +93,38 @@ class Server::Impl : public SessionHost {
     if (engine_options.max_element_depth == 0) {
       engine_options.max_element_depth = options_.max_element_depth;
     }
+    if (engine_options.max_entity_expansion_bytes == 0) {
+      engine_options.max_entity_expansion_bytes =
+          options_.max_entity_expansion_bytes;
+    }
     if (engine_options.memory_budget_bytes == 0 &&
         options_.memory_budget_bytes != 0) {
       engine_options.memory_budget_bytes = options_.memory_budget_bytes;
       engine_options.admission = options_.admission;
     }
     effective_budget_ = engine_options.memory_budget_bytes;
-    auto engine = Engine::Create(engine_options);
-    if (!engine.ok()) return engine.status();
-    engine_ = std::move(engine).value();
-    engine_->SetSink(&sink_);
+    effective_depth_ = engine_options.max_element_depth;
+    effective_entity_cap_ = engine_options.max_entity_expansion_bytes;
 
     auto loop = EventLoop::Create();
     if (!loop.ok()) return loop.status();
     loop_ = std::move(loop).value();
+
+    if (options_.pipeline_workers >= 2) {
+      PipelineOptions pipeline_options;
+      pipeline_options.engine = engine_options;
+      pipeline_options.workers = options_.pipeline_workers;
+      pipeline_options.queue_depth = options_.doc_queue_depth;
+      auto pool = EnginePool::Create(pipeline_options);
+      if (!pool.ok()) return pool.status();
+      pool_ = std::move(pool).value();
+      pool_->SetSink(&pool_sink_);
+    } else {
+      auto engine = Engine::Create(engine_options);
+      if (!engine.ok()) return engine.status();
+      engine_ = std::move(engine).value();
+      engine_->SetSink(&sink_);
+    }
 
     XPS_RETURN_IF_ERROR(Listen());
     loop_->Add(
@@ -75,6 +149,7 @@ class Server::Impl : public SessionHost {
       thread_.join();
       // Loop-thread state is ours again (join = happens-before): close
       // live connections so blocked clients see EOF, stop listening.
+      pending_.clear();
       sessions_.clear();
     }
     if (listen_fd_ >= 0) {
@@ -94,9 +169,18 @@ class Server::Impl : public SessionHost {
   Result<uint32_t> OnSubscribe(Session* session, uint8_t mode,
                                std::string_view query) override {
     const uint32_t wire_id = next_wire_id_++;
-    XPS_RETURN_IF_ERROR(engine_->Subscribe(
-        std::to_string(wire_id), query,
-        mode == 0 ? DeliveryMode::kAtEnd : DeliveryMode::kEarliest));
+    const DeliveryMode delivery =
+        mode == 0 ? DeliveryMode::kAtEnd : DeliveryMode::kEarliest;
+    if (pool_ != nullptr) {
+      // The pool quiesces in-flight documents internally, so a
+      // subscribe under live concurrent traffic is legal and atomic
+      // across replicas.
+      XPS_RETURN_IF_ERROR(
+          pool_->Subscribe(std::to_string(wire_id), query, delivery));
+    } else {
+      XPS_RETURN_IF_ERROR(
+          engine_->Subscribe(std::to_string(wire_id), query, delivery));
+    }
     sub_index_[wire_id] = subs_.size();
     subs_.push_back(SubRecord{wire_id, session});
     return wire_id;
@@ -110,18 +194,24 @@ class Server::Impl : public SessionHost {
       return Status::NotFound("unknown subscription id: " +
                               std::to_string(sub_id));
     }
-    XPS_RETURN_IF_ERROR(engine_->Unsubscribe(std::to_string(sub_id)));
+    if (pool_ != nullptr) {
+      XPS_RETURN_IF_ERROR(pool_->Unsubscribe(std::to_string(sub_id)));
+    } else {
+      XPS_RETURN_IF_ERROR(engine_->Unsubscribe(std::to_string(sub_id)));
+    }
     EraseSub(it->second);
     return Status::OK();
   }
 
   Status OnDocChunk(Session* session, std::string_view bytes) override {
+    if (pool_ != nullptr) return OnPoolDocChunk(session, bytes);
     if (publisher_ != nullptr && publisher_ != session) {
       return Status::InvalidArgument(
           "another connection's document is in flight");
     }
     if (publisher_ == nullptr) {
       publisher_ = session;
+      publisher_seen_ = true;
       doc_bytes_ = 0;
     }
     doc_bytes_ += bytes.size();
@@ -137,6 +227,7 @@ class Server::Impl : public SessionHost {
   }
 
   Result<uint64_t> OnDocEnd(Session* session) override {
+    if (pool_ != nullptr) return OnPoolDocEnd(session);
     if (publisher_ != session) {
       return Status::InvalidArgument(
           "DOC_END without an open document on this connection");
@@ -154,7 +245,8 @@ class Server::Impl : public SessionHost {
   }
 
   Status OnCompact(Session*) override {
-    return engine_->CompactSubscriptions();
+    return pool_ != nullptr ? pool_->CompactSubscriptions()
+                            : engine_->CompactSubscriptions();
   }
 
   std::string OnStats(Session* session) override {
@@ -165,21 +257,47 @@ class Server::Impl : public SessionHost {
       text.append(std::to_string(value));
       text.push_back('\n');
     };
-    text.append("engine=").append(engine_->engine_name()).push_back('\n');
-    line("documents_seen", engine_->documents_seen());
-    line("subscriptions", engine_->NumSubscriptions());
-    line("eval_slots", engine_->num_eval_slots());
-    line("tombstoned_slots", engine_->tombstoned_slots());
-    line("automaton_rebuilds", engine_->automaton_rebuilds());
+    // Subscription/planner state is identical on every pool replica and
+    // safe to read from the loop thread (the mutation thread) while
+    // documents evaluate; document counters and peaks come from the
+    // pool, which folds them across replicas.
+    const Engine& engine = pool_ != nullptr ? pool_->replica(0) : *engine_;
+    text.append("engine=").append(engine.engine_name()).push_back('\n');
+    line("documents_seen", pool_ != nullptr ? pool_->documents_done()
+                                            : engine.documents_seen());
+    line("subscriptions", engine.NumSubscriptions());
+    line("eval_slots", engine.num_eval_slots());
+    line("tombstoned_slots", engine.tombstoned_slots());
+    line("automaton_rebuilds", engine.automaton_rebuilds());
     line("connections", sessions_.size());
     line("dropped_frames", session->dropped_frames());
     line("outbox_capacity", options_.outbox_frames);
-    line("peak_table_entries", engine_->peak_table_entries());
-    line("peak_buffered_bytes", engine_->peak_buffered_bytes());
-    line("predicted_peak_bytes", engine_->predicted_peak_bytes());
+    line("peak_table_entries", pool_ != nullptr ? pool_->peak_table_entries()
+                                                : engine.peak_table_entries());
+    line("peak_buffered_bytes", pool_ != nullptr
+                                    ? pool_->peak_buffered_bytes()
+                                    : engine.peak_buffered_bytes());
+    line("predicted_peak_bytes", engine.predicted_peak_bytes());
     line("memory_budget_bytes", effective_budget_);
-    line("admission_rejects", engine_->admission_rejects());
-    line("admission_degrades", engine_->admission_degrades());
+    line("admission_rejects", engine.admission_rejects());
+    line("admission_degrades", engine.admission_degrades());
+    // The ingestion pipeline's own gauges. In serial mode the "queue"
+    // is the service-wide publisher latch: depth 0, in flight 0 or 1.
+    if (pool_ != nullptr) {
+      line("pipeline_workers", pool_->workers());
+      line("queue_depth", pool_->queue_depth());
+      line("queue_peak", pool_->queue_peak());
+      line("docs_in_flight", pool_->docs_in_flight());
+      line("queue_rejects", pool_->queue_rejects());
+      line("doc_errors", pool_doc_errors_);
+    } else {
+      line("pipeline_workers", 1);
+      line("queue_depth", 0);
+      line("queue_peak", publisher_seen_ ? 1 : 0);
+      line("docs_in_flight", publisher_ != nullptr ? 1 : 0);
+      line("queue_rejects", 0);
+      line("doc_errors", 0);
+    }
     return text;
   }
 
@@ -206,6 +324,128 @@ class Server::Impl : public SessionHost {
     }
     Impl* impl;
   };
+
+  /// PoolSink face of the pipelined server. Callbacks arrive on pool
+  /// worker threads; they capture plain data (wire ids travel as the
+  /// subscription-id snapshot, never Session pointers — a session may
+  /// die between post and drain) and Post() to the loop thread, which
+  /// resolves owners against live state when the callback runs.
+  struct PoolBridge : PoolSink {
+    explicit PoolBridge(Impl* impl) : impl(impl) {}
+    void OnMatch(uint64_t doc, size_t sub, size_t ordinal,
+                 const SubscriptionIds& ids) override {
+      Impl* server = impl;
+      server->loop_->Post([server, doc, sub, ordinal, ids] {
+        server->PushPoolMatch(doc, sub, ordinal, *ids);
+      });
+    }
+    void OnDocumentDone(uint64_t doc, const SubscriptionIds& ids,
+                        std::vector<bool> verdicts,
+                        std::vector<size_t> /*decided_at*/) override {
+      Impl* server = impl;
+      server->loop_->Post(
+          [server, doc, ids, verdicts = std::move(verdicts)] {
+            server->PushPoolDocDone(doc, *ids, verdicts);
+          });
+    }
+    void OnDocumentError(uint64_t /*doc*/, Status /*status*/) override {
+      // The publisher was acked at DOC_END (submission succeeded) and
+      // the batch passed full parse validation there, so evaluation
+      // errors are unexpected; count them for STATS visibility.
+      Impl* server = impl;
+      server->loop_->Post([server] { ++server->pool_doc_errors_; });
+    }
+    Impl* impl;
+  };
+
+  Status OnPoolDocChunk(Session* session, std::string_view bytes) {
+    auto it = pending_.find(session);
+    if (it == pending_.end()) {
+      it = pending_
+               .emplace(session, std::make_unique<PendingDoc>(
+                                     effective_depth_, effective_entity_cap_))
+               .first;
+    }
+    PendingDoc& pending = *it->second;
+    pending.bytes += bytes.size();
+    if (pending.bytes > options_.max_document_bytes) {
+      pending_.erase(it);
+      return Status::InvalidArgument(
+          "document exceeds max_document_bytes = " +
+          std::to_string(options_.max_document_bytes));
+    }
+    Status status = pending.parser.Feed(bytes);
+    // On a parse error the session latches doc_error_ and answers the
+    // eventual DOC_END from it without calling back here, so the
+    // pending state must go now, not at the boundary.
+    if (!status.ok()) pending_.erase(it);
+    return status;
+  }
+
+  Result<uint64_t> OnPoolDocEnd(Session* session) {
+    auto it = pending_.find(session);
+    if (it == pending_.end()) {
+      return Status::InvalidArgument(
+          "DOC_END without an open document on this connection");
+    }
+    std::unique_ptr<PendingDoc> pending = std::move(it->second);
+    pending_.erase(it);
+    XPS_RETURN_IF_ERROR(pending->parser.Finish());
+    // The batch is fully parsed and validated; hand it to the pool.
+    // kResourceExhausted (queue full) reaches the publisher as the
+    // DOC_END answer — its backpressure signal; the document is
+    // dropped and may be resent after a drain.
+    uint64_t doc = 0;
+    XPS_RETURN_IF_ERROR(
+        pool_->TrySubmitEvents(std::move(pending->events), &doc));
+    // DOC_OK carries the pool-assigned index; the document's MATCH /
+    // DOC_DONE pushes follow asynchronously when a worker evaluates it.
+    return doc;
+  }
+
+  void PushPoolMatch(uint64_t doc, size_t sub, size_t ordinal,
+                     const std::vector<std::string>& ids) {
+    if (sub >= ids.size()) return;  // defensive: snapshot/pool skew
+    const uint32_t wire_id = WireIdOf(ids[sub]);
+    auto it = sub_index_.find(wire_id);
+    if (it == sub_index_.end()) return;  // unsubscribed since dispatch
+    Session* owner = subs_[it->second].owner;
+    if (owner == nullptr) return;
+    owner->EnqueuePush(wire::EncodeMatch(wire_id, doc, ordinal));
+  }
+
+  void PushPoolDocDone(uint64_t doc, const std::vector<std::string>& ids,
+                       const std::vector<bool>& verdicts) {
+    // Group the document's verdicts by owning connection, preserving
+    // the snapshot's subscription order within each group — the same
+    // frame layout the serial bridge produces.
+    struct Group {
+      std::string entries;
+      uint32_t count = 0;
+    };
+    std::unordered_map<Session*, Group> groups;
+    const size_t n = std::min(verdicts.size(), ids.size());
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t wire_id = WireIdOf(ids[i]);
+      auto it = sub_index_.find(wire_id);
+      if (it == sub_index_.end()) continue;  // unsubscribed since dispatch
+      Session* owner = subs_[it->second].owner;
+      if (owner == nullptr) continue;
+      Group& group = groups[owner];
+      wire::AppendU32(&group.entries, wire_id);
+      wire::AppendU8(&group.entries, verdicts[i] ? 1 : 0);
+      ++group.count;
+    }
+    for (auto& [session, group] : groups) {
+      std::string payload;
+      payload.reserve(12 + group.entries.size());
+      wire::AppendU64(&payload, doc);
+      wire::AppendU32(&payload, group.count);
+      payload.append(group.entries);
+      session->EnqueuePush(
+          wire::EncodeFrame(wire::FrameType::kDocDone, payload));
+    }
+  }
 
   Status Listen() {
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -295,16 +535,31 @@ class Server::Impl : public SessionHost {
     if (it == sessions_.end()) return;
     Session* session = it->second.get();
     // A publisher dying mid-document must not wedge the service: drop
-    // the partial document so the next publisher can start clean.
-    if (publisher_ == session) AbortDocument();
-    // Engine removal is barred while some other connection's document
-    // streams; detach now (stop delivering) and unsubscribe at the
-    // document boundary.
+    // the partial document so the next publisher can start clean. On a
+    // pipelined server only this connection's own pending parse goes —
+    // other publishers' documents are untouched.
+    if (pool_ != nullptr) {
+      pending_.erase(session);
+    } else if (publisher_ == session) {
+      AbortDocument();
+    }
     for (size_t i = 0; i < subs_.size();) {
       if (subs_[i].owner != session) {
         ++i;
         continue;
       }
+      if (pool_ != nullptr) {
+        // The pool quiesces internally, so removal is legal even with
+        // documents in flight; posted frames for this session resolve
+        // against sub_index_ at drain time and find nothing. A just-
+        // added id cannot be unknown, so this cannot fail.
+        pool_->Unsubscribe(std::to_string(subs_[i].wire_id));
+        EraseSub(i);
+        continue;
+      }
+      // Engine removal is barred while some other connection's document
+      // streams; detach now (stop delivering) and unsubscribe at the
+      // document boundary.
       if (publisher_ != nullptr ||
           !engine_->Unsubscribe(std::to_string(subs_[i].wire_id)).ok()) {
         // Mid-document, or the engine refused removal: the engine
@@ -404,9 +659,18 @@ class Server::Impl : public SessionHost {
   /// The admission budget the engine actually runs with (engine-level
   /// option, or the server-level overlay), reported by STATS.
   size_t effective_budget_ = 0;
-  std::unique_ptr<Engine> engine_;
+  /// Effective depth / entity-expansion caps (engine-level option, or
+  /// the server-level overlay) — enforced by the loop-thread parser on
+  /// the pipelined ingest path.
+  size_t effective_depth_ = 0;
+  size_t effective_entity_cap_ = 0;
+  std::unique_ptr<Engine> engine_;  // serial mode (pipeline_workers = 1)
   std::unique_ptr<EventLoop> loop_;
+  /// Pipelined mode. Declared after loop_: destroyed first, joining
+  /// the worker threads that Post() into the loop before it goes.
+  std::unique_ptr<EnginePool> pool_;
   Bridge sink_{this};
+  PoolBridge pool_sink_{this};
   int listen_fd_ = -1;
   int spare_fd_ = -1;  // EMFILE reserve; see AcceptConnections
   uint16_t port_ = 0;
@@ -419,8 +683,14 @@ class Server::Impl : public SessionHost {
   uint32_t next_wire_id_ = 1;
   uint64_t next_session_id_ = 1;
   Session* publisher_ = nullptr;  // connection feeding the open document
+  bool publisher_seen_ = false;   // any document ever opened (STATS)
   size_t doc_bytes_ = 0;          // its cumulative chunk bytes
   std::vector<uint32_t> deferred_unsubs_;
+  /// Pipelined mode: each connection's in-flight parse (at most one).
+  std::unordered_map<Session*, std::unique_ptr<PendingDoc>> pending_;
+  /// Pipelined mode: documents whose evaluation failed after a
+  /// successful submit (unexpected — the batch was parse-validated).
+  uint64_t pool_doc_errors_ = 0;
 };
 
 Server::Server(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}

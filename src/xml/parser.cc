@@ -237,11 +237,21 @@ Result<std::string> XmlParser::DecodeText(std::string_view raw) {
       out += raw[i++];
       continue;
     }
+    // Entity-flood guard: every reference charges its decoded output
+    // against a per-document budget, so a document that is nothing but
+    // references cannot demand unbounded decode work.
+    if (max_entity_expansion_bytes_ != 0 &&
+        entity_expanded_ >= max_entity_expansion_bytes_) {
+      return Status::ParseError(
+          "entity expansion exceeds max_entity_expansion_bytes = " +
+          std::to_string(max_entity_expansion_bytes_));
+    }
     size_t semi = raw.find(';', i);
     if (semi == std::string_view::npos) {
       return Status::ParseError("unterminated entity reference");
     }
     std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    const size_t decoded_start = out.size();
     if (ent == "amp") {
       out += '&';
     } else if (ent == "lt") {
@@ -284,6 +294,7 @@ Result<std::string> XmlParser::DecodeText(std::string_view raw) {
     } else {
       return Status::ParseError("unknown entity &" + std::string(ent) + ";");
     }
+    entity_expanded_ += out.size() - decoded_start;
     i = semi + 1;
   }
   return out;

@@ -39,6 +39,17 @@ class XmlParser {
   /// and interning must stay single-threaded (see symbol_table.h).
   explicit XmlParser(EventSink* sink, SymbolTable* symbols = nullptr);
 
+  /// Caps the cumulative bytes this document's entity and character
+  /// references may decode to (0 = unlimited, the default). A document
+  /// whose references expand past the cap fails with a clean ParseError
+  /// instead of burning unbounded decode work — the streaming analogue
+  /// of a billion-laughs guard (DTD-defined entities are rejected
+  /// outright; this bounds the predefined-entity/charref flood that
+  /// remains). Set before the first Feed().
+  void SetMaxEntityExpansionBytes(size_t cap) {
+    max_entity_expansion_bytes_ = cap;
+  }
+
   /// Feeds the next chunk of document text. Returns the first error
   /// encountered; after an error the parser is unusable.
   Status Feed(std::string_view chunk);
@@ -87,6 +98,8 @@ class XmlParser {
   size_t line_ = 1;        // for error messages
   std::vector<OpenElement> open_;  // open element stack
   bool started_ = false;   // startDocument emitted
+  size_t max_entity_expansion_bytes_ = 0;  // 0 = unlimited
+  size_t entity_expanded_ = 0;  // reference-decoded bytes this document
 };
 
 /// Convenience: parses a full in-memory document into an event stream,

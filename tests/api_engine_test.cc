@@ -338,5 +338,35 @@ TEST(NfaIndexRunTest, StreamingRunAgreesWithBatchFilterDocument) {
   EXPECT_EQ(*run.Verdicts(), *batch);
 }
 
+// ---- entity-expansion cap ------------------------------------------
+
+TEST(EngineEntityCapTest, CapFailsHostileDocumentAndEngineRecovers) {
+  EngineOptions options;
+  options.engine = "frontier";
+  options.max_entity_expansion_bytes = 4;
+  auto engine = Engine::Create(options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Subscribe("s", "//a").ok());
+
+  std::string hostile = "<a>";
+  for (int i = 0; i < 16; ++i) hostile += "&amp;";
+  hostile += "</a>";
+  auto bad = (*engine)->FilterXml(hostile);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError)
+      << bad.status().ToString();
+
+  // The failed document aborts cleanly; the next one filters normally,
+  // and its per-document expansion budget starts fresh.
+  auto clean = (*engine)->FilterXml("<a>&#65;&#66;</a>");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(*clean, std::vector<bool>{true});
+
+  // Plain text never counts against the budget.
+  auto roomy = (*engine)->FilterXml("<a>" + std::string(4096, 'x') + "</a>");
+  ASSERT_TRUE(roomy.ok());
+  EXPECT_EQ(*roomy, std::vector<bool>{true});
+}
+
 }  // namespace
 }  // namespace xpstream

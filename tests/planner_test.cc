@@ -257,6 +257,56 @@ TEST(PlannerTest, ObservedProfileTakesOverFromAssumed) {
   EXPECT_GT((*engine)->observed_profile().max_depth, assumed_depth);
 }
 
+// Compact-time re-routing: "auto" admits a subscription on the engine
+// cheapest under the profile known *then*; when observed documents
+// shift the ranking, CompactSubscriptions() re-prices and re-routes —
+// even with nothing tombstoned — without changing any answer.
+TEST(PlannerTest, CompactReroutesSlotWhenProfileGrowthFlipsTheChoice) {
+  auto engine = Engine::Create("auto");
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Subscribe("s", "/a/b/c").ok());
+  auto before = (*engine)->PlanOf("s");
+  ASSERT_TRUE(before.ok());
+  // Under the assumed profile (shallow documents) the per-level NFA
+  // stack is the cheapest structure for a short child-only path.
+  EXPECT_EQ(before->engine, "nfa");
+
+  // A document nesting far past the assumption. The NFA's stack grows
+  // with *document* depth; the frontier table is bounded by the query's
+  // own depth (no descendant axis, so the query never recurses), so
+  // past some depth the ranking flips.
+  std::string deep = "<a><b><c>";
+  for (int i = 0; i < 64; ++i) deep += "<d>";
+  for (int i = 0; i < 64; ++i) deep += "</d>";
+  deep += "</c></b></a>";
+  auto verdicts = (*engine)->FilterXml(deep);
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_EQ(*verdicts, std::vector<bool>{true});
+  EXPECT_GT((*engine)->observed_profile().max_depth, 16u);
+
+  // Routing is sticky between maintenance points.
+  auto mid = (*engine)->PlanOf("s");
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->engine, "nfa");
+
+  // Nothing is tombstoned, so this compaction is a pure re-route.
+  const size_t rebuilds = (*engine)->automaton_rebuilds();
+  ASSERT_TRUE((*engine)->CompactSubscriptions().ok());
+  EXPECT_EQ((*engine)->automaton_rebuilds(), rebuilds + 1);
+  auto after = (*engine)->PlanOf("s");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->engine, "frontier");
+
+  // Re-routing changes the memory shape, never the answers.
+  auto again = (*engine)->FilterXml(deep);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, std::vector<bool>{true});
+
+  // With the ranking now stable, another compact is a no-op.
+  ASSERT_TRUE((*engine)->CompactSubscriptions().ok());
+  EXPECT_EQ((*engine)->automaton_rebuilds(), rebuilds + 1);
+}
+
 // --- admission control ---------------------------------------------
 
 /// The predicted admission price of `query` on `engine_name` under the

@@ -119,15 +119,24 @@ void ExpectErrorThenClose(RawConn* conn, StatusCode code) {
 }
 
 /// The "other connections unaffected" probe: a healthy client doing a
-/// full subscribe/feed/verdict round trip.
+/// full subscribe/feed/verdict round trip. Written to hold against a
+/// pipelined server too: the verdict arrives after the DOC_OK ack (so
+/// wait for it explicitly), and a fresh subscription may also receive
+/// DOC_DONE frames of older documents still queued when it registered
+/// (dispatch-time population snapshot) — assert only on our document.
 void ExpectServiceHealthy(uint16_t port) {
   auto client = Client::Connect("127.0.0.1", port);
   ASSERT_TRUE(client.ok());
   auto sub = (*client)->Subscribe("//b", DeliveryMode::kEarliest);
   ASSERT_TRUE(sub.ok());
   ASSERT_TRUE((*client)->Feed("<a><b/></a>").ok());
-  ASSERT_TRUE((*client)->FinishDocument().ok());
-  const std::vector<ClientEvent> events = (*client)->TakeEvents();
+  auto doc = (*client)->FinishDocument();
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE((*client)->WaitDocDone(*doc).ok());
+  std::vector<ClientEvent> events;
+  for (const ClientEvent& event : (*client)->TakeEvents()) {
+    if (event.doc == *doc) events.push_back(event);
+  }
   ASSERT_EQ(events.size(), 2u);
   EXPECT_EQ(events[0].kind, ClientEvent::Kind::kMatch);
   EXPECT_EQ(events[1].kind, ClientEvent::Kind::kDocDone);
@@ -345,6 +354,39 @@ TEST(ServerHardeningTest, MalformedXmlFailsDocumentNotConnection) {
   ASSERT_TRUE(good.ok());
   EXPECT_EQ(*good, 0u);
   ExpectServiceHealthy((*server)->port());
+}
+
+// A document spending more decoded entity/charref bytes than
+// max_entity_expansion_bytes allows is failed cleanly — ERROR at
+// DOC_END, connection and service intact — in the serial and the
+// pipelined ingestion model alike.
+TEST(ServerHardeningTest, EntityExpansionCapFailsDocumentNotConnection) {
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    ServerOptions options;
+    options.engine.engine = "frontier";
+    options.max_entity_expansion_bytes = 8;
+    options.pipeline_workers = workers;
+    auto server = Server::Start(options);
+    ASSERT_TRUE(server.ok()) << "workers=" << workers;
+    auto client = Client::Connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->Subscribe("//a").ok());
+
+    std::string hostile = "<a>";
+    for (int i = 0; i < 64; ++i) hostile += "&#65;";
+    hostile += "</a>";
+    ASSERT_TRUE((*client)->Feed(hostile).ok());
+    auto bad = (*client)->FinishDocument();
+    ASSERT_FALSE(bad.ok()) << "workers=" << workers;
+
+    // The connection survives and the next document is index 0: the
+    // hostile one was aborted before ever counting.
+    ASSERT_TRUE((*client)->Feed("<a/>").ok());
+    auto good = (*client)->FinishDocument();
+    ASSERT_TRUE(good.ok()) << "workers=" << workers;
+    EXPECT_EQ(*good, 0u);
+    ExpectServiceHealthy((*server)->port());
+  }
 }
 
 // The server runs embedded here (no daemon, so no SIG_IGN on SIGPIPE):

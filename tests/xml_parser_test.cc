@@ -113,6 +113,38 @@ TEST(XmlParserTest, ErrorInvalidName) {
   EXPECT_FALSE(ParseXmlToEvents("<1a/>").ok());
 }
 
+TEST(XmlParserTest, EntityExpansionCapEnforced) {
+  // Six charrefs decode one byte each; a 4-byte budget fails the fifth.
+  EventStream events;
+  CollectingSink sink(&events);
+  XmlParser parser(&sink);
+  parser.SetMaxEntityExpansionBytes(4);
+  Status status = parser.Feed("<a>&#65;&#66;&#67;&#68;&#69;&#70;</a>");
+  if (status.ok()) status = parser.Finish();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("entity expansion"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(XmlParserTest, EntityExpansionCapIgnoresPlainText) {
+  // Only decoded entity bytes count against the budget — plain text of
+  // any length is free, and an under-budget document parses normally.
+  EventStream events;
+  CollectingSink sink(&events);
+  XmlParser parser(&sink);
+  parser.SetMaxEntityExpansionBytes(4);
+  const std::string xml = "<a>" + std::string(4096, 'x') + "&#65;&#66;</a>";
+  ASSERT_TRUE(parser.Feed(xml).ok());
+  ASSERT_TRUE(parser.Finish().ok());
+}
+
+TEST(XmlParserTest, EntityExpansionUnlimitedByDefault) {
+  std::string xml = "<a>";
+  for (int i = 0; i < 256; ++i) xml += "&amp;";
+  xml += "</a>";
+  EXPECT_TRUE(ParseXmlToEvents(xml).ok());
+}
+
 TEST(XmlWriterTest, RoundTripThroughWriter) {
   const std::string xml = testutil::LoadTestData("attrs.xml");
   auto events = ParseXmlToEvents(xml);
