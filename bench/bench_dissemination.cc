@@ -27,13 +27,16 @@ namespace {
 struct Workload {
   std::vector<std::string> queries;
   std::vector<EventStream> documents;
+  /// Owns the trees the documents' event views point into.
+  std::vector<std::unique_ptr<XmlDocument>> storage;
 };
 
 Workload BibliographyWorkload(size_t docs) {
   Workload w;
   w.queries = BibliographySubscriptions();
   for (auto& doc : GenerateBibliographyCorpus(docs, 20240613)) {
-    w.documents.push_back(doc->ToEvents());
+    w.storage.push_back(std::move(doc));
+    w.documents.push_back(w.storage.back()->ToEvents());
   }
   return w;
 }
@@ -43,7 +46,8 @@ Workload FeedWorkload(size_t docs, size_t recursion) {
   Random rng(7);
   w.queries = MessageFeedSubscriptions();
   for (size_t i = 0; i < docs; ++i) {
-    w.documents.push_back(GenerateMessageFeed(8, recursion, &rng)->ToEvents());
+    w.storage.push_back(GenerateMessageFeed(8, recursion, &rng));
+    w.documents.push_back(w.storage.back()->ToEvents());
   }
   return w;
 }
@@ -56,7 +60,8 @@ Workload FeedWorkload(size_t docs, size_t recursion) {
 const Workload& SweepWorkload() {
   static const Workload* workload = [] {
     DisseminationSweepWorkload sweep = MakeDisseminationSweep(1024, 20);
-    return new Workload{std::move(sweep.queries), std::move(sweep.documents)};
+    return new Workload{std::move(sweep.queries), std::move(sweep.documents),
+                        std::move(sweep.storage)};
   }();
   return *workload;
 }

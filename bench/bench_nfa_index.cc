@@ -32,9 +32,9 @@ int RunE10() {
   dopts.max_depth = 7;
   dopts.name_pool = 4;
   dopts.names = {"s0", "s1", "s2", "s3"};
-  std::vector<EventStream> docs;
+  EventCorpus docs;
   for (int i = 0; i < 20; ++i) {
-    docs.push_back(GenerateRandomDocument(&doc_rng, dopts)->ToEvents());
+    docs.Add(GenerateRandomDocument(&doc_rng, dopts));
   }
 
   for (size_t n : {16u, 64u, 256u, 1024u}) {

@@ -23,6 +23,19 @@ constexpr size_t kSubscriptions = 64;
 constexpr size_t kTailItems = 4000;
 constexpr int kPasses = 5;
 
+/// Marker-element names with process-lifetime storage: the hand-built
+/// event streams view them (see the lifetime contract in xml/event.h).
+const std::string& MarkerName(size_t i) {
+  static const auto* names = [] {
+    auto* v = new std::vector<std::string>;
+    for (size_t k = 0; k < kSubscriptions; ++k) {
+      v->push_back("h" + std::to_string(k));
+    }
+    return v;
+  }();
+  return (*names)[i];
+}
+
 /// One document: 64 ⟨hK⟩marker⟨/hK⟩ hits up front, then a long tail of
 /// filler items no subscription cares about.
 EventStream MakeEarlyDecidingDocument() {
@@ -31,7 +44,7 @@ EventStream MakeEarlyDecidingDocument() {
   events.push_back(Event::StartDocument());
   events.push_back(Event::StartElement("feed"));
   for (size_t i = 0; i < kSubscriptions; ++i) {
-    const std::string name = "h" + std::to_string(i);
+    const std::string& name = MarkerName(i);
     events.push_back(Event::StartElement(name));
     events.push_back(Event::Text("marker"));
     events.push_back(Event::EndElement(name));

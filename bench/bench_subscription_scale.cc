@@ -17,6 +17,7 @@
 #include "common/random.h"
 #include "workload/doc_generator.h"
 #include "workload/query_generator.h"
+#include "workload/scenarios.h"
 #include "xpstream/xpstream.h"
 
 namespace xpstream {
@@ -44,9 +45,9 @@ int RunE11() {
   dopts.max_depth = 7;
   dopts.name_pool = 4;
   dopts.names = {"s0", "s1", "s2", "s3"};
-  std::vector<EventStream> docs;
+  EventCorpus docs;
   for (int i = 0; i < 20; ++i) {
-    docs.push_back(GenerateRandomDocument(&doc_rng, dopts)->ToEvents());
+    docs.Add(GenerateRandomDocument(&doc_rng, dopts));
   }
 
   struct Row {

@@ -90,14 +90,88 @@ def parse_tables(stdout: str):
     return tables
 
 
+# Table columns gated as throughputs (higher is better) in --compare
+# mode, keyed by bench name: (row-key column, gated columns). Unlike the
+# wall-time gate these compare like-for-like rows, so a parser change
+# that halves MB/s fails even when the bench's total wall time hides it
+# behind corpus generation.
+THROUGHPUT_GATES = {
+    "bench_parse": ("corpus", ("plain_MBs", "intern_MBs", "warm_MBs")),
+}
+
+
+def iter_throughput_rows(entry: dict, key_column: str):
+    """Yields (row_key, row) over every table row carrying `key_column`."""
+    for table in entry.get("tables", []):
+        for row in table.get("rows", []):
+            if key_column in row:
+                yield row[key_column], row
+
+
+def compare_throughputs(name: str, new_entry: dict, old_entry: dict,
+                        threshold: float) -> int:
+    """Gates the THROUGHPUT_GATES columns of one bench: a row present in
+    both runs whose MB/s dropped below 1/threshold of the baseline is a
+    regression. Rows only in one run are reported but not failed (new
+    corpora are legitimate); a throughput gate needs no absolute-delta
+    guard because the compared quantity is already a per-byte rate."""
+    key_column, columns = THROUGHPUT_GATES[name]
+    old_rows = dict(iter_throughput_rows(old_entry, key_column))
+    new_rows = dict(iter_throughput_rows(new_entry, key_column))
+    regressions = 0
+    for row_key in sorted(set(old_rows) | set(new_rows)):
+        if row_key not in old_rows or row_key not in new_rows:
+            print(f"[new ] {name}/{row_key}: only in one run, skipped",
+                  file=sys.stderr)
+            continue
+        for column in columns:
+            old_v = old_rows[row_key].get(column)
+            new_v = new_rows[row_key].get(column)
+            if not isinstance(old_v, (int, float)) or \
+                    not isinstance(new_v, (int, float)) or old_v <= 0:
+                continue
+            ratio = new_v / old_v
+            slow = ratio < 1.0 / threshold
+            if slow:
+                regressions += 1
+            print(f"[{'SLOW' if slow else '  ok'}] {name}/{row_key}."
+                  f"{column}: {old_v} -> {new_v} MB/s ({ratio:.2f}x, "
+                  f"floor {1.0 / threshold:.2f}x)", file=sys.stderr)
+    return regressions
+
+
+def merge_best_tables(runs):
+    """Merges repeated runs of one bench by element-wise max of numeric
+    cells (best-of-N: interference on a shared runner only ever slows a
+    run down, so the max is the least-noisy estimate of each rate;
+    deterministic columns are identical across runs and unaffected).
+    Falls back to the first run when table shapes diverge."""
+    merged = runs[0]
+    for other in runs[1:]:
+        if len(other) != len(merged):
+            return runs[0]
+        for t_merged, t_other in zip(merged, other):
+            rows_m = t_merged.get("rows", [])
+            rows_o = t_other.get("rows", [])
+            if len(rows_m) != len(rows_o):
+                return runs[0]
+            for row_m, row_o in zip(rows_m, rows_o):
+                for key, value in row_o.items():
+                    if isinstance(value, (int, float)) and \
+                            isinstance(row_m.get(key), (int, float)):
+                        row_m[key] = max(row_m[key], value)
+    return merged
+
+
 def compare_baselines(new: dict, old: dict, threshold: float,
                       min_delta: float) -> int:
     """Wall-time regression gate: fails when any bench present and ok in
     both runs got slower than `threshold` times the baseline AND by more
     than `min_delta` seconds (sub-second benches jitter far above 25% on
     shared runners; a ratio alone would flap). Table columns are
-    intentionally not gated here (new benches legitimately add rows);
-    wall time is the budget CI protects."""
+    intentionally not gated here (new benches legitimately add rows) —
+    except the THROUGHPUT_GATES rates, which are machine-relative and
+    compared row-for-row; wall time is the budget CI protects."""
     regressions = 0
     old_benches = old.get("benches", {})
     new_benches = new.get("benches", {})
@@ -129,6 +203,9 @@ def compare_baselines(new: dict, old: dict, threshold: float,
             regressions += 1
         print(f"[{verdict}] {name}: {old_s}s -> {new_s}s "
               f"({ratio:.2f}x, threshold {threshold:.2f}x)", file=sys.stderr)
+        if name in THROUGHPUT_GATES:
+            regressions += compare_throughputs(name, new_entry, old_entry,
+                                               threshold)
     if regressions:
         print(f"{regressions} bench(es) regressed past {threshold:.2f}x "
               f"or vanished from the run", file=sys.stderr)
@@ -152,6 +229,10 @@ def main() -> int:
     parser.add_argument("--min-delta", type=float, default=0.25,
                         help="absolute seconds a bench must slow down by "
                              "before the ratio gate applies (default 0.25)")
+    parser.add_argument("--repeat-gated", type=int, default=3,
+                        help="runs per throughput-gated bench; rates are "
+                             "merged best-of-N to damp one-sided runner "
+                             "noise (default 3)")
     args = parser.parse_args()
 
     bench_dir = Path(args.build_dir) / "bench"
@@ -177,24 +258,43 @@ def main() -> int:
             failures += 1
             print(f"[MISS] {name}", file=sys.stderr)
             continue
-        start = time.monotonic()
-        try:
-            proc = subprocess.run([str(binary)], capture_output=True,
-                                  text=True, timeout=args.timeout)
-        except subprocess.TimeoutExpired:
-            results[name] = {"status": "timeout", "seconds": args.timeout}
-            failures += 1
-            print(f"[TIME] {name}", file=sys.stderr)
+        # Throughput-gated benches run best-of-N: their MB/s rows are
+        # compared at a fixed ratio floor, which a single noisy run on a
+        # shared machine would flap.
+        reps = max(1, args.repeat_gated) if name in THROUGHPUT_GATES else 1
+        rep_seconds = []
+        rep_tables = []
+        proc = None
+        failed_early = False
+        for _ in range(reps):
+            start = time.monotonic()
+            try:
+                proc = subprocess.run([str(binary)], capture_output=True,
+                                      text=True, timeout=args.timeout)
+            except subprocess.TimeoutExpired:
+                results[name] = {"status": "timeout",
+                                 "seconds": args.timeout}
+                failures += 1
+                print(f"[TIME] {name}", file=sys.stderr)
+                failed_early = True
+                break
+            except OSError as err:
+                # A binary that exists but cannot be executed
+                # (permissions, wrong arch) must fail the run, not
+                # vanish from the report.
+                results[name] = {"status": "exec-error", "error": str(err)}
+                failures += 1
+                print(f"[EXEC] {name}: {err}", file=sys.stderr)
+                failed_early = True
+                break
+            rep_seconds.append(round(time.monotonic() - start, 3))
+            rep_tables.append(parse_tables(proc.stdout))
+            if proc.returncode != 0:
+                break
+        if failed_early:
             continue
-        except OSError as err:
-            # A binary that exists but cannot be executed (permissions,
-            # wrong arch) must fail the run, not vanish from the report.
-            results[name] = {"status": "exec-error", "error": str(err)}
-            failures += 1
-            print(f"[EXEC] {name}: {err}", file=sys.stderr)
-            continue
-        seconds = round(time.monotonic() - start, 3)
-        tables = parse_tables(proc.stdout)
+        seconds = min(rep_seconds)
+        tables = merge_best_tables(rep_tables)
         if proc.returncode == 0 and not tables:
             # A bench that exits 0 without printing any '# table' is
             # broken output, silently passing CI otherwise.

@@ -36,7 +36,7 @@ int main() {
   std::printf("document : %s\n\n", xml);
   std::printf("%-4s %-8s %s\n", "no.", "event", "state after event");
 
-  auto verdict = RunFilter(filter->get(), *events);
+  auto verdict = RunFilter(filter->get(), events->events());
   if (!verdict.ok()) {
     std::fprintf(stderr, "%s\n", verdict.status().ToString().c_str());
     return 1;

@@ -587,6 +587,15 @@ class Engine : public EventSink {
   bool fanout_dirty_ = false;
 
   std::unique_ptr<XmlParser> parser_;  // live while a byte doc is open
+  /// Scratch for the zero-copy parser: decoded entities and
+  /// streaming-mode text copies of the document being fed. One Reset()
+  /// per document (blocks recycled), performed after the matcher has
+  /// fully consumed endDocument — event views stay valid exactly as
+  /// long as the lifetime contract in xml/event.h promises.
+  Arena parse_arena_;
+  /// Set for the duration of FilterXml: the whole document is a live
+  /// caller buffer, so the parser may emit views straight into it.
+  bool stable_parse_ = false;
   bool in_document_ = false;
 
   // --- current-document push/skip state ---

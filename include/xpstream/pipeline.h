@@ -194,10 +194,19 @@ class EnginePool {
   /// Non-blocking submission of a pre-parsed document (one whole
   /// envelope, as ValidateEventStream accepts). The events need no
   /// symbolization: each replica resolves names against its private
-  /// table as it matches. This is the TCP server's path — it parses
-  /// off-pool to fail malformed input at the publisher, then submits
-  /// the event batch.
-  Status TrySubmitEvents(EventStream events, uint64_t* doc = nullptr);
+  /// table as it matches. The borrowed views are deep-copied into an
+  /// owning EventBuffer at submission time (while the caller's backing
+  /// bytes are still valid under the lifetime contract in xml/event.h);
+  /// callers that already own an EventBuffer should move it into the
+  /// overload below and skip that copy.
+  Status TrySubmitEvents(const EventStream& events, uint64_t* doc = nullptr);
+
+  /// Non-blocking submission of a pre-parsed, self-contained document.
+  /// The buffer owns the bytes its events view, so the pool queues it
+  /// as-is — no copy. This is the TCP server's path: it parses
+  /// off-pool into an EventBuffer to fail malformed input at the
+  /// publisher, then moves the buffer here.
+  Status TrySubmitEvents(EventBuffer events, uint64_t* doc = nullptr);
 
   /// Blocks until every document submitted so far has completed (its
   /// PoolSink callbacks have returned) and the queue is empty.

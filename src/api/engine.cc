@@ -442,8 +442,14 @@ Status Engine::Feed(std::string_view chunk) {
   if (parser_ == nullptr) {
     // The parser interns names into the engine's table as it tokenizes,
     // so on the byte path every event reaches the matcher with its
-    // symbol resolved — no hashing downstream.
-    parser_ = std::make_unique<XmlParser>(this, symbols_.get());
+    // symbol resolved — no hashing downstream. Text rides the engine's
+    // reusable arena (or, under FilterXml, views the caller's buffer):
+    // zero per-event allocations either way.
+    XmlParserOptions parser_options;
+    parser_options.symbols = symbols_.get();
+    parser_options.arena = &parse_arena_;
+    parser_options.stable_input = stable_parse_;
+    parser_ = std::make_unique<XmlParser>(this, parser_options);
     parser_->SetMaxEntityExpansionBytes(options_.max_entity_expansion_bytes);
   }
   return parser_->Feed(chunk);
@@ -455,7 +461,10 @@ Status Engine::FinishDocument() {
   }
   Status status = parser_->Finish();
   // One parser per document: the next Feed() starts the next document.
+  // The matcher consumed endDocument inside Finish(), so the arena's
+  // views are dead and its blocks can be recycled.
   parser_.reset();
+  parse_arena_.Reset();
   if (!status.ok()) AbortDocument();
   return status;
 }
@@ -464,8 +473,12 @@ Result<std::vector<bool>> Engine::FilterXml(std::string_view xml) {
   if (parser_ != nullptr || in_document_) {
     return Status::InvalidArgument("a document is already being consumed");
   }
+  // `xml` stays alive for the whole parse+match, so the parser may back
+  // event views with it directly — the zero-copy whole-document path.
+  stable_parse_ = true;
   Status status = Feed(xml);
   if (status.ok()) status = FinishDocument();
+  stable_parse_ = false;
   if (!status.ok()) {
     AbortDocument();
     return status;
@@ -475,6 +488,7 @@ Result<std::vector<bool>> Engine::FilterXml(std::string_view xml) {
 
 void Engine::AbortDocument() {
   parser_.reset();
+  parse_arena_.Reset();
   in_document_ = false;  // the next startDocument resets the matcher
   short_circuited_ = false;
   pending_matches_.clear();
@@ -786,15 +800,11 @@ namespace {
 /// Parses one whole XML document into its SAX event batch. Deliberately
 /// without a SymbolTable: these parses run concurrently on pool workers
 /// and the table is single-threaded by design — names resolve later, on
-/// the match thread (once per event, before any shard fan-out).
-Result<EventStream> ParseToEvents(const std::string& xml) {
-  EventStream events;
-  CollectingSink sink(&events);
-  XmlParser parser(&sink);
-  Status status = parser.Feed(xml);
-  if (status.ok()) status = parser.Finish();
-  if (!status.ok()) return status;
-  return events;
+/// the match thread (once per event, before any shard fan-out). Returns
+/// the owning EventBuffer form: the events outlive the parse task, so
+/// they must carry their backing storage with them.
+Result<EventBuffer> ParseToEvents(const std::string& xml) {
+  return ParseXmlToEvents(xml);
 }
 
 }  // namespace
@@ -819,7 +829,7 @@ Result<std::vector<std::vector<bool>>> Engine::FilterDocuments(
   // Pipeline: up to batch_size upcoming documents parse on the pool
   // while the calling thread matches earlier ones (matching itself fans
   // out across the same pool's workers shard by shard).
-  using ParseSlot = std::optional<Result<EventStream>>;
+  using ParseSlot = std::optional<Result<EventBuffer>>;
   std::deque<std::pair<std::shared_ptr<ParseSlot>, std::future<void>>> inflight;
   size_t next = 0;
   auto submit = [&] {
@@ -849,9 +859,9 @@ Result<std::vector<std::vector<bool>>> Engine::FilterDocuments(
       // bad_alloc); the exception sits in the discarded future.
       return fail(Status::Internal("document parse task failed"));
     }
-    Result<EventStream>& parsed = **slot;
+    Result<EventBuffer>& parsed = **slot;
     if (!parsed.ok()) return fail(parsed.status());
-    auto document = FilterEvents(*parsed);
+    auto document = FilterEvents(parsed.value().events());
     if (!document.ok()) return fail(document.status());
     verdicts.push_back(std::move(document).value());
   }
@@ -907,6 +917,8 @@ const MemoryStats& Engine::stats() const {
   // and the rejections it issued doing so.
   stats_.predicted_peak_bytes().Set(predicted_total_);
   stats_.admission_rejects().Set(admission_rejects_);
+  // Scratch retained by the zero-copy parser's per-document arena.
+  stats_.arena_bytes().Set(parse_arena_.FootprintBytes());
   return stats_;
 }
 

@@ -25,6 +25,7 @@ void MemoryStats::Accumulate(const MemoryStats& other) {
   automaton_transitions_.Accumulate(other.automaton_transitions_);
   auxiliary_bytes_.Accumulate(other.auxiliary_bytes_);
   symbol_bytes_.Accumulate(other.symbol_bytes_);
+  arena_bytes_.Accumulate(other.arena_bytes_);
   predicted_peak_bytes_.Accumulate(other.predicted_peak_bytes_);
   admission_rejects_.Accumulate(other.admission_rejects_);
 }
@@ -36,6 +37,7 @@ void MemoryStats::Reset() {
   automaton_transitions_.Reset();
   auxiliary_bytes_.Reset();
   symbol_bytes_.Reset();
+  arena_bytes_.Reset();
   predicted_peak_bytes_.Reset();
   admission_rejects_.Reset();
 }
@@ -44,12 +46,12 @@ std::string MemoryStats::ToString() const {
   return StringPrintf(
       "table_entries{cur=%zu peak=%zu} buffered_bytes{cur=%zu peak=%zu} "
       "automaton{states=%zu transitions=%zu} aux_bytes{peak=%zu} "
-      "symbol_bytes{peak=%zu} predicted_peak_bytes=%zu "
-      "admission_rejects=%zu",
+      "symbol_bytes{peak=%zu} arena_bytes{peak=%zu} "
+      "predicted_peak_bytes=%zu admission_rejects=%zu",
       table_entries_.current(), table_entries_.peak(),
       buffered_bytes_.current(), buffered_bytes_.peak(),
       automaton_states_.peak(), automaton_transitions_.peak(),
-      auxiliary_bytes_.peak(), symbol_bytes_.peak(),
+      auxiliary_bytes_.peak(), symbol_bytes_.peak(), arena_bytes_.peak(),
       predicted_peak_bytes_.current(), admission_rejects_.current());
 }
 

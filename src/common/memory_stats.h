@@ -71,6 +71,16 @@ class MemoryStats {
   Gauge& symbol_bytes() { return symbol_bytes_; }
   const Gauge& symbol_bytes() const { return symbol_bytes_; }
 
+  /// Heap bytes retained by the parse substrate's per-document arenas
+  /// (decoded entities, streaming-mode copies; set by the Engine
+  /// facade). Blocks are recycled across documents, so this tracks the
+  /// high-water scratch of the zero-copy parser, not live per-event
+  /// allocations. Excluded from PeakBytes()/PeakStateBits(): those
+  /// account *algorithm state* in the paper's sense, while the arena is
+  /// transport plumbing shared by every engine.
+  Gauge& arena_bytes() { return arena_bytes_; }
+  const Gauge& arena_bytes() const { return arena_bytes_; }
+
   /// The planner's summed per-subscription peak prediction (set by the
   /// Engine facade at Subscribe time; see include/xpstream/planner.h).
   /// A *forecast*, not a measurement — deliberately excluded from
@@ -109,6 +119,7 @@ class MemoryStats {
   Gauge automaton_transitions_;
   Gauge auxiliary_bytes_;
   Gauge symbol_bytes_;
+  Gauge arena_bytes_;
   Gauge predicted_peak_bytes_;
   Gauge admission_rejects_;
 };

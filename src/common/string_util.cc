@@ -7,27 +7,6 @@
 
 namespace xpstream {
 
-bool IsXmlWhitespace(char c) {
-  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
-}
-
-bool IsNameStartChar(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
-         c == ':' || static_cast<unsigned char>(c) >= 0x80;
-}
-
-bool IsNameChar(char c) {
-  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
-}
-
-bool IsValidXmlName(std::string_view s) {
-  if (s.empty() || !IsNameStartChar(s[0])) return false;
-  for (char c : s.substr(1)) {
-    if (!IsNameChar(c)) return false;
-  }
-  return true;
-}
-
 std::string_view TrimWhitespace(std::string_view s) {
   size_t b = 0;
   while (b < s.size() && IsXmlWhitespace(s[b])) ++b;

@@ -14,17 +14,60 @@
 
 namespace xpstream {
 
+namespace internal {
+
+/// Per-byte class bits for the XML lexer. The classifiers below run per
+/// input byte in the parser's tag/attribute scanning loops, so they are
+/// inline table lookups rather than out-of-line predicates.
+inline constexpr uint8_t kCharClassWs = 1;         // space, tab, CR, LF
+inline constexpr uint8_t kCharClassNameStart = 2;  // letters, '_', ':', >=0x80
+inline constexpr uint8_t kCharClassName = 4;       // start chars + digits, -, .
+
+struct XmlCharTable {
+  uint8_t v[256] = {};
+  constexpr XmlCharTable() {
+    for (int c = 0; c < 256; ++c) {
+      const bool ws = c == ' ' || c == '\t' || c == '\r' || c == '\n';
+      const bool start = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                         c == '_' || c == ':' || c >= 0x80;
+      const bool name =
+          start || (c >= '0' && c <= '9') || c == '-' || c == '.';
+      v[c] = static_cast<uint8_t>((ws ? kCharClassWs : 0) |
+                                  (start ? kCharClassNameStart : 0) |
+                                  (name ? kCharClassName : 0));
+    }
+  }
+};
+inline constexpr XmlCharTable kXmlCharTable{};
+
+}  // namespace internal
+
 /// True if `c` is XML/XPath whitespace (space, tab, CR, LF).
-bool IsXmlWhitespace(char c);
+inline bool IsXmlWhitespace(char c) {
+  return (internal::kXmlCharTable.v[static_cast<uint8_t>(c)] &
+          internal::kCharClassWs) != 0;
+}
 
 /// True if `c` can start an XML name (letters, '_', ':').
-bool IsNameStartChar(char c);
+inline bool IsNameStartChar(char c) {
+  return (internal::kXmlCharTable.v[static_cast<uint8_t>(c)] &
+          internal::kCharClassNameStart) != 0;
+}
 
 /// True if `c` can continue an XML name (name start chars, digits, '-', '.').
-bool IsNameChar(char c);
+inline bool IsNameChar(char c) {
+  return (internal::kXmlCharTable.v[static_cast<uint8_t>(c)] &
+          internal::kCharClassName) != 0;
+}
 
 /// True if `s` is a syntactically valid XML element/attribute name.
-bool IsValidXmlName(std::string_view s);
+inline bool IsValidXmlName(std::string_view s) {
+  if (s.empty() || !IsNameStartChar(s[0])) return false;
+  for (char c : s.substr(1)) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
 
 /// Strips leading and trailing XML whitespace.
 std::string_view TrimWhitespace(std::string_view s);

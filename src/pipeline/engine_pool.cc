@@ -15,11 +15,14 @@ namespace xpstream {
 
 namespace {
 
-/// One queued document: XML bytes or a pre-parsed event batch.
+/// One queued document: XML bytes or a pre-parsed event batch. The
+/// batch is an owning EventBuffer — a queued job outlives the
+/// submitter's call frame, so its events must not borrow anyone else's
+/// storage.
 struct Job {
   uint64_t doc = 0;
   std::string xml;
-  EventStream events;
+  EventBuffer events;
   bool parsed = false;
 };
 
@@ -158,8 +161,9 @@ struct EnginePool::Impl {
         space_cv.notify_one();
       }
       // Evaluate outside the lock: this is the whole point of the pool.
-      Status status = job.parsed ? engine->FilterEvents(job.events).status()
-                                 : engine->FilterXml(job.xml).status();
+      Status status = job.parsed
+                          ? engine->FilterEvents(job.events.events()).status()
+                          : engine->FilterXml(job.xml).status();
       if (!status.ok()) {
         // The relay counted nothing (no OnDocumentDone on a failed
         // document); count here, again before the sink learns of it.
@@ -317,7 +321,16 @@ Status EnginePool::TrySubmitXml(std::string xml, uint64_t* doc) {
   return impl_->Enqueue(std::move(job), doc, /*blocking=*/false);
 }
 
-Status EnginePool::TrySubmitEvents(EventStream events, uint64_t* doc) {
+Status EnginePool::TrySubmitEvents(const EventStream& events, uint64_t* doc) {
+  // Detach from the caller's backing storage now, while the lifetime
+  // contract still guarantees the views are valid.
+  Job job;
+  job.events = EventBuffer::DeepCopy(events);
+  job.parsed = true;
+  return impl_->Enqueue(std::move(job), doc, /*blocking=*/false);
+}
+
+Status EnginePool::TrySubmitEvents(EventBuffer events, uint64_t* doc) {
   Job job;
   job.events = std::move(events);
   job.parsed = true;

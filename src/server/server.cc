@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -29,9 +30,12 @@ namespace {
 /// Event collector for the pipelined ingest path: buffers one
 /// document's SAX events while enforcing the open-element depth cap at
 /// parse time, so a hostile document fails at its publisher before it
-/// can occupy a pool queue slot.
+/// can occupy a pool queue slot. The collected events are pushed as-is
+/// (no copy): the parser writes every name/text byte into the owning
+/// EventBuffer's arena (see PendingDoc), so the views stay valid for
+/// the buffer's lifetime, including after it is moved into the pool.
 struct DepthCapSink : EventSink {
-  EventStream* out = nullptr;
+  EventBuffer* out = nullptr;
   size_t depth = 0;
   size_t max_depth = 0;  // 0 = unlimited
 
@@ -46,25 +50,38 @@ struct DepthCapSink : EventSink {
     } else if (event.type == EventType::kEndElement && depth > 0) {
       --depth;
     }
-    out->push_back(event);
+    out->events().push_back(event);
     return Status::OK();
   }
 };
 
 /// One connection's in-flight document on a pipelined server: the
-/// loop-thread parser and the event batch it accumulates. Unlike the
-/// serial mode's service-wide publisher latch, each connection owns at
-/// most one of these — publishers stream concurrently.
+/// loop-thread parser and the self-contained event batch it
+/// accumulates. The parser's scratch arena IS the batch's arena, so a
+/// chunk's name/text bytes are copied exactly once (chunk -> arena) and
+/// the finished buffer moves into the pool queue without another pass.
+/// Unlike the serial mode's service-wide publisher latch, each
+/// connection owns at most one of these — publishers stream
+/// concurrently.
 struct PendingDoc {
-  EventStream events;
+  EventBuffer events;
   DepthCapSink sink;
   XmlParser parser;
   size_t bytes = 0;
+  double parse_seconds = 0;  // loop-thread time spent in Feed/Finish
 
-  PendingDoc(size_t max_depth, size_t entity_cap) : parser(&sink) {
+  PendingDoc(size_t max_depth, size_t entity_cap)
+      : parser(&sink, ParserOptions(&events.arena())) {
     sink.out = &events;
     sink.max_depth = max_depth;
     parser.SetMaxEntityExpansionBytes(entity_cap);
+  }
+
+ private:
+  static XmlParserOptions ParserOptions(Arena* arena) {
+    XmlParserOptions options;
+    options.arena = arena;
+    return options;
   }
 };
 
@@ -221,7 +238,15 @@ class Server::Impl : public SessionHost {
           "document exceeds max_document_bytes = " +
           std::to_string(options_.max_document_bytes));
     }
+    const auto start = std::chrono::steady_clock::now();
     Status status = engine_->Feed(bytes);
+    // Serial mode interleaves parsing and matching inside Feed, so this
+    // clocks ingest (a lower bound on pure parse throughput); the
+    // pipelined path times the loop-thread parser alone.
+    parse_seconds_total_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    parse_bytes_total_ += bytes.size();
     if (!status.ok()) AbortDocument();
     return status;
   }
@@ -281,6 +306,23 @@ class Server::Impl : public SessionHost {
     line("memory_budget_bytes", effective_budget_);
     line("admission_rejects", engine.admission_rejects());
     line("admission_degrades", engine.admission_degrades());
+    // Parse-substrate gauges. arena_bytes is the zero-copy parser's
+    // retained scratch: the serial engine's own arena, or (pipelined)
+    // the high-water EventBuffer arena among loop-thread parses.
+    // parse_mb_per_s is the byte-weighted running mean over completed
+    // feeds; see docs/protocol.md for what each mode clocks.
+    line("arena_bytes", pool_ != nullptr
+                            ? arena_peak_bytes_
+                            : engine.stats().arena_bytes().peak());
+    {
+      const double mbps =
+          parse_seconds_total_ > 0
+              ? parse_bytes_total_ / 1e6 / parse_seconds_total_
+              : 0.0;
+      char formatted[32];
+      std::snprintf(formatted, sizeof formatted, "%.2f", mbps);
+      text.append("parse_mb_per_s=").append(formatted).push_back('\n');
+    }
     // The ingestion pipeline's own gauges. In serial mode the "queue"
     // is the service-wide publisher latch: depth 0, in flight 0 or 1.
     if (pool_ != nullptr) {
@@ -374,7 +416,11 @@ class Server::Impl : public SessionHost {
           "document exceeds max_document_bytes = " +
           std::to_string(options_.max_document_bytes));
     }
+    const auto start = std::chrono::steady_clock::now();
     Status status = pending.parser.Feed(bytes);
+    pending.parse_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
     // On a parse error the session latches doc_error_ and answers the
     // eventual DOC_END from it without calling back here, so the
     // pending state must go now, not at the boundary.
@@ -390,7 +436,18 @@ class Server::Impl : public SessionHost {
     }
     std::unique_ptr<PendingDoc> pending = std::move(it->second);
     pending_.erase(it);
-    XPS_RETURN_IF_ERROR(pending->parser.Finish());
+    const auto start = std::chrono::steady_clock::now();
+    Status finish = pending->parser.Finish();
+    pending->parse_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    XPS_RETURN_IF_ERROR(std::move(finish));
+    // A fully parsed document contributes to the parse-throughput mean
+    // and the arena high-water mark (read before the buffer moves away).
+    parse_bytes_total_ += pending->bytes;
+    parse_seconds_total_ += pending->parse_seconds;
+    arena_peak_bytes_ = std::max(arena_peak_bytes_,
+                                 pending->events.arena().FootprintBytes());
     // The batch is fully parsed and validated; hand it to the pool.
     // kResourceExhausted (queue full) reaches the publisher as the
     // DOC_END answer — its backpressure signal; the document is
@@ -691,6 +748,14 @@ class Server::Impl : public SessionHost {
   /// Pipelined mode: documents whose evaluation failed after a
   /// successful submit (unexpected — the batch was parse-validated).
   uint64_t pool_doc_errors_ = 0;
+  /// Parse-throughput accounting for STATS (loop thread). Serial mode
+  /// clocks Engine::Feed (parse+match interleaved); pipelined mode
+  /// clocks the loop-thread parser alone.
+  uint64_t parse_bytes_total_ = 0;
+  double parse_seconds_total_ = 0;
+  /// Pipelined mode: high-water retained arena footprint among
+  /// completed loop-thread parses.
+  size_t arena_peak_bytes_ = 0;
 };
 
 Server::Server(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}

@@ -280,7 +280,7 @@ Status FrontierFilter::HandleStartElement(Symbol name_sym) {
 }
 
 Status FrontierFilter::HandleAttribute(Symbol name_sym,
-                                       const std::string& value) {
+                                       std::string_view value) {
   // Attributes are leaf children of the current element; they arrive at
   // the level element children would occupy. Internal attribute-axis
   // query nodes can never match (attributes have no children).
@@ -290,7 +290,7 @@ Status FrontierFilter::HandleAttribute(Symbol name_sym,
     if (r.level != current_level_) continue;
     if (!NamePasses(r.node, name_sym)) continue;
     if (!r.node->IsLeaf()) continue;
-    if (truths_.Get(r.node).Contains(value)) {
+    if (truths_.Get(r.node).Contains(std::string(value))) {
       r.matched = true;
     }
   }
@@ -302,7 +302,7 @@ bool FrontierFilter::OutValueOpen() const {
          scopes_.back().chain_index == chain_.size();
 }
 
-Status FrontierFilter::HandleText(const std::string& text) {
+Status FrontierFilter::HandleText(std::string_view text) {
   if (!captures_.empty() || OutValueOpen()) {
     buffer_ += text;  // Fig. 20 text(): append only when referenced
   }

@@ -121,8 +121,8 @@ class FrontierFilter : public StreamFilter {
 
   Status HandleStartDocument();
   Status HandleStartElement(Symbol name_sym);
-  Status HandleAttribute(Symbol name_sym, const std::string& value);
-  Status HandleText(const std::string& text);
+  Status HandleAttribute(Symbol name_sym, std::string_view value);
+  Status HandleText(std::string_view text);
   Status HandleEndElement();
   Status HandleEndDocument();
 

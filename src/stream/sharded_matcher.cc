@@ -106,6 +106,10 @@ Status ShardedMatcher::OnSymbolizedEvent(const Event& event,
     // (and documents after an AbortDocument) get the same guarantee here.
     XPS_RETURN_IF_ERROR(Reset());
   }
+  // Buffering the event buffers only its views: the lifetime contract
+  // (xml/event.h) keeps the producer's backing bytes valid until we
+  // return from endDocument — and the replay below happens inside it —
+  // so the borrowed batch needs no copies of name/text payloads.
   batch_.push_back(event);
   // The buffered event carries its resolved symbol, so the parallel
   // replay reads integers and never touches the SymbolTable.

@@ -184,9 +184,11 @@ DisseminationSweepWorkload MakeDisseminationSweep(size_t num_queries,
   options.name_pool = 4;
   options.names = {"s0", "s1", "s2", "s3"};
   workload.documents.reserve(num_docs);
+  workload.storage.reserve(num_docs);
   for (size_t i = 0; i < num_docs; ++i) {
-    workload.documents.push_back(
-        GenerateRandomDocument(&doc_rng, options)->ToEvents());
+    // The workload keeps the tree: the stream's events view its nodes.
+    workload.storage.push_back(GenerateRandomDocument(&doc_rng, options));
+    workload.documents.push_back(workload.storage.back()->ToEvents());
   }
   return workload;
 }
@@ -215,9 +217,11 @@ ChurnWorkload MakeChurnWorkload(size_t num_queries, size_t duplication,
   options.name_pool = 4;
   options.names = {"s0", "s1", "s2", "s3"};
   workload.documents.reserve(num_docs);
+  workload.storage.reserve(num_docs);
   for (size_t i = 0; i < num_docs; ++i) {
-    workload.documents.push_back(
-        GenerateRandomDocument(&doc_rng, options)->ToEvents());
+    // The workload keeps the tree: the stream's events view its nodes.
+    workload.storage.push_back(GenerateRandomDocument(&doc_rng, options));
+    workload.documents.push_back(workload.storage.back()->ToEvents());
   }
 
   Random op_rng(seed + 1001);

@@ -17,6 +17,31 @@
 
 namespace xpstream {
 
+/// A corpus of event-stream documents together with the trees that back
+/// their views (events are non-owning since the zero-copy parse work;
+/// see the lifetime contract in xml/event.h). Iterates like a
+/// std::vector<EventStream>.
+struct EventCorpus {
+  std::vector<EventStream> documents;
+  std::vector<std::unique_ptr<XmlDocument>> storage;
+
+  /// Appends `doc`'s event stream, taking ownership of the tree.
+  void Add(std::unique_ptr<XmlDocument> doc) {
+    storage.push_back(std::move(doc));
+    documents.push_back(storage.back()->ToEvents());
+  }
+
+  size_t size() const { return documents.size(); }
+  bool empty() const { return documents.empty(); }
+  const EventStream& operator[](size_t i) const { return documents[i]; }
+  std::vector<EventStream>::const_iterator begin() const {
+    return documents.begin();
+  }
+  std::vector<EventStream>::const_iterator end() const {
+    return documents.end();
+  }
+};
+
 /// One random ⟨book⟩ document with title / author+ / year / price and a
 /// publisher attribute.
 std::unique_ptr<XmlDocument> GenerateBookDocument(Random* rng);
@@ -47,6 +72,10 @@ std::vector<std::string> MessageFeedSubscriptions();
 struct DisseminationSweepWorkload {
   std::vector<std::string> queries;
   std::vector<EventStream> documents;
+  /// Owns the trees the documents' event views point into (see the
+  /// lifetime contract in xml/event.h) — keep alive as long as
+  /// `documents` is read.
+  std::vector<std::unique_ptr<XmlDocument>> storage;
 };
 DisseminationSweepWorkload MakeDisseminationSweep(size_t num_queries,
                                                   size_t num_docs);
@@ -73,6 +102,8 @@ struct ChurnWorkload {
   std::vector<std::string> queries;
   std::vector<EventStream> documents;
   std::vector<Op> ops;
+  /// Owns the trees the documents' event views point into.
+  std::vector<std::unique_ptr<XmlDocument>> storage;
 };
 ChurnWorkload MakeChurnWorkload(size_t num_queries, size_t duplication,
                                 size_t num_docs, uint64_t seed);

@@ -7,19 +7,34 @@
 namespace xpstream {
 
 std::string Event::ToString() const {
+  std::string out;
   switch (type) {
     case EventType::kStartDocument:
       return "<$>";
     case EventType::kEndDocument:
       return "</$>";
     case EventType::kStartElement:
-      return "<" + name + ">";
+      out.reserve(name.size() + 2);
+      out += '<';
+      out += name;
+      out += '>';
+      return out;
     case EventType::kEndElement:
-      return "</" + name + ">";
+      out.reserve(name.size() + 3);
+      out += "</";
+      out += name;
+      out += '>';
+      return out;
     case EventType::kText:
-      return text;
+      return std::string(text);
     case EventType::kAttribute:
-      return "@" + name + "=\"" + text + "\"";
+      out.reserve(name.size() + text.size() + 4);
+      out += '@';
+      out += name;
+      out += "=\"";
+      out += text;
+      out += '"';
+      return out;
   }
   return "?";
 }
@@ -39,7 +54,7 @@ Status ValidateEventStream(const EventStream& events) {
     return Status::NotWellFormed("stream must end with endDocument");
   }
 
-  std::vector<std::string> open;  // element name stack
+  std::vector<std::string_view> open;  // element name stack
   size_t root_elements = 0;
   bool attribute_position = false;  // directly after a startElement
   for (size_t i = 1; i + 1 < events.size(); ++i) {
@@ -50,7 +65,8 @@ Status ValidateEventStream(const EventStream& events) {
         return Status::NotWellFormed("nested document envelope");
       case EventType::kStartElement:
         if (!IsValidXmlName(e.name)) {
-          return Status::NotWellFormed("invalid element name: " + e.name);
+          return Status::NotWellFormed("invalid element name: " +
+                                       std::string(e.name));
         }
         if (open.empty()) {
           if (++root_elements > 1) {
@@ -66,7 +82,8 @@ Status ValidateEventStream(const EventStream& events) {
         }
         if (open.back() != e.name) {
           return Status::NotWellFormed("mismatched endElement: expected " +
-                                       open.back() + " got " + e.name);
+                                       std::string(open.back()) + " got " +
+                                       std::string(e.name));
         }
         open.pop_back();
         break;
@@ -81,14 +98,16 @@ Status ValidateEventStream(const EventStream& events) {
               "attribute event not directly after startElement");
         }
         if (!IsValidXmlName(e.name)) {
-          return Status::NotWellFormed("invalid attribute name: " + e.name);
+          return Status::NotWellFormed("invalid attribute name: " +
+                                       std::string(e.name));
         }
         continue;  // keep attribute_position set
     }
     attribute_position = false;
   }
   if (!open.empty()) {
-    return Status::NotWellFormed("unclosed element: " + open.back());
+    return Status::NotWellFormed("unclosed element: " +
+                                 std::string(open.back()));
   }
   if (root_elements == 0) {
     return Status::NotWellFormed("document has no root element");

@@ -10,11 +10,26 @@
 /// kAttribute, emitted immediately after a start element for each XML
 /// attribute; the paper folds the attribute axis into the child axis
 /// (§3.1.2) and this event makes that folding explicit in the stream.
+///
+/// ## Lifetime contract (zero-copy events)
+///
+/// `Event::name` / `Event::text` are non-owning `std::string_view`s. The
+/// producer guarantees the viewed bytes stay valid from the moment an
+/// event is delivered until the consumer has returned from processing
+/// that document's kEndDocument event (for hand-built streams: while the
+/// storage the builder used stays alive). The parser backs views with
+/// the caller's stable input buffer, the pipeline's SymbolTable, or a
+/// per-document Arena that is reset only after endDocument completes.
+/// Consumers — every EventSink, Matcher and engine — must therefore not
+/// retain a view past endDocument; anything kept longer must be copied
+/// (EventBuffer::Append does this wholesale).
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "xml/arena.h"
 #include "xml/symbol_table.h"
 
 namespace xpstream {
@@ -30,7 +45,8 @@ enum class EventType : uint8_t {
 
 /// One SAX event. `name` is used by kStartElement / kEndElement /
 /// kAttribute; `text` carries text content (kText) or the attribute value
-/// (kAttribute).
+/// (kAttribute). Both are non-owning views — see the lifetime contract in
+/// the file comment.
 ///
 /// `name_sym` is the name interned in the producing pipeline's
 /// SymbolTable — the per-event representation the engines dispatch on
@@ -38,28 +54,27 @@ enum class EventType : uint8_t {
 /// of the event's value: it is meaningful only relative to the table of
 /// the pipeline that produced the event, operator== and ToString ignore
 /// it, and hand-built events leave it kNoSymbol (consumers resolve
-/// lazily via ResolveEventName). The name string is retained for
-/// debug/ToString, tree building, and text payloads.
+/// lazily via ResolveEventName).
 struct Event {
   EventType type;
-  std::string name;
-  std::string text;
+  std::string_view name;
+  std::string_view text;
   Symbol name_sym = kNoSymbol;
 
-  static Event StartDocument() { return {EventType::kStartDocument, "", ""}; }
-  static Event EndDocument() { return {EventType::kEndDocument, "", ""}; }
-  static Event StartElement(std::string n, Symbol sym = kNoSymbol) {
-    return {EventType::kStartElement, std::move(n), "", sym};
+  static Event StartDocument() { return {EventType::kStartDocument, {}, {}}; }
+  static Event EndDocument() { return {EventType::kEndDocument, {}, {}}; }
+  static Event StartElement(std::string_view n, Symbol sym = kNoSymbol) {
+    return {EventType::kStartElement, n, {}, sym};
   }
-  static Event EndElement(std::string n, Symbol sym = kNoSymbol) {
-    return {EventType::kEndElement, std::move(n), "", sym};
+  static Event EndElement(std::string_view n, Symbol sym = kNoSymbol) {
+    return {EventType::kEndElement, n, {}, sym};
   }
-  static Event Text(std::string t) {
-    return {EventType::kText, "", std::move(t)};
+  static Event Text(std::string_view t) {
+    return {EventType::kText, {}, t};
   }
-  static Event Attribute(std::string n, std::string v,
+  static Event Attribute(std::string_view n, std::string_view v,
                          Symbol sym = kNoSymbol) {
-    return {EventType::kAttribute, std::move(n), std::move(v), sym};
+    return {EventType::kAttribute, n, v, sym};
   }
 
   /// True for the event kinds that carry a name (and hence a symbol).
@@ -99,7 +114,9 @@ inline Symbol ResolveEventName(const Event& event, SymbolTable* symbols) {
 }
 
 /// A full event stream. Streams produced by this library always begin with
-/// kStartDocument and end with kEndDocument.
+/// kStartDocument and end with kEndDocument. The events are views; the
+/// stream is only as alive as whatever backs them (see EventBuffer for
+/// the owning form).
 using EventStream = std::vector<Event>;
 
 /// Events of one document are numbered by their 0-based *ordinal* in the
@@ -117,15 +134,92 @@ std::string EventStreamToString(const EventStream& events);
 /// a start element, no content outside the root.
 Status ValidateEventStream(const EventStream& events);
 
+/// An event stream together with the storage its views point into: the
+/// self-contained, movable vehicle for events that outlive their
+/// producer (parsed-ahead documents in EnginePool jobs, the server's
+/// loop-thread parses, ParseXmlToEvents results). Name/text bytes live
+/// in the embedded arena (or a SymbolTable, which outlives documents by
+/// construction), so moving the buffer never invalidates its events.
+class EventBuffer {
+ public:
+  EventBuffer() = default;
+  EventBuffer(EventBuffer&&) = default;
+  EventBuffer& operator=(EventBuffer&&) = default;
+  EventBuffer(const EventBuffer&) = delete;
+  EventBuffer& operator=(const EventBuffer&) = delete;
+
+  const EventStream& events() const { return events_; }
+  EventStream& events() { return events_; }
+  Arena& arena() { return arena_; }
+
+  /// Appends a deep copy of `event`: name and text bytes are copied
+  /// into the arena, so the copy stays valid however long the buffer
+  /// lives. name_sym is carried over (it is a cache, verified on use).
+  void Append(const Event& event) {
+    events_.push_back(Event{event.type, arena_.CopyString(event.name),
+                            arena_.CopyString(event.text), event.name_sym});
+  }
+
+  /// Deep-copies a whole borrowed stream.
+  static EventBuffer DeepCopy(const EventStream& events) {
+    EventBuffer buffer;
+    buffer.events_.reserve(events.size());
+    for (const Event& e : events) buffer.Append(e);
+    return buffer;
+  }
+
+  /// Drops the events and rewinds the arena (blocks retained) for the
+  /// next document.
+  void Clear() {
+    events_.clear();
+    arena_.Reset();
+  }
+
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const Event& operator[](size_t i) const { return events_[i]; }
+  EventStream::const_iterator begin() const { return events_.begin(); }
+  EventStream::const_iterator end() const { return events_.end(); }
+
+ private:
+  Arena arena_;
+  EventStream events_;
+};
+
+/// Value comparison of a buffer against a borrowed stream (and
+/// buffer-to-buffer): compares the event sequences, not the storage.
+inline bool operator==(const EventBuffer& a, const EventStream& b) {
+  return a.events() == b;
+}
+inline bool operator==(const EventStream& a, const EventBuffer& b) {
+  return a == b.events();
+}
+inline bool operator==(const EventBuffer& a, const EventBuffer& b) {
+  return a.events() == b.events();
+}
+inline bool operator!=(const EventBuffer& a, const EventStream& b) {
+  return !(a == b);
+}
+inline bool operator!=(const EventStream& a, const EventBuffer& b) {
+  return !(a == b);
+}
+inline bool operator!=(const EventBuffer& a, const EventBuffer& b) {
+  return !(a == b);
+}
+
 /// Callback consumer interface for push-style parsing.
 class EventSink {
  public:
   virtual ~EventSink() = default;
   /// Receives the next event. Returning a non-OK status aborts parsing.
+  /// The event's views obey the lifetime contract above — copy anything
+  /// that must survive past this document's endDocument.
   virtual Status OnEvent(const Event& event) = 0;
 };
 
-/// An EventSink that appends into an EventStream vector.
+/// An EventSink that appends into an EventStream vector. The collected
+/// events still borrow the producer's storage — use BufferingSink when
+/// the stream must outlive the parse.
 class CollectingSink : public EventSink {
  public:
   explicit CollectingSink(EventStream* out) : out_(out) {}
@@ -136,6 +230,20 @@ class CollectingSink : public EventSink {
 
  private:
   EventStream* out_;
+};
+
+/// An EventSink that deep-copies into an EventBuffer, detaching the
+/// stream from the producer's buffers.
+class BufferingSink : public EventSink {
+ public:
+  explicit BufferingSink(EventBuffer* out) : out_(out) {}
+  Status OnEvent(const Event& event) override {
+    out_->Append(event);
+    return Status::OK();
+  }
+
+ private:
+  EventBuffer* out_;
 };
 
 }  // namespace xpstream

@@ -8,6 +8,16 @@
 /// so memory use is bounded by the largest single token, never by the
 /// document size.
 ///
+/// Parsing is a two-stage pipeline: a StructuralIndex pre-scan sweeps
+/// each chunk once and records every `<`, `>`, `&`, quote and newline on
+/// a compact tape, then the tokenizer walks the tape — token boundaries,
+/// line numbers and the needs-entity-decoding decision all come from
+/// tape entries, never from re-inspecting document bytes. Events carry
+/// `string_view`s instead of owned strings; the backing storage is
+/// chosen per mode (see XmlParserOptions) so the whole-document path
+/// emits zero-copy views into the caller's buffer and the streaming path
+/// performs one arena reset per document instead of per-event frees.
+///
 /// Supported XML subset (sufficient for the paper's data model): elements,
 /// attributes, character data, self-closing tags, comments, processing
 /// instructions and the XML declaration (both skipped), CDATA sections,
@@ -20,10 +30,45 @@
 #include <vector>
 
 #include "common/status.h"
+#include "xml/arena.h"
 #include "xml/event.h"
+#include "xml/structural_index.h"
 #include "xml/symbol_table.h"
 
 namespace xpstream {
+
+/// Parser configuration. The default (all fields empty/false) is the
+/// safe streaming mode: every emitted view is backed by the parser's
+/// arena or the symbol table, so chunks may be freed as soon as Feed
+/// returns.
+struct XmlParserOptions {
+  /// Optional name-interning table (see XmlParser constructor docs).
+  /// Must outlive the parser; when set, emitted element/attribute names
+  /// view the table's stable storage.
+  SymbolTable* symbols = nullptr;
+
+  /// Per-document scratch arena for decoded text and streaming-mode
+  /// copies. nullptr = the parser owns a private arena. An external
+  /// arena lets an Engine reuse one arena (and its blocks) across
+  /// documents — the caller resets it after each document's events have
+  /// been fully consumed; the parser itself never resets it.
+  Arena* arena = nullptr;
+
+  /// The zero-copy promise: when true, the caller guarantees every byte
+  /// passed to Feed stays valid and unmoved until this document's
+  /// events have been consumed (the whole-document ParseXmlToEvents /
+  /// Engine::FilterXml pattern: one Feed over a live buffer). Names and
+  /// text then view the input directly — no copies. Tokens that the
+  /// parser had to stitch across Feed boundaries are still emitted from
+  /// durable storage, so a misuse cannot dangle into parser internals.
+  bool stable_input = false;
+
+  /// Test hook: tokenize with the pre-tape byte-at-a-time loop instead
+  /// of the structural index. Event output is identical; the fuzz
+  /// differential (xml_roundtrip_fuzz_test) runs both tokenizers over
+  /// hostile inputs to prove the tape cannot desynchronize.
+  bool legacy_tokenizer = false;
+};
 
 class XmlParser {
  public:
@@ -38,6 +83,9 @@ class XmlParser {
   /// engine dispatches on the symbol. The table must outlive the parser
   /// and interning must stay single-threaded (see symbol_table.h).
   explicit XmlParser(EventSink* sink, SymbolTable* symbols = nullptr);
+
+  /// Full-options constructor; see XmlParserOptions.
+  XmlParser(EventSink* sink, const XmlParserOptions& options);
 
   /// Caps the cumulative bytes this document's entity and character
   /// references may decode to (0 = unlimited, the default). A document
@@ -58,6 +106,11 @@ class XmlParser {
   /// document was complete and well-formed.
   Status Finish();
 
+  /// Heap bytes retained by the parser's scratch arena (the engine's
+  /// arena_bytes gauge reads the external arena directly; this covers
+  /// the parser-owned case).
+  size_t ArenaFootprintBytes() const { return arena_->FootprintBytes(); }
+
  private:
   enum class State {
     kProlog,        // before the root element
@@ -68,33 +121,69 @@ class XmlParser {
   };
 
   Status Fail(const std::string& msg);
-  Status Emit(Event event);
+  Status Emit(const Event& event);
 
-  /// Processes complete tokens in buf_; leaves an unfinished trailing
-  /// token buffered for the next Feed call.
+  /// One Feed-sized slice; Feed splits oversized chunks so window
+  /// offsets fit the tape encoding.
+  Status FeedSlice(std::string_view chunk);
+
+  /// Processes complete tokens in the current window; leaves an
+  /// unfinished trailing token for the next Feed call. Tape-walking
+  /// tokenizer and the legacy byte-loop test hook.
   Status Drain(bool at_eof);
+  Status DrainLegacy(bool at_eof);
 
-  /// Handles one complete markup token buf_[start..end) == "<...>".
-  Status HandleMarkup(std::string_view tok);
-  Status HandleStartTag(std::string_view body);
+  /// Handles one complete markup token tok == "<...>". `may_have_refs`
+  /// reports whether the pre-scan saw any '&' inside the token — false
+  /// lets attribute values skip entity-decode checks entirely.
+  Status HandleMarkup(std::string_view tok, bool may_have_refs);
+  Status HandleStartTag(std::string_view body, bool may_have_refs);
   Status HandleEndTag(std::string_view body);
-  Status HandleText(std::string_view raw);
+  Status HandleText(std::string_view raw, bool may_have_refs);
+  Status HandleCdata(std::string_view content);
 
-  /// Decodes entity and character references. Fails on unknown entities.
-  Result<std::string> DecodeText(std::string_view raw);
+  /// Chooses the backing for an emitted name: symbol-table storage when
+  /// interning, the input window when the caller pinned it
+  /// (stable_input over a direct chunk window), the arena otherwise.
+  std::string_view DurableName(std::string_view name, Symbol sym);
 
-  /// One open element: its name and its interned symbol (kNoSymbol when
-  /// the parser has no table), so the end tag emits without re-hashing.
+  /// Chooses the backing for emitted text that needs no decoding.
+  std::string_view DurableText(std::string_view text);
+
+  /// Decodes entity and character references into the arena. Fails on
+  /// unknown entities; error statuses carry no line prefix (callers
+  /// wrap with Fail).
+  Result<std::string_view> DecodeText(std::string_view raw);
+
+  /// One open element: its name (durably backed — table/arena/pinned
+  /// input) and its interned symbol (kNoSymbol when the parser has no
+  /// table), so the end tag emits without re-hashing.
   struct OpenElement {
-    std::string name;
+    std::string_view name;
     Symbol sym;
   };
 
   EventSink* sink_;
   SymbolTable* symbols_;   // nullable: no interning
+  Arena* arena_;           // owned or external scratch
+  Arena owned_arena_;      // backing when options.arena == nullptr
+  bool stable_input_;
+  bool legacy_;
   State state_ = State::kProlog;
-  std::string buf_;        // unconsumed input
-  size_t pos_ = 0;         // consumed prefix of buf_
+
+  // The parse window: either the caller's chunk (zero input copies) or
+  // buf_ when a token straddled a Feed boundary. window_is_buf_ gates
+  // the stable-input borrow — views are only handed out over memory the
+  // caller pinned.
+  const char* window_ = nullptr;
+  size_t window_size_ = 0;
+  bool window_is_buf_ = false;
+
+  std::string buf_;        // spill: unconsumed tail across Feed calls
+  size_t scanned_ = 0;     // prefix of buf_ already on the tape
+  StructuralIndex index_;  // tape over the current window
+  size_t tape_pos_ = 0;    // tokenizer's tape cursor
+  size_t pos_ = 0;         // consumed prefix of the window
   size_t line_ = 1;        // for error messages
   std::vector<OpenElement> open_;  // open element stack
   bool started_ = false;   // startDocument emitted
@@ -102,9 +191,12 @@ class XmlParser {
   size_t entity_expanded_ = 0;  // reference-decoded bytes this document
 };
 
-/// Convenience: parses a full in-memory document into an event stream,
-/// interning names into `symbols` when given.
-Result<EventStream> ParseXmlToEvents(std::string_view xml,
+/// Convenience: parses a full in-memory document into a self-contained
+/// EventBuffer, interning names into `symbols` when given. The input is
+/// copied once into the buffer's arena and parsed zero-copy over that
+/// copy, so the result does not reference `xml` — it stays valid as
+/// long as the buffer (and, when interning, `symbols`) lives.
+Result<EventBuffer> ParseXmlToEvents(std::string_view xml,
                                      SymbolTable* symbols = nullptr);
 
 }  // namespace xpstream

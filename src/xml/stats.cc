@@ -141,10 +141,12 @@ void DocumentProfile::Observe(const DocumentStats& stats,
 
 void DocumentProfile::ObserveEvents(const EventStream& events) {
   DocumentStatsCollector collector;
-  std::set<std::string> names;
+  std::set<std::string, std::less<>> names;
   for (const Event& event : events) {
     collector.OnEvent(event);
-    if (event.HasName()) names.insert(event.name);
+    if (event.HasName() && names.find(event.name) == names.end()) {
+      names.emplace(event.name);
+    }
   }
   Observe(collector.stats(), names.size());
 }

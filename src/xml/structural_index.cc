@@ -1,0 +1,89 @@
+#include "xml/structural_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace xpstream {
+
+namespace {
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+// SWAR "has byte == c" over one 64-bit word: the classic
+// (x - 0x01..01) & ~x & 0x80..80 zero-byte detector applied to x ^ c.
+// The high bit of each matching lane is set.
+constexpr uint64_t kOnes = 0x0101010101010101ULL;
+constexpr uint64_t kHighs = 0x8080808080808080ULL;
+
+inline uint64_t MatchByte(uint64_t word, char c) {
+  uint64_t x = word ^ (kOnes * static_cast<uint8_t>(c));
+  return (x - kOnes) & ~x & kHighs;
+}
+#endif
+
+// Byte -> StructuralKind + 1, 0 for uninteresting bytes. Used to
+// classify the bytes a SWAR word flagged (and the scalar tail).
+struct ClassTable {
+  uint8_t v[256] = {};
+  constexpr ClassTable() {
+    v[static_cast<uint8_t>('<')] = kStructLt + 1;
+    v[static_cast<uint8_t>('>')] = kStructGt + 1;
+    v[static_cast<uint8_t>('&')] = kStructAmp + 1;
+    v[static_cast<uint8_t>('"')] = kStructQuot + 1;
+    v[static_cast<uint8_t>('\'')] = kStructApos + 1;
+    v[static_cast<uint8_t>('\n')] = kStructNl + 1;
+  }
+};
+constexpr ClassTable kClass;
+
+}  // namespace
+
+void StructuralIndex::Scan(const char* data, size_t begin, size_t end) {
+  size_t i = begin;
+  // Markup-dense XML runs ~1 structural byte in 4; reserving that up
+  // front keeps short-lived tapes (one small document per parser) from
+  // paying a realloc chain of push_back growth.
+  tape_.reserve(tape_.size() + (end - begin) / 4 + 16);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // Word loop: one load + six SWAR matches per 8 bytes; words with no
+  // structural byte cost nothing further.
+  while (i + 8 <= end) {
+    uint64_t word;
+    std::memcpy(&word, data + i, 8);
+    uint64_t hits = MatchByte(word, '<') | MatchByte(word, '>') |
+                    MatchByte(word, '&') | MatchByte(word, '"') |
+                    MatchByte(word, '\'') | MatchByte(word, '\n');
+    while (hits != 0) {
+      // Little-endian: lowest set lane = earliest byte in the word.
+      size_t lane = static_cast<size_t>(__builtin_ctzll(hits)) >> 3;
+      size_t off = i + lane;
+      uint32_t kind = kClass.v[static_cast<uint8_t>(data[off])] - 1;
+      tape_.push_back(static_cast<uint32_t>(off << 3) | kind);
+      hits &= hits - 1;  // clear that lane's high bit
+    }
+    i += 8;
+  }
+#endif  // little-endian SWAR; the scalar loop below covers the tail
+        // (and whole windows on other byte orders).
+  for (; i < end; ++i) {
+    uint8_t cls = kClass.v[static_cast<uint8_t>(data[i])];
+    if (cls != 0) {
+      tape_.push_back(static_cast<uint32_t>(i << 3) | (cls - 1));
+    }
+  }
+}
+
+void StructuralIndex::Rebase(size_t cut) {
+  if (cut == 0) return;
+  const uint32_t packed_cut = static_cast<uint32_t>(cut << 3);
+  size_t keep_from = 0;
+  while (keep_from < tape_.size() && OffsetOf(tape_[keep_from]) < cut) {
+    ++keep_from;
+  }
+  size_t out = 0;
+  for (size_t i = keep_from; i < tape_.size(); ++i) {
+    tape_[out++] = tape_[i] - packed_cut;
+  }
+  tape_.resize(out);
+}
+
+}  // namespace xpstream

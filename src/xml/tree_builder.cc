@@ -23,14 +23,15 @@ Status TreeBuilder::OnEvent(const Event& event) {
       if (current_ == nullptr) {
         return Status::NotWellFormed("element before startDocument");
       }
-      current_ = current_->AddElement(event.name);
+      current_ = current_->AddElement(std::string(event.name));
       return Status::OK();
     case EventType::kEndElement:
       if (current_ == nullptr || current_ == doc_->root()) {
         return Status::NotWellFormed("unbalanced endElement");
       }
       if (current_->name() != event.name) {
-        return Status::NotWellFormed("mismatched endElement: " + event.name);
+        return Status::NotWellFormed("mismatched endElement: " +
+                                     std::string(event.name));
       }
       current_ = current_->parent();
       return Status::OK();
@@ -45,11 +46,11 @@ Status TreeBuilder::OnEvent(const Event& event) {
         // Rebuild the node: XmlNode text is immutable from outside, so we
         // append by replacing. Cheap because this only occurs for split
         // text chunks.
-        std::string merged = last->text() + event.text;
+        std::string merged = last->text() + std::string(event.text);
         const_cast<std::vector<std::unique_ptr<XmlNode>>&>(kids).pop_back();
         current_->AddText(std::move(merged));
       } else {
-        current_->AddText(event.text);
+        current_->AddText(std::string(event.text));
       }
       return Status::OK();
     }
@@ -57,7 +58,7 @@ Status TreeBuilder::OnEvent(const Event& event) {
       if (current_ == nullptr || current_ == doc_->root()) {
         return Status::NotWellFormed("attribute outside an element");
       }
-      current_->AddAttribute(event.name, event.text);
+      current_->AddAttribute(std::string(event.name), std::string(event.text));
       return Status::OK();
   }
   return Status::Internal("unknown event type");

@@ -30,12 +30,17 @@ Result<std::string> EventsToXml(const EventStream& events,
       case EventType::kStartElement:
         if (tag_open) out += ">";
         if (options.indent && depth > 0 && !had_text) Indent(&out, depth);
-        out += "<" + e.name;
+        out += '<';
+        out += e.name;
         tag_open = true;
         ++depth;
         break;
       case EventType::kAttribute:
-        out += " " + e.name + "=\"" + XmlEscape(e.text) + "\"";
+        out += ' ';
+        out += e.name;
+        out += "=\"";
+        out += XmlEscape(e.text);
+        out += '"';
         break;
       case EventType::kEndElement: {
         --depth;
@@ -45,7 +50,9 @@ Result<std::string> EventsToXml(const EventStream& events,
           out += "/>";
         } else {
           if (options.indent && !had_text) Indent(&out, depth);
-          out += "</" + e.name + ">";
+          out += "</";
+          out += e.name;
+          out += '>';
         }
         tag_open = false;
         had_text = false;

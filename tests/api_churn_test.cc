@@ -165,9 +165,9 @@ TEST(ApiChurnTest, DuplicatesShareOneEvaluationSlot) {
   doc_options.max_depth = 6;
   doc_options.name_pool = 4;
   doc_options.names = {"s0", "s1", "s2", "s3"};
-  std::vector<EventStream> corpus;
+  EventCorpus corpus;
   for (size_t i = 0; i < 5; ++i) {
-    corpus.push_back(GenerateRandomDocument(&rng, doc_options)->ToEvents());
+    corpus.Add(GenerateRandomDocument(&rng, doc_options));
   }
 
   for (const std::string& name : Engine::AvailableEngines()) {

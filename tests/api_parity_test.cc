@@ -37,9 +37,9 @@ TEST(ApiParityTest, AllEnginesAgreeOnLinearQueries) {
   doc_options.max_depth = 6;
   doc_options.name_pool = 4;
   doc_options.names = {"s0", "s1", "s2", "s3"};
-  std::vector<EventStream> corpus;
+  EventCorpus corpus;
   for (int i = 0; i < 16; ++i) {
-    corpus.push_back(GenerateRandomDocument(&doc_rng, doc_options)->ToEvents());
+    corpus.Add(GenerateRandomDocument(&doc_rng, doc_options));
   }
 
   std::map<std::string, std::vector<std::vector<bool>>> verdicts_by_engine;
@@ -95,8 +95,9 @@ TEST(ApiParityTest, NfaIndexAgreesWithSingleQueryFiltersPerSubscription) {
   }
 
   for (int d = 0; d < 12; ++d) {
-    EventStream events =
-        GenerateRandomDocument(&doc_rng, doc_options)->ToEvents();
+    const std::unique_ptr<XmlDocument> doc =
+        GenerateRandomDocument(&doc_rng, doc_options);
+    EventStream events = doc->ToEvents();
     auto index_verdicts = (*index_engine)->FilterEvents(events);
     ASSERT_TRUE(index_verdicts.ok());
     for (size_t q = 0; q < queries.size(); ++q) {

@@ -31,15 +31,15 @@ std::vector<std::string> LinearQueries(size_t count, uint64_t seed) {
   return queries;
 }
 
-std::vector<EventStream> Corpus(size_t docs, uint64_t seed) {
+EventCorpus Corpus(size_t docs, uint64_t seed) {
   Random rng(seed);
   DocGenOptions options;
   options.max_depth = 6;
   options.name_pool = 4;
   options.names = {"s0", "s1", "s2", "s3"};
-  std::vector<EventStream> corpus;
+  EventCorpus corpus;
   for (size_t i = 0; i < docs; ++i) {
-    corpus.push_back(GenerateRandomDocument(&rng, options)->ToEvents());
+    corpus.Add(GenerateRandomDocument(&rng, options));
   }
   return corpus;
 }
@@ -57,7 +57,7 @@ Result<std::unique_ptr<Engine>> MakeEngine(const std::string& name,
 // history must match the threads=1 run exactly.
 TEST(ApiShardedTest, AllEnginesAllThreadCountsMatchSingleThreaded) {
   const std::vector<std::string> queries = LinearQueries(23, 20240401);
-  const std::vector<EventStream> corpus = Corpus(12, 7);
+  const EventCorpus corpus = Corpus(12, 7);
 
   for (const std::string& name : Engine::AvailableEngines()) {
     auto reference = MakeEngine(name, 1);
@@ -116,7 +116,7 @@ TEST(ApiShardedTest, ShardedFrontierMatchesOnPredicateSubscriptions) {
 // and must not perturb the merge.
 TEST(ApiShardedTest, MoreThreadsThanSubscriptions) {
   const std::vector<std::string> queries = LinearQueries(3, 99);
-  const std::vector<EventStream> corpus = Corpus(6, 1234);
+  const EventCorpus corpus = Corpus(6, 1234);
   auto reference = MakeEngine("nfa_index", 1);
   auto sharded = MakeEngine("nfa_index", 8);
   ASSERT_TRUE(reference.ok() && sharded.ok());
@@ -148,7 +148,7 @@ TEST(ApiShardedTest, ZeroSubscriptions) {
 // matches the single-threaded engine exactly.
 TEST(ApiShardedTest, AbortDocumentMidStream) {
   const std::vector<std::string> queries = LinearQueries(10, 5);
-  const std::vector<EventStream> corpus = Corpus(4, 77);
+  const EventCorpus corpus = Corpus(4, 77);
 
   std::vector<std::vector<bool>> reference_history;
   for (size_t threads : {1u, 2u, 4u, 8u}) {
@@ -257,7 +257,7 @@ TEST(ApiShardedTest, FilterDocumentsSurvivesMalformedDocument) {
 // peak gauges (the merge is slot-ordered, not scheduling-ordered).
 TEST(ApiShardedTest, ShardedStatsAreDeterministic) {
   const std::vector<std::string> queries = LinearQueries(16, 21);
-  const std::vector<EventStream> corpus = Corpus(8, 22);
+  const EventCorpus corpus = Corpus(8, 22);
   size_t peaks[2][2];
   for (int run = 0; run < 2; ++run) {
     auto engine = MakeEngine("nfa_index", 4);

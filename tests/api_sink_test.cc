@@ -64,15 +64,15 @@ std::vector<std::string> LinearQueries(size_t count, uint64_t seed) {
   return queries;
 }
 
-std::vector<EventStream> Corpus(size_t docs, uint64_t seed) {
+EventCorpus Corpus(size_t docs, uint64_t seed) {
   Random rng(seed);
   DocGenOptions options;
   options.max_depth = 6;
   options.name_pool = 4;
   options.names = {"s0", "s1", "s2", "s3"};
-  std::vector<EventStream> corpus;
+  EventCorpus corpus;
   for (size_t i = 0; i < docs; ++i) {
-    corpus.push_back(GenerateRandomDocument(&rng, options)->ToEvents());
+    corpus.Add(GenerateRandomDocument(&rng, options));
   }
   return corpus;
 }
@@ -114,7 +114,7 @@ TEST(ApiSinkTest, DecidedPositionsAreEngineCommitmentPoints) {
 // earliest-decision positions must agree exactly on shared fixtures.
 TEST(ApiSinkTest, AutomatonEnginesAgreeOnEarliestPositions) {
   const std::vector<std::string> queries = LinearQueries(17, 20260401);
-  const std::vector<EventStream> corpus = Corpus(10, 11);
+  const EventCorpus corpus = Corpus(10, 11);
 
   std::vector<std::vector<size_t>> reference;  // per doc, per slot
   for (const char* name : {"nfa", "lazy_dfa", "nfa_index"}) {
@@ -175,7 +175,7 @@ TEST(ApiSinkTest, DeliveryModesControlNotificationTiming) {
 // registry engines, on both the SAX batch path and the byte path.
 TEST(ApiSinkTest, SinkDeliveryBitIdenticalAcrossThreadCounts) {
   const std::vector<std::string> queries = LinearQueries(23, 20240401);
-  const std::vector<EventStream> corpus = Corpus(8, 7);
+  const EventCorpus corpus = Corpus(8, 7);
 
   for (const std::string& name : Engine::AvailableEngines()) {
     RecordingSink reference;
@@ -226,8 +226,8 @@ TEST(ApiSinkTest, ShortCircuitMatchesFullScan) {
   EventStream doc;
   doc.push_back(Event::StartDocument());
   doc.push_back(Event::StartElement("feed"));
-  for (int i = 0; i < 4; ++i) {
-    const std::string name = "h" + std::to_string(i);
+  // Static storage: the events view these names for the whole test.
+  for (const char* name : {"h0", "h1", "h2", "h3"}) {
     doc.push_back(Event::StartElement(name));
     doc.push_back(Event::EndElement(name));
   }

@@ -154,7 +154,8 @@ class SymbolPipelineParityTest : public ::testing::Test {
         ASSERT_EQ(e.name_sym, kNoSymbol);  // the unsymbolized side
       }
       xml_corpus_.push_back(std::move(xml).value());
-      event_corpus_.push_back(std::move(reparsed).value());
+      event_buffers_.push_back(std::move(reparsed).value());
+      event_corpus_.push_back(event_buffers_.back().events());
     }
   }
 
@@ -165,6 +166,7 @@ class SymbolPipelineParityTest : public ::testing::Test {
 
   std::vector<std::string> queries_;
   std::vector<std::string> xml_corpus_;
+  std::vector<EventBuffer> event_buffers_;  // owns the events' bytes
   std::vector<EventStream> event_corpus_;
 };
 
@@ -232,11 +234,13 @@ TEST_F(SymbolPipelineParityTest, ForeignSymbolsAreNotTrusted) {
   for (const char* name : {"zz", "s3", "s1", "id", "s0", "s2"}) {
     foreign.Intern(name);
   }
+  std::vector<EventBuffer> foreign_buffers;  // owns the events' bytes
   std::vector<EventStream> foreign_corpus;
   for (const std::string& xml : xml_corpus_) {
     auto events = ParseXmlToEvents(xml, &foreign);
     ASSERT_TRUE(events.ok());
-    foreign_corpus.push_back(std::move(events).value());
+    foreign_buffers.push_back(std::move(events).value());
+    foreign_corpus.push_back(foreign_buffers.back().events());
   }
   for (const std::string& name : Engine::AvailableEngines()) {
     const std::vector<std::string> queries = QueriesFor(name);

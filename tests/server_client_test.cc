@@ -428,6 +428,13 @@ TEST(ServerClientTest, StatsReportEngineAndCounters) {
   EXPECT_NE(stats->find("eval_slots=1\n"), std::string::npos) << *stats;
   EXPECT_NE(stats->find("connections=1\n"), std::string::npos) << *stats;
   EXPECT_NE(stats->find("dropped_frames=0\n"), std::string::npos) << *stats;
+  // The zero-copy parse gauges: arena high-water mark and cumulative
+  // parse throughput (nonzero once a document has been fed).
+  EXPECT_NE(stats->find("arena_bytes="), std::string::npos) << *stats;
+  const size_t mbps = stats->find("parse_mb_per_s=");
+  ASSERT_NE(mbps, std::string::npos) << *stats;
+  EXPECT_EQ(stats->find("parse_mb_per_s=0.00\n"), std::string::npos)
+      << *stats;
 }
 
 // Backpressure is shedding, not stalling: a subscriber that never

@@ -52,8 +52,8 @@ TEST(AblationTest, LiteralModeErasesMatchUnderRecursion) {
   ASSERT_TRUE(q.ok());
   auto events = ParseXmlToEvents("<a><a><b/><c/></a></a>");
   ASSERT_TRUE(events.ok());
-  auto fixed = RunMode(q->get(), *events, false);
-  auto literal = RunMode(q->get(), *events, true);
+  auto fixed = RunMode(q->get(), events->events(), false);
+  auto literal = RunMode(q->get(), events->events(), true);
   ASSERT_TRUE(fixed.ok() && literal.ok());
   EXPECT_TRUE(*fixed);     // ground truth: the inner a matches
   EXPECT_FALSE(*literal);  // the literal pseudo-code loses the match

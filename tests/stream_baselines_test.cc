@@ -22,7 +22,7 @@ bool RunEngine(const std::string& query_text, const std::string& xml) {
   EXPECT_TRUE(f.ok()) << f.status().ToString();
   auto events = ParseXmlToEvents(xml);
   EXPECT_TRUE(events.ok());
-  auto verdict = RunFilter(f->get(), *events);
+  auto verdict = RunFilter(f->get(), events->events());
   EXPECT_TRUE(verdict.ok()) << verdict.status().ToString();
   return verdict.ok() && *verdict;
 }
@@ -60,7 +60,7 @@ TEST(NfaFilterTest, StackDepthTracksDocumentDepth) {
   for (int i = 0; i < 30; ++i) xml += "</a>";
   auto events = ParseXmlToEvents(xml);
   ASSERT_TRUE(events.ok());
-  ASSERT_TRUE(RunFilter(f->get(), *events).ok());
+  ASSERT_TRUE(RunFilter(f->get(), events->events()).ok());
   EXPECT_GE((*f)->stats().table_entries().peak(), 30u);
 }
 
@@ -78,10 +78,10 @@ TEST(LazyDfaFilterTest, TransitionTablePersistsAcrossDocuments) {
   ASSERT_TRUE(f.ok());
   auto events = ParseXmlToEvents("<a><b><c/></b></a>");
   ASSERT_TRUE(events.ok());
-  ASSERT_TRUE(RunFilter(f->get(), *events).ok());
+  ASSERT_TRUE(RunFilter(f->get(), events->events()).ok());
   size_t states_after_first = (*f)->NumStates();
   EXPECT_GT(states_after_first, 1u);
-  ASSERT_TRUE(RunFilter(f->get(), *events).ok());
+  ASSERT_TRUE(RunFilter(f->get(), events->events()).ok());
   EXPECT_EQ((*f)->NumStates(), states_after_first);  // cached
 }
 
@@ -117,7 +117,7 @@ TEST(NaiveFilterTest, BuffersWholeDocument) {
   xml += "</a>";
   auto events = ParseXmlToEvents(xml);
   ASSERT_TRUE(events.ok());
-  ASSERT_TRUE(RunFilter(f->get(), *events).ok());
+  ASSERT_TRUE(RunFilter(f->get(), events->events()).ok());
   EXPECT_GE((*f)->stats().table_entries().peak(), 300u);
 }
 

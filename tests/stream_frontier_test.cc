@@ -27,7 +27,7 @@ bool Filter(const std::string& query_text, const std::string& xml) {
   Runner r = Make(query_text);
   auto events = ParseXmlToEvents(xml);
   EXPECT_TRUE(events.ok()) << events.status().ToString();
-  auto verdict = RunFilter(r.filter.get(), *events);
+  auto verdict = RunFilter(r.filter.get(), events->events());
   EXPECT_TRUE(verdict.ok()) << verdict.status().ToString();
   return verdict.ok() && *verdict;
 }
@@ -114,7 +114,7 @@ TEST(FrontierFilterTest, Fig22Example) {
       ParseXmlToEvents("<a><c><d><e/></d><f/></c><c/><b/></a>");
   ASSERT_TRUE(events.ok());
   r.filter->EnableTrace();
-  auto verdict = RunFilter(r.filter.get(), *events);
+  auto verdict = RunFilter(r.filter.get(), events->events());
   ASSERT_TRUE(verdict.ok());
   EXPECT_TRUE(*verdict);
   EXPECT_FALSE(r.filter->trace().empty());
@@ -143,7 +143,7 @@ TEST(FrontierFilterTest, MemoryIndependentOfDocumentWidth) {
   xml += "</a>";
   auto events = ParseXmlToEvents(xml);
   ASSERT_TRUE(events.ok());
-  auto verdict = RunFilter(r.filter.get(), *events);
+  auto verdict = RunFilter(r.filter.get(), events->events());
   ASSERT_TRUE(verdict.ok());
   EXPECT_FALSE(*verdict);
   EXPECT_LE(r.filter->stats().table_entries().peak(), 3u);
@@ -159,7 +159,7 @@ TEST(FrontierFilterTest, MemoryGrowsWithRecursionDepth) {
     for (size_t i = 0; i < depth; ++i) xml += "</a>";
     auto events = ParseXmlToEvents(xml);
     ASSERT_TRUE(events.ok());
-    ASSERT_TRUE(RunFilter(r.filter.get(), *events).ok());
+    ASSERT_TRUE(RunFilter(r.filter.get(), events->events()).ok());
     size_t peak = r.filter->stats().table_entries().peak();
     EXPECT_GE(peak, depth);      // ~2 records per open candidate + a
     EXPECT_LE(peak, 3 * depth + 3);
@@ -170,7 +170,7 @@ TEST(FrontierFilterTest, BufferClearedBetweenValues) {
   Runner r = Make("/a[b = \"x\" and c = \"y\"]");
   auto events = ParseXmlToEvents("<a><b>x</b><c>y</c></a>");
   ASSERT_TRUE(events.ok());
-  auto verdict = RunFilter(r.filter.get(), *events);
+  auto verdict = RunFilter(r.filter.get(), events->events());
   ASSERT_TRUE(verdict.ok());
   EXPECT_TRUE(*verdict);
   // Peak buffer is one value at a time, not the concatenation.
@@ -182,7 +182,7 @@ TEST(FrontierFilterTest, ReusableAcrossDocuments) {
   for (const char* xml : {"<a><b/></a>", "<a><c/></a>", "<a><b/></a>"}) {
     auto events = ParseXmlToEvents(xml);
     ASSERT_TRUE(events.ok());
-    auto verdict = RunFilter(r.filter.get(), *events);
+    auto verdict = RunFilter(r.filter.get(), events->events());
     ASSERT_TRUE(verdict.ok());
     EXPECT_EQ(*verdict, std::string(xml).find("<b/>") != std::string::npos);
   }

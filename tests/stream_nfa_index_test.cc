@@ -26,7 +26,7 @@ struct IndexFixture {
   std::vector<bool> Run(const std::string& xml) {
     auto events = ParseXmlToEvents(xml);
     EXPECT_TRUE(events.ok());
-    auto verdicts = index.FilterDocument(*events);
+    auto verdicts = index.FilterDocument(events->events());
     EXPECT_TRUE(verdicts.ok()) << verdicts.status().ToString();
     return verdicts.ok() ? *verdicts : std::vector<bool>{};
   }

@@ -22,7 +22,7 @@ std::vector<std::string> Collect(const std::string& query_text,
   EXPECT_TRUE(enable.ok()) << enable.ToString();
   auto events = ParseXmlToEvents(xml);
   EXPECT_TRUE(events.ok());
-  auto verdict = RunFilter(f->get(), *events);
+  auto verdict = RunFilter(f->get(), events->events());
   EXPECT_TRUE(verdict.ok()) << verdict.status().ToString();
   return (*f)->outputs();
 }
@@ -102,7 +102,7 @@ TEST(OutputCollectionTest, BooleanVerdictUnaffected) {
   ASSERT_TRUE((*f)->EnableOutputCollection().ok());
   auto events = ParseXmlToEvents("<a><b><c/></b></a>");
   ASSERT_TRUE(events.ok());
-  auto verdict = RunFilter(f->get(), *events);
+  auto verdict = RunFilter(f->get(), events->events());
   ASSERT_TRUE(verdict.ok());
   EXPECT_TRUE(*verdict);
   EXPECT_EQ((*f)->outputs().size(), 1u);

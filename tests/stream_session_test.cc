@@ -18,11 +18,13 @@ TEST(SessionTest, SequenceOfDocuments) {
   ASSERT_TRUE(q.ok());
   auto f = FrontierFilter::Create(q->get());
   ASSERT_TRUE(f.ok());
+  std::vector<EventBuffer> buffers;  // owns the events' backing bytes
   std::vector<EventStream> docs;
   for (const std::string& xml : testutil::LoadTestDataLines("session_ab.xml")) {
     auto events = ParseXmlToEvents(xml);
     ASSERT_TRUE(events.ok());
-    docs.push_back(std::move(events).value());
+    buffers.push_back(std::move(events).value());
+    docs.push_back(buffers.back().events());
   }
   auto verdicts = FilterDocumentBatch(f->get(), docs);
   ASSERT_TRUE(verdicts.ok());
@@ -38,11 +40,13 @@ TEST(SessionTest, StateDoesNotLeakBetweenDocuments) {
   // First two documents of the session_ab fixture: neither has both b and c.
   auto lines = testutil::LoadTestDataLines("session_ab.xml");
   lines.resize(2);
+  std::vector<EventBuffer> buffers;  // owns the events' backing bytes
   std::vector<EventStream> docs;
   for (const std::string& xml : lines) {
     auto events = ParseXmlToEvents(xml);
     ASSERT_TRUE(events.ok());
-    docs.push_back(std::move(events).value());
+    buffers.push_back(std::move(events).value());
+    docs.push_back(buffers.back().events());
   }
   auto verdicts = FilterDocumentBatch(f->get(), docs);
   ASSERT_TRUE(verdicts.ok());
@@ -87,6 +91,7 @@ TEST(SessionTest, TracksPeakMemoryAcrossDocuments) {
   ASSERT_TRUE(q.ok());
   auto f = FrontierFilter::Create(q->get());
   ASSERT_TRUE(f.ok());
+  std::vector<EventBuffer> buffers;  // owns the events' backing bytes
   std::vector<EventStream> docs;
   // Second document is much deeper; the session peak reflects it.
   std::string deep;
@@ -95,7 +100,8 @@ TEST(SessionTest, TracksPeakMemoryAcrossDocuments) {
   for (const std::string& xml : {std::string("<a/>"), deep}) {
     auto events = ParseXmlToEvents(xml);
     ASSERT_TRUE(events.ok());
-    docs.push_back(std::move(events).value());
+    buffers.push_back(std::move(events).value());
+    docs.push_back(buffers.back().events());
   }
   auto verdicts = FilterDocumentBatch(f->get(), docs);
   ASSERT_TRUE(verdicts.ok());

@@ -12,7 +12,7 @@ std::string ParseToString(std::string_view xml) {
   auto events = ParseXmlToEvents(xml);
   EXPECT_TRUE(events.ok()) << events.status().ToString();
   if (!events.ok()) return "";
-  return EventStreamToString(*events);
+  return EventStreamToString(events->events());
 }
 
 TEST(XmlParserTest, SimpleDocument) {
@@ -149,7 +149,7 @@ TEST(XmlWriterTest, RoundTripThroughWriter) {
   const std::string xml = testutil::LoadTestData("attrs.xml");
   auto events = ParseXmlToEvents(xml);
   ASSERT_TRUE(events.ok());
-  auto text = EventsToXml(*events);
+  auto text = EventsToXml(events->events());
   ASSERT_TRUE(text.ok());
   auto reparsed = ParseXmlToEvents(*text);
   ASSERT_TRUE(reparsed.ok());
@@ -161,7 +161,7 @@ TEST(XmlWriterTest, IndentedOutputReparses) {
   ASSERT_TRUE(events.ok());
   WriterOptions options;
   options.indent = true;
-  auto text = EventsToXml(*events, options);
+  auto text = EventsToXml(events->events(), options);
   ASSERT_TRUE(text.ok());
   EXPECT_NE(text->find('\n'), std::string::npos);
   // Reparse and compare element structure (whitespace text may differ).

@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "common/random.h"
 #include "workload/doc_generator.h"
 #include "workload/scenarios.h"
@@ -17,17 +22,24 @@ namespace {
 
 /// Normalizes an event stream: merges adjacent text events (the parser
 /// may split text at chunk boundaries before the TreeBuilder merges).
-EventStream NormalizeText(const EventStream& events) {
-  EventStream out;
+/// Returns an owning buffer — merged text needs its own storage now
+/// that events carry views.
+EventBuffer NormalizeText(const EventStream& events) {
+  EventBuffer out;
+  std::string pending;
+  auto flush = [&] {
+    if (!pending.empty()) out.Append(Event::Text(pending));
+    pending.clear();
+  };
   for (const Event& e : events) {
-    if (e.type == EventType::kText && !out.empty() &&
-        out.back().type == EventType::kText) {
-      out.back().text += e.text;
+    if (e.type == EventType::kText) {
+      pending += e.text;
       continue;
     }
-    if (e.type == EventType::kText && e.text.empty()) continue;
-    out.push_back(e);
+    flush();
+    out.Append(e);
   }
+  flush();
   return out;
 }
 
@@ -108,6 +120,145 @@ TEST(XmlRoundTripFuzzTest, ScenarioDocumentsRoundTrip) {
     ASSERT_TRUE(back.ok());
     EXPECT_EQ(NormalizeText((*back)->ToEvents()),
               NormalizeText(book->ToEvents()));
+  }
+}
+
+// --- structural-scan differential mode ------------------------------
+//
+// The tape tokenizer (StructuralIndex pre-scan) and the pre-tape
+// byte-at-a-time loop (kept behind XmlParserOptions::legacy_tokenizer)
+// must be observationally identical: same events, same error messages,
+// event-for-event, on well-formed and hostile inputs alike, under any
+// chunking. A desynchronized tape — a stray `<` in CDATA, a quote in a
+// comment, a charref split across chunks — would show up here first.
+
+/// Everything observable from one parse: the emitted event prefix
+/// (deep-copied — the parser dies with this function) and the final
+/// status rendering.
+struct ParseOutcome {
+  EventBuffer events;
+  std::string status;
+};
+
+ParseOutcome ParseWithTokenizer(bool legacy, std::string_view xml,
+                                const std::vector<size_t>& cuts,
+                                size_t entity_cap) {
+  ParseOutcome out;
+  BufferingSink sink(&out.events);
+  XmlParserOptions options;
+  options.legacy_tokenizer = legacy;
+  XmlParser parser(&sink, options);
+  parser.SetMaxEntityExpansionBytes(entity_cap);
+  Status status = Status::OK();
+  size_t pos = 0;
+  for (size_t cut : cuts) {
+    if (!status.ok() || pos >= xml.size()) break;
+    const size_t end = std::min(cut, xml.size());
+    if (end <= pos) continue;
+    status = parser.Feed(xml.substr(pos, end - pos));
+    pos = end;
+  }
+  if (status.ok() && pos < xml.size()) status = parser.Feed(xml.substr(pos));
+  if (status.ok()) status = parser.Finish();
+  out.status = status.ToString();
+  return out;
+}
+
+void ExpectTokenizersAgree(std::string_view xml,
+                           const std::vector<size_t>& cuts,
+                           size_t entity_cap = 0) {
+  ParseOutcome tape = ParseWithTokenizer(false, xml, cuts, entity_cap);
+  ParseOutcome legacy = ParseWithTokenizer(true, xml, cuts, entity_cap);
+  EXPECT_EQ(tape.status, legacy.status) << "input: " << xml;
+  EXPECT_TRUE(tape.events == legacy.events)
+      << "input: " << xml << "\ntape  : "
+      << EventStreamToString(tape.events.events())
+      << "\nlegacy: " << EventStreamToString(legacy.events.events());
+}
+
+TEST(XmlTokenizerDifferentialTest, HostileInputs) {
+  // Hand-picked desynchronization attempts: structural characters in
+  // contexts where they are not structural, tokens that look almost
+  // closed, and malformed tails.
+  const char* inputs[] = {
+      "<a><![CDATA[< not a tag <b> ]]&gt; ]]></a>",
+      "<a><![CDATA[]]]></a>",
+      "<a><![CDATA[]] ]]></a>",
+      "<a><![CDATA[]]></a>",
+      "<a><!-- quotes ' \" and <tags> and -- dashes --><b/></a>",
+      "<a><!--></a>--><b/></a>",
+      "<a><!---></a>",
+      "<a b=\"x>y\" c='<d>'/>",
+      "<a b=\"ends here>\"><c/></a>",
+      "<a>&#955;&#x3BB;&amp;</a>",
+      "<a>&#955</a>",
+      "<a>&unknown;</a>",
+      "<a>& lone</a>",
+      "<a>text ]]> more</a>",
+      "<?pi with <angle> brackets ?><a/>",
+      "<a",
+      "<a><b></a></b>",
+      "<a/><b/>",
+      "text outside",
+      "<a>\n\nline\ncounting\n<b\n/></a>",
+      "<!DOCTYPE a><a/>",
+      "<a><![CDATA[",
+      "<a><!-- unterminated",
+      "",
+  };
+  for (const char* input : inputs) {
+    const size_t n = std::string_view(input).size();
+    // Whole-buffer plus every tiny fixed chunking.
+    ExpectTokenizersAgree(input, {n});
+    for (size_t width : {1u, 2u, 3u}) {
+      std::vector<size_t> cuts;
+      for (size_t pos = width; pos < n + width; pos += width) {
+        cuts.push_back(pos);
+      }
+      ExpectTokenizersAgree(input, cuts);
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(XmlTokenizerDifferentialTest, SplitCharrefsAndEntityCaps) {
+  // Multi-byte character references split at every possible boundary,
+  // with a cap low enough to trip mid-document — the failure line and
+  // message must match between tokenizers.
+  const std::string xml = "<a>&#955;&#x1F600;&amp;&quot;</a>";
+  for (size_t cut = 1; cut < xml.size(); ++cut) {
+    for (size_t cap : {0u, 1u, 3u, 100u}) {
+      ExpectTokenizersAgree(xml, {cut, xml.size()}, cap);
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(XmlTokenizerDifferentialTest, RandomDocumentsRandomChunks) {
+  Random rng(24680);
+  DocGenOptions opts;
+  opts.max_depth = 5;
+  opts.text_prob = 0.6;
+  opts.attr_prob = 0.4;
+  for (int i = 0; i < 60; ++i) {
+    auto doc = GenerateRandomDocument(&rng, opts);
+    auto xml = DocumentToXml(*doc);
+    ASSERT_TRUE(xml.ok());
+    std::vector<size_t> cuts;
+    size_t pos = 0;
+    while (pos < xml->size()) {
+      pos += 1 + rng.Uniform(13);
+      cuts.push_back(pos);
+    }
+    ExpectTokenizersAgree(*xml, cuts);
+    // Mutate one byte to something hostile and re-compare: the
+    // tokenizers must also fail identically.
+    std::string mutated = *xml;
+    const char hostile[] = {'<', '>', '&', '"', '\'', '-', ']', '\n'};
+    mutated[rng.Uniform(mutated.size())] =
+        hostile[rng.Uniform(sizeof hostile)];
+    ExpectTokenizersAgree(mutated, cuts);
+    if (::testing::Test::HasFailure()) return;
   }
 }
 
