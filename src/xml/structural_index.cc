@@ -8,15 +8,21 @@ namespace xpstream {
 namespace {
 
 #if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
-// SWAR "has byte == c" over one 64-bit word: the classic
-// (x - 0x01..01) & ~x & 0x80..80 zero-byte detector applied to x ^ c.
-// The high bit of each matching lane is set.
+// SWAR "has byte == c" over one 64-bit word: the exact zero-lane
+// detector ~(((x & 0x7f..7f) + 0x7f..7f) | x | 0x7f..7f) applied to
+// x ^ c. The high bit of each matching lane is set.
+//
+// Deliberately NOT the classic (x - 0x01..01) & ~x & 0x80..80 form:
+// its subtraction borrows across lanes, so the byte after a match is
+// falsely flagged whenever it equals c ^ 0x01 ('#' after '"', '=' after
+// '<', '?' after '>'). Here each lane's sum is at most 0x7f + 0x7f, so
+// no carry ever leaves a lane and only true matches are reported.
 constexpr uint64_t kOnes = 0x0101010101010101ULL;
-constexpr uint64_t kHighs = 0x8080808080808080ULL;
+constexpr uint64_t kLows = 0x7f7f7f7f7f7f7f7fULL;
 
 inline uint64_t MatchByte(uint64_t word, char c) {
   uint64_t x = word ^ (kOnes * static_cast<uint8_t>(c));
-  return (x - kOnes) & ~x & kHighs;
+  return ~(((x & kLows) + kLows) | x | kLows);
 }
 #endif
 
@@ -56,9 +62,13 @@ void StructuralIndex::Scan(const char* data, size_t begin, size_t end) {
       // Little-endian: lowest set lane = earliest byte in the word.
       size_t lane = static_cast<size_t>(__builtin_ctzll(hits)) >> 3;
       size_t off = i + lane;
-      uint32_t kind = kClass.v[static_cast<uint8_t>(data[off])] - 1;
-      tape_.push_back(static_cast<uint32_t>(off << 3) | kind);
       hits &= hits - 1;  // clear that lane's high bit
+      uint32_t cls = kClass.v[static_cast<uint8_t>(data[off])];
+      // Same guard as the scalar loop: a lane the matcher flagged but
+      // the table calls non-structural must never reach the tape (an
+      // unguarded cls - 1 would underflow into a bogus huge offset).
+      if (cls == 0) continue;
+      tape_.push_back(static_cast<uint32_t>(off << 3) | (cls - 1));
     }
     i += 8;
   }

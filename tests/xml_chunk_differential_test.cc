@@ -159,6 +159,12 @@ TEST(XmlChunkDifferentialTest, StructuralTokensAcrossBoundaries) {
       "<a><!-- - -- ->x--><b q='\"'/></a>",
       "<a longattr=\"v1\" b='v2'><c>t1</c>t2<d/></a>",
       "<?xml version=\"1.0\"?><r><s>&quot;&apos;</s></r>",
+      // Structural bytes immediately followed by their XOR-1 neighbor
+      // ('"#', '<=', '>?') — the pattern that defeats a borrow-based
+      // SWAR matcher by falsely flagging the trailing byte.
+      "<a href=\"#top\">t<b>text more</b></a>",
+      "<a><!-- x <= y >? --><b q=\"#\"/>#</a>",
+      "<a><![CDATA[a<=b >? \"#frag\"]]></a>",
   };
   for (const char* input : inputs) {
     ExpectChunkingInvariant(input, /*entity_cap=*/0, input);

@@ -2,6 +2,7 @@
 
 #include "test_util.h"
 #include "xml/parser.h"
+#include "xml/structural_index.h"
 #include "xml/tree_builder.h"
 #include "xml/writer.h"
 
@@ -176,6 +177,70 @@ TEST(XmlWriterTest, EscapesSpecialCharacters) {
   auto text = EventsToXml(events);
   ASSERT_TRUE(text.ok());
   EXPECT_EQ(*text, "<a>&lt;&amp;&gt;</a>");
+}
+
+TEST(StructuralIndexTest, XorOneNeighborsAreNotFlagged) {
+  // '#' == '"'^1, '=' == '<'^1, '?' == '>'^1, '\v' == '\n'^1. A
+  // borrow-based SWAR zero-detector falsely flags each of these when it
+  // directly follows its structural neighbor, and the resulting
+  // kClass[b] - 1 underflow poisons the tape with a huge offset. The 16
+  // bytes here keep every such pair inside the word loop (not the
+  // scalar tail, which was never affected).
+  const std::string buf = "z\"#q<=w>?\n\ve&'xx";
+  ASSERT_EQ(buf.size(), 16u);
+  StructuralIndex index;
+  index.Scan(buf.data(), 0, buf.size());
+  const std::vector<std::pair<size_t, StructuralKind>> expected = {
+      {1, kStructQuot}, {4, kStructLt},  {7, kStructGt},
+      {9, kStructNl},   {12, kStructAmp}, {13, kStructApos},
+  };
+  ASSERT_EQ(index.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(StructuralIndex::OffsetOf(index.entry(i)), expected[i].first)
+        << "entry " << i;
+    EXPECT_EQ(StructuralIndex::KindOf(index.entry(i)), expected[i].second)
+        << "entry " << i;
+  }
+}
+
+/// Merges adjacent text events — the one divergence a chunked feed is
+/// allowed relative to a whole-buffer parse.
+EventBuffer MergeAdjacentText(const EventStream& events) {
+  EventBuffer out;
+  std::string pending;
+  auto flush = [&] {
+    if (!pending.empty()) out.Append(Event::Text(pending));
+    pending.clear();
+  };
+  for (const Event& e : events) {
+    if (e.type == EventType::kText) {
+      pending += e.text;
+      continue;
+    }
+    flush();
+    out.Append(e);
+  }
+  flush();
+  return out;
+}
+
+TEST(XmlParserTest, HashAfterQuoteAcrossFeeds) {
+  // Regression for the SWAR borrow bug end to end: the bogus tape entry
+  // for '#' (offset wrapped to ~2^29 by the kClass underflow) survived
+  // Rebase() after the first Feed and sent the tokenizer reading far
+  // past the window on the second.
+  EventBuffer events;
+  BufferingSink sink(&events);
+  XmlParser parser(&sink);
+  ASSERT_TRUE(parser.Feed("<a href=\"#x\">t<b>text").ok());
+  ASSERT_TRUE(parser.Feed(" more</b></a>").ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  auto whole = ParseXmlToEvents("<a href=\"#x\">t<b>text more</b></a>");
+  ASSERT_TRUE(whole.ok());
+  EXPECT_TRUE(MergeAdjacentText(events.events()) ==
+              MergeAdjacentText(whole->events()))
+      << "feeds : " << EventStreamToString(events.events())
+      << "\nwhole : " << EventStreamToString(whole->events());
 }
 
 }  // namespace

@@ -205,6 +205,12 @@ TEST(XmlTokenizerDifferentialTest, HostileInputs) {
       "<a><![CDATA[",
       "<a><!-- unterminated",
       "",
+      // Structural byte followed by its XOR-1 neighbor ('\"#', '<=',
+      // '>?') — falsely flagged as structural by a borrow-based SWAR
+      // matcher, which then corrupts every later tape offset.
+      "<a href=\"#x\">t<b>text more</b></a>",
+      "<a><!-- if x <= y or z >? --><b/></a>",
+      "<a><![CDATA[\"#f\" a<=b c>?d]]>#</a>",
   };
   for (const char* input : inputs) {
     const size_t n = std::string_view(input).size();
